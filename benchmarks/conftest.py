@@ -1,0 +1,28 @@
+"""Benchmark-harness fixtures.
+
+Every benchmark regenerates one paper artifact (table or figure) at PAPER
+scale, asserts its headline shape, and emits the paper-style rows both to
+stdout and to ``benchmarks/output/<artifact>.txt`` so the regenerated
+artifacts persist after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture()
+def artifact():
+    """Persist and print a rendered paper artifact."""
+
+    def _save(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,65 @@
+"""Ablation: actuation policies (§2.3.3 and DESIGN.md).
+
+Compares the paper's two constraint solutions (minimal-speedup and
+race-to-idle) and our LP extension (optimal-QoS) at matched throughput:
+
+* minimal-speedup minimizes QoS loss among the paper's policies but can
+  lose to the LP on non-convex frontiers;
+* race-to-idle trades QoS for idle time — on a platform with high idle
+  power (this one: 90 W idle) it burns more energy, which is exactly the
+  paper's Figure 4 argument for choosing per-platform.
+"""
+
+import pytest
+
+from repro.core.actuator import ActuationPolicy, Actuator
+from repro.experiments import Scale, built_system, format_table
+
+
+def _plan_cost(plan):
+    return plan.expected_qos_loss()
+
+
+def test_actuation_policy_ablation(benchmark, artifact):
+    system = built_system("bodytrack", Scale.PAPER)
+    table = system.table
+
+    def sweep():
+        rows = []
+        speedups = [1.2, 1.5, 2.0, 3.0, 4.0, 5.0]
+        for target in speedups:
+            minimal = Actuator(table, ActuationPolicy.MINIMAL_SPEEDUP).plan(target)
+            optimal = Actuator(table, ActuationPolicy.OPTIMAL_QOS).plan(target)
+            race = Actuator(table, ActuationPolicy.RACE_TO_IDLE).plan(target)
+            rows.append((target, minimal, optimal, race))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    formatted = []
+    for target, minimal, optimal, race in rows:
+        # All policies hit the commanded average speedup (Eq. 9).
+        for plan in (minimal, optimal, race):
+            achieved = sum(s.fraction * s.speedup for s in plan.segments)
+            assert achieved == pytest.approx(target, rel=1e-6)
+        # The LP never loses to the paper's minimal-speedup heuristic.
+        assert _plan_cost(optimal) <= _plan_cost(minimal) + 1e-9
+        # Race-to-idle pays QoS for idle time.
+        assert race.idle_fraction() > 0.0
+        formatted.append(
+            [
+                f"{target:.1f}",
+                f"{100 * _plan_cost(minimal):.3f}",
+                f"{100 * _plan_cost(optimal):.3f}",
+                f"{100 * _plan_cost(race):.3f}",
+                f"{100 * race.idle_fraction():.1f}%",
+            ]
+        )
+    artifact(
+        "ablation_actuation",
+        "Ablation: expected QoS loss (%) by actuation policy (bodytrack table)\n"
+        + format_table(
+            ["speedup", "minimal-speedup", "optimal-qos (LP)", "race-to-idle", "idle"],
+            formatted,
+        ),
+    )

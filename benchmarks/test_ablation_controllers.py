@@ -1,0 +1,58 @@
+"""Ablation: controller families (§2.3.2, §6 and DESIGN.md).
+
+Scores the paper's integral controller against PID, a Green/Eon-style
+heuristic step controller, and bang-bang on the power-cap scenario over
+each benchmark's calibrated plant.  Paper claim under test (§6): the
+control-theoretic design converges provably and predictably where the
+heuristics either track worse (higher ITAE) or oscillate forever.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import format_controller_ablation, run_controller_ablation
+from repro.experiments.common import Scale
+
+APPS = ["swaptions", "x264", "bodytrack", "swish++"]
+
+
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_ablation_controllers(name, benchmark, artifact):
+    ablation = benchmark.pedantic(
+        lambda: run_controller_ablation(name, Scale.PAPER),
+        rounds=1,
+        iterations=1,
+    )
+    integral = ablation.result("integral (paper)")
+    heuristic = ablation.result("heuristic step")
+    bang_bang = ablation.result("bang-bang")
+
+    # The paper's controller settles after both transitions, quickly.
+    assert integral.settle_after_cap is not None
+    assert integral.settle_after_cap <= 10
+    assert integral.settle_after_lift is not None
+    assert integral.settle_after_lift <= 10
+
+    # It tracks at least as well as every alternative (ITAE).  (QoS loss
+    # is not compared across controllers: an oscillating policy can show
+    # lower mean QoS simply by failing to deliver the target rate.)
+    for other in ablation.results:
+        assert integral.evaluation.itae <= other.evaluation.itae + 1e-9
+
+    # The heuristics pay for their blindness: visibly worse tracking,
+    # and bang-bang limit-cycles across the target indefinitely.
+    assert heuristic.evaluation.itae > 1.5 * integral.evaluation.itae
+    assert bang_bang.evaluation.oscillation_crossings >= 10
+    assert (
+        bang_bang.evaluation.mean_abs_error
+        > 5 * integral.evaluation.mean_abs_error
+    )
+
+    # The integral controller's QoS cost is finite and bounded.
+    assert not math.isnan(integral.mean_qos_loss)
+    assert 0.0 <= integral.mean_qos_loss < 1.0
+    artifact(
+        f"ablation_controllers_{name.replace('+', 'p')}",
+        format_controller_ablation(ablation),
+    )

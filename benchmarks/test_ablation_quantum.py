@@ -1,0 +1,38 @@
+"""Ablation: the 20-heartbeat time quantum (§2.3.3 and DESIGN.md).
+
+Reruns the Figure 7 power-cap scenario with quanta of 5, 20 (the paper's
+heuristic), and 80 heartbeats.  Expected shape: shorter quanta track the
+target more tightly but churn through more knob settings; longer quanta
+react sluggishly (larger RMS tracking error around the cap transitions)
+while switching settings rarely.
+"""
+
+import pytest
+
+from repro.experiments import format_quantum_ablation, run_quantum_ablation
+from repro.experiments.common import Scale
+
+
+def test_ablation_quantum(benchmark, artifact):
+    ablation = benchmark.pedantic(
+        lambda: run_quantum_ablation("swaptions", Scale.PAPER, quanta=(5, 20, 80)),
+        rounds=1,
+        iterations=1,
+    )
+    fast = ablation.result(5)
+    paper = ablation.result(20)
+    slow = ablation.result(80)
+
+    # All quanta hold responsive performance through the cap.
+    for result in ablation.results:
+        assert result.capped_performance > 0.8
+        assert result.recovery_beats >= 0  # never fails to recover
+
+    # Tracking error grows with the quantum ...
+    assert fast.performance_deviation <= paper.performance_deviation + 1e-9
+    assert paper.performance_deviation < slow.performance_deviation
+    # ... while setting churn shrinks with it.
+    assert fast.setting_switches >= paper.setting_switches
+    assert paper.setting_switches >= slow.setting_switches
+
+    artifact("ablation_quantum", format_quantum_ablation(ablation))

@@ -1,0 +1,32 @@
+"""E-F3/F4: evaluate the Section 3 analytical energy models (Eq. 12-19).
+
+Figures 3-4 are schematic; the quantitative content is the equations.
+Shapes: knob savings are zero at S=1 and grow with S; with no slack the
+DVFS-stretch strategy wins on this platform, while large slack favors
+race-to-idle only when idle power is low relative to the DVFS point.
+"""
+
+import pytest
+
+from repro.experiments import format_fig34, run_energy_models
+
+
+def test_fig34_energy_models(benchmark, artifact):
+    scenarios = benchmark.pedantic(run_energy_models, rounds=1, iterations=1)
+    by_cell = {(s.slack_fraction, s.speedup): s for s in scenarios}
+
+    # S = 1 recovers DVFS-only energy exactly (Eq. 17 = Eq. 18).
+    for slack in (0.0, 0.25, 0.5):
+        base = by_cell[(slack, 1.0)]
+        assert base.result.savings == pytest.approx(0.0, abs=1e-9)
+
+    # Savings grow with speedup at fixed slack.
+    for slack in (0.0, 0.25, 0.5):
+        savings = [by_cell[(slack, s)].result.savings for s in (1.0, 1.5, 2.0, 4.0)]
+        assert all(b >= a - 1e-9 for a, b in zip(savings, savings[1:]))
+
+    # Elastic energy never exceeds either pure strategy (Eq. 17).
+    for scenario in scenarios:
+        assert scenario.result.e_elastic <= scenario.result.e1 + 1e-9
+        assert scenario.result.e_elastic <= scenario.result.e2 + 1e-9
+    artifact("fig34_energy_models", format_fig34(scenarios))

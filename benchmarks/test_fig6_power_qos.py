@@ -1,0 +1,34 @@
+"""E-F6: regenerate Figure 6 (power vs QoS across DVFS states, §5.3).
+
+Paper shapes: PowerDial holds performance within 5% of target at every
+power state; mean system power falls monotonically with frequency
+(16-21% total reduction at 1.6 GHz); QoS loss rises as frequency drops.
+"""
+
+import pytest
+
+from repro.experiments import Scale, format_fig6, run_power_qos
+
+BENCHMARKS = ("swaptions", "x264", "bodytrack", "swish++")
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig6_power_qos(name, benchmark, artifact):
+    experiment = benchmark.pedantic(
+        lambda: run_power_qos(name, Scale.PAPER), rounds=1, iterations=1
+    )
+    points = experiment.points
+    assert [p.frequency_ghz for p in points] == [
+        2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6,
+    ]
+    # Performance within 5% of target at every state (§5.3).
+    assert all(p.within_target for p in points), [
+        (p.frequency_ghz, p.normalized_performance) for p in points
+    ]
+    # Power falls monotonically; total reduction in the paper's band.
+    powers = [p.mean_power for p in points]
+    assert all(b <= a + 1e-6 for a, b in zip(powers, powers[1:]))
+    assert 0.08 < experiment.power_reduction() < 0.30
+    # QoS loss at 1.6 GHz exceeds the 2.4 GHz loss.
+    assert points[-1].qos_loss >= points[0].qos_loss
+    artifact(f"fig6_{name.replace('+', 'p')}", format_fig6(experiment))

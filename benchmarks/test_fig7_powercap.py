@@ -1,0 +1,32 @@
+"""E-F7: regenerate Figure 7 (elastic response to power capping, §5.4).
+
+Paper shapes: when the cap hits, the knob-controlled run spikes down,
+the knob gain rises, and performance returns to target; the version
+without dynamic knobs sits at ~2/3 of target (1.6/2.4 GHz) for the whole
+cap; when the cap lifts, knobs return to baseline (gain ~1) and QoS is
+fully restored.
+"""
+
+import pytest
+
+from repro.experiments import Scale, format_fig7, run_powercap
+
+BENCHMARKS = ("swaptions", "x264", "bodytrack", "swish++")
+
+
+@pytest.mark.parametrize("name", BENCHMARKS)
+def test_fig7_powercap(name, benchmark, artifact):
+    experiment = benchmark.pedantic(
+        lambda: run_powercap(name, Scale.PAPER), rounds=1, iterations=1
+    )
+    knobs_perf, no_knobs_perf = experiment.capped_performance()
+    # With knobs: performance recovers to the target under the cap.
+    assert knobs_perf == pytest.approx(1.0, abs=0.15), name
+    # Without knobs: stuck near the frequency ratio.
+    assert no_knobs_perf == pytest.approx(1.6 / 2.4, abs=0.12), name
+    # The gain plateau appears only during the cap.
+    assert experiment.mean_gain_during_cap() > 1.1
+    assert experiment.tail_gain() == pytest.approx(1.0, abs=0.2)
+    # Recovery within a few control quanta.
+    assert 0 <= experiment.recovery_beats() <= 60
+    artifact(f"fig7_{name.replace('+', 'p')}", format_fig7(experiment))

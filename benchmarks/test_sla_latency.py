@@ -1,0 +1,40 @@
+"""E-SLA: latency SLAs under power capping (§3).
+
+Paper claim: power capping "may violate latency service level
+agreements"; PowerDial absorbs the cap by trading QoS.  Expected shape:
+the capped knob-less queue diverges (p95 latency an order of magnitude
+past the SLA); the capped PowerDial server's latency distribution is
+statistically the uncapped reference's, with the cap paid in bounded
+QoS loss (for swish++: trimmed recall) instead of latency.
+"""
+
+import pytest
+
+from repro.experiments import Scale, format_sla, run_sla
+
+
+@pytest.mark.parametrize("name", ["swish++", "swaptions"])
+def test_sla_latency(name, benchmark, artifact):
+    experiment = benchmark.pedantic(
+        lambda: run_sla(name, Scale.PAPER), rounds=1, iterations=1
+    )
+    reference = experiment.series_by_label("uncapped reference")
+    no_knobs = experiment.series_by_label("capped, no knobs")
+    knobs = experiment.series_by_label("capped, dynamic knobs")
+
+    # Without knobs the capped queue diverges: the SLA collapses.
+    assert no_knobs.stats.p95 > 5.0 * reference.stats.p95
+    assert no_knobs.stats.p95 > experiment.sla_seconds
+    assert no_knobs.violation_fraction > 0.3
+
+    # With knobs, latency matches the uncapped reference ...
+    assert knobs.stats.p95 < 2.0 * reference.stats.p95
+    assert knobs.violation_fraction < reference.violation_fraction + 0.05
+    # ... throughput is preserved ...
+    assert knobs.throughput == pytest.approx(reference.throughput, rel=0.05)
+    # ... and the cap is paid in QoS, not latency.
+    assert knobs.mean_qos_loss > 0.0
+    assert reference.mean_qos_loss == 0.0
+    assert no_knobs.mean_qos_loss == 0.0
+
+    artifact(f"sla_{name.replace('+', 'p')}", format_sla(experiment))

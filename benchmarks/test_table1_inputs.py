@@ -1,0 +1,19 @@
+"""E-T1: regenerate Table 1 (training and production inputs, §4)."""
+
+from repro.experiments import Scale, format_table1, summarize_inputs
+
+
+def test_table1_inputs(benchmark, artifact):
+    summaries = benchmark.pedantic(
+        lambda: summarize_inputs(Scale.PAPER), rounds=1, iterations=1
+    )
+    assert {s.name for s in summaries} == {
+        "swaptions",
+        "x264",
+        "bodytrack",
+        "swish++",
+    }
+    # Production sets at least match training sets in size, as in Table 1.
+    for summary in summaries:
+        assert summary.production_units >= summary.training_units
+    artifact("table1_inputs", format_table1(summaries))

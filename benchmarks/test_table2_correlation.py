@@ -1,0 +1,24 @@
+"""E-T2: regenerate Table 2 (training-vs-production correlation, §5.2).
+
+Paper values: speedup correlations 0.995-1.000; QoS correlations
+0.839-0.999.  The shape to reproduce: training behavior is an excellent
+predictor of production behavior (all coefficients close to 1).
+"""
+
+import pytest
+
+from repro.experiments import Scale, format_table2, run_tradeoff
+
+BENCHMARKS = ("swaptions", "x264", "bodytrack", "swish++")
+
+
+def test_table2_correlation(benchmark, artifact):
+    experiments = benchmark.pedantic(
+        lambda: [run_tradeoff(name, Scale.PAPER) for name in BENCHMARKS],
+        rounds=1,
+        iterations=1,
+    )
+    for experiment in experiments:
+        assert experiment.speedup_correlation > 0.95, experiment.name
+        assert experiment.qos_correlation > 0.75, experiment.name
+    artifact("table2_correlation", format_table2(experiments))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Controller shootout: why PowerDial uses control theory (paper §6).
+
+Runs four controller families through the §5.4 power-cap scenario on the
+paper's plant model ``h(t+1) = c(t) * b * s(t)``:
+
+* the paper's deadbeat integral controller (Eq. 3-4),
+* a PID variant,
+* a Green/Eon-style multiplicative step heuristic,
+* bang-bang (full speed when behind, baseline when ahead),
+
+then prints each one's step-by-step trace around the cap and the summary
+scores.  It also executes the paper's Z-domain argument (Eq. 5-8) with
+the transfer-function toolkit: the closed loop is exactly 1/z.
+
+Run:
+    python examples/controller_shootout.py
+"""
+
+from repro.control import (
+    ClosedLoopScenario,
+    MeasurementNoise,
+    evaluate_controller,
+    heartbeat_controller_tf,
+    heartbeat_plant_tf,
+    pulse_profile,
+)
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+)
+from repro.core.controller import HeartRateController
+
+
+def main():
+    target = 10.0  # heartbeats per control period
+    s_max = 4.0  # fastest calibrated knob setting
+    cap_at, lift_at = 30, 90
+
+    # -- Eq. 5-8, executed -------------------------------------------------
+    controller_tf = heartbeat_controller_tf(target)
+    plant_tf = heartbeat_plant_tf(target)
+    closed = controller_tf.cascade(plant_tf).feedback()
+    print("Z-domain check (Eq. 5-8):")
+    print(f"  F(z)G(z) closed under unity feedback -> poles {closed.poles()}")
+    print(f"  DC gain {closed.dc_gain():.3f} (1.0 = converges to target)")
+    print(f"  convergence time {closed.convergence_time():.1f} periods "
+          f"(deadbeat)\n")
+
+    # -- the shootout --------------------------------------------------------
+    scenario = ClosedLoopScenario(
+        target_rate=target,
+        baseline_rate=target,
+        steps=120,
+        capacity=pulse_profile(cap_at, lift_at, 1.6 / 2.4),
+        noise=MeasurementNoise(sigma=0.01, seed=7),
+        max_speedup=s_max,
+    )
+    contenders = [
+        ("integral (paper)", HeartRateController(target, target, max_speedup=s_max)),
+        ("pid kp=.2 ki=.8", PIDController(target, target, kp=0.2, ki=0.8,
+                                          max_speedup=s_max)),
+        ("heuristic x1.25", HeuristicStepController(target, step_factor=1.25,
+                                                    max_speedup=s_max)),
+        ("bang-bang", BangBangController(target, high_speedup=s_max)),
+    ]
+
+    results = [(name, evaluate_controller(c, scenario)) for name, c in contenders]
+
+    print(f"Heart rate around the power cap (target {target:.0f}, "
+          f"cap at step {cap_at}, lift at {lift_at}):")
+    header = "step  " + "  ".join(f"{name:>16s}" for name, _ in results)
+    print(header)
+    for step in list(range(cap_at - 2, cap_at + 8)) + \
+                list(range(lift_at - 2, lift_at + 8)):
+        row = f"{step:4d}  " + "  ".join(
+            f"{r.heart_rates[step]:16.2f}" for _, r in results
+        )
+        print(row)
+
+    print("\nScores (lower is better except 'settled'):")
+    print(f"{'controller':>16s}  {'ITAE':>9s}  {'mean |e|':>8s}  "
+          f"{'settled after cap':>18s}  {'tail crossings':>14s}")
+    for name, r in results:
+        settle = r.settling_step(after=cap_at, tolerance=0.05)
+        settled = "never" if settle is None or settle >= lift_at \
+            else f"{settle - cap_at} steps"
+        print(f"{name:>16s}  {r.itae:9.1f}  {100 * r.mean_abs_error:7.2f}%  "
+              f"{settled:>18s}  {r.oscillation_crossings:14d}")
+
+    print("\nThe integral controller settles in ~1 period after each "
+          "transition;\nthe heuristics either track loosely or oscillate "
+          "forever -- the paper's §6 claim, executed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bring your own application: what the §2.1 checks accept and reject.
+
+PowerDial only transforms parameters whose traced control variables pass
+four conditions (complete/pure, relevant, constant, consistent).  This
+example walks a sensor-fusion application through the workflow, shows the
+control-variable report a developer audits, and then demonstrates each
+way an application can *fail* the checks — the guardrails that keep the
+transformation sound.
+
+Run:
+    python examples/custom_application.py
+"""
+
+import numpy as np
+
+from repro import Parameter, build_powerdial
+from repro.apps.base import Application, ItemResult
+from repro.core.qos import DistortionMetric
+from repro.tracing.checks import KnobRejectionError
+
+
+class SensorFusion(Application):
+    """Fuses noisy sensor readings; `window` controls smoothing depth."""
+
+    name = "sensor-fusion"
+
+    @classmethod
+    def parameters(cls):
+        return (Parameter("window", (4, 16, 64, 256), 256),)
+
+    def initialize(self, config, space):
+        # Two control variables derived from one parameter: the tracer
+        # finds both and records their values per knob setting.
+        space.write("window", config["window"] + 0)
+        space.write("half_window", config["window"] // 2)
+
+    def prepare(self, job):
+        rng = np.random.default_rng(99)
+        return [rng.normal(float(i % 7), 1.0, size=512) for i in range(job)]
+
+    def process_item(self, item, space, tracker):
+        window = int(space.read("window"))
+        _ = space.read("half_window")
+        smoothed = np.convolve(
+            item[:window], np.ones(window) / window, mode="valid"
+        )
+        tracker.add("main/fuse", float(window) * 64)
+        return ItemResult(output=float(np.mean(smoothed)), work=float(window) * 64)
+
+    def qos_metric(self):
+        return DistortionMetric(lambda outs: np.asarray(outs, dtype=float))
+
+
+class ImpureApp(SensorFusion):
+    """BROKEN: mixes the knob with unrelated configuration (Pure check)."""
+
+    @classmethod
+    def parameters(cls):
+        return (Parameter("window", (4, 256), 256),)
+
+    def initialize(self, config, space):
+        space.write("window", config["window"] * config["gain"])
+        space.write("half_window", config["window"] // 2)
+
+
+class NonConstantApp(SensorFusion):
+    """BROKEN: adapts the control variable itself (Constant check)."""
+
+    def process_item(self, item, space, tracker):
+        result = super().process_item(item, space, tracker)
+        space.write("window", int(space.peek("window")) + 1)
+        return result
+
+
+def main():
+    print("=== 1. A well-behaved application ===")
+    system = build_powerdial(SensorFusion, training_jobs=[10])
+    print(system.report)
+    print("\nKnob table:")
+    for setting in system.table:
+        print(f"  window={setting.configuration['window']:>4}: "
+              f"speedup {setting.speedup:6.1f}x, "
+              f"QoS loss {100 * setting.qos_loss:.3f}%")
+
+    print("\n=== 2. Purity violation ===")
+    # ImpureApp mixes `window` with a non-knob `gain` option; the tracer
+    # sees the foreign influence and rejects the transformation.
+    from repro.tracing.tracer import trace_configuration
+
+    try:
+        trace_configuration(
+            ImpureApp(), {"window": 4, "gain": 3}, {"window"}, sample_job=5
+        )
+    except KnobRejectionError as error:
+        print(f"rejected as expected: {error}")
+
+    print("\n=== 3. Constant violation ===")
+    try:
+        build_powerdial(NonConstantApp, training_jobs=[10])
+    except KnobRejectionError as error:
+        print(f"rejected as expected: {error}")
+
+
+if __name__ == "__main__":
+    main()

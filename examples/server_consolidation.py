@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Server consolidation scenario (paper §3 + §5.5, Figure 8) for swish++.
+
+A search service is provisioned with three servers for its peak query
+rate, but typical utilization is 20-30% with intermittent spikes — idle
+servers burn ~90 W each doing nothing.  PowerDial's Equation 21 says two
+servers suffice if each can speed up 1.5x by trimming low-ranked results
+during spikes.  This example sizes the consolidated system, then replays
+a spiky day against both deployments and accounts power and QoS.
+
+Run:
+    python examples/server_consolidation.py
+"""
+
+from repro.apps.swish import (
+    InvertedIndex,
+    SwishApp,
+    generate_corpus,
+    generate_queries,
+)
+from repro.cluster import ClusterSpec, replay_profile, spiky_profile
+from repro.core.powerdial import build_powerdial
+from repro.models.consolidation import machines_required, plan_consolidation
+from repro.models.costs import CostModel, consolidation_savings
+
+
+def main():
+    print("Indexing the corpus (2000 synthetic 'books')...")
+    index = InvertedIndex(
+        generate_corpus(documents=2000, tokens_per_document=500,
+                        vocabulary_size=20_000, seed=41)
+    )
+    app_factory = lambda: SwishApp(index=index, qos_cutoff=10)
+    training = [generate_queries(index.corpus, count=120, seed=43)]
+    system = build_powerdial(app_factory, training)
+
+    print("\nCalibrated max-results knob (P@10 QoS):")
+    for setting in system.table:
+        print(f"  max-results={setting.configuration['max_results']:>3}: "
+              f"speedup {setting.speedup:.3f}x, "
+              f"QoS loss {100 * setting.qos_loss:.1f}%")
+
+    bounded = system.table.with_qos_cap(0.35)
+    speedup = bounded.max_speedup
+    n_orig = 3
+    n_new = machines_required(n_orig, speedup)
+    print(f"\nEquation 21: S(QoS<=35%) = {speedup:.2f} "
+          f"=> {n_orig} machines consolidate to {n_new}.")
+
+    original = ClusterSpec(machines=n_orig, slots_per_machine=1)
+    consolidated = ClusterSpec(machines=n_new, slots_per_machine=1)
+
+    profile = spiky_profile(epochs=48, base_utilization=0.25, seed=7)
+    print(f"\nReplaying a spiky day: {len(profile.utilizations)} epochs, "
+          f"mean load {100 * profile.mean:.0f}%, "
+          f"{sum(1 for u in profile.utilizations if u == 1.0)} spikes to peak.")
+
+    result = replay_profile(original, consolidated, bounded, profile)
+    print(f"\nEnergy over the day:")
+    print(f"  original ({n_orig} machines):     "
+          f"{result.original_energy_joules / 3.6e6:.2f} kWh")
+    print(f"  consolidated ({n_new} machines): "
+          f"{result.consolidated_energy_joules / 3.6e6:.2f} kWh")
+    print(f"  saved: {100 * result.energy_savings_fraction:.0f}% "
+          f"({result.oversubscribed_epochs} oversubscribed epochs)")
+    print(f"  worst-case QoS loss during spikes: "
+          f"{100 * result.worst_qos_loss:.1f}% "
+          f"(top-10 results preserved; recall trimmed)")
+
+    # Section 3: over the facility lifetime, capital can exceed energy.
+    plan = plan_consolidation(
+        n_orig, speedup, profile.mean, p_load=220.0, p_idle=90.0
+    )
+    model = CostModel()  # $4k servers, $10/W provisioning, PUE 1.7, 4 years
+    savings = consolidation_savings(plan, peak_power_per_machine=220.0, model=model)
+    print(f"\nLifetime cost over {model.lifetime_years:.0f} years "
+          f"(Section 3 cost model):")
+    print(f"  original:     ${savings.original.total:,.0f}")
+    print(f"  consolidated: ${savings.consolidated.total:,.0f}")
+    print(f"  saved:        ${savings.total_savings:,.0f} "
+          f"(${savings.capital_savings:,.0f} capital + "
+          f"${savings.energy_savings:,.0f} energy)")
+
+
+if __name__ == "__main__":
+    main()

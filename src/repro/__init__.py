@@ -1,0 +1,47 @@
+"""PowerDial — dynamic knobs for responsive power-aware computing.
+
+A complete Python reproduction of Hoffmann et al., ASPLOS 2011: the
+influence-tracing knob identifier, the calibrator, the heartbeat-driven
+controller and actuator, a simulated DVFS server platform, the four
+benchmark applications (swaptions, x264, bodytrack, swish++), the
+analytical power models, and the full experimental harness (Figures 5-8,
+Tables 1-2).
+
+Quickstart::
+
+    from repro import build_powerdial, Machine
+    from repro.apps.swaptions import SwaptionsApp, generate_swaptions
+
+    jobs = [generate_swaptions(4, seed=s) for s in range(3)]
+    system = build_powerdial(SwaptionsApp, training_jobs=jobs)
+    print(system.report)
+"""
+
+from repro.core import (
+    ActuationPolicy,
+    KnobSpace,
+    KnobTable,
+    Parameter,
+    PowerDialRuntime,
+    PowerDialSystem,
+    build_powerdial,
+    measure_baseline_rate,
+)
+from repro.hardware import Machine, Processor, VirtualClock
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_powerdial",
+    "measure_baseline_rate",
+    "PowerDialSystem",
+    "PowerDialRuntime",
+    "ActuationPolicy",
+    "Parameter",
+    "KnobSpace",
+    "KnobTable",
+    "Machine",
+    "Processor",
+    "VirtualClock",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Benchmark applications (paper Section 4).
+
+Python reimplementations of the paper's four benchmarks, each a real
+algorithm with the same knob structure and QoS metric:
+
+* :mod:`repro.apps.swaptions` — HJM Monte-Carlo swaption portfolio pricing.
+* :mod:`repro.apps.x264` — block-based H.264-style video encoding.
+* :mod:`repro.apps.bodytrack` — annealed-particle-filter body tracking.
+* :mod:`repro.apps.swish` — the swish++ search engine.
+"""
+
+from repro.apps.base import Application, ApplicationError, ItemResult, WorkTracker, run_job
+
+__all__ = [
+    "Application",
+    "ApplicationError",
+    "ItemResult",
+    "WorkTracker",
+    "run_job",
+]

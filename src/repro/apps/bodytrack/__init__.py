@@ -1,0 +1,35 @@
+"""bodytrack — annealed-particle-filter body tracking (Section 4.3)."""
+
+from repro.apps.bodytrack.app import (
+    BodytrackApp,
+    LAYER_VALUES,
+    PARTICLE_VALUES,
+)
+from repro.apps.bodytrack.body import (
+    BodyGeometry,
+    JOINT_NAMES,
+    POSE_DIMENSIONS,
+    joint_positions,
+    pose_vector_weights,
+)
+from repro.apps.bodytrack.particle_filter import (
+    EVAL_WORK_UNITS,
+    AnnealedParticleFilter,
+)
+from repro.apps.bodytrack.synth import Camera, TrackingSequence, generate_sequence
+
+__all__ = [
+    "BodytrackApp",
+    "PARTICLE_VALUES",
+    "LAYER_VALUES",
+    "BodyGeometry",
+    "JOINT_NAMES",
+    "POSE_DIMENSIONS",
+    "joint_positions",
+    "pose_vector_weights",
+    "AnnealedParticleFilter",
+    "EVAL_WORK_UNITS",
+    "Camera",
+    "TrackingSequence",
+    "generate_sequence",
+]

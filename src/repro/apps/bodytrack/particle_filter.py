@@ -1,0 +1,150 @@
+"""Annealed particle filter (Deutscher & Reid), paper Section 4.3.
+
+bodytrack's core algorithm: per frame, the filter runs several *annealing
+layers*.  Each layer diffuses the particle set, evaluates an observation
+energy per particle, weights particles by ``exp(-beta_layer * energy)``
+with ``beta`` increasing layer by layer (sharpening the distribution
+toward the energy minimum), and resamples.  More particles explore the
+pose space more densely; more layers anneal more gradually — both improve
+accuracy and both cost time, which is exactly the trade-off the two
+dynamic knobs (argv[4] particles, argv[5] layers) expose.
+
+Randomness is drawn from per-(frame, layer) seeded streams in row-major
+order so that runs with different particle counts share common random
+numbers for their common prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.bodytrack.body import POSE_DIMENSIONS, joint_positions
+from repro.apps.bodytrack.synth import Camera
+
+__all__ = ["AnnealedParticleFilter", "EVAL_WORK_UNITS"]
+
+EVAL_WORK_UNITS = 26 * 2 * 12.0
+"""Work units per particle-layer evaluation: forward kinematics plus
+projection and residual over 13 joints x 2 coordinates x cameras, with a
+constant reflecting the arithmetic per coordinate."""
+
+_DIFFUSION_BASE = np.array(
+    [2.0, 2.0] + [0.08] * (POSE_DIMENSIONS - 2), dtype=float
+)
+"""Per-dimension diffusion at the first layer (positions in scene units,
+angles in radians)."""
+
+
+@dataclass
+class AnnealedParticleFilter:
+    """Tracks one body through a sequence of observations.
+
+    Args:
+        cameras: The calibrated camera models.
+        particles: Particle-set size (dynamic knob argv[4]).
+        layers: Annealing layers per frame (dynamic knob argv[5]).
+        beta_start: Inverse-temperature of the first layer.
+        beta_growth: Multiplicative beta increase per layer.
+        observation_sigma: Expected observation noise (pixels).
+        seed: Base seed for the filter's random streams.
+    """
+
+    cameras: tuple[Camera, ...]
+    particles: int
+    layers: int
+    beta_start: float = 0.05
+    beta_growth: float = 2.0
+    observation_sigma: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.particles < 1:
+            raise ValueError(f"particles must be >= 1, got {self.particles!r}")
+        if self.layers < 1:
+            raise ValueError(f"layers must be >= 1, got {self.layers!r}")
+        self._swarm: np.ndarray | None = None
+        self._frame_index = 0
+
+    def reset(self, initial_pose: np.ndarray) -> None:
+        """Initialize the particle set around a known starting pose."""
+        pose = np.asarray(initial_pose, dtype=float)
+        if pose.shape != (POSE_DIMENSIONS,):
+            raise ValueError(f"initial pose must have shape ({POSE_DIMENSIONS},)")
+        rng = np.random.default_rng((self.seed, 0xBEEF))
+        noise = rng.standard_normal((self.particles, POSE_DIMENSIONS))
+        self._swarm = pose + 0.25 * _DIFFUSION_BASE * noise
+        self._frame_index = 0
+
+    # ------------------------------------------------------------------
+    def _energy(self, swarm: np.ndarray, observation: np.ndarray) -> np.ndarray:
+        """Observation energy per particle: camera-space squared error."""
+        joints = joint_positions(swarm)  # (N, J, 2)
+        total = np.zeros(swarm.shape[0])
+        for cam_index, camera in enumerate(self.cameras):
+            projected = camera.project(joints)
+            residual = projected - observation[cam_index]
+            total += np.sum(residual**2, axis=(1, 2))
+        denom = 2.0 * self.observation_sigma**2 * joints.shape[1] * len(self.cameras)
+        return total / denom
+
+    @staticmethod
+    def _systematic_resample(
+        weights: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Systematic (low-variance) resampling indices."""
+        n = weights.shape[0]
+        positions = (rng.uniform() + np.arange(n)) / n
+        cumulative = np.cumsum(weights)
+        cumulative[-1] = 1.0
+        return np.searchsorted(cumulative, positions)
+
+    def step(self, observation: np.ndarray) -> tuple[np.ndarray, float]:
+        """Process one frame of observations.
+
+        Args:
+            observation: ``(cameras, joints, 2)`` array for this frame.
+
+        Returns:
+            ``(estimate, work)`` — the estimated pose's joint positions
+            flattened to a 26-vector... (13 joints x 2), and the abstract
+            work units spent (particles x layers x EVAL_WORK_UNITS x
+            cameras/2 normalization).
+        """
+        if self._swarm is None:
+            raise RuntimeError("filter must be reset() with an initial pose first")
+        swarm = self._swarm
+        weights = np.full(self.particles, 1.0 / self.particles)
+        beta = self.beta_start
+        evaluations = 0
+        for layer in range(self.layers):
+            rng = np.random.default_rng(
+                (self.seed, self._frame_index + 1, layer + 1)
+            )
+            scale = _DIFFUSION_BASE * (0.6**layer)
+            swarm = swarm + scale * rng.standard_normal(
+                (self.particles, POSE_DIMENSIONS)
+            )
+            energy = self._energy(swarm, observation)
+            evaluations += self.particles
+            log_w = -beta * energy
+            log_w -= np.max(log_w)
+            weights = np.exp(log_w)
+            weights /= np.sum(weights)
+            if layer < self.layers - 1:
+                indices = self._systematic_resample(weights, rng)
+                swarm = swarm[indices]
+                weights = np.full(self.particles, 1.0 / self.particles)
+            beta *= self.beta_growth
+        estimate_pose = np.sum(swarm * weights[:, None], axis=0)
+        self._swarm = swarm[
+            self._systematic_resample(
+                weights,
+                np.random.default_rng((self.seed, self._frame_index + 1, 0)),
+            )
+        ]
+        self._frame_index += 1
+        estimate_joints = joint_positions(estimate_pose[None, :])[0].ravel()
+        work = evaluations * EVAL_WORK_UNITS * (len(self.cameras) / 2.0)
+        return estimate_joints, float(work)

@@ -1,0 +1,29 @@
+"""swaptions — HJM Monte-Carlo swaption portfolio pricing (Section 4.1)."""
+
+from repro.apps.swaptions.app import DEFAULT_TRIALS, TRIAL_VALUES, SwaptionsApp
+from repro.apps.swaptions.hjm import (
+    DELTA,
+    FACTORS,
+    Swaption,
+    price_swaption,
+    simulation_work,
+)
+from repro.apps.swaptions.workload import (
+    generate_swaptions,
+    production_portfolios,
+    training_portfolios,
+)
+
+__all__ = [
+    "SwaptionsApp",
+    "TRIAL_VALUES",
+    "DEFAULT_TRIALS",
+    "Swaption",
+    "price_swaption",
+    "simulation_work",
+    "DELTA",
+    "FACTORS",
+    "generate_swaptions",
+    "training_portfolios",
+    "production_portfolios",
+]

@@ -1,0 +1,61 @@
+"""The swaptions application (paper Section 4.1).
+
+Knob: the single command-line parameter ``sm`` — the number of Monte-Carlo
+simulations per swaption.  The paper sweeps 10,000 to 1,000,000 in
+increments of 10,000 with 1,000,000 as the default; we keep the same
+structure (100 settings, default = the most accurate) at 1/50 scale: 200
+to 20,000 in increments of 200.  QoS is the distortion of the computed
+swaption prices with equal weights.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, ItemResult, WorkTracker
+from repro.apps.swaptions.hjm import Swaption, price_swaption, simulation_work
+from repro.core.knobs import Parameter
+from repro.core.qos import DistortionMetric, QoSMetric
+from repro.tracing.variables import AddressSpace
+
+__all__ = ["SwaptionsApp", "TRIAL_VALUES", "DEFAULT_TRIALS"]
+
+DEFAULT_TRIALS = 20_000
+TRIAL_VALUES = tuple(range(200, DEFAULT_TRIALS + 1, 200))
+
+
+class SwaptionsApp(Application):
+    """Prices a portfolio of swaptions; one heartbeat per swaption."""
+
+    name = "swaptions"
+
+    @classmethod
+    def parameters(cls) -> tuple[Parameter, ...]:
+        return (Parameter("sm", TRIAL_VALUES, default=DEFAULT_TRIALS),)
+
+    def initialize(self, config: Mapping[str, Any], space: AddressSpace) -> None:
+        # The -sm argument becomes the num_trials control variable.
+        space.write("num_trials", config["sm"] + 0)
+
+    def prepare(self, job: Sequence[Swaption]) -> Sequence[Swaption]:
+        return list(job)
+
+    def process_item(
+        self, item: Swaption, space: AddressSpace, tracker: WorkTracker
+    ) -> ItemResult:
+        trials = int(space.read("num_trials"))
+        price, _ = price_swaption(item, trials)
+        work = simulation_work(item, trials)
+        tracker.add("main/simulate", work)
+        return ItemResult(output=price, work=work)
+
+    def qos_metric(self) -> QoSMetric:
+        """Distortion of the swaption prices, weighted equally."""
+        return DistortionMetric(
+            lambda outputs: np.asarray(outputs, dtype=float), name="price-distortion"
+        )
+
+    def threads(self) -> int:
+        return 8

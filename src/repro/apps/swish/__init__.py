@@ -1,0 +1,40 @@
+"""swish++ — inverted-index search engine (Section 4.4)."""
+
+from repro.apps.swish.app import (
+    DEFAULT_MAX_RESULTS,
+    MAX_RESULTS_VALUES,
+    SwishApp,
+    shared_index,
+)
+from repro.apps.swish.corpus import Corpus, Document, generate_corpus
+from repro.apps.swish.index import (
+    POSTING_WORK,
+    RESULT_RETRIEVAL_WORK,
+    InvertedIndex,
+    SearchResult,
+)
+from repro.apps.swish.metrics import (
+    f_measure_at,
+    mean_f_measure_loss,
+    precision_recall_f,
+)
+from repro.apps.swish.queries import Query, generate_queries
+
+__all__ = [
+    "SwishApp",
+    "shared_index",
+    "MAX_RESULTS_VALUES",
+    "DEFAULT_MAX_RESULTS",
+    "Corpus",
+    "Document",
+    "generate_corpus",
+    "InvertedIndex",
+    "SearchResult",
+    "POSTING_WORK",
+    "RESULT_RETRIEVAL_WORK",
+    "precision_recall_f",
+    "f_measure_at",
+    "mean_f_measure_loss",
+    "Query",
+    "generate_queries",
+]

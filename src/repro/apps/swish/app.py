@@ -1,0 +1,98 @@
+"""The swish++ application (paper Section 4.4).
+
+Configured as a server: each main-loop item is one incoming query, and
+the returned rank list is the output.  Knob: the ``max-results`` (``-m``)
+command-line parameter with the paper's exact values {5, 10, 25, 50, 75,
+100}, default 100.  QoS is F-measure at a cutoff (P@10 by default; the
+experiment harness also evaluates P@100, as in Figures 5d and 8d).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.apps.base import Application, ItemResult, WorkTracker
+from repro.apps.swish.corpus import Corpus, generate_corpus
+from repro.apps.swish.index import InvertedIndex
+from repro.apps.swish.metrics import mean_f_measure_loss
+from repro.apps.swish.queries import Query
+from repro.core.knobs import Parameter
+from repro.core.qos import QoSMetric
+from repro.tracing.variables import AddressSpace
+
+__all__ = ["SwishApp", "MAX_RESULTS_VALUES", "DEFAULT_MAX_RESULTS"]
+
+MAX_RESULTS_VALUES = (5, 10, 25, 50, 75, 100)
+DEFAULT_MAX_RESULTS = 100
+
+_INDEX_CACHE: dict[int, InvertedIndex] = {}
+
+
+def shared_index(seed: int = 42, **corpus_kwargs: Any) -> InvertedIndex:
+    """A process-wide index per corpus seed (indexing is expensive and the
+    server indexes once, at startup, for its whole lifetime)."""
+    key = hash((seed, tuple(sorted(corpus_kwargs.items()))))
+    if key not in _INDEX_CACHE:
+        _INDEX_CACHE[key] = InvertedIndex(generate_corpus(seed=seed, **corpus_kwargs))
+    return _INDEX_CACHE[key]
+
+
+class SwishApp(Application):
+    """Serves ranked search queries; one heartbeat per query.
+
+    Args:
+        index: The inverted index to serve from (default: the shared
+            2000-document corpus of the experiments, built on first use).
+        qos_cutoff: The ``N`` of the P@N QoS metric (default 10).
+    """
+
+    name = "swish++"
+
+    def __init__(
+        self, index: InvertedIndex | None = None, qos_cutoff: int = 10
+    ) -> None:
+        self._index = index
+        self.qos_cutoff = qos_cutoff
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The engine's index (built lazily for the default corpus)."""
+        if self._index is None:
+            self._index = shared_index()
+        return self._index
+
+    @classmethod
+    def parameters(cls) -> tuple[Parameter, ...]:
+        return (
+            Parameter("max_results", MAX_RESULTS_VALUES, default=DEFAULT_MAX_RESULTS),
+        )
+
+    def initialize(self, config: Mapping[str, Any], space: AddressSpace) -> None:
+        # The -m / --max-results option becomes the control variable.
+        space.write("max_results", config["max_results"] + 0)
+
+    def prepare(self, job: Sequence[Query]) -> Sequence[Query]:
+        return list(job)
+
+    def process_item(
+        self, item: Query, space: AddressSpace, tracker: WorkTracker
+    ) -> ItemResult:
+        max_results = int(space.read("max_results"))
+        results, work = self.index.search(list(item), max_results)
+        tracker.add("main/query", work)
+        ranking = tuple(result.doc_id for result in results)
+        return ItemResult(output=ranking, work=work)
+
+    def qos_metric(self) -> QoSMetric:
+        """QoS loss = mean (1 - F@cutoff) against the baseline rankings."""
+        cutoff = self.qos_cutoff
+
+        def loss(baseline_outputs: object, observed_outputs: object) -> float:
+            return mean_f_measure_loss(
+                observed_outputs, baseline_outputs, cutoff  # type: ignore[arg-type]
+            )
+
+        return QoSMetric(name=f"f-measure@{cutoff}", loss=loss)
+
+    def threads(self) -> int:
+        return 8

@@ -1,0 +1,102 @@
+"""Synthetic document corpus (paper Section 4.4 and Table 1).
+
+The paper indexes 2000 public-domain Project Gutenberg books.  Offline, we
+generate the statistical equivalent: documents whose tokens are sampled
+from a Zipf-distributed vocabulary (natural-language word frequencies are
+famously Zipfian), with per-document topic bias so that documents differ
+in which mid-frequency words they favor — giving queries realistically
+varied result-set sizes.  The most frequent words double as the stop-word
+list, as in swish++'s default configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Document", "Corpus", "generate_corpus"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One indexed document.
+
+    Attributes:
+        doc_id: Stable integer id.
+        tokens: The document's token sequence (vocabulary indices).
+    """
+
+    doc_id: int
+    tokens: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass(frozen=True)
+class Corpus:
+    """A generated corpus plus its vocabulary statistics.
+
+    Attributes:
+        documents: All documents.
+        vocabulary_size: Number of distinct words in the vocabulary.
+        stop_words: Indices of the most frequent words (excluded from
+            queries, per Middleton & Baeza-Yates).
+    """
+
+    documents: tuple[Document, ...]
+    vocabulary_size: int
+    stop_words: frozenset[int]
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+
+def _zipf_weights(vocabulary_size: int, exponent: float) -> np.ndarray:
+    ranks = np.arange(1, vocabulary_size + 1, dtype=float)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def generate_corpus(
+    documents: int = 400,
+    tokens_per_document: int = 600,
+    vocabulary_size: int = 8000,
+    zipf_exponent: float = 1.1,
+    stop_word_count: int = 50,
+    seed: int = 42,
+) -> Corpus:
+    """Generate a Zipf-vocabulary corpus.
+
+    Args:
+        documents: Number of documents ("books").
+        tokens_per_document: Mean document length (lengths vary ±30%%).
+        vocabulary_size: Distinct words available.
+        zipf_exponent: Zipf law exponent (English text is near 1.0–1.2).
+        stop_word_count: The top-k most frequent words become stop words.
+        seed: Generator seed.
+    """
+    if documents < 1 or tokens_per_document < 1:
+        raise ValueError("corpus needs at least one document and one token")
+    if stop_word_count >= vocabulary_size:
+        raise ValueError("stop words would consume the whole vocabulary")
+    rng = np.random.default_rng(seed)
+    base_weights = _zipf_weights(vocabulary_size, zipf_exponent)
+    docs = []
+    for doc_id in range(documents):
+        length = int(tokens_per_document * rng.uniform(0.7, 1.3))
+        # Topic bias: boost a random slice of the mid-frequency band so
+        # different documents favor different content words.
+        weights = base_weights.copy()
+        topic_start = rng.integers(stop_word_count, vocabulary_size // 2)
+        topic_width = int(vocabulary_size * 0.02) + 1
+        weights[topic_start : topic_start + topic_width] *= 8.0
+        weights /= weights.sum()
+        tokens = rng.choice(vocabulary_size, size=length, p=weights)
+        docs.append(Document(doc_id=doc_id, tokens=tokens))
+    return Corpus(
+        documents=tuple(docs),
+        vocabulary_size=vocabulary_size,
+        stop_words=frozenset(range(stop_word_count)),
+    )

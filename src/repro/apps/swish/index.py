@@ -1,0 +1,133 @@
+"""Inverted index with tf-idf ranking (the swish++ engine core).
+
+swish++ builds an on-disk inverted index over files and ranks matching
+documents.  We implement the in-memory equivalent: postings lists of
+``(doc_id, term_frequency)`` per word, document lengths, idf statistics,
+and a top-k ranked query evaluator whose *work accounting* mirrors where
+a search engine spends time: scoring postings and — crucially for the
+``max-results`` knob — retrieving/formatting each returned result (file
+metadata, rank, snippet), which is why returning fewer results makes
+swish++ measurably faster (paper: ~1.5x at 5 results vs 100).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.swish.corpus import Corpus
+
+__all__ = [
+    "SearchResult",
+    "InvertedIndex",
+    "POSTING_WORK",
+    "RESULT_RETRIEVAL_WORK",
+    "QUERY_OVERHEAD_WORK",
+]
+
+POSTING_WORK = 40.0
+"""Work units to score one posting (decode, tf-idf accumulate)."""
+
+RESULT_RETRIEVAL_WORK = 3_200.0
+"""Work units to retrieve one returned result (swish++ fetches file
+metadata and formats the result line for every hit it returns).  Sized so
+the max-results knob spans the paper's ~1.5x speedup at 5 results."""
+
+QUERY_OVERHEAD_WORK = 450_000.0
+"""Knob-independent per-query work: request parsing, index open/seek, and
+the response envelope.  Sized so the fastest knob setting (5 results vs
+100) yields the paper's ~1.5x speedup rather than an unrealistically
+retrieval-dominated profile."""
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked hit.
+
+    Attributes:
+        doc_id: The matching document.
+        score: tf-idf relevance score (higher is better).
+    """
+
+    doc_id: int
+    score: float
+
+
+@dataclass
+class InvertedIndex:
+    """In-memory inverted index over a :class:`Corpus`."""
+
+    corpus: Corpus
+    _postings: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+    _doc_lengths: dict[int, int] = field(default_factory=dict)
+    _idf: dict[int, float] = field(default_factory=dict)
+    build_work: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._build()
+
+    def _build(self) -> None:
+        """Index every document (one pass, counted as build work)."""
+        doc_count = len(self.corpus)
+        for document in self.corpus.documents:
+            terms, counts = np.unique(document.tokens, return_counts=True)
+            self._doc_lengths[document.doc_id] = len(document.tokens)
+            for term, count in zip(terms.tolist(), counts.tolist()):
+                self._postings.setdefault(term, []).append(
+                    (document.doc_id, count)
+                )
+            self.build_work += len(document.tokens) * 2.0
+        for term, postings in self._postings.items():
+            self._idf[term] = float(np.log(1.0 + doc_count / len(postings)))
+
+    # ------------------------------------------------------------------
+    def postings(self, term: int) -> list[tuple[int, int]]:
+        """The postings list of ``term`` (empty when unindexed)."""
+        return list(self._postings.get(term, ()))
+
+    def document_frequency(self, term: int) -> int:
+        """Number of documents containing ``term``."""
+        return len(self._postings.get(term, ()))
+
+    def matching_documents(self, terms: list[int]) -> set[int]:
+        """All documents containing at least one query term (OR semantics,
+        swish++'s default)."""
+        matches: set[int] = set()
+        for term in terms:
+            matches.update(doc for doc, _ in self._postings.get(term, ()))
+        return matches
+
+    def search(
+        self, terms: list[int], max_results: int
+    ) -> tuple[list[SearchResult], float]:
+        """Rank documents for a query and return the top ``max_results``.
+
+        Returns:
+            ``(results, work)`` — ranked hits (best first, ties broken by
+            doc id for determinism) and the abstract work spent: scoring
+            every posting of every query term, top-k selection, and
+            retrieval of each returned result.
+        """
+        if max_results < 1:
+            raise ValueError(f"max_results must be >= 1, got {max_results!r}")
+        scores: dict[int, float] = {}
+        work = QUERY_OVERHEAD_WORK
+        for term in terms:
+            postings = self._postings.get(term, ())
+            idf = self._idf.get(term, 0.0)
+            for doc_id, tf in postings:
+                weight = (1.0 + np.log(tf)) * idf / np.sqrt(
+                    self._doc_lengths[doc_id]
+                )
+                scores[doc_id] = scores.get(doc_id, 0.0) + float(weight)
+            work += len(postings) * POSTING_WORK
+
+        top = heapq.nsmallest(
+            max_results, scores.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        work += len(scores) * 2.0  # heap maintenance over candidates
+        results = [SearchResult(doc_id=d, score=s) for d, s in top]
+        work += len(results) * RESULT_RETRIEVAL_WORK
+        return results, work

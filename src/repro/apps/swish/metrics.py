@@ -1,0 +1,79 @@
+"""Information-retrieval QoS metrics (paper Section 4.4).
+
+The paper uses F-measure — the harmonic mean of precision and recall — at
+cutoff values ``P@N``.  Relevance is defined against the baseline engine
+configuration (``max-results = 100``): truncating the result list cannot
+add relevant documents, only drop them, so precision of the returned
+prefix stays perfect while recall falls — exactly the paper's observation
+that "the majority of the QoS loss for swish++ is due to a reduction in
+recall".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["precision_recall_f", "f_measure_at", "mean_f_measure_loss"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision, recall, and their harmonic mean."""
+
+    precision: float
+    recall: float
+    f_measure: float
+
+
+def precision_recall_f(
+    returned: Sequence[int], relevant: Sequence[int]
+) -> PRF:
+    """Classic set-based precision/recall/F against a relevance set."""
+    returned_set = set(returned)
+    relevant_set = set(relevant)
+    if not returned_set and not relevant_set:
+        return PRF(1.0, 1.0, 1.0)
+    hits = len(returned_set & relevant_set)
+    precision = hits / len(returned_set) if returned_set else 0.0
+    recall = hits / len(relevant_set) if relevant_set else 1.0
+    if precision + recall == 0.0:
+        return PRF(precision, recall, 0.0)
+    f = 2.0 * precision * recall / (precision + recall)
+    return PRF(precision, recall, f)
+
+
+def f_measure_at(
+    observed_ranking: Sequence[int],
+    baseline_ranking: Sequence[int],
+    cutoff: int,
+) -> PRF:
+    """F-measure at cutoff ``N`` (the paper's ``P@N`` evaluation).
+
+    The relevance set is the baseline configuration's top-``N``; the
+    observed system is judged on its own top-``N`` prefix.
+    """
+    if cutoff < 1:
+        raise ValueError(f"cutoff must be >= 1, got {cutoff!r}")
+    relevant = list(baseline_ranking)[:cutoff]
+    returned = list(observed_ranking)[:cutoff]
+    return precision_recall_f(returned, relevant)
+
+
+def mean_f_measure_loss(
+    observed_rankings: Sequence[Sequence[int]],
+    baseline_rankings: Sequence[Sequence[int]],
+    cutoff: int,
+) -> float:
+    """Mean ``1 - F@N`` over a query batch (0 = baseline quality)."""
+    if len(observed_rankings) != len(baseline_rankings):
+        raise ValueError(
+            f"ranking batch sizes differ: {len(observed_rankings)} vs "
+            f"{len(baseline_rankings)}"
+        )
+    if not observed_rankings:
+        raise ValueError("need at least one query")
+    total = 0.0
+    for observed, baseline in zip(observed_rankings, baseline_rankings):
+        total += 1.0 - f_measure_at(observed, baseline, cutoff).f_measure
+    return total / len(observed_rankings)

@@ -1,0 +1,56 @@
+"""Query generation (paper Section 4.4).
+
+"We construct a dictionary of all words present in the documents,
+excluding stop words, and select words at random following a power law
+distribution" — the Middleton & Baeza-Yates methodology.  Queries have
+one to three terms, biased toward shorter queries as in real logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.swish.corpus import Corpus
+
+__all__ = ["Query", "generate_queries"]
+
+Query = tuple[int, ...]
+
+
+def generate_queries(
+    corpus: Corpus,
+    count: int,
+    seed: int,
+    power_law_exponent: float = 1.0,
+    max_terms: int = 3,
+) -> list[Query]:
+    """Generate ``count`` queries over ``corpus``'s indexed vocabulary."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    rng = np.random.default_rng(seed)
+    # Dictionary of words actually present, excluding stop words.
+    present: set[int] = set()
+    for document in corpus.documents:
+        present.update(np.unique(document.tokens).tolist())
+    candidates = np.array(
+        sorted(word for word in present if word not in corpus.stop_words)
+    )
+    if candidates.size == 0:
+        raise ValueError("corpus has no non-stop-word vocabulary")
+    ranks = np.arange(1, candidates.size + 1, dtype=float)
+    weights = ranks**-power_law_exponent
+    weights /= weights.sum()
+    lengths = rng.choice(
+        np.arange(1, max_terms + 1), size=count, p=_length_distribution(max_terms)
+    )
+    queries: list[Query] = []
+    for length in lengths:
+        terms = rng.choice(candidates, size=int(length), replace=False, p=weights)
+        queries.append(tuple(int(t) for t in terms))
+    return queries
+
+
+def _length_distribution(max_terms: int) -> np.ndarray:
+    """Short queries dominate: geometric-ish length distribution."""
+    weights = np.array([2.0**-k for k in range(max_terms)])
+    return weights / weights.sum()

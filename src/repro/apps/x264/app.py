@@ -1,0 +1,86 @@
+"""The x264 application (paper Section 4.2).
+
+Knobs (the paper's exact three): ``subme`` (sub-pixel motion estimation
+effort, 1–7, default 7), ``merange`` (motion search range, default 16 in
+the paper — scaled to {1, 2, 4, 8} here with default 8), and ``ref``
+(reference frames searched, 1–5 in the paper — scaled to {1, 2, 3} with
+default 3).  Higher values always mean better encodes and longer encode
+times.  QoS is the distortion of [PSNR, bitrate] with equal weights —
+"the two most important attributes of encoded video: image quality and
+compression."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, ItemResult, WorkTracker
+from repro.apps.x264.encoder import Encoder
+from repro.apps.x264.frames import Video
+from repro.core.knobs import Parameter
+from repro.core.qos import DistortionMetric, QoSMetric
+from repro.tracing.variables import AddressSpace
+
+__all__ = ["X264App", "SUBME_VALUES", "MERANGE_VALUES", "REF_VALUES"]
+
+SUBME_VALUES = (1, 2, 3, 4, 5, 6, 7)
+MERANGE_VALUES = (1, 2, 4, 8)
+REF_VALUES = (1, 2, 3)
+DEFAULT_SUBME = 7
+DEFAULT_MERANGE = 8
+DEFAULT_REF = 3
+
+
+class X264App(Application):
+    """Encodes a video; one heartbeat per frame, as x264 emits them."""
+
+    name = "x264"
+
+    def __init__(self, qstep: float = 6.0) -> None:
+        self._encoder = Encoder(qstep=qstep, max_references=max(REF_VALUES))
+
+    @classmethod
+    def parameters(cls) -> tuple[Parameter, ...]:
+        return (
+            Parameter("subme", SUBME_VALUES, default=DEFAULT_SUBME),
+            Parameter("merange", MERANGE_VALUES, default=DEFAULT_MERANGE),
+            Parameter("ref", REF_VALUES, default=DEFAULT_REF),
+        )
+
+    def initialize(self, config: Mapping[str, Any], space: AddressSpace) -> None:
+        # The x264 parameter-struct fields the knobs map onto.
+        space.write("subme_level", config["subme"] + 0)
+        space.write("me_range", config["merange"] + 0)
+        space.write("ref_frames", config["ref"] + 0)
+
+    def prepare(self, job: Video) -> Sequence[np.ndarray]:
+        self._encoder.reset()
+        return [job.frames[t] for t in range(job.frame_count)]
+
+    def process_item(
+        self, item: np.ndarray, space: AddressSpace, tracker: WorkTracker
+    ) -> ItemResult:
+        subme = int(space.read("subme_level"))
+        merange = int(space.read("me_range"))
+        ref = int(space.read("ref_frames"))
+        stats = self._encoder.encode_frame(item, subme=subme, merange=merange, ref=ref)
+        tracker.add("main/encode", stats.work)
+        return ItemResult(output=(stats.psnr_db, stats.bits), work=stats.work)
+
+    def qos_metric(self) -> QoSMetric:
+        """Distortion of [mean PSNR, total bitrate], equal weights."""
+
+        def abstraction(outputs: Sequence[tuple[float, int]]) -> np.ndarray:
+            psnrs = np.array([out[0] for out in outputs], dtype=float)
+            bits = np.array([out[1] for out in outputs], dtype=float)
+            return np.array([float(np.mean(psnrs)), float(np.sum(bits))])
+
+        return DistortionMetric(abstraction, name="psnr-bitrate-distortion")
+
+    def reset(self) -> None:
+        self._encoder.reset()
+
+    def threads(self) -> int:
+        return 8

@@ -1,0 +1,40 @@
+"""Cluster substrate: machines, load balancing, workloads (Section 5.5)."""
+
+from repro.cluster.queueing import (
+    LatencyStats,
+    QueueingError,
+    QueueResult,
+    RequestRecord,
+    poisson_arrivals,
+    simulate_queue,
+)
+from repro.cluster.replay import ReplayResult, replay_profile
+from repro.cluster.system import (
+    ClusterError,
+    ClusterSpec,
+    SystemPoint,
+    evaluate_system,
+    place_instances,
+    simulate_instance,
+)
+from repro.cluster.workload import LoadProfile, spiky_profile, utilization_sweep
+
+__all__ = [
+    "ClusterSpec",
+    "SystemPoint",
+    "place_instances",
+    "evaluate_system",
+    "simulate_instance",
+    "ClusterError",
+    "LoadProfile",
+    "spiky_profile",
+    "utilization_sweep",
+    "ReplayResult",
+    "replay_profile",
+    "RequestRecord",
+    "LatencyStats",
+    "QueueResult",
+    "poisson_arrivals",
+    "simulate_queue",
+    "QueueingError",
+]

@@ -1,0 +1,293 @@
+"""Single-server request queueing with dynamic-knob control (Section 3).
+
+The paper's server scenario (swish++ "run as a server -- all queries
+originate from a remote location") motivates PowerDial with latency:
+power capping "may violate latency service level agreements".  This
+module makes that argument executable: a discrete-event FIFO queue whose
+service rate is the product of the platform's delivered capacity (which
+a power cap reduces) and the application's knob speedup (which PowerDial
+raises to compensate).  A heartbeat is one completed request; the
+controller observes the completion rate each control period and commands
+a speedup; the actuator-style mapping onto a calibrated knob table
+charges the corresponding QoS loss.
+
+Time here is continuous virtual seconds (not control steps), so capacity
+profiles are ``float -> float`` functions of the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.actuator import ActuationPolicy, Actuator
+from repro.core.knobs import KnobTable
+
+__all__ = [
+    "QueueingError",
+    "RequestRecord",
+    "LatencyStats",
+    "QueueResult",
+    "poisson_arrivals",
+    "simulate_queue",
+]
+
+
+class QueueingError(ValueError):
+    """Raised for invalid queueing-simulation inputs."""
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request.
+
+    Attributes:
+        arrival: Arrival time (seconds).
+        start: Service start (>= arrival; equals it when the queue was
+            empty).
+        finish: Completion time.
+        speedup: Knob speedup in force while it was served.
+        qos_loss: QoS loss of the setting that served it (0 = baseline).
+    """
+
+    arrival: float
+    start: float
+    finish: float
+    speedup: float
+    qos_loss: float
+
+    @property
+    def waiting(self) -> float:
+        """Queueing delay before service began."""
+        return self.start - self.arrival
+
+    @property
+    def latency(self) -> float:
+        """End-to-end response time."""
+        return self.finish - self.arrival
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary of one run.
+
+    Attributes:
+        mean: Mean response time.
+        p50: Median response time.
+        p95: 95th percentile.
+        p99: 99th percentile.
+        worst: Maximum response time.
+    """
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+
+@dataclass
+class QueueResult:
+    """Everything observed during one queueing run."""
+
+    records: list[RequestRecord]
+
+    def latency_stats(self) -> LatencyStats:
+        """Summarize the response-time distribution."""
+        if not self.records:
+            raise QueueingError("no requests were served")
+        latencies = np.array([r.latency for r in self.records])
+        return LatencyStats(
+            mean=float(latencies.mean()),
+            p50=float(np.percentile(latencies, 50)),
+            p95=float(np.percentile(latencies, 95)),
+            p99=float(np.percentile(latencies, 99)),
+            worst=float(latencies.max()),
+        )
+
+    def sla_violation_fraction(self, threshold: float) -> float:
+        """Fraction of requests whose latency exceeded ``threshold``."""
+        if threshold <= 0:
+            raise QueueingError(f"SLA threshold must be positive, got {threshold!r}")
+        if not self.records:
+            raise QueueingError("no requests were served")
+        violations = sum(1 for r in self.records if r.latency > threshold)
+        return violations / len(self.records)
+
+    def mean_qos_loss(self) -> float:
+        """Mean QoS loss over served requests (the price of the SLA)."""
+        if not self.records:
+            raise QueueingError("no requests were served")
+        return sum(r.qos_loss for r in self.records) / len(self.records)
+
+    def throughput(self) -> float:
+        """Completions per second over the span of the run."""
+        if len(self.records) < 2:
+            raise QueueingError("throughput needs at least two requests")
+        span = self.records[-1].finish - self.records[0].arrival
+        if span <= 0:  # pragma: no cover - spans are positive by FIFO order
+            raise QueueingError("degenerate time span")
+        return len(self.records) / span
+
+
+def poisson_arrivals(
+    rate: float, duration: float, seed: int = 0
+) -> list[float]:
+    """Poisson arrival times at ``rate`` per second over ``duration``.
+
+    The open arrival process of a remote query stream (the swish++
+    server setup); exponential inter-arrival gaps, seeded.
+    """
+    if rate <= 0:
+        raise QueueingError(f"arrival rate must be positive, got {rate!r}")
+    if duration <= 0:
+        raise QueueingError(f"duration must be positive, got {duration!r}")
+    rng = np.random.default_rng(seed)
+    arrivals: list[float] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / rate))
+        if clock >= duration:
+            return arrivals
+        arrivals.append(clock)
+
+
+def _speedup_to_loss(table: KnobTable | None) -> Callable[[float], tuple[float, float]]:
+    """Map a commanded speedup to (realized speedup, QoS loss).
+
+    Without a table the server has no knobs: realized speedup is 1 and
+    loss 0.  With a table, the command goes through the paper's Eq. 9-11
+    actuator under the minimal-speedup policy: over a control period the
+    server blends the slowest sufficient setting with the baseline so
+    the *average* speedup equals the command (avoiding the quantization
+    limit cycle a round-up-to-a-setting policy induces), and the QoS
+    charged is the plan's work-weighted expected loss.  Commands beyond
+    ``s_max`` saturate at the fastest setting.
+    """
+    if table is None:
+        return lambda commanded: (1.0, 0.0)
+    actuator = Actuator(table, ActuationPolicy.MINIMAL_SPEEDUP)
+
+    def lookup(commanded: float) -> tuple[float, float]:
+        plan = actuator.plan(max(commanded, 1e-6))
+        return plan.achieved_speedup, plan.expected_qos_loss()
+
+    return lookup
+
+
+def simulate_queue(
+    arrivals: Sequence[float],
+    base_service_time: float,
+    capacity: Callable[[float], float],
+    controller=None,
+    table: KnobTable | None = None,
+    control_period: float = 1.0,
+) -> QueueResult:
+    """Serve ``arrivals`` through a FIFO queue under knob control.
+
+    The service time of a request starting at time ``t`` is
+    ``base_service_time / (capacity(t) * speedup)`` where ``speedup``
+    is the knob setting selected for the controller's latest command.
+    Every ``control_period`` seconds the controller observes the heart
+    rate over the period just ended and issues a new command.
+
+    A beat is a completed request, and -- as in the paper, where the
+    heart rate is the inverse of the time *between* beats while the
+    application processes items -- the rate is normalized by the
+    server's busy time in the period, not by wall time.  An open
+    system's wall-clock completion rate saturates at the offered load
+    and fluctuates with the arrival process; the busy-normalized rate
+    measures the service capability itself (``capacity * speedup /
+    base_service_time``), which is the plant the Eq. 2 model describes.
+    Idle periods carry no performance signal and leave the command
+    unchanged.
+
+    Args:
+        arrivals: Sorted arrival times (seconds).
+        base_service_time: Service time at the baseline knobs on an
+            uncapped platform.
+        capacity: Delivered platform capacity as a function of the
+            simulation clock (1.0 = uncapped; a power cap is e.g.
+            ``lambda t: 1.6 / 2.4 if 100 <= t < 300 else 1.0``).
+        controller: Optional SpeedupController (``update``/``reset``/
+            ``speedup``).  Its target should be the baseline *service*
+            rate, ``1 / base_service_time`` (the busy-normalized heart
+            rate at default knobs on an uncapped platform).  Without a
+            controller the server never adapts.
+        table: Calibrated knob table mapping commands to realizable
+            (speedup, QoS loss) pairs.  Without one, knob speedup is
+            pinned to 1 (the "without dynamic knobs" series).
+        control_period: Seconds between controller updates.
+    """
+    if base_service_time <= 0:
+        raise QueueingError(
+            f"service time must be positive, got {base_service_time!r}"
+        )
+    if control_period <= 0:
+        raise QueueingError(
+            f"control period must be positive, got {control_period!r}"
+        )
+    if any(b < a for a, b in zip(arrivals, list(arrivals)[1:])):
+        raise QueueingError("arrival times must be sorted")
+    if controller is not None:
+        controller.reset()
+
+    lookup = _speedup_to_loss(table)
+    speedup, qos_loss = lookup(1.0 if controller is None else controller.speedup)
+    records: list[RequestRecord] = []
+    server_free = 0.0
+    next_control = control_period
+    scan_from = 0  # first record possibly overlapping the next window
+
+    def window_signal(window_start: float, window_end: float) -> float | None:
+        """Busy-normalized heart rate over a window, or None when idle."""
+        nonlocal scan_from
+        while (
+            scan_from < len(records)
+            and records[scan_from].finish <= window_start
+        ):
+            scan_from += 1
+        beats = 0
+        busy = 0.0
+        for record in records[scan_from:]:
+            if record.start >= window_end:
+                break
+            overlap = min(record.finish, window_end) - max(
+                record.start, window_start
+            )
+            busy += max(0.0, overlap)
+            if window_start < record.finish <= window_end:
+                beats += 1
+        if busy <= 1e-12 or beats == 0:
+            return None
+        return beats / busy
+
+    for arrival in arrivals:
+        start = max(arrival, server_free)
+        # Controller updates due before this request starts take effect
+        # now; each observes its own period's heart rate.
+        while controller is not None and next_control <= start:
+            rate = window_signal(next_control - control_period, next_control)
+            if rate is not None:
+                commanded = controller.update(rate)
+                speedup, qos_loss = lookup(commanded)
+            next_control += control_period
+        level = capacity(start)
+        if level <= 0:
+            raise QueueingError(
+                f"capacity must stay positive, got {level!r} at t={start!r}"
+            )
+        finish = start + base_service_time / (level * speedup)
+        records.append(
+            RequestRecord(
+                arrival=arrival,
+                start=start,
+                finish=finish,
+                speedup=speedup,
+                qos_loss=qos_loss,
+            )
+        )
+        server_free = finish
+    return QueueResult(records=records)

@@ -1,0 +1,87 @@
+"""Replay a load profile against original and consolidated deployments.
+
+Used by the §5.5-style analyses and the consolidation example: step
+through a :class:`~repro.cluster.workload.LoadProfile`, evaluate both
+systems at each epoch, and accumulate energy, power, and QoS statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.system import ClusterSpec, evaluate_system
+from repro.cluster.workload import LoadProfile
+from repro.core.knobs import KnobTable
+
+__all__ = ["ReplayResult", "replay_profile"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Aggregate outcome of replaying a profile against two deployments.
+
+    Attributes:
+        epochs: Number of epochs replayed.
+        original_energy_joules: Energy of the fully provisioned system.
+        consolidated_energy_joules: Energy of the knob-augmented system.
+        worst_qos_loss: Largest per-epoch QoS loss of the consolidated
+            system.
+        mean_qos_loss: Load-weighted mean QoS loss across epochs.
+        oversubscribed_epochs: Epochs in which the consolidated system
+            needed knob speedups (ratio > 1).
+    """
+
+    epochs: int
+    original_energy_joules: float
+    consolidated_energy_joules: float
+    worst_qos_loss: float
+    mean_qos_loss: float
+    oversubscribed_epochs: int
+
+    @property
+    def energy_savings_fraction(self) -> float:
+        """Relative energy saved by consolidation over the replay."""
+        if self.original_energy_joules == 0.0:
+            return 0.0
+        return (
+            self.original_energy_joules - self.consolidated_energy_joules
+        ) / self.original_energy_joules
+
+
+def replay_profile(
+    original: ClusterSpec,
+    consolidated: ClusterSpec,
+    table: KnobTable,
+    profile: LoadProfile,
+) -> ReplayResult:
+    """Evaluate both deployments over every epoch of ``profile``.
+
+    Load at each epoch is the profile utilization times the *original*
+    system's peak capacity, as in Figure 8's x-axis.
+    """
+    peak = original.peak_instances
+    original_energy = 0.0
+    consolidated_energy = 0.0
+    worst = 0.0
+    weighted_loss = 0.0
+    total_load = 0.0
+    oversubscribed = 0
+    for utilization in profile.utilizations:
+        load = utilization * peak
+        base = evaluate_system(original, load)
+        cons = evaluate_system(consolidated, load, table=table)
+        original_energy += base.power_watts * profile.epoch_seconds
+        consolidated_energy += cons.power_watts * profile.epoch_seconds
+        worst = max(worst, cons.qos_loss)
+        weighted_loss += cons.qos_loss * load
+        total_load += load
+        if cons.max_required_speedup > 1.0 + 1e-12:
+            oversubscribed += 1
+    return ReplayResult(
+        epochs=len(profile.utilizations),
+        original_energy_joules=original_energy,
+        consolidated_energy_joules=consolidated_energy,
+        worst_qos_loss=worst,
+        mean_qos_loss=weighted_loss / total_load if total_load else 0.0,
+        oversubscribed_epochs=oversubscribed,
+    )

@@ -1,0 +1,184 @@
+"""Multi-machine serving system with proportional load balancing (§5.5).
+
+The paper's testbed: ``N`` identical servers behind a load balancer that
+spreads application instances proportionally; machines without work idle
+but stay powered on.  Each machine has one *slot* per core — an instance
+on its own slot delivers target performance; when a machine holds more
+instances than slots, every resident instance slows down by the
+oversubscription ratio, and PowerDial must supply that ratio as knob
+speedup to preserve responsiveness.
+
+Two evaluation paths are provided:
+
+* :func:`evaluate_system` — the closed-form path used for the Figure 8
+  utilization sweeps (power from the machine power model, QoS from the
+  actuator's quantum plan at the required speedup);
+* :class:`~repro.cluster.system.InstanceSimulation` via
+  :func:`simulate_instance` — runs a *real* controlled runtime on a
+  ``load_factor``-degraded machine, used to validate that the closed form
+  matches the behaving system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.core.actuator import ActuationPolicy, Actuator
+from repro.core.knobs import KnobTable
+from repro.core.runtime import RunResult
+from repro.hardware.cpu import XEON_E5530_PSTATES
+from repro.hardware.machine import Machine
+from repro.hardware.power import PowerModel
+
+__all__ = [
+    "ClusterSpec",
+    "SystemPoint",
+    "place_instances",
+    "evaluate_system",
+    "simulate_instance",
+    "ClusterError",
+]
+
+
+class ClusterError(ValueError):
+    """Raised for invalid cluster configuration."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous server pool.
+
+    Attributes:
+        machines: Number of servers (powered on at all times).
+        slots_per_machine: Instances each server can run at full speed
+            (one per core for single-threaded instances; one per machine
+            for 8-thread instances like the swish++ setup).
+        power_model: Full-system power model per server.
+    """
+
+    machines: int
+    slots_per_machine: int
+    power_model: PowerModel = PowerModel()
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ClusterError(f"cluster needs >= 1 machine, got {self.machines!r}")
+        if self.slots_per_machine < 1:
+            raise ClusterError(
+                f"need >= 1 slot per machine, got {self.slots_per_machine!r}"
+            )
+
+    @property
+    def peak_instances(self) -> int:
+        """Instances the pool serves at full-speed peak."""
+        return self.machines * self.slots_per_machine
+
+
+def place_instances(instances: int, machines: int) -> list[int]:
+    """Proportional (balanced) placement of instances across machines.
+
+    The paper's balancer "load balances all jobs proportionally across
+    available machines": counts differ by at most one.
+    """
+    if instances < 0:
+        raise ClusterError(f"instances must be >= 0, got {instances!r}")
+    if machines < 1:
+        raise ClusterError(f"machines must be >= 1, got {machines!r}")
+    base, remainder = divmod(instances, machines)
+    return [base + (1 if index < remainder else 0) for index in range(machines)]
+
+
+@dataclass(frozen=True)
+class SystemPoint:
+    """One evaluated operating point of a serving system.
+
+    Attributes:
+        instances: Offered load (full-speed instance equivalents; may be
+            fractional for request-stream workloads).
+        power_watts: Total pool power.
+        qos_loss: Mean QoS loss across instances (0 when nothing is
+            oversubscribed).
+        performance_factor: Delivered/target performance (1.0 unless the
+            required speedup exceeds the knob table's maximum).
+        max_required_speedup: Largest oversubscription ratio any machine
+            had to absorb.
+    """
+
+    instances: float
+    power_watts: float
+    qos_loss: float
+    performance_factor: float
+    max_required_speedup: float
+
+
+def evaluate_system(
+    spec: ClusterSpec,
+    load: float,
+    table: KnobTable | None = None,
+    policy: ActuationPolicy = ActuationPolicy.MINIMAL_SPEEDUP,
+) -> SystemPoint:
+    """Closed-form evaluation of the pool at a given offered load.
+
+    ``load`` is measured in full-speed instance equivalents and may be
+    fractional: the balancer spreads request streams proportionally, so
+    every machine carries ``load / machines``.  Without a knob ``table``
+    the system is the baseline deployment: it must never be offered more
+    than its peak (the paper provisions it for exactly that) and delivers
+    zero QoS loss.  With a table, an oversubscribed machine's instances
+    run at the knob speedup equal to the oversubscription ratio; QoS
+    comes from the actuator's plan at that speedup.
+    """
+    if load < 0:
+        raise ClusterError(f"load must be >= 0, got {load!r}")
+    per_machine = load / spec.machines
+    ratio = per_machine / spec.slots_per_machine
+    pstate = XEON_E5530_PSTATES[0]
+    utilization = min(1.0, ratio)
+    total_power = spec.machines * spec.power_model.power(
+        utilization, pstate, pstate.frequency_ghz
+    )
+
+    qos_loss = 0.0
+    worst_performance = 1.0
+    if ratio > 1.0 + 1e-12:
+        if table is None:
+            raise ClusterError(
+                f"baseline system oversubscribed: load {load!r} on "
+                f"{spec.peak_instances} full-speed slots"
+            )
+        plan = Actuator(table, policy=policy).plan(ratio)
+        qos_loss = plan.expected_qos_loss()
+        if plan.achieved_speedup < ratio - 1e-9:
+            worst_performance = plan.achieved_speedup / ratio
+
+    return SystemPoint(
+        instances=load,
+        power_watts=total_power,
+        qos_loss=qos_loss,
+        performance_factor=worst_performance,
+        max_required_speedup=ratio,
+    )
+
+
+def simulate_instance(
+    runtime_factory: Callable[[Machine], Any],
+    jobs: Sequence[Any],
+    oversubscription: float,
+) -> RunResult:
+    """Run a real controlled runtime on an oversubscribed machine.
+
+    Args:
+        runtime_factory: Builds a PowerDial runtime bound to the given
+            machine (caller fixes target rate, table, policy).
+        jobs: The instance's input stream.
+        oversubscription: Instances per slot on its machine (>= 1);
+            becomes the machine's ``load_factor``.
+    """
+    if oversubscription < 1.0:
+        raise ClusterError(
+            f"oversubscription must be >= 1, got {oversubscription!r}"
+        )
+    machine = Machine(load_factor=oversubscription)
+    runtime = runtime_factory(machine)
+    return runtime.run(jobs)

@@ -1,0 +1,72 @@
+"""Discrete-time control toolkit (paper Section 2.3.2 and Section 6).
+
+The paper justifies its integral controller with a Z-domain argument
+(Eq. 5-8): the closed loop ``F_loop(z) = 1/z`` has unit DC gain, a single
+pole at the origin, and deadbeat convergence.  This subpackage builds the
+machinery behind that argument as a small reusable library:
+
+* :mod:`repro.control.lti` -- rational transfer functions in ``z`` with
+  pole/zero/stability analysis, time-domain simulation, and the loop
+  algebra (cascade, feedback) used to derive Eq. 8 from Eq. 5-6.
+* :mod:`repro.control.alternatives` -- the controller families the paper's
+  related-work section compares against (PID, Green/Eon-style heuristic
+  step controllers, bang-bang), all sharing the update protocol of
+  :class:`~repro.core.controller.HeartRateController`.
+* :mod:`repro.control.disturbances` -- capacity profiles (power-cap steps,
+  ramps, periodic load) and measurement-noise models for closed-loop
+  experiments.
+* :mod:`repro.control.comparison` -- a closed-loop evaluation harness that
+  scores any controller on the paper's plant model ``h(t+1) = c(t) b s(t)``
+  (settling time, overshoot, ITAE, oscillation), backing the controller
+  ablation bench.
+"""
+
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+    SpeedupController,
+)
+from repro.control.comparison import (
+    ClosedLoopScenario,
+    ControllerEvaluation,
+    evaluate_controller,
+)
+from repro.control.disturbances import (
+    CapacityProfile,
+    MeasurementNoise,
+    constant_profile,
+    pulse_profile,
+    ramp_profile,
+    sinusoid_profile,
+    step_profile,
+)
+from repro.control.lti import (
+    TransferFunction,
+    TransferFunctionError,
+    heartbeat_controller_tf,
+    heartbeat_plant_tf,
+    powerdial_closed_loop,
+)
+
+__all__ = [
+    "TransferFunction",
+    "TransferFunctionError",
+    "heartbeat_controller_tf",
+    "heartbeat_plant_tf",
+    "powerdial_closed_loop",
+    "SpeedupController",
+    "PIDController",
+    "HeuristicStepController",
+    "BangBangController",
+    "CapacityProfile",
+    "MeasurementNoise",
+    "constant_profile",
+    "step_profile",
+    "pulse_profile",
+    "ramp_profile",
+    "sinusoid_profile",
+    "ClosedLoopScenario",
+    "ControllerEvaluation",
+    "evaluate_controller",
+]

@@ -1,0 +1,294 @@
+"""Alternative speedup controllers (paper Section 6, related work).
+
+The paper contrasts its control-theoretic decision mechanism with the
+heuristic controllers of Green, Eon, and Chang/Karamcheti, which have "no
+guaranteed convergence or predictability properties whatsoever".  To make
+that comparison executable, this module implements representative members
+of those families behind a shared protocol:
+
+* :class:`PIDController` -- the textbook generalization; with ``kp = kd = 0``
+  and ``ki = 1`` it reduces exactly to the paper's integral law (Eq. 4).
+* :class:`HeuristicStepController` -- a Green/Eon-style rule: multiply the
+  speedup by a fixed factor whenever the heart rate leaves a tolerance
+  band around the target.  No model of the plant, hence no convergence
+  guarantee; coarse steps make it limit-cycle around the target.
+* :class:`BangBangController` -- the crudest policy: run flat out when
+  behind, at the baseline when ahead.  Always oscillates unless one of
+  the two extremes happens to hit the target exactly.
+
+All controllers expose ``update(heart_rate) -> speedup``, ``reset()``, and
+a ``speedup`` property, matching
+:class:`~repro.core.controller.HeartRateController`, so the comparison
+harness and the PowerDial runtime can drive any of them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.controller import ControllerError
+
+__all__ = [
+    "SpeedupController",
+    "PIDController",
+    "HeuristicStepController",
+    "BangBangController",
+]
+
+
+@runtime_checkable
+class SpeedupController(Protocol):
+    """The controller interface the PowerDial runtime drives.
+
+    Implementations observe the measured heart rate once per control
+    period and command a speedup for the next period.
+    """
+
+    @property
+    def speedup(self) -> float:
+        """The most recently commanded speedup."""
+
+    def update(self, heart_rate: float) -> float:
+        """Observe ``h(t)`` and return the new commanded speedup."""
+
+    def reset(self) -> None:
+        """Return to the initial operating point."""
+
+
+def _check_rates(target_rate: float, baseline_rate: float) -> tuple[float, float]:
+    """Validate and coerce the (target, baseline) pair shared by controllers."""
+    if target_rate <= 0:
+        raise ControllerError(f"target rate must be positive, got {target_rate!r}")
+    if baseline_rate <= 0:
+        raise ControllerError(
+            f"baseline rate must be positive, got {baseline_rate!r}"
+        )
+    return float(target_rate), float(baseline_rate)
+
+
+class PIDController:
+    """Discrete PID control of the heart rate.
+
+    The error is normalized by the baseline gain ``b`` (as in Eq. 4), so
+    the gains are dimensionless and ``kp = kd = 0, ki = 1`` reproduces the
+    paper's deadbeat integral controller:
+
+        s(t) = 1 + kp * e(t)/b + ki * sum(e)/b + kd * (e(t) - e(t-1))/b
+
+    Args:
+        target_rate: Desired heart rate ``g``.
+        baseline_rate: Plant gain ``b``.
+        kp: Proportional gain.
+        ki: Integral gain.
+        kd: Derivative gain.
+        min_speedup: Lower clamp on the command.
+        max_speedup: Optional upper clamp (``s_max``); the integral term
+            freezes while saturated (anti-windup).
+    """
+
+    def __init__(
+        self,
+        target_rate: float,
+        baseline_rate: float,
+        kp: float = 0.0,
+        ki: float = 1.0,
+        kd: float = 0.0,
+        min_speedup: float = 1.0,
+        max_speedup: float | None = None,
+    ) -> None:
+        self._target, self._baseline = _check_rates(target_rate, baseline_rate)
+        if ki < 0 or kp < 0 or kd < 0:
+            raise ControllerError(
+                f"PID gains must be >= 0, got kp={kp!r} ki={ki!r} kd={kd!r}"
+            )
+        if min_speedup <= 0:
+            raise ControllerError(
+                f"min speedup must be positive, got {min_speedup!r}"
+            )
+        if max_speedup is not None and max_speedup < min_speedup:
+            raise ControllerError(
+                f"max speedup {max_speedup!r} below min speedup {min_speedup!r}"
+            )
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.kd = float(kd)
+        self._min_speedup = float(min_speedup)
+        self._max_speedup = None if max_speedup is None else float(max_speedup)
+        self._integral = 0.0
+        self._previous_error: float | None = None
+        self._speedup = max(1.0, self._min_speedup)
+
+    @property
+    def target_rate(self) -> float:
+        """The setpoint ``g``."""
+        return self._target
+
+    @property
+    def speedup(self) -> float:
+        """The most recently commanded speedup."""
+        return self._speedup
+
+    def update(self, heart_rate: float) -> float:
+        """One PID step on the normalized error ``e(t) / b``."""
+        if heart_rate < 0:
+            raise ControllerError(f"heart rate must be >= 0, got {heart_rate!r}")
+        error = (self._target - heart_rate) / self._baseline
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = error - self._previous_error
+        self._previous_error = error
+        candidate_integral = self._integral + self.ki * error
+        speedup = 1.0 + self.kp * error + candidate_integral + self.kd * derivative
+        clamped = max(self._min_speedup, speedup)
+        if self._max_speedup is not None:
+            clamped = min(self._max_speedup, clamped)
+        if clamped == speedup:
+            # Anti-windup: only accumulate while the command is realizable.
+            self._integral = candidate_integral
+        self._speedup = clamped
+        return clamped
+
+    def reset(self) -> None:
+        """Clear the integrator and derivative memory."""
+        self._integral = 0.0
+        self._previous_error = None
+        self._speedup = max(1.0, self._min_speedup)
+
+
+class HeuristicStepController:
+    """A Green/Eon-style model-free step controller.
+
+    Whenever the measured heart rate falls below ``(1 - tolerance) * g``
+    the commanded speedup is multiplied by ``step_factor``; above
+    ``(1 + tolerance) * g`` it is divided by the same factor; inside the
+    band it is left alone.  There is no plant model, so the step size is
+    a blind guess: too small converges slowly, too large limit-cycles
+    around the target -- the predictability gap the paper calls out.
+
+    Args:
+        target_rate: Desired heart rate ``g``.
+        step_factor: Multiplicative adjustment per period (> 1).
+        tolerance: Half-width of the acceptance band, as a fraction of
+            the target.
+        min_speedup: Lower clamp on the command.
+        max_speedup: Optional upper clamp.
+    """
+
+    def __init__(
+        self,
+        target_rate: float,
+        step_factor: float = 1.25,
+        tolerance: float = 0.05,
+        min_speedup: float = 1.0,
+        max_speedup: float | None = None,
+    ) -> None:
+        if target_rate <= 0:
+            raise ControllerError(
+                f"target rate must be positive, got {target_rate!r}"
+            )
+        if step_factor <= 1.0:
+            raise ControllerError(
+                f"step factor must be > 1, got {step_factor!r}"
+            )
+        if not 0.0 <= tolerance < 1.0:
+            raise ControllerError(
+                f"tolerance must be in [0, 1), got {tolerance!r}"
+            )
+        if min_speedup <= 0:
+            raise ControllerError(
+                f"min speedup must be positive, got {min_speedup!r}"
+            )
+        self._target = float(target_rate)
+        self.step_factor = float(step_factor)
+        self.tolerance = float(tolerance)
+        self._min_speedup = float(min_speedup)
+        self._max_speedup = None if max_speedup is None else float(max_speedup)
+        self._speedup = max(1.0, self._min_speedup)
+
+    @property
+    def target_rate(self) -> float:
+        """The setpoint ``g``."""
+        return self._target
+
+    @property
+    def speedup(self) -> float:
+        """The most recently commanded speedup."""
+        return self._speedup
+
+    def update(self, heart_rate: float) -> float:
+        """Step the speedup up/down when outside the tolerance band."""
+        if heart_rate < 0:
+            raise ControllerError(f"heart rate must be >= 0, got {heart_rate!r}")
+        low = self._target * (1.0 - self.tolerance)
+        high = self._target * (1.0 + self.tolerance)
+        speedup = self._speedup
+        if heart_rate < low:
+            speedup *= self.step_factor
+        elif heart_rate > high:
+            speedup /= self.step_factor
+        speedup = max(self._min_speedup, speedup)
+        if self._max_speedup is not None:
+            speedup = min(self._max_speedup, speedup)
+        self._speedup = speedup
+        return speedup
+
+    def reset(self) -> None:
+        """Return to the initial operating point."""
+        self._speedup = max(1.0, self._min_speedup)
+
+
+class BangBangController:
+    """Two-level control: full speed when behind, baseline when ahead.
+
+    Included as the degenerate end of the heuristic family; with any
+    plant whose extremes straddle the target it oscillates forever
+    between them, maximizing unnecessary QoS loss.
+
+    Args:
+        target_rate: Desired heart rate ``g``.
+        high_speedup: The speedup commanded when behind (``s_max``).
+        low_speedup: The speedup commanded when at/ahead of target.
+    """
+
+    def __init__(
+        self,
+        target_rate: float,
+        high_speedup: float,
+        low_speedup: float = 1.0,
+    ) -> None:
+        if target_rate <= 0:
+            raise ControllerError(
+                f"target rate must be positive, got {target_rate!r}"
+            )
+        if low_speedup <= 0 or high_speedup < low_speedup:
+            raise ControllerError(
+                f"need 0 < low <= high, got low={low_speedup!r} "
+                f"high={high_speedup!r}"
+            )
+        self._target = float(target_rate)
+        self.high_speedup = float(high_speedup)
+        self.low_speedup = float(low_speedup)
+        self._speedup = self.low_speedup
+
+    @property
+    def target_rate(self) -> float:
+        """The setpoint ``g``."""
+        return self._target
+
+    @property
+    def speedup(self) -> float:
+        """The most recently commanded speedup."""
+        return self._speedup
+
+    def update(self, heart_rate: float) -> float:
+        """Switch between the two levels around the target."""
+        if heart_rate < 0:
+            raise ControllerError(f"heart rate must be >= 0, got {heart_rate!r}")
+        self._speedup = (
+            self.high_speedup if heart_rate < self._target else self.low_speedup
+        )
+        return self._speedup
+
+    def reset(self) -> None:
+        """Return to the low (baseline) level."""
+        self._speedup = self.low_speedup

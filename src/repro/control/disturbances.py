@@ -1,0 +1,140 @@
+"""Capacity disturbances and measurement noise for closed-loop studies.
+
+The paper's experiments perturb the platform in two ways: power caps
+(Section 5.4 drops the clock from 2.4 GHz to 1.6 GHz and later lifts the
+cap -- a step down followed by a step up) and load spikes (Section 5.5 --
+transient over-subscription).  This module expresses such perturbations
+as *capacity profiles*: functions from the control step to the fraction
+of baseline computational capacity the platform currently delivers, plus
+a seeded measurement-noise model for the heart-rate sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "CapacityProfile",
+    "constant_profile",
+    "step_profile",
+    "pulse_profile",
+    "ramp_profile",
+    "sinusoid_profile",
+    "MeasurementNoise",
+]
+
+CapacityProfile = Callable[[int], float]
+"""Maps a control step ``t >= 0`` to delivered capacity (1.0 = baseline)."""
+
+
+def constant_profile(capacity: float = 1.0) -> CapacityProfile:
+    """A platform that always delivers ``capacity`` of its baseline."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity!r}")
+    return lambda step: capacity
+
+
+def step_profile(at_step: int, factor: float) -> CapacityProfile:
+    """Capacity drops (or rises) to ``factor`` at ``at_step`` and stays.
+
+    ``step_profile(100, 1.6 / 2.4)`` is the imposition of the paper's
+    power cap as seen by a CPU-bound application.
+    """
+    if at_step < 0:
+        raise ValueError(f"step index must be >= 0, got {at_step!r}")
+    if factor <= 0:
+        raise ValueError(f"capacity factor must be positive, got {factor!r}")
+    return lambda step: factor if step >= at_step else 1.0
+
+
+def pulse_profile(start: int, end: int, factor: float) -> CapacityProfile:
+    """Capacity is ``factor`` on ``[start, end)`` and 1.0 elsewhere.
+
+    This is the full Section 5.4 scenario: the cap is imposed about one
+    quarter of the way through the run and lifted at three quarters.
+    """
+    if not 0 <= start < end:
+        raise ValueError(f"need 0 <= start < end, got [{start!r}, {end!r})")
+    if factor <= 0:
+        raise ValueError(f"capacity factor must be positive, got {factor!r}")
+    return lambda step: factor if start <= step < end else 1.0
+
+
+def ramp_profile(start: int, end: int, factor: float) -> CapacityProfile:
+    """Capacity slides linearly from 1.0 to ``factor`` over ``[start, end]``.
+
+    Models gradual degradation (thermal throttling) rather than a step.
+    """
+    if not 0 <= start < end:
+        raise ValueError(f"need 0 <= start < end, got [{start!r}, {end!r}]")
+    if factor <= 0:
+        raise ValueError(f"capacity factor must be positive, got {factor!r}")
+
+    def profile(step: int) -> float:
+        if step <= start:
+            return 1.0
+        if step >= end:
+            return factor
+        fraction = (step - start) / (end - start)
+        return 1.0 + fraction * (factor - 1.0)
+
+    return profile
+
+
+def sinusoid_profile(
+    period: int, amplitude: float, mean: float = 1.0
+) -> CapacityProfile:
+    """Capacity oscillates around ``mean`` with the given period.
+
+    Models periodic interference (co-scheduled batch work, cyclic load).
+    The minimum capacity ``mean - amplitude`` must stay positive.
+    """
+    if period < 2:
+        raise ValueError(f"period must be >= 2 steps, got {period!r}")
+    if amplitude < 0:
+        raise ValueError(f"amplitude must be >= 0, got {amplitude!r}")
+    if mean - amplitude <= 0:
+        raise ValueError(
+            f"capacity must stay positive; mean={mean!r} amplitude={amplitude!r}"
+        )
+    angular = 2.0 * np.pi / period
+    return lambda step: mean + amplitude * float(np.sin(angular * step))
+
+
+@dataclass
+class MeasurementNoise:
+    """Seeded multiplicative noise on the heart-rate sensor.
+
+    The observed rate is ``h * (1 + eps)`` with
+    ``eps ~ Normal(0, sigma)`` truncated at ``+/- 3 sigma`` so a noisy
+    sample can never report a negative rate for reasonable sigmas.
+
+    Attributes:
+        sigma: Relative standard deviation (0 disables noise).
+        seed: RNG seed; runs are reproducible for a fixed seed.
+    """
+
+    sigma: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma!r}")
+        self._rng = np.random.default_rng(self.seed)
+
+    def observe(self, heart_rate: float) -> float:
+        """One noisy observation of the true ``heart_rate``."""
+        if heart_rate < 0:
+            raise ValueError(f"heart rate must be >= 0, got {heart_rate!r}")
+        if self.sigma == 0.0:
+            return heart_rate
+        epsilon = float(self._rng.normal(0.0, self.sigma))
+        epsilon = max(-3.0 * self.sigma, min(3.0 * self.sigma, epsilon))
+        return heart_rate * max(0.0, 1.0 + epsilon)
+
+    def reset(self) -> None:
+        """Restart the noise stream from the seed."""
+        self._rng = np.random.default_rng(self.seed)

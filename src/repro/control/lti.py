@@ -1,0 +1,295 @@
+"""Rational transfer functions in the Z-domain (paper Eq. 5-8).
+
+The paper analyzes its control loop by composing the controller transfer
+function ``F(z) = z / (b (z - 1))`` (Eq. 5) with the plant ``G(z) = b / z``
+(Eq. 6) and closing the loop (Eq. 7) to obtain ``F_loop(z) = 1/z``
+(Eq. 8).  :class:`TransferFunction` implements exactly that algebra --
+polynomial coefficients in descending powers of ``z``, cascade and
+unity-feedback composition, pole/zero extraction, DC gain, and
+time-domain simulation via the associated difference equation -- so the
+paper's derivation can be executed and checked rather than taken on
+faith, and perturbed (a mis-modeled gain ``b``) to study robustness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TransferFunction",
+    "TransferFunctionError",
+    "heartbeat_controller_tf",
+    "heartbeat_plant_tf",
+    "powerdial_closed_loop",
+]
+
+_COEFF_EPS = 1e-12
+
+
+class TransferFunctionError(ValueError):
+    """Raised for invalid transfer-function construction or queries."""
+
+
+def _trimmed(coefficients: Iterable[float]) -> tuple[float, ...]:
+    """Coefficients with leading (highest-power) zeros removed."""
+    values = [float(c) for c in coefficients]
+    index = 0
+    while index < len(values) - 1 and abs(values[index]) < _COEFF_EPS:
+        index += 1
+    return tuple(values[index:])
+
+
+class TransferFunction:
+    """A causal rational transfer function ``H(z) = N(z) / D(z)``.
+
+    Coefficients are given in descending powers of ``z`` (numpy's
+    polynomial convention), so ``TransferFunction([1], [1, -1])`` is
+    ``1 / (z - 1)`` -- the discrete integrator.
+
+    Args:
+        numerator: Coefficients of ``N(z)``, highest power first.
+        denominator: Coefficients of ``D(z)``, highest power first.  The
+            denominator degree must be >= the numerator degree (a causal,
+            realizable system) and its leading coefficient non-zero.
+    """
+
+    __slots__ = ("_num", "_den")
+
+    def __init__(
+        self, numerator: Sequence[float], denominator: Sequence[float]
+    ) -> None:
+        num = _trimmed(numerator)
+        den = _trimmed(denominator)
+        if not den or abs(den[0]) < _COEFF_EPS:
+            raise TransferFunctionError("denominator must be a non-zero polynomial")
+        if len(num) > len(den):
+            raise TransferFunctionError(
+                f"non-causal transfer function: numerator degree {len(num) - 1} "
+                f"exceeds denominator degree {len(den) - 1}"
+            )
+        # Normalize so the denominator is monic; keeps compositions tidy.
+        lead = den[0]
+        self._num = tuple(c / lead for c in num)
+        self._den = tuple(c / lead for c in den)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def numerator(self) -> tuple[float, ...]:
+        """``N(z)`` coefficients, highest power first (denominator monic)."""
+        return self._num
+
+    @property
+    def denominator(self) -> tuple[float, ...]:
+        """``D(z)`` coefficients, highest power first (monic)."""
+        return self._den
+
+    @property
+    def order(self) -> int:
+        """Degree of the denominator."""
+        return len(self._den) - 1
+
+    def __repr__(self) -> str:
+        return f"TransferFunction({list(self._num)}, {list(self._den)})"
+
+    def __call__(self, z: complex) -> complex:
+        """Evaluate ``H(z)`` at a point of the complex plane."""
+        num = complex(np.polyval(self._num, z))
+        den = complex(np.polyval(self._den, z))
+        if abs(den) < _COEFF_EPS:
+            raise TransferFunctionError(f"H(z) has a pole at z = {z!r}")
+        return num / den
+
+    # ------------------------------------------------------------------
+    # Analysis (the Section 2.3.2 properties)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_python_roots(coefficients: Sequence[float]) -> tuple[complex, ...]:
+        """Polynomial roots as plain Python numbers, sorted by magnitude."""
+        roots = []
+        for root in np.roots(coefficients):
+            value = complex(root)
+            roots.append(value.real if value.imag == 0.0 else value)
+        return tuple(sorted(roots, key=abs))
+
+    def poles(self) -> tuple[complex, ...]:
+        """Roots of ``D(z)`` ("a pole is a point p such that H(p) = inf")."""
+        if len(self._den) == 1:
+            return ()
+        return self._as_python_roots(self._den)
+
+    def zeros(self) -> tuple[complex, ...]:
+        """Roots of ``N(z)``."""
+        if len(self._num) <= 1:
+            return ()
+        return self._as_python_roots(self._num)
+
+    def is_stable(self) -> bool:
+        """True when every pole lies strictly inside the unit circle."""
+        return all(abs(pole) < 1.0 for pole in self.poles())
+
+    def dominant_pole(self) -> complex:
+        """The pole of largest magnitude (0 for a pole-free gain)."""
+        poles = self.poles()
+        if not poles:
+            return 0.0 + 0.0j
+        return max(poles, key=abs)
+
+    def dc_gain(self) -> float:
+        """Steady-state gain ``H(1)`` (paper: unit gain implies convergence)."""
+        value = self(1.0)
+        if abs(value.imag) > 1e-9:  # pragma: no cover - real coefficients
+            raise TransferFunctionError(f"complex DC gain {value!r}")
+        return value.real
+
+    def convergence_time(self) -> float:
+        """Settling estimate ``t_c ~ -4 / log10(|p_d|)`` from [24].
+
+        Returns 0.0 for a deadbeat system (dominant pole at the origin)
+        and ``inf`` for an unstable or marginally stable one.
+        """
+        magnitude = abs(self.dominant_pole())
+        if magnitude == 0.0:
+            return 0.0
+        if magnitude >= 1.0:
+            return math.inf
+        return -4.0 / math.log10(magnitude)
+
+    # ------------------------------------------------------------------
+    # Loop algebra (Eq. 7)
+    # ------------------------------------------------------------------
+    def cascade(self, other: "TransferFunction") -> "TransferFunction":
+        """Series composition ``self * other``."""
+        return TransferFunction(
+            np.polymul(self._num, other._num), np.polymul(self._den, other._den)
+        )
+
+    def parallel(self, other: "TransferFunction") -> "TransferFunction":
+        """Additive composition ``self + other``."""
+        num = np.polyadd(
+            np.polymul(self._num, other._den), np.polymul(other._num, self._den)
+        )
+        return TransferFunction(num, np.polymul(self._den, other._den))
+
+    def feedback(self, other: "TransferFunction" | None = None) -> "TransferFunction":
+        """Negative-feedback closure ``self / (1 + self * other)``.
+
+        With ``other`` omitted the loop is closed with unity feedback, the
+        Eq. 7 form ``F_loop = F G / (1 + F G)`` applied to the open loop
+        ``self = F G``:  ``n / (d + n)``.  With a feedback element the
+        closure is ``n_s d_o / (d_s d_o + n_s n_o)``.
+        """
+        if other is None:
+            num: Sequence[float] = self._num
+            den = np.polyadd(self._den, self._num)
+        else:
+            num = np.polymul(self._num, other._den)
+            den = np.polyadd(
+                np.polymul(self._den, other._den),
+                np.polymul(self._num, other._num),
+            )
+        return TransferFunction(num, den)
+
+    # ------------------------------------------------------------------
+    # Time domain
+    # ------------------------------------------------------------------
+    def simulate(self, inputs: Sequence[float]) -> list[float]:
+        """Drive the difference equation from rest with ``inputs``.
+
+        For ``H(z) = (b0 z^n + ... + bn) / (z^n + a1 z^(n-1) + ... + an)``
+        (numerator zero-padded to the denominator's length) the output is
+        ``y[k] = sum_i b_i u[k-i] - sum_{i>=1} a_i y[k-i]``.
+        """
+        order = len(self._den) - 1
+        padded = (0.0,) * (len(self._den) - len(self._num)) + self._num
+        outputs: list[float] = []
+        for k in range(len(inputs)):
+            acc = 0.0
+            for i, b in enumerate(padded):
+                if k - i >= 0:
+                    acc += b * inputs[k - i]
+            for i in range(1, order + 1):
+                if k - i >= 0:
+                    acc -= self._den[i] * outputs[k - i]
+            outputs.append(acc)
+        return outputs
+
+    def impulse_response(self, steps: int) -> list[float]:
+        """Response to the unit impulse ``u = [1, 0, 0, ...]``."""
+        if steps < 1:
+            raise TransferFunctionError(f"steps must be >= 1, got {steps!r}")
+        return self.simulate([1.0] + [0.0] * (steps - 1))
+
+    def step_response(self, steps: int) -> list[float]:
+        """Response to the unit step ``u = [1, 1, 1, ...]``."""
+        if steps < 1:
+            raise TransferFunctionError(f"steps must be >= 1, got {steps!r}")
+        return self.simulate([1.0] * steps)
+
+    def settling_steps(self, tolerance: float = 0.02, horizon: int = 1000) -> int:
+        """First step after which the step response stays within
+        ``tolerance * |final|`` of its final value.
+
+        Returns the step index, or raises :class:`TransferFunctionError`
+        for an unstable system (which never settles).
+        """
+        if not self.is_stable():
+            raise TransferFunctionError("unstable system never settles")
+        if not 0.0 < tolerance < 1.0:
+            raise TransferFunctionError(
+                f"tolerance must be in (0, 1), got {tolerance!r}"
+            )
+        final = self.dc_gain()
+        band = tolerance * max(abs(final), _COEFF_EPS)
+        response = self.step_response(horizon)
+        settled_from = horizon
+        for index in range(horizon - 1, -1, -1):
+            if abs(response[index] - final) > band:
+                break
+            settled_from = index
+        return settled_from
+
+
+# ----------------------------------------------------------------------
+# The paper's loop (Eq. 5, 6, 8)
+# ----------------------------------------------------------------------
+def heartbeat_controller_tf(baseline_rate: float) -> TransferFunction:
+    """Eq. 5: ``F(z) = z / (b (z - 1))`` -- the integral control law."""
+    if baseline_rate <= 0:
+        raise TransferFunctionError(
+            f"baseline rate must be positive, got {baseline_rate!r}"
+        )
+    return TransferFunction([1.0 / baseline_rate, 0.0], [1.0, -1.0])
+
+
+def heartbeat_plant_tf(baseline_rate: float) -> TransferFunction:
+    """Eq. 6: ``G(z) = b / z`` -- the one-step-delay performance model."""
+    if baseline_rate <= 0:
+        raise TransferFunctionError(
+            f"baseline rate must be positive, got {baseline_rate!r}"
+        )
+    return TransferFunction([baseline_rate], [1.0, 0.0])
+
+
+def powerdial_closed_loop(
+    baseline_rate: float, gain_error: float = 1.0
+) -> TransferFunction:
+    """Eq. 7-8 with an optional mis-modeled gain.
+
+    The controller is built for ``b`` while the true plant gain is
+    ``gain_error * b``.  With ``gain_error == 1`` this reduces exactly to
+    Eq. 8, ``F_loop(z) = 1/z``; otherwise the closed-loop pole moves to
+    ``1 - gain_error``, trading deadbeat convergence for a geometric tail
+    (and instability once ``gain_error >= 2``).
+    """
+    if gain_error <= 0:
+        raise TransferFunctionError(
+            f"gain error must be positive, got {gain_error!r}"
+        )
+    controller = heartbeat_controller_tf(baseline_rate)
+    plant = heartbeat_plant_tf(baseline_rate * gain_error)
+    return controller.cascade(plant).feedback()

@@ -1,0 +1,89 @@
+"""PowerDial core: the paper's primary contribution (Sections 2 and 2.3).
+
+Knob model, QoS metrics, calibration, the heart-rate controller, the
+actuation policy, the controlled runtime, and the end-to-end facade.
+"""
+
+from repro.core.actuator import (
+    ActuationPlan,
+    ActuationPolicy,
+    Actuator,
+    ActuatorError,
+    PlanSegment,
+)
+from repro.core.calibration import (
+    CalibrationError,
+    CalibrationResult,
+    TradeoffPoint,
+    calibrate,
+    evaluate_points,
+)
+from repro.core.controller import (
+    ClosedLoopAnalysis,
+    ControllerError,
+    HeartRateController,
+    analyze_closed_loop,
+    convergence_time,
+)
+from repro.core.knobs import (
+    KnobConfiguration,
+    KnobError,
+    KnobSetting,
+    KnobSpace,
+    KnobTable,
+    Parameter,
+)
+from repro.core.powerdial import (
+    PowerDialSystem,
+    build_powerdial,
+    measure_baseline_rate,
+)
+from repro.core.qos import (
+    DistortionMetric,
+    FMeasureQoS,
+    QoSError,
+    QoSMetric,
+    distortion,
+)
+from repro.core.runtime import (
+    PowerDialRuntime,
+    RunResult,
+    RuntimeEvent,
+    RuntimeSample,
+)
+
+__all__ = [
+    "Parameter",
+    "KnobConfiguration",
+    "KnobSpace",
+    "KnobSetting",
+    "KnobTable",
+    "KnobError",
+    "distortion",
+    "QoSMetric",
+    "DistortionMetric",
+    "FMeasureQoS",
+    "QoSError",
+    "TradeoffPoint",
+    "CalibrationResult",
+    "calibrate",
+    "evaluate_points",
+    "CalibrationError",
+    "HeartRateController",
+    "ClosedLoopAnalysis",
+    "analyze_closed_loop",
+    "convergence_time",
+    "ControllerError",
+    "Actuator",
+    "ActuationPlan",
+    "ActuationPolicy",
+    "PlanSegment",
+    "ActuatorError",
+    "PowerDialRuntime",
+    "RunResult",
+    "RuntimeEvent",
+    "RuntimeSample",
+    "PowerDialSystem",
+    "build_powerdial",
+    "measure_baseline_rate",
+]

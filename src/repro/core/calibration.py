@@ -1,0 +1,251 @@
+"""Dynamic knob calibration (paper Section 2.2).
+
+The calibrator executes all combinations of the representative (training)
+inputs and configuration parameters.  For each combination it records the
+mean speedup over all inputs — execution time at the default settings
+divided by execution time at the combination — and the mean QoS loss
+against the baseline output.  The Pareto-optimal combinations become the
+knob table the runtime actuates over.
+
+Execution time on a fixed-frequency machine is proportional to the work
+the application performs (see ``repro.hardware``), so speedups are
+computed from exact work counts: deterministic and platform-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.base import Application, run_job
+from repro.core.knobs import (
+    KnobConfiguration,
+    KnobSpace,
+    KnobSetting,
+    KnobTable,
+)
+from repro.tracing.tracer import ControlVariableSet
+
+__all__ = ["TradeoffPoint", "CalibrationResult", "calibrate", "CalibrationError"]
+
+
+class CalibrationError(RuntimeError):
+    """Raised when calibration cannot produce a valid knob table."""
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One explored point in the performance-versus-QoS space.
+
+    Attributes:
+        configuration: The parameter combination.
+        speedup: Mean speedup over the training inputs.
+        qos_loss: Mean QoS loss over the training inputs.
+        per_input_speedup: Speedup for each individual input.
+        per_input_qos: QoS loss for each individual input.
+    """
+
+    configuration: KnobConfiguration
+    speedup: float
+    qos_loss: float
+    per_input_speedup: tuple[float, ...] = ()
+    per_input_qos: tuple[float, ...] = ()
+
+
+@dataclass
+class CalibrationResult:
+    """Everything the calibrator learned.
+
+    Attributes:
+        points: One trade-off point per explored parameter combination.
+        baseline_configuration: The default (highest-QoS) combination.
+        baseline_work: Mean work per training input at the baseline.
+        control_set: Control-variable values per combination, when
+            identification was run (production builds); ``None`` for
+            exploration-only calibrations.
+        qos_cap: The user's QoS-loss bound, if any.
+    """
+
+    points: list[TradeoffPoint]
+    baseline_configuration: KnobConfiguration
+    baseline_work: float
+    control_set: ControlVariableSet | None = None
+    qos_cap: float | None = None
+
+    def point_for(self, configuration: Mapping[str, Any]) -> TradeoffPoint:
+        """The explored point for a given combination."""
+        target = KnobConfiguration(configuration)
+        for point in self.points:
+            if point.configuration == target:
+                return point
+        raise CalibrationError(f"configuration {configuration!r} was not explored")
+
+    def pareto_points(self) -> list[TradeoffPoint]:
+        """Pareto-optimal points (max speedup, min QoS loss), by speedup."""
+        frontier: list[TradeoffPoint] = []
+        for point in self.points:
+            dominated = any(
+                (other.speedup >= point.speedup and other.qos_loss <= point.qos_loss)
+                and (other.speedup > point.speedup or other.qos_loss < point.qos_loss)
+                for other in self.points
+            )
+            if not dominated:
+                frontier.append(point)
+        return sorted(frontier, key=lambda p: p.speedup)
+
+    def knob_table(self, pareto_only: bool = True) -> KnobTable:
+        """Build the actuator's knob table from the calibration.
+
+        Applies the QoS cap, restricts to the Pareto frontier by default,
+        and attaches recorded control-variable values when available.
+        """
+        points = self.pareto_points() if pareto_only else list(self.points)
+        if self.qos_cap is not None:
+            points = [p for p in points if p.qos_loss <= self.qos_cap]
+        settings = []
+        for point in points:
+            control_values: Mapping[str, Any] = {}
+            if self.control_set is not None:
+                control_values = self.control_set.values_for(point.configuration)
+            settings.append(
+                KnobSetting(
+                    configuration=point.configuration,
+                    speedup=point.speedup,
+                    qos_loss=point.qos_loss,
+                    control_values=control_values,
+                )
+            )
+        if not any(abs(s.speedup - 1.0) <= 1e-6 for s in settings):
+            baseline_values: Mapping[str, Any] = {}
+            if self.control_set is not None:
+                baseline_values = self.control_set.values_for(
+                    self.baseline_configuration
+                )
+            settings.append(
+                KnobSetting(
+                    configuration=self.baseline_configuration,
+                    speedup=1.0,
+                    qos_loss=0.0,
+                    control_values=baseline_values,
+                )
+            )
+        return KnobTable(settings)
+
+
+def calibrate(
+    app_factory: Callable[[], Application],
+    training_jobs: Sequence[Any],
+    knob_space: KnobSpace | None = None,
+    qos_cap: float | None = None,
+    control_set: ControlVariableSet | None = None,
+) -> CalibrationResult:
+    """Explore the trade-off space over all combinations × training inputs.
+
+    Args:
+        app_factory: Builds fresh application instances.
+        training_jobs: The representative inputs.
+        knob_space: Combinations to explore (default: the application's
+            full knob space).
+        qos_cap: Optional bound excluding settings with higher QoS loss.
+        control_set: Previously identified control variables, to attach
+            recorded values to each setting.
+
+    Returns:
+        A :class:`CalibrationResult` over every combination.
+    """
+    if not training_jobs:
+        raise CalibrationError("calibration needs at least one training input")
+    probe = app_factory()
+    space = knob_space or probe.knob_space()
+    baseline_config = space.default_configuration()
+    metric = probe.qos_metric()
+
+    baseline_outputs: list[list[Any]] = []
+    baseline_work: list[float] = []
+    for job in training_jobs:
+        outputs, work, _ = run_job(app_factory(), baseline_config, job)
+        if work <= 0:
+            raise CalibrationError("baseline run performed no work")
+        baseline_outputs.append(outputs)
+        baseline_work.append(work)
+
+    points: list[TradeoffPoint] = []
+    for configuration in space.configurations():
+        speedups: list[float] = []
+        losses: list[float] = []
+        for index, job in enumerate(training_jobs):
+            if configuration == baseline_config:
+                speedups.append(1.0)
+                losses.append(0.0)
+                continue
+            outputs, work, _ = run_job(app_factory(), configuration, job)
+            if work <= 0:
+                raise CalibrationError(
+                    f"configuration {configuration!r} performed no work"
+                )
+            speedups.append(baseline_work[index] / work)
+            losses.append(metric(baseline_outputs[index], outputs))
+        points.append(
+            TradeoffPoint(
+                configuration=configuration,
+                speedup=float(np.mean(speedups)),
+                qos_loss=float(np.mean(losses)),
+                per_input_speedup=tuple(speedups),
+                per_input_qos=tuple(losses),
+            )
+        )
+
+    return CalibrationResult(
+        points=points,
+        baseline_configuration=baseline_config,
+        baseline_work=float(np.mean(baseline_work)),
+        control_set=control_set,
+        qos_cap=qos_cap,
+    )
+
+
+def evaluate_points(
+    app_factory: Callable[[], Application],
+    configurations: Sequence[KnobConfiguration],
+    jobs: Sequence[Any],
+) -> list[TradeoffPoint]:
+    """Re-measure given combinations on a different input set.
+
+    Used to evaluate how training-time calibration generalizes to
+    production inputs (paper Section 5.2, Figure 5 white squares and
+    Table 2).
+    """
+    probe = app_factory()
+    baseline_config = probe.knob_space().default_configuration()
+    metric = probe.qos_metric()
+
+    baseline_outputs: list[list[Any]] = []
+    baseline_work: list[float] = []
+    for job in jobs:
+        outputs, work, _ = run_job(app_factory(), baseline_config, job)
+        baseline_outputs.append(outputs)
+        baseline_work.append(work)
+
+    points = []
+    for configuration in configurations:
+        speedups, losses = [], []
+        for index, job in enumerate(jobs):
+            if configuration == baseline_config:
+                speedups.append(1.0)
+                losses.append(0.0)
+                continue
+            outputs, work, _ = run_job(app_factory(), configuration, job)
+            speedups.append(baseline_work[index] / work)
+            losses.append(metric(baseline_outputs[index], outputs))
+        points.append(
+            TradeoffPoint(
+                configuration=configuration,
+                speedup=float(np.mean(speedups)),
+                qos_loss=float(np.mean(losses)),
+                per_input_speedup=tuple(speedups),
+                per_input_qos=tuple(losses),
+            )
+        )
+    return points

@@ -1,0 +1,176 @@
+"""The PowerDial heart-rate controller (paper Section 2.3.2, Eq. 2–8).
+
+The controller models application performance as ``h(t+1) = b * s(t)``
+where ``b`` is the baseline speed (heart rate with all knobs at their
+defaults) and ``s(t)`` the applied speedup.  It closes the loop with the
+integral law
+
+    e(t) = g - h(t)
+    s(t) = s(t-1) + e(t) / b
+
+which (Eq. 5–8) gives the closed-loop transfer function ``F_loop(z) = 1/z``:
+unit steady-state gain (convergence to the target ``g``), a single pole at
+``z = 0`` (stability, no oscillation, deadbeat convergence).  The module
+also provides the Z-domain analysis helpers used to demonstrate those
+properties, generalized to an arbitrary pole so tests can verify the
+formulas rather than just the constants.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "HeartRateController",
+    "ClosedLoopAnalysis",
+    "analyze_closed_loop",
+    "convergence_time",
+    "ControllerError",
+]
+
+
+class ControllerError(ValueError):
+    """Raised for invalid controller configuration or inputs."""
+
+
+class HeartRateController:
+    """Integral controller converting heart-rate error into a speedup.
+
+    Args:
+        target_rate: Desired heart rate ``g`` (beats/second).
+        baseline_rate: Baseline speed ``b`` — the heart rate with all knobs
+            at their default settings on the *reference* platform.
+        min_speedup: Lower clamp on the commanded speedup.  The default of
+            1.0 reflects that the baseline is the highest-QoS setting; when
+            the platform is faster than needed, PowerDial returns to the
+            baseline rather than slowing below it.
+        max_speedup: Optional upper clamp (``s_max`` from the knob table);
+            the integrator saturates there to avoid windup when the target
+            is unreachable.
+    """
+
+    def __init__(
+        self,
+        target_rate: float,
+        baseline_rate: float,
+        min_speedup: float = 1.0,
+        max_speedup: float | None = None,
+    ) -> None:
+        if target_rate <= 0:
+            raise ControllerError(f"target rate must be positive, got {target_rate!r}")
+        if baseline_rate <= 0:
+            raise ControllerError(
+                f"baseline rate must be positive, got {baseline_rate!r}"
+            )
+        if min_speedup <= 0:
+            raise ControllerError(f"min speedup must be positive, got {min_speedup!r}")
+        if max_speedup is not None and max_speedup < min_speedup:
+            raise ControllerError(
+                f"max speedup {max_speedup!r} below min speedup {min_speedup!r}"
+            )
+        self._target = float(target_rate)
+        self._baseline = float(baseline_rate)
+        self._min_speedup = float(min_speedup)
+        self._max_speedup = None if max_speedup is None else float(max_speedup)
+        self._speedup = max(1.0, self._min_speedup)
+        self._last_error = 0.0
+
+    @property
+    def target_rate(self) -> float:
+        """The setpoint ``g``."""
+        return self._target
+
+    @target_rate.setter
+    def target_rate(self, value: float) -> None:
+        if value <= 0:
+            raise ControllerError(f"target rate must be positive, got {value!r}")
+        self._target = float(value)
+
+    @property
+    def baseline_rate(self) -> float:
+        """The model gain ``b``."""
+        return self._baseline
+
+    @property
+    def speedup(self) -> float:
+        """The most recently commanded speedup ``s(t)``."""
+        return self._speedup
+
+    @property
+    def last_error(self) -> float:
+        """The most recent error ``e(t) = g - h(t)``."""
+        return self._last_error
+
+    def update(self, heart_rate: float) -> float:
+        """Observe ``h(t)`` and return the new commanded speedup ``s(t)``.
+
+        Implements Eq. 3–4 with anti-windup clamping to
+        ``[min_speedup, max_speedup]``.
+        """
+        if heart_rate < 0:
+            raise ControllerError(f"heart rate must be >= 0, got {heart_rate!r}")
+        self._last_error = self._target - heart_rate
+        speedup = self._speedup + self._last_error / self._baseline
+        speedup = max(self._min_speedup, speedup)
+        if self._max_speedup is not None:
+            speedup = min(self._max_speedup, speedup)
+        self._speedup = speedup
+        return speedup
+
+    def reset(self) -> None:
+        """Return the integrator to the baseline operating point."""
+        self._speedup = max(1.0, self._min_speedup)
+        self._last_error = 0.0
+
+
+@dataclass(frozen=True)
+class ClosedLoopAnalysis:
+    """Z-domain properties of the closed loop (Eq. 5–8).
+
+    Attributes:
+        poles: Poles of ``F_loop(z)``.
+        steady_state_gain: ``F_loop(1)``; 1.0 means the loop converges to
+            the target with zero steady-state error.
+        stable: True when every pole has magnitude < 1.
+        convergence_time: Estimated settling time ``t_c ~ -4 / log10(|p_d|)``
+            in control periods (0 for a deadbeat pole at the origin).
+    """
+
+    poles: tuple[float, ...]
+    steady_state_gain: float
+    stable: bool
+    convergence_time: float
+
+
+def convergence_time(dominant_pole: float) -> float:
+    """Settling-time estimate ``t_c ~ -4 / log10(|p_d|)`` from [24].
+
+    A pole at the origin converges "almost instantaneously" (0 periods); a
+    pole on the unit circle never settles (``inf``).
+    """
+    magnitude = abs(dominant_pole)
+    if magnitude >= 1.0:
+        return math.inf
+    if magnitude == 0.0:
+        return 0.0
+    return -4.0 / math.log10(magnitude)
+
+
+def analyze_closed_loop(pole: float = 0.0) -> ClosedLoopAnalysis:
+    """Analyze the closed loop ``F_loop(z) = (1 - p) / (z - p)``.
+
+    With the paper's controller the pole ``p`` is exactly 0 and
+    ``F_loop(z) = 1/z``; the generalized form lets tests explore how a
+    mis-modeled gain (``b`` wrong by a factor ``k`` shifts the pole to
+    ``1 - k``) degrades convergence.
+    """
+    gain = 1.0  # (1 - p) / (1 - p): unit DC gain for any stable pole.
+    if abs(pole) >= 1.0:
+        gain = math.inf if pole != 1.0 else math.nan
+    return ClosedLoopAnalysis(
+        poles=(pole,),
+        steady_state_gain=gain,
+        stable=abs(pole) < 1.0,
+        convergence_time=convergence_time(pole),
+    )

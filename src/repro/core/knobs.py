@@ -1,0 +1,274 @@
+"""Dynamic knob data model (paper Section 2).
+
+A *parameter* is a named static configuration option with a finite range of
+settings; a *knob space* is the cartesian product of the parameters' ranges
+(the paper calibrates "all combinations of the representative inputs and
+configuration parameters"); a calibrated *knob setting* binds one parameter
+combination to its measured speedup, QoS loss, and recorded
+control-variable values; a *knob table* is the collection of calibrated
+settings the actuator selects from at run time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Parameter",
+    "KnobConfiguration",
+    "KnobSpace",
+    "KnobSetting",
+    "KnobTable",
+    "KnobError",
+]
+
+
+class KnobError(ValueError):
+    """Raised for invalid knob model construction or queries."""
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A static configuration parameter eligible to become a dynamic knob.
+
+    Attributes:
+        name: Parameter name (e.g. ``"sm"``, ``"subme"``).
+        values: The range of settings to explore, in any order.
+        default: The setting delivering the highest QoS — the paper's
+            baseline ("for our set of benchmark applications, the default
+            parameter setting").
+    """
+
+    name: str
+    values: tuple
+    default: Any
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise KnobError("parameter name must be non-empty")
+        if not self.values:
+            raise KnobError(f"parameter {self.name!r} needs at least one value")
+        if len(set(self.values)) != len(self.values):
+            raise KnobError(f"parameter {self.name!r} has duplicate values")
+        if self.default not in self.values:
+            raise KnobError(
+                f"default {self.default!r} of parameter {self.name!r} "
+                f"is not among its values"
+            )
+
+
+class KnobConfiguration(Mapping[str, Any]):
+    """An immutable, hashable assignment of values to parameters."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, assignment: Mapping[str, Any]) -> None:
+        self._items = tuple(sorted(assignment.items()))
+
+    def __getitem__(self, name: str) -> Any:
+        for key, value in self._items:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(key for key, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, KnobConfiguration):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{key}={value!r}" for key, value in self._items)
+        return f"KnobConfiguration({inner})"
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain mutable copy."""
+        return dict(self._items)
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """The cartesian product of a set of parameters' value ranges."""
+
+    parameters: tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parameters:
+            raise KnobError("knob space needs at least one parameter")
+        names = [parameter.name for parameter in self.parameters]
+        if len(set(names)) != len(names):
+            raise KnobError(f"duplicate parameter names: {names}")
+
+    @property
+    def names(self) -> list[str]:
+        """Parameter names, in declaration order."""
+        return [parameter.name for parameter in self.parameters]
+
+    @property
+    def size(self) -> int:
+        """Number of parameter combinations."""
+        count = 1
+        for parameter in self.parameters:
+            count *= len(parameter.values)
+        return count
+
+    def default_configuration(self) -> KnobConfiguration:
+        """The highest-QoS (baseline) combination."""
+        return KnobConfiguration(
+            {parameter.name: parameter.default for parameter in self.parameters}
+        )
+
+    def configurations(self) -> Iterator[KnobConfiguration]:
+        """Iterate over every parameter combination."""
+        ranges = [parameter.values for parameter in self.parameters]
+        for combo in itertools.product(*ranges):
+            yield KnobConfiguration(dict(zip(self.names, combo)))
+
+    def configuration(self, **assignment: Any) -> KnobConfiguration:
+        """Build a configuration, validating names and values."""
+        by_name = {parameter.name: parameter for parameter in self.parameters}
+        unknown = set(assignment) - set(by_name)
+        if unknown:
+            raise KnobError(f"unknown parameters: {sorted(unknown)}")
+        missing = set(by_name) - set(assignment)
+        if missing:
+            raise KnobError(f"missing parameters: {sorted(missing)}")
+        for name, value in assignment.items():
+            if value not in by_name[name].values:
+                raise KnobError(
+                    f"value {value!r} not in range of parameter {name!r}"
+                )
+        return KnobConfiguration(assignment)
+
+
+@dataclass(frozen=True)
+class KnobSetting:
+    """One calibrated point in the performance-versus-QoS trade-off space.
+
+    Attributes:
+        configuration: The parameter combination.
+        speedup: Mean speedup relative to the baseline (>= by construction
+            1 for the baseline itself).
+        qos_loss: Mean QoS loss (0 = baseline quality; larger is worse).
+        control_values: Recorded control-variable values to poke into the
+            application's address space to realize this setting.
+    """
+
+    configuration: KnobConfiguration
+    speedup: float
+    qos_loss: float
+    control_values: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.speedup <= 0:
+            raise KnobError(f"speedup must be positive, got {self.speedup!r}")
+        if self.qos_loss < 0:
+            raise KnobError(f"qos_loss must be >= 0, got {self.qos_loss!r}")
+
+    def dominates(self, other: "KnobSetting") -> bool:
+        """Pareto dominance: at least as fast and as accurate, better in one."""
+        if self.speedup < other.speedup or self.qos_loss > other.qos_loss:
+            return False
+        return self.speedup > other.speedup or self.qos_loss < other.qos_loss
+
+
+class KnobTable:
+    """The calibrated settings available to the actuator, sorted by speedup.
+
+    Args:
+        settings: Calibrated settings.  Must include a baseline setting
+            with speedup 1.0 (the default configuration).
+    """
+
+    def __init__(self, settings: Sequence[KnobSetting]) -> None:
+        if not settings:
+            raise KnobError("knob table needs at least one setting")
+        self._settings = sorted(settings, key=lambda s: (s.speedup, -s.qos_loss))
+        if abs(self._settings[0].speedup - 1.0) > 1e-6:
+            raise KnobError(
+                "knob table must include the baseline setting (speedup 1.0); "
+                f"slowest has speedup {self._settings[0].speedup!r}"
+            )
+
+    def __len__(self) -> int:
+        return len(self._settings)
+
+    def __iter__(self) -> Iterator[KnobSetting]:
+        return iter(self._settings)
+
+    def __getitem__(self, index: int) -> KnobSetting:
+        return self._settings[index]
+
+    @property
+    def settings(self) -> list[KnobSetting]:
+        """All settings, slowest (baseline) first."""
+        return list(self._settings)
+
+    @property
+    def baseline(self) -> KnobSetting:
+        """The speedup-1.0 default setting."""
+        return self._settings[0]
+
+    @property
+    def fastest(self) -> KnobSetting:
+        """The setting with the maximum speedup (``s_max``)."""
+        return self._settings[-1]
+
+    @property
+    def max_speedup(self) -> float:
+        """Maximum achievable speedup."""
+        return self._settings[-1].speedup
+
+    def minimal_speedup_at_least(self, target: float) -> KnobSetting:
+        """The slowest setting with ``speedup >= target`` (``s_min``).
+
+        Raises :class:`KnobError` if even the fastest setting is too slow;
+        callers saturate at :attr:`fastest` in that case.
+        """
+        for setting in self._settings:
+            if setting.speedup >= target - 1e-12:
+                return setting
+        raise KnobError(
+            f"no knob setting reaches speedup {target!r} "
+            f"(max is {self.max_speedup!r})"
+        )
+
+    def pareto_frontier(self) -> list[KnobSetting]:
+        """Settings not Pareto-dominated, sorted by speedup."""
+        frontier = [
+            setting
+            for setting in self._settings
+            if not any(
+                other.dominates(setting)
+                for other in self._settings
+                if other is not setting
+            )
+        ]
+        return frontier
+
+    def restrict_to_pareto(self) -> "KnobTable":
+        """A new table containing only the Pareto frontier."""
+        return KnobTable(self.pareto_frontier())
+
+    def with_qos_cap(self, cap: float) -> "KnobTable":
+        """A new table excluding settings whose QoS loss exceeds ``cap``.
+
+        Implements the paper's "caps on QoS loss".  The baseline always
+        survives (its loss is 0 by definition).
+        """
+        if cap < 0:
+            raise KnobError(f"QoS cap must be >= 0, got {cap!r}")
+        kept = [s for s in self._settings if s.qos_loss <= cap]
+        return KnobTable(kept)

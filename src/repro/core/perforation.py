@@ -1,0 +1,99 @@
+"""Loop perforation baseline (paper §6; Hoffmann et al. [27], Misailovic
+et al. [39]).
+
+The paper positions dynamic knobs against *loop perforation*, which
+"automatically transforms loops to skip loop iterations".  This module
+implements the comparator: a generic wrapper that perforates an
+application's main control loop — processing only one item in every
+``1 + skip`` and substituting the most recent real output for skipped
+items (the standard perforation recovery for stream-shaped loops; for a
+video encoder this is frame dropping, for a pricer it is price reuse).
+
+Perforation yields speedup without touching configuration parameters, but
+it degrades QoS blindly: it cannot exploit the application's own
+accuracy/effort machinery the way calibrated knobs can.  The ablation
+bench quantifies that gap at matched speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.apps.base import Application, ItemResult, WorkTracker
+from repro.core.knobs import Parameter
+from repro.core.qos import QoSMetric
+from repro.tracing.variables import AddressSpace
+
+__all__ = ["PerforatedApplication", "PERFORATION_RATES", "PerforationError"]
+
+
+class PerforationError(ValueError):
+    """Raised for invalid perforation configuration."""
+
+
+PERFORATION_RATES = (0, 1, 2, 3, 7)
+"""Skip factors to explore: process 1 of every (1 + skip) items, i.e.
+speedups of roughly 1x, 2x, 3x, 4x, 8x."""
+
+
+class PerforatedApplication(Application):
+    """Wraps an application, perforating its main control loop.
+
+    The wrapped application always runs at its *default* (highest-QoS)
+    configuration; the only knob is the perforation ``skip`` factor.  A
+    skipped item costs a nominal bookkeeping amount of work and reuses
+    the last computed output.
+
+    Args:
+        inner: The application whose loop is perforated.
+        skip_work: Work units charged per skipped item (stream handling
+            that perforation cannot elide).
+    """
+
+    name = "perforated"
+
+    def __init__(self, inner: Application, skip_work: float = 0.0) -> None:
+        if skip_work < 0:
+            raise PerforationError(f"skip_work must be >= 0, got {skip_work!r}")
+        self.inner = inner
+        self.skip_work = skip_work
+        self._position = 0
+        self._last_output: Any = None
+
+    @classmethod
+    def parameters(cls) -> tuple[Parameter, ...]:
+        return (Parameter("skip", PERFORATION_RATES, default=0),)
+
+    def initialize(self, config: Mapping[str, Any], space: AddressSpace) -> None:
+        space.write("skip_factor", config["skip"] + 0)
+        inner_config = self.inner.default_configuration().as_dict()
+        self.inner.initialize(inner_config, space)
+
+    def prepare(self, job: Any) -> Sequence[Any]:
+        self._position = 0
+        self._last_output = None
+        return self.inner.prepare(job)
+
+    def process_item(
+        self, item: Any, space: AddressSpace, tracker: WorkTracker
+    ) -> ItemResult:
+        skip = int(space.read("skip_factor"))
+        position = self._position
+        self._position += 1
+        if position % (skip + 1) == 0 or self._last_output is None:
+            result = self.inner.process_item(item, space, tracker)
+            self._last_output = result.output
+            return result
+        tracker.add("main/skipped", self.skip_work)
+        return ItemResult(output=self._last_output, work=self.skip_work)
+
+    def qos_metric(self) -> QoSMetric:
+        return self.inner.qos_metric()
+
+    def reset(self) -> None:
+        self._position = 0
+        self._last_output = None
+        self.inner.reset()
+
+    def threads(self) -> int:
+        return self.inner.threads()

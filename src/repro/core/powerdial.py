@@ -1,0 +1,164 @@
+"""The PowerDial facade: parameters in, controlled application out.
+
+Implements the Figure 1 workflow end to end:
+
+1. **Parameter identification** — the application declares its knobbable
+   parameters and value ranges.
+2. **Dynamic knob identification** — influence tracing locates the control
+   variables and records their values per combination (Section 2.1).
+3. **Dynamic knob calibration** — training runs measure each combination's
+   speedup and QoS loss; Pareto-optimal settings survive (Section 2.2).
+4. **Dynamic knob insertion + runtime control** — a
+   :class:`~repro.core.runtime.PowerDialRuntime` pokes recorded values into
+   the address space under heart-rate feedback (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.apps.base import Application, run_job
+from repro.core.actuator import ActuationPolicy
+from repro.core.calibration import CalibrationResult, calibrate
+from repro.core.knobs import KnobSpace, KnobTable
+from repro.core.runtime import PowerDialRuntime
+from repro.hardware.machine import Machine
+from repro.tracing.report import ControlVariableReport, render_report
+from repro.tracing.tracer import ControlVariableSet, identify_control_variables
+
+__all__ = ["PowerDialSystem", "build_powerdial", "measure_baseline_rate"]
+
+
+@dataclass
+class PowerDialSystem:
+    """A fully built PowerDial deployment for one application.
+
+    Attributes:
+        app_factory: Builds application instances.
+        knob_space: The explored parameter combinations.
+        control_set: Identified control variables and recorded values.
+        calibration: The measured trade-off space.
+        table: The calibrated, Pareto-restricted knob table.
+        report: The developer-facing control-variable report.
+    """
+
+    app_factory: Callable[[], Application]
+    knob_space: KnobSpace
+    control_set: ControlVariableSet
+    calibration: CalibrationResult
+    table: KnobTable
+    report: ControlVariableReport
+
+    def runtime(
+        self,
+        machine: Machine,
+        target_rate: float,
+        baseline_rate: float | None = None,
+        policy: ActuationPolicy = ActuationPolicy.MINIMAL_SPEEDUP,
+        quantum_beats: int = 20,
+        controller: Any | None = None,
+    ) -> PowerDialRuntime:
+        """Create a controlled runtime on ``machine`` at ``target_rate``.
+
+        ``controller`` optionally replaces the paper's integral decision
+        mechanism with any :class:`~repro.control.alternatives.
+        SpeedupController` (PID, heuristic step, ...).
+        """
+        return PowerDialRuntime(
+            app=self.app_factory(),
+            table=self.table,
+            machine=machine,
+            target_rate=target_rate,
+            baseline_rate=baseline_rate,
+            policy=policy,
+            quantum_beats=quantum_beats,
+            controller=controller,
+        )
+
+
+def measure_baseline_rate(
+    app_factory: Callable[[], Application],
+    job: Any,
+    machine: Machine,
+    configuration: Mapping[str, Any] | None = None,
+) -> float:
+    """Measure the baseline-configuration heart rate on ``machine``.
+
+    Replicates the paper's setup step: "the minimum and maximum heart rate
+    are both set to the average heart rate measured for the application
+    using the default configuration parameters."
+
+    Args:
+        app_factory: Builds the application.
+        job: The input to measure over.
+        machine: The platform whose speed defines the rate.
+        configuration: The baseline parameter settings.  Defaults to the
+            application's declared default; pass the knob table's baseline
+            configuration when the explored knob space differs from the
+            full application space.
+    """
+    app = app_factory()
+    if configuration is None:
+        configuration = app.default_configuration().as_dict()
+    outputs, work, _ = run_job(app, dict(configuration), job)
+    if not outputs:
+        raise ValueError("job produced no main-loop items")
+    seconds = machine.processor.seconds_for_work(work, threads=app.threads())
+    seconds *= machine.load_factor
+    return len(outputs) / seconds
+
+
+def build_powerdial(
+    app_factory: Callable[[], Application],
+    training_jobs: Sequence[Any],
+    knob_space: KnobSpace | None = None,
+    qos_cap: float | None = None,
+    trace_job: Any | None = None,
+    trace_iterations: int = 3,
+) -> PowerDialSystem:
+    """Run the full PowerDial workflow and return the built system.
+
+    Args:
+        app_factory: Builds fresh application instances.
+        training_jobs: Representative inputs for calibration.
+        knob_space: Parameter combinations to explore (default: the
+            application's declared space).
+        qos_cap: Optional bound on acceptable QoS loss.
+        trace_job: Input used for influence tracing (default: the first
+            training job).
+        trace_iterations: Main-loop iterations to execute while tracing.
+
+    Raises:
+        KnobRejectionError: If the control-variable checks fail.
+    """
+    if not training_jobs:
+        raise ValueError("PowerDial needs at least one training input")
+    probe = app_factory()
+    space = knob_space or probe.knob_space()
+    sample = trace_job if trace_job is not None else training_jobs[0]
+
+    control_set = identify_control_variables(
+        app_factory,
+        configurations=list(space.configurations()),
+        knob_parameters=set(space.names),
+        sample_job=sample,
+        loop_iterations=trace_iterations,
+    )
+    calibration = calibrate(
+        app_factory,
+        training_jobs,
+        knob_space=space,
+        qos_cap=qos_cap,
+        control_set=control_set,
+    )
+    table = calibration.knob_table(pareto_only=True)
+    report = render_report(getattr(probe, "name", "application"), control_set)
+    return PowerDialSystem(
+        app_factory=app_factory,
+        knob_space=space,
+        control_set=control_set,
+        calibration=calibration,
+        table=table,
+        report=report,
+    )

@@ -1,0 +1,137 @@
+"""Quality-of-service metrics (paper Section 2.2, Equation 1).
+
+The QoS metric compares a user-provided *output abstraction* — a vector of
+numbers extracted from the application output — between the baseline
+execution and an execution at some other knob setting.  QoS loss is the
+weighted mean relative error ("distortion", after Rinard [43]):
+
+    qos = (1/m) * sum_i  w_i * | (o_i - ô_i) / o_i |
+
+Zero is optimal; larger is worse.  Components whose baseline value is zero
+contribute their absolute error instead (the relative form is undefined
+there); this matches the metric's intent of penalizing any deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["distortion", "QoSMetric", "DistortionMetric", "FMeasureQoS", "QoSError"]
+
+
+class QoSError(ValueError):
+    """Raised for invalid QoS computations."""
+
+
+def distortion(
+    baseline: Sequence[float],
+    observed: Sequence[float],
+    weights: Sequence[float] | None = None,
+    zero_tolerance: float = 1e-12,
+) -> float:
+    """Weighted relative-error distortion between two output abstractions.
+
+    Args:
+        baseline: Output abstraction of the highest-QoS execution
+            (``o_1..o_m``).
+        observed: Output abstraction of the execution under test
+            (``ô_1..ô_m``).
+        weights: Optional per-component importance weights ``w_i``
+            (default: all ones).
+        zero_tolerance: Baseline magnitudes below this use absolute error.
+
+    Returns:
+        The distortion; 0 means the outputs agree on every component.
+    """
+    base = np.asarray(baseline, dtype=float)
+    obs = np.asarray(observed, dtype=float)
+    if base.ndim != 1 or obs.ndim != 1:
+        raise QoSError("output abstractions must be one-dimensional")
+    if base.shape != obs.shape:
+        raise QoSError(
+            f"abstraction lengths differ: {base.shape[0]} vs {obs.shape[0]}"
+        )
+    if base.size == 0:
+        raise QoSError("output abstraction must be non-empty")
+    if weights is None:
+        w = np.ones_like(base)
+    else:
+        w = np.asarray(weights, dtype=float)
+        if w.shape != base.shape:
+            raise QoSError(
+                f"weights length {w.shape[0]} does not match abstraction "
+                f"length {base.shape[0]}"
+            )
+        if np.any(w < 0):
+            raise QoSError("weights must be non-negative")
+    errors = np.abs(base - obs)
+    nonzero = np.abs(base) > zero_tolerance
+    relative = np.where(nonzero, errors / np.where(nonzero, np.abs(base), 1.0), errors)
+    return float(np.mean(w * relative))
+
+
+@dataclass(frozen=True)
+class QoSMetric:
+    """A named QoS-loss function over application outputs.
+
+    Attributes:
+        name: Metric name for reports.
+        loss: Callable mapping ``(baseline_outputs, observed_outputs)`` to
+            a QoS loss (0 = optimal).
+    """
+
+    name: str
+    loss: Callable[[object, object], float]
+
+    def __call__(self, baseline: object, observed: object) -> float:
+        value = self.loss(baseline, observed)
+        if value < -1e-9:
+            raise QoSError(f"QoS metric {self.name!r} produced negative loss {value!r}")
+        return max(0.0, float(value))
+
+
+def DistortionMetric(
+    abstraction: Callable[[object], Sequence[float]],
+    weights: Callable[[Sequence[float]], Sequence[float] | None] | None = None,
+    name: str = "distortion",
+) -> QoSMetric:
+    """Build the paper's Equation-1 metric from an output abstraction.
+
+    Args:
+        abstraction: Extracts the numeric vector from an application output.
+        weights: Optional function of the *baseline* abstraction returning
+            per-component weights (the paper lets weights depend on the
+            output, e.g. bodytrack weights components by magnitude).
+        name: Metric name.
+    """
+
+    def _loss(baseline_output: object, observed_output: object) -> float:
+        base = abstraction(baseline_output)
+        obs = abstraction(observed_output)
+        w = weights(base) if weights is not None else None
+        return distortion(base, obs, w)
+
+    return QoSMetric(name=name, loss=_loss)
+
+
+def FMeasureQoS(
+    f_measure: Callable[[object, object], float], name: str = "f-measure"
+) -> QoSMetric:
+    """QoS loss as ``1 - F`` for information-retrieval outputs (swish++).
+
+    Args:
+        f_measure: Callable mapping ``(baseline_outputs, observed_outputs)``
+            to an F-measure in [0, 1], where 1 means identical result
+            quality.
+    """
+
+    def _loss(baseline_output: object, observed_output: object) -> float:
+        f = f_measure(baseline_output, observed_output)
+        if not 0.0 <= f <= 1.0 + 1e-9:
+            raise QoSError(f"F-measure must be in [0,1], got {f!r}")
+        return 1.0 - min(f, 1.0)
+
+    return QoSMetric(name=name, loss=_loss)

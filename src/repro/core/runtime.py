@@ -1,0 +1,326 @@
+"""The PowerDial runtime: controlled execution of a knobbed application.
+
+Wires together the pieces of Figure 2: the application (emitting
+heartbeats into a :class:`~repro.heartbeats.api.HeartbeatMonitor`), the
+integral :class:`~repro.core.controller.HeartRateController`, and the
+:class:`~repro.core.actuator.Actuator`, all running on a simulated
+:class:`~repro.hardware.machine.Machine`.
+
+Every ``quantum_beats`` heartbeats the controller observes the windowed
+heart rate and commands a speedup; the actuator converts it into a plan of
+knob settings (and, under race-to-idle, idle time) for the next quantum.
+Settings are applied by *poking recorded control-variable values into the
+application's address space* — the application is never told its knobs
+moved; its main loop simply reads different values, exactly the paper's
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.apps.base import Application, WorkTracker
+from repro.core.actuator import ActuationPolicy, Actuator, ActuationPlan
+from repro.core.controller import HeartRateController
+from repro.core.knobs import KnobSetting, KnobTable
+from repro.heartbeats.api import HeartbeatMonitor
+from repro.hardware.machine import Machine
+from repro.tracing.variables import AddressSpace
+
+__all__ = ["RuntimeEvent", "RuntimeSample", "RunResult", "PowerDialRuntime"]
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """An external event injected during a controlled run.
+
+    Attributes:
+        at_beat: Dispatch when the heartbeat count reaches this value.
+        action: Callback receiving the machine (e.g. impose a power cap by
+            dropping its frequency).
+        label: Event name for the sample log.
+    """
+
+    at_beat: int
+    action: Callable[[Machine], None]
+    label: str = "event"
+
+
+@dataclass(frozen=True)
+class RuntimeSample:
+    """One per-heartbeat observation of the controlled system.
+
+    Attributes:
+        beat: Heartbeat sequence number.
+        time: Virtual timestamp of the beat.
+        window_rate: Sliding-window heart rate (None before first interval).
+        normalized_performance: ``window_rate / target`` — the Figure 7
+            y-axis ("sliding mean of the last twenty times between
+            heartbeats normalized to the target heart rate").
+        knob_gain: Instantaneous speedup of the active knob setting — the
+            Figure 7 "Knob Gain" series.
+        commanded_speedup: The controller's current output ``s(t)``.
+        frequency_ghz: Machine frequency when the beat was emitted.
+    """
+
+    beat: int
+    time: float
+    window_rate: float | None
+    normalized_performance: float | None
+    knob_gain: float
+    commanded_speedup: float
+    frequency_ghz: float
+
+
+@dataclass
+class RunResult:
+    """Everything observed during one controlled run.
+
+    Attributes:
+        samples: Per-heartbeat observations.
+        outputs_by_job: Main-loop outputs, grouped per input job.
+        settings_used: The knob setting active at each heartbeat.
+        mean_power: Mean of the machine's 1 Hz power samples (None if the
+            run was shorter than one sampling interval).
+        energy_joules: Exact integrated energy of the run.
+        elapsed: Virtual seconds from first to last beat.
+    """
+
+    samples: list[RuntimeSample]
+    outputs_by_job: list[list[Any]]
+    settings_used: list[KnobSetting]
+    mean_power: float | None
+    energy_joules: float
+    elapsed: float
+
+    def performance_series(self) -> list[tuple[float, float]]:
+        """(time, normalized performance) pairs where defined."""
+        return [
+            (s.time, s.normalized_performance)
+            for s in self.samples
+            if s.normalized_performance is not None
+        ]
+
+    def gain_series(self) -> list[tuple[float, float]]:
+        """(time, knob gain) pairs."""
+        return [(s.time, s.knob_gain) for s in self.samples]
+
+    def mean_normalized_performance(self, skip: int = 0) -> float:
+        """Mean normalized performance over samples after ``skip`` beats."""
+        values = [
+            s.normalized_performance
+            for s in self.samples[skip:]
+            if s.normalized_performance is not None
+        ]
+        if not values:
+            raise ValueError("no performance samples available")
+        return sum(values) / len(values)
+
+
+class PowerDialRuntime:
+    """Runs an application under PowerDial control on a simulated machine.
+
+    Args:
+        app: The application instance.
+        table: Calibrated knob table (with recorded control values).
+        machine: The machine to execute on.
+        target_rate: Target heart rate ``g``.  The paper sets both min and
+            max target to the baseline rate measured at the default
+            configuration on the uncapped platform.
+        baseline_rate: The model gain ``b`` (heart rate at the default
+            knobs on the reference platform); defaults to ``target_rate``.
+        policy: Actuation policy (minimal-speedup or race-to-idle).
+        quantum_beats: Heartbeats per control quantum (paper: 20).
+        window_size: Heartbeat window for rate measurement (paper: 20).
+        controller: Optional replacement decision mechanism -- any object
+            satisfying the :class:`~repro.control.alternatives.
+            SpeedupController` protocol (``update``/``reset``/``speedup``).
+            Defaults to the paper's integral controller; passing e.g. a
+            PID or heuristic controller reruns the same scenario under a
+            related-work policy (the controller ablation, on the real
+            application instead of the plant model).
+    """
+
+    def __init__(
+        self,
+        app: Application,
+        table: KnobTable,
+        machine: Machine,
+        target_rate: float,
+        baseline_rate: float | None = None,
+        policy: ActuationPolicy = ActuationPolicy.MINIMAL_SPEEDUP,
+        quantum_beats: int = 20,
+        window_size: int = 20,
+        controller: Any | None = None,
+    ) -> None:
+        self.app = app
+        self.table = table
+        self.machine = machine
+        self.target_rate = float(target_rate)
+        self.baseline_rate = float(baseline_rate or target_rate)
+        self.monitor = HeartbeatMonitor(
+            machine.clock,
+            window_size=window_size,
+            min_target_rate=target_rate,
+            max_target_rate=target_rate,
+        )
+        # Under race-to-idle the controller may command sub-baseline average
+        # speedups — the slack becomes idle time.  Under the other policies
+        # the baseline (highest-QoS) setting is the floor.
+        min_speedup = 0.05 if policy is ActuationPolicy.RACE_TO_IDLE else 1.0
+        if controller is None:
+            controller = HeartRateController(
+                target_rate=self.target_rate,
+                baseline_rate=self.baseline_rate,
+                min_speedup=min_speedup,
+                max_speedup=table.max_speedup,
+            )
+        self.controller = controller
+        self.actuator = Actuator(
+            table,
+            policy=policy,
+            quantum_beats=quantum_beats,
+            selection_tolerance=0.02,
+        )
+        self.space = AddressSpace(log_accesses=False)
+        self._current_setting: KnobSetting | None = None
+
+    # ------------------------------------------------------------------
+    def _apply_setting(self, setting: KnobSetting) -> None:
+        """Poke the setting's recorded control-variable values."""
+        if self._current_setting is setting:
+            return
+        for name, value in setting.control_values.items():
+            self.space.poke(name, value)
+        self._current_setting = setting
+
+    def _replan(self, beats_in_quantum: int, quantum_elapsed: float) -> ActuationPlan:
+        """Controller + actuator step at a quantum boundary.
+
+        The controller samples the heart rate over the quantum that just
+        elapsed (beats emitted / wall time).  Under uniform beating this is
+        exactly the 20-beat window rate; unlike the raw beat-interval
+        window it also accounts for idle tails, which otherwise alias the
+        measurement after a race-to-idle burst.
+        """
+        if quantum_elapsed > 0.0:
+            rate = beats_in_quantum / quantum_elapsed
+        else:
+            rate = self.monitor.window_rate() or self.target_rate
+        speedup = self.controller.update(rate)
+        return self.actuator.plan(speedup)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[Any],
+        events: Sequence[RuntimeEvent] = (),
+    ) -> RunResult:
+        """Run ``jobs`` to completion under dynamic-knob control."""
+        app, machine, monitor = self.app, self.machine, self.monitor
+        app.reset()
+        monitor.reset()
+        self.controller.reset()
+        self.space = AddressSpace(log_accesses=False)
+        app.initialize(self.table.baseline.configuration.as_dict(), self.space)
+        self._current_setting = None
+        self._apply_setting(self.table.baseline)
+
+        pending = sorted(events, key=lambda e: e.at_beat)
+        event_index = 0
+        # "We heuristically establish the time quantum as the time required
+        # to process twenty heartbeats" — at the target rate, so it is a
+        # fixed time window of quantum_beats / g seconds.
+        quantum_duration = self.actuator.quantum_beats / self.target_rate
+        plan = self.actuator.plan(self.controller.speedup)
+        quantum_start = machine.now
+        beats_in_quantum = 0
+
+        tracker = WorkTracker()
+        samples: list[RuntimeSample] = []
+        settings_used: list[KnobSetting] = []
+        outputs_by_job: list[list[Any]] = []
+        first_beat_time: float | None = None
+        threads = app.threads()
+
+        for job in jobs:
+            outputs: list[Any] = []
+            for item in app.prepare(job):
+                # External events (power caps, load changes).
+                while (
+                    event_index < len(pending)
+                    and pending[event_index].at_beat <= monitor.count
+                ):
+                    pending[event_index].action(machine)
+                    event_index += 1
+
+                # Quantum boundary: close the loop.
+                if machine.now - quantum_start >= quantum_duration:
+                    plan = self._replan(
+                        beats_in_quantum, machine.now - quantum_start
+                    )
+                    quantum_start = machine.now
+                    beats_in_quantum = 0
+
+                # Locate ourselves inside the quantum and pick the setting.
+                fraction = (machine.now - quantum_start) / quantum_duration
+                fraction = min(max(fraction, 0.0), 1.0 - 1e-9)
+                setting = plan.setting_at(fraction)
+                if setting is None:
+                    # Race-to-idle tail: idle out the quantum, then replan.
+                    machine.idle_until(quantum_start + quantum_duration)
+                    plan = self._replan(
+                        beats_in_quantum, machine.now - quantum_start
+                    )
+                    quantum_start = machine.now
+                    beats_in_quantum = 0
+                    setting = plan.setting_at(0.0)
+                    if setting is None:  # pragma: no cover - plans run first
+                        setting = self.table.fastest
+                self._apply_setting(setting)
+
+                record = monitor.heartbeat()
+                if first_beat_time is None:
+                    first_beat_time = record.timestamp
+                self.space.mark_first_heartbeat()
+
+                result = app.process_item(item, self.space, tracker)
+                machine.execute(result.work, threads=threads)
+                outputs.append(result.output)
+                beats_in_quantum += 1
+
+                window_rate = monitor.window_rate()
+                samples.append(
+                    RuntimeSample(
+                        beat=record.sequence,
+                        time=record.timestamp,
+                        window_rate=window_rate,
+                        normalized_performance=(
+                            None
+                            if window_rate is None
+                            else window_rate / self.target_rate
+                        ),
+                        knob_gain=setting.speedup,
+                        commanded_speedup=self.controller.speedup,
+                        frequency_ghz=machine.processor.frequency_ghz,
+                    )
+                )
+                settings_used.append(setting)
+            outputs_by_job.append(outputs)
+
+        elapsed = 0.0
+        if first_beat_time is not None:
+            elapsed = machine.now - first_beat_time
+        try:
+            mean_power: float | None = machine.meter.mean_power()
+        except Exception:
+            mean_power = None
+        return RunResult(
+            samples=samples,
+            outputs_by_job=outputs_by_job,
+            settings_used=settings_used,
+            mean_power=mean_power,
+            energy_joules=machine.meter.energy_joules,
+            elapsed=elapsed,
+        )

@@ -1,0 +1,104 @@
+"""Experiment harness: one module per paper table/figure (Section 5).
+
+See DESIGN.md's per-experiment index for the mapping from paper artifact
+to module and bench target.
+"""
+
+from repro.experiments.common import Scale, experiment_machine, format_table
+from repro.experiments.controllers import (
+    ControllerAblation,
+    ControllerResult,
+    format_controller_ablation,
+    run_controller_ablation,
+)
+from repro.experiments.consolidation import (
+    ConsolidationExperiment,
+    ConsolidationPoint,
+    format_fig8,
+    run_consolidation,
+)
+from repro.experiments.energy_models import (
+    EnergyScenario,
+    format_fig34,
+    run_energy_models,
+)
+from repro.experiments.inputs import InputSummary, format_table1, summarize_inputs
+from repro.experiments.overhead import OverheadResult, format_overhead, run_overhead
+from repro.experiments.power_qos import (
+    PowerQosExperiment,
+    PowerQosPoint,
+    format_fig6,
+    run_power_qos,
+)
+from repro.experiments.powercap import (
+    PowerCapExperiment,
+    format_fig7,
+    run_powercap,
+)
+from repro.experiments.quantum import (
+    QuantumAblation,
+    QuantumResult,
+    format_quantum_ablation,
+    run_quantum_ablation,
+)
+from repro.experiments.registry import APP_SPECS, AppSpec, built_system, get_spec
+from repro.experiments.sla import (
+    SlaExperiment,
+    SlaSeries,
+    format_sla,
+    run_sla,
+)
+from repro.experiments.tradeoff import (
+    TradeoffExperiment,
+    correlation,
+    format_fig5,
+    format_table2,
+    run_tradeoff,
+)
+
+__all__ = [
+    "Scale",
+    "experiment_machine",
+    "format_table",
+    "AppSpec",
+    "APP_SPECS",
+    "get_spec",
+    "built_system",
+    "TradeoffExperiment",
+    "run_tradeoff",
+    "correlation",
+    "format_fig5",
+    "format_table2",
+    "PowerQosExperiment",
+    "PowerQosPoint",
+    "run_power_qos",
+    "format_fig6",
+    "PowerCapExperiment",
+    "run_powercap",
+    "format_fig7",
+    "ConsolidationExperiment",
+    "ConsolidationPoint",
+    "run_consolidation",
+    "format_fig8",
+    "InputSummary",
+    "summarize_inputs",
+    "format_table1",
+    "EnergyScenario",
+    "run_energy_models",
+    "format_fig34",
+    "OverheadResult",
+    "run_overhead",
+    "format_overhead",
+    "ControllerAblation",
+    "ControllerResult",
+    "run_controller_ablation",
+    "format_controller_ablation",
+    "QuantumAblation",
+    "QuantumResult",
+    "run_quantum_ablation",
+    "format_quantum_ablation",
+    "SlaExperiment",
+    "SlaSeries",
+    "run_sla",
+    "format_sla",
+]

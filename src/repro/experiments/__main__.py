@@ -1,0 +1,116 @@
+"""Command-line entry point for the experiment harness.
+
+Regenerate any paper artifact directly::
+
+    python -m repro.experiments table1
+    python -m repro.experiments table2
+    python -m repro.experiments fig5 --app x264
+    python -m repro.experiments fig6 --app swaptions --scale tiny
+    python -m repro.experiments fig7 --app bodytrack
+    python -m repro.experiments fig8 --app swish++
+    python -m repro.experiments fig34
+    python -m repro.experiments overhead
+    python -m repro.experiments ablation-controllers --app bodytrack
+    python -m repro.experiments ablation-quantum --app swaptions
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    APP_SPECS,
+    Scale,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_controller_ablation,
+    format_fig34,
+    format_overhead,
+    format_quantum_ablation,
+    format_sla,
+    format_table1,
+    format_table2,
+    run_consolidation,
+    run_controller_ablation,
+    run_energy_models,
+    run_overhead,
+    run_power_qos,
+    run_powercap,
+    run_quantum_ablation,
+    run_sla,
+    run_tradeoff,
+    summarize_inputs,
+)
+
+_PER_APP = {
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablation-controllers",
+    "ablation-quantum",
+    "sla",
+}
+_ARTIFACTS = sorted(_PER_APP | {"table1", "table2", "fig34", "overhead"})
+
+
+def _run(artifact: str, app: str, scale: Scale) -> str:
+    if artifact == "table1":
+        return format_table1(summarize_inputs(scale))
+    if artifact == "table2":
+        return format_table2(
+            [run_tradeoff(name, scale) for name in APP_SPECS]
+        )
+    if artifact == "fig5":
+        return format_fig5(run_tradeoff(app, scale))
+    if artifact == "fig6":
+        return format_fig6(run_power_qos(app, scale))
+    if artifact == "fig7":
+        return format_fig7(run_powercap(app, scale))
+    if artifact == "fig8":
+        return format_fig8(run_consolidation(app, scale))
+    if artifact == "fig34":
+        return format_fig34(run_energy_models())
+    if artifact == "ablation-controllers":
+        return format_controller_ablation(run_controller_ablation(app, scale))
+    if artifact == "ablation-quantum":
+        return format_quantum_ablation(run_quantum_ablation(app, scale))
+    if artifact == "sla":
+        return format_sla(run_sla(app, scale))
+    if artifact == "overhead":
+        return format_overhead(
+            [run_overhead(name, Scale.TINY) for name in APP_SPECS]
+        )
+    raise ValueError(f"unknown artifact {artifact!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a PowerDial paper table or figure.",
+    )
+    parser.add_argument("artifact", choices=_ARTIFACTS)
+    parser.add_argument(
+        "--app",
+        choices=sorted(APP_SPECS),
+        default="swaptions",
+        help="benchmark for per-application figures (default: swaptions)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.PAPER.value,
+        help="experiment scale (default: paper)",
+    )
+    args = parser.parse_args(argv)
+    scale = Scale(args.scale)
+    print(_run(args.artifact, args.app, scale))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Shared experiment infrastructure: machines, scales, formatting.
+
+Experiments run on simulated machines whose throughput constant is chosen
+so that one main-loop item takes tens to hundreds of milliseconds of
+virtual time — the heartbeat granularity of the paper's benchmarks — so
+the 1 Hz power meter and the 20-beat control quantum behave as they did
+on the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.hardware.cpu import Processor
+from repro.hardware.machine import Machine
+
+__all__ = [
+    "Scale",
+    "experiment_machine",
+    "EXPERIMENT_THROUGHPUT",
+    "format_table",
+]
+
+EXPERIMENT_THROUGHPUT = 1.0e6
+"""Work units per GHz-second on experiment machines (see module doc)."""
+
+
+class Scale(enum.Enum):
+    """Experiment scale presets.
+
+    TINY keeps unit tests fast; PAPER is the scale the benchmark harness
+    regenerates the paper's tables and figures at.
+    """
+
+    TINY = "tiny"
+    PAPER = "paper"
+
+
+def experiment_machine(frequency_ghz: float = 2.4) -> Machine:
+    """A fresh experiment server in the requested initial P-state."""
+    machine = Machine(
+        processor=Processor(work_units_per_ghz_second=EXPERIMENT_THROUGHPUT)
+    )
+    machine.set_frequency(frequency_ghz)
+    return machine
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned plain-text table (the bench harness's output)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = [line(list(headers)), line(["-" * w for w in widths])]
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)

@@ -1,0 +1,176 @@
+"""Experiment E-F8: peak-load provisioning (Figure 8, §5.5).
+
+Provisions a baseline system for peak load (4 machines for the PARSEC
+benchmarks, 3 for swish++), uses Equation 21 with the benchmark's QoS
+bound to provision the consolidated system (1 machine PARSEC, 2 swish++),
+then sweeps utilization from 0 to 100% of the original system's peak,
+recording the power of both systems and the consolidated system's QoS
+loss — the three series of each Figure 8 panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.system import ClusterSpec, evaluate_system
+from repro.cluster.workload import utilization_sweep
+from repro.experiments.common import Scale, format_table
+from repro.experiments.registry import built_system, get_spec
+from repro.models.consolidation import machines_required
+from repro.models.costs import CostModel, deployment_cost
+
+__all__ = [
+    "ConsolidationPoint",
+    "ConsolidationExperiment",
+    "run_consolidation",
+    "format_fig8",
+]
+
+
+@dataclass(frozen=True)
+class ConsolidationPoint:
+    """One utilization level's measurements (one x of Figure 8).
+
+    Attributes:
+        utilization: Offered load relative to the original system's peak.
+        original_power: Baseline pool power (circles).
+        consolidated_power: Knob-augmented pool power (black dots).
+        qos_loss: Consolidated system's mean QoS loss (solid line).
+        performance_factor: Consolidated delivered/target performance.
+    """
+
+    utilization: float
+    original_power: float
+    consolidated_power: float
+    qos_loss: float
+    performance_factor: float
+
+
+@dataclass
+class ConsolidationExperiment:
+    """Figure 8 data for one benchmark."""
+
+    name: str
+    original_machines: int
+    consolidated_machines: int
+    qos_bound: float
+    bounded_speedup: float
+    points: list[ConsolidationPoint]
+
+    def savings_at(self, utilization: float) -> tuple[float, float]:
+        """(watts saved, fraction saved) at the nearest swept level."""
+        point = min(self.points, key=lambda p: abs(p.utilization - utilization))
+        saved = point.original_power - point.consolidated_power
+        return saved, saved / point.original_power
+
+    def peak_qos_loss(self) -> float:
+        """QoS loss needed to absorb the full peak on the small system."""
+        return max(point.qos_loss for point in self.points)
+
+    def lifetime_costs(
+        self,
+        typical_utilization: float = 0.25,
+        peak_power_per_machine: float = 220.0,
+        model: CostModel | None = None,
+    ) -> tuple[float, float]:
+        """Lifetime TCO of (original, consolidated) at a typical load.
+
+        Section 3: data centers run at 20-30% average utilization, and
+        over the facility lifetime capital costs can exceed energy.  The
+        mean draw comes from the measured sweep point nearest
+        ``typical_utilization``; provisioning is sized for each pool's
+        peak.
+        """
+        point = min(
+            self.points, key=lambda p: abs(p.utilization - typical_utilization)
+        )
+        model = model or CostModel()
+        original = deployment_cost(
+            self.original_machines,
+            point.original_power,
+            self.original_machines * peak_power_per_machine,
+            model,
+        )
+        consolidated = deployment_cost(
+            self.consolidated_machines,
+            point.consolidated_power,
+            self.consolidated_machines * peak_power_per_machine,
+            model,
+        )
+        return original.total, consolidated.total
+
+
+def run_consolidation(
+    name: str, scale: Scale = Scale.PAPER, sweep_points: int = 11
+) -> ConsolidationExperiment:
+    """Run the Figure 8 sweep for one benchmark."""
+    spec = get_spec(name)
+    system = built_system(name, scale)
+    # Equation 21 provisioning under the QoS bound.
+    bounded = system.table.with_qos_cap(spec.qos_bound)
+    speedup = bounded.max_speedup
+    n_new = machines_required(spec.cluster_machines, speedup)
+
+    original = ClusterSpec(
+        machines=spec.cluster_machines, slots_per_machine=spec.cluster_slots
+    )
+    consolidated = ClusterSpec(
+        machines=n_new, slots_per_machine=spec.cluster_slots
+    )
+    peak_instances = original.peak_instances
+
+    points = []
+    for utilization in utilization_sweep(sweep_points):
+        load = utilization * peak_instances
+        base_point = evaluate_system(original, load)
+        cons_point = evaluate_system(consolidated, load, table=bounded)
+        points.append(
+            ConsolidationPoint(
+                utilization=utilization,
+                original_power=base_point.power_watts,
+                consolidated_power=cons_point.power_watts,
+                qos_loss=cons_point.qos_loss,
+                performance_factor=cons_point.performance_factor,
+            )
+        )
+    return ConsolidationExperiment(
+        name=name,
+        original_machines=spec.cluster_machines,
+        consolidated_machines=n_new,
+        qos_bound=spec.qos_bound,
+        bounded_speedup=speedup,
+        points=points,
+    )
+
+
+def format_fig8(experiment: ConsolidationExperiment) -> str:
+    """Figure 8 panel as text."""
+    rows = [
+        [
+            f"{p.utilization:.1f}",
+            f"{p.original_power:.0f}",
+            f"{p.consolidated_power:.0f}",
+            f"{100 * p.qos_loss:.2f}",
+            f"{p.performance_factor:.3f}",
+        ]
+        for p in experiment.points
+    ]
+    saved_quarter, frac_quarter = experiment.savings_at(0.25)
+    saved_peak, frac_peak = experiment.savings_at(1.0)
+    tco_original, tco_consolidated = experiment.lifetime_costs()
+    header = (
+        f"Figure 8 ({experiment.name}): {experiment.original_machines} -> "
+        f"{experiment.consolidated_machines} machines "
+        f"(S={experiment.bounded_speedup:.2f} at QoS bound "
+        f"{100 * experiment.qos_bound:.0f}%)\n"
+        f"  at 25% utilization: {saved_quarter:.0f} W saved "
+        f"({100 * frac_quarter:.0f}%)\n"
+        f"  at peak: {saved_peak:.0f} W saved ({100 * frac_peak:.0f}%), "
+        f"QoS loss {100 * experiment.peak_qos_loss():.2f}%\n"
+        f"  lifetime TCO at 25% utilization (Section 3 cost model): "
+        f"${tco_original:,.0f} -> ${tco_consolidated:,.0f} "
+        f"({100 * (1 - tco_consolidated / tco_original):.0f}% saved)"
+    )
+    return f"{header}\n" + format_table(
+        ["util", "orig W", "consol W", "qos loss %", "perf"], rows
+    )

@@ -1,0 +1,217 @@
+"""Ablation A-CTRL: controller families under the power-cap scenario.
+
+The paper argues (Section 6) that its control-theoretic decision
+mechanism has "provably good convergence and predictability properties"
+that the heuristic controllers of Green, Eon, and Chang/Karamcheti lack.
+This experiment makes the claim quantitative: it runs the paper's
+integral controller, a PID variant, a Green/Eon-style multiplicative step
+heuristic, and a bang-bang policy through the Section 5.4 power-cap
+scenario on the plant model ``h(t+1) = c(t) b s(t)`` with the benchmark's
+calibrated ``s_max``, then scores settling time, ITAE, residual
+oscillation, and the QoS loss each controller's commands would incur
+through the benchmark's actuator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+    SpeedupController,
+)
+from repro.control.comparison import (
+    ClosedLoopScenario,
+    ControllerEvaluation,
+    evaluate_controller,
+)
+from repro.control.disturbances import MeasurementNoise, pulse_profile
+from repro.core.actuator import ActuationPolicy, Actuator
+from repro.core.controller import HeartRateController
+from repro.experiments.common import Scale, format_table
+from repro.experiments.registry import built_system
+
+__all__ = [
+    "POWER_CAP_FACTOR",
+    "ControllerResult",
+    "ControllerAblation",
+    "run_controller_ablation",
+    "format_controller_ablation",
+]
+
+POWER_CAP_FACTOR = 1.6 / 2.4
+"""Capacity under the paper's power cap (2.4 GHz -> 1.6 GHz, CPU-bound)."""
+
+
+@dataclass(frozen=True)
+class ControllerResult:
+    """One controller's scores on the power-cap scenario.
+
+    Attributes:
+        label: Controller family name.
+        evaluation: Raw closed-loop evaluation (series + aggregates).
+        settle_after_cap: Control periods from the cap to settled, or
+            None when the loop never settles while capped.
+        settle_after_lift: Periods from the lift to settled, or None.
+        mean_qos_loss: Mean QoS loss the command series would incur via
+            the benchmark's minimal-speedup actuator.
+    """
+
+    label: str
+    evaluation: ControllerEvaluation
+    settle_after_cap: int | None
+    settle_after_lift: int | None
+    mean_qos_loss: float
+
+
+@dataclass
+class ControllerAblation:
+    """All controllers' scores for one benchmark's plant."""
+
+    name: str
+    cap_step: int
+    lift_step: int
+    max_speedup: float
+    results: list[ControllerResult]
+
+    def result(self, label: str) -> ControllerResult:
+        """Look up one controller's scores by label."""
+        for candidate in self.results:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no controller labelled {label!r}")
+
+
+def _qos_of_commands(
+    actuator: Actuator, speedups: list[float], s_max: float
+) -> float:
+    """Mean QoS loss of realizing a command series via the actuator."""
+    losses = []
+    for commanded in speedups:
+        plan = actuator.plan(min(max(commanded, 1e-6), s_max))
+        losses.append(plan.expected_qos_loss())
+    return sum(losses) / len(losses)
+
+
+def run_controller_ablation(
+    name: str,
+    scale: Scale = Scale.PAPER,
+    steps: int = 400,
+    noise_sigma: float = 0.0,
+    settle_tolerance: float = 0.05,
+) -> ControllerAblation:
+    """Score the controller families on one benchmark's calibrated plant.
+
+    Args:
+        name: Benchmark name (the calibrated table supplies ``s_max`` and
+            the QoS cost of every commanded speedup).
+        scale: Calibration scale.
+        steps: Control periods to simulate; the cap spans the middle half.
+        noise_sigma: Relative heart-rate measurement noise.
+        settle_tolerance: Error band that counts as settled.
+    """
+    system = built_system(name, scale)
+    table = system.table  # already Pareto-restricted, baseline kept
+    s_max = table.max_speedup
+    cap_step, lift_step = steps // 4, 3 * steps // 4
+    target = 10.0  # beats per control period; normalized plant
+    scenario = ClosedLoopScenario(
+        target_rate=target,
+        baseline_rate=target,
+        steps=steps,
+        capacity=pulse_profile(cap_step, lift_step, POWER_CAP_FACTOR),
+        noise=MeasurementNoise(sigma=noise_sigma, seed=17),
+        max_speedup=s_max,
+    )
+    controllers: list[tuple[str, SpeedupController]] = [
+        (
+            "integral (paper)",
+            HeartRateController(target, target, max_speedup=s_max),
+        ),
+        (
+            "pid",
+            PIDController(
+                target, target, kp=0.2, ki=0.8, max_speedup=s_max
+            ),
+        ),
+        (
+            "heuristic step",
+            HeuristicStepController(
+                target, step_factor=1.25, tolerance=0.05, max_speedup=s_max
+            ),
+        ),
+        ("bang-bang", BangBangController(target, high_speedup=s_max)),
+    ]
+    actuator = Actuator(table, ActuationPolicy.MINIMAL_SPEEDUP)
+
+    results = []
+    for label, controller in controllers:
+        evaluation = evaluate_controller(controller, scenario)
+        settle_cap = evaluation.settling_step(
+            after=cap_step, tolerance=settle_tolerance
+        )
+        settle_lift = evaluation.settling_step(
+            after=lift_step, tolerance=settle_tolerance
+        )
+        if settle_cap is not None and settle_cap >= lift_step:
+            settle_cap = None  # only settled because the cap lifted
+        results.append(
+            ControllerResult(
+                label=label,
+                evaluation=evaluation,
+                settle_after_cap=(
+                    None if settle_cap is None else settle_cap - cap_step
+                ),
+                settle_after_lift=(
+                    None if settle_lift is None else settle_lift - lift_step
+                ),
+                mean_qos_loss=_qos_of_commands(
+                    actuator, evaluation.speedups, s_max
+                ),
+            )
+        )
+    return ControllerAblation(
+        name=name,
+        cap_step=cap_step,
+        lift_step=lift_step,
+        max_speedup=s_max,
+        results=results,
+    )
+
+
+def format_controller_ablation(ablation: ControllerAblation) -> str:
+    """The ablation as a paper-style table."""
+    rows = []
+    for result in ablation.results:
+        rows.append(
+            [
+                result.label,
+                "never" if result.settle_after_cap is None
+                else str(result.settle_after_cap),
+                "never" if result.settle_after_lift is None
+                else str(result.settle_after_lift),
+                f"{result.evaluation.itae:.1f}",
+                f"{100 * result.evaluation.mean_abs_error:.2f}",
+                str(result.evaluation.oscillation_crossings),
+                f"{100 * result.mean_qos_loss:.3f}",
+            ]
+        )
+    header = (
+        f"Ablation: controllers on the {ablation.name} plant "
+        f"(s_max={ablation.max_speedup:.2f}, cap over steps "
+        f"[{ablation.cap_step}, {ablation.lift_step}))"
+    )
+    return f"{header}\n" + format_table(
+        [
+            "controller",
+            "settle(cap)",
+            "settle(lift)",
+            "ITAE",
+            "mean |e| %",
+            "tail crossings",
+            "qos loss %",
+        ],
+        rows,
+    )

@@ -1,0 +1,112 @@
+"""Experiment E-F3/F4: the Section 3 energy accounting (Figures 3-4).
+
+Figures 3 and 4 are schematic, but Equations 12-19 behind them are fully
+quantitative.  This experiment evaluates them with the paper platform's
+measured power levels (220 W busy at 2.4 GHz, ~176 W busy at 1.6 GHz
+under our power model, 90 W idle) across knob speedups and slack levels,
+reporting when race-to-idle (Figure 4a) versus DVFS-stretch (Figure 4b)
+wins and how much energy dynamic knobs add over DVFS alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import format_table
+from repro.hardware.cpu import XEON_E5530_PSTATES
+from repro.hardware.power import PowerModel
+from repro.models.dvfs import KnobDvfsEnergy, dvfs_energy_savings, knob_dvfs_energy
+
+__all__ = ["EnergyScenario", "run_energy_models", "format_fig34"]
+
+
+@dataclass(frozen=True)
+class EnergyScenario:
+    """One evaluated (speedup, slack) cell.
+
+    Attributes:
+        speedup: Knob speedup ``S(QoS)``.
+        slack_fraction: ``t_delay / t1``.
+        result: The Eq. 13-19 energy breakdown.
+        dvfs_only_savings: Eq. 12 savings without knobs.
+        best_strategy: Which Figure 4 case won ("race-to-idle" or
+            "dvfs-stretch").
+    """
+
+    speedup: float
+    slack_fraction: float
+    result: KnobDvfsEnergy
+    dvfs_only_savings: float
+    best_strategy: str
+
+
+def _platform_powers() -> tuple[float, float, float]:
+    model = PowerModel()
+    fastest, slowest = XEON_E5530_PSTATES[0], XEON_E5530_PSTATES[-1]
+    p_nodvfs = model.power(1.0, fastest, fastest.frequency_ghz)
+    p_dvfs = model.power(1.0, slowest, fastest.frequency_ghz)
+    return p_nodvfs, p_dvfs, model.idle_watts
+
+
+def run_energy_models(
+    task_seconds: float = 100.0,
+    speedups: tuple[float, ...] = (1.0, 1.5, 2.0, 4.0),
+    slack_fractions: tuple[float, ...] = (0.0, 0.25, 0.5),
+) -> list[EnergyScenario]:
+    """Evaluate the Section 3 models over a (speedup x slack) grid."""
+    p_nodvfs, p_dvfs, p_idle = _platform_powers()
+    scenarios = []
+    for slack in slack_fractions:
+        t_delay = slack * task_seconds
+        dvfs_only = dvfs_energy_savings(
+            p_nodvfs, p_dvfs, p_idle, task_seconds, t_delay
+        )
+        for speedup in speedups:
+            result = knob_dvfs_energy(
+                p_nodvfs, p_dvfs, p_idle, task_seconds, t_delay, speedup
+            )
+            strategy = "race-to-idle" if result.e1 <= result.e2 else "dvfs-stretch"
+            scenarios.append(
+                EnergyScenario(
+                    speedup=speedup,
+                    slack_fraction=slack,
+                    result=result,
+                    dvfs_only_savings=dvfs_only,
+                    best_strategy=strategy,
+                )
+            )
+    return scenarios
+
+
+def format_fig34(scenarios: list[EnergyScenario]) -> str:
+    """The Eq. 12-19 energy table."""
+    rows = [
+        [
+            f"{s.slack_fraction:.2f}",
+            f"{s.speedup:.1f}",
+            f"{s.result.e1 / 1000:.2f}",
+            f"{s.result.e2 / 1000:.2f}",
+            f"{s.result.e_elastic / 1000:.2f}",
+            f"{s.result.e_dvfs / 1000:.2f}",
+            f"{s.result.savings / 1000:.2f}",
+            s.best_strategy,
+        ]
+        for s in scenarios
+    ]
+    return (
+        "Figures 3-4 / Equations 12-19: energy (kJ) for a 100 s task on the "
+        "paper platform\n"
+        + format_table(
+            [
+                "slack",
+                "S(QoS)",
+                "E1 race",
+                "E2 dvfs",
+                "E elastic",
+                "E dvfs-only",
+                "savings",
+                "best",
+            ],
+            rows,
+        )
+    )

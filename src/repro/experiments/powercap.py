@@ -1,0 +1,176 @@
+"""Experiment E-F7: elastic response to power capping (Figure 7, §5.4).
+
+Starts the application uncapped at 2.4 GHz with the target set to the
+observed baseline heart rate; about one quarter of the way through, a
+power cap drops the machine to 1.6 GHz; about three quarters through, the
+cap lifts.  Three variants are run, matching the figure's three series:
+
+* **dynamic knobs** — the PowerDial-controlled application (circles);
+* **no knobs** — the same controller loop but a baseline-only knob table,
+  so nothing can adapt (the x series);
+* **baseline** — no power cap at all (black points).
+
+Each run yields the Figure 7 time series (sliding-window performance
+normalized to target, and knob gain) plus summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knobs import KnobTable
+from repro.core.powerdial import measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime, RunResult, RuntimeEvent
+from repro.experiments.common import Scale, experiment_machine, format_table
+from repro.experiments.registry import built_system, get_spec
+
+__all__ = ["PowerCapExperiment", "run_powercap", "format_fig7"]
+
+
+@dataclass
+class PowerCapExperiment:
+    """Figure 7 data for one benchmark.
+
+    Attributes:
+        name: Benchmark name.
+        knobs: The PowerDial run under the cap.
+        no_knobs: The uncontrollable run under the cap.
+        baseline: The uncapped run.
+        cap_beat: Beat at which the cap was imposed.
+        lift_beat: Beat at which the cap was lifted.
+    """
+
+    name: str
+    knobs: RunResult
+    no_knobs: RunResult
+    baseline: RunResult
+    cap_beat: int
+    lift_beat: int
+
+    # -- summary statistics ------------------------------------------------
+    def _mean_perf(self, result: RunResult, start: int, end: int) -> float:
+        values = [
+            s.normalized_performance
+            for s in result.samples[start:end]
+            if s.normalized_performance is not None
+        ]
+        return sum(values) / len(values) if values else float("nan")
+
+    def capped_performance(self) -> tuple[float, float]:
+        """Mean normalized performance during the cap, (knobs, no knobs).
+
+        The first 40 capped beats are excluded as convergence transient.
+        """
+        start, end = self.cap_beat + 40, self.lift_beat
+        return (
+            self._mean_perf(self.knobs, start, end),
+            self._mean_perf(self.no_knobs, start, end),
+        )
+
+    def mean_gain_during_cap(self) -> float:
+        """Average knob gain while capped (the Figure 7 gain plateau)."""
+        gains = [
+            s.knob_gain for s in self.knobs.samples[self.cap_beat + 40 : self.lift_beat]
+        ]
+        return sum(gains) / len(gains) if gains else float("nan")
+
+    def recovery_beats(self, tolerance: float = 0.10) -> int:
+        """Beats after the cap until knobs restore performance to within
+        ``tolerance`` of the target."""
+        for sample in self.knobs.samples[self.cap_beat :]:
+            perf = sample.normalized_performance
+            if perf is not None and abs(perf - 1.0) <= tolerance:
+                return sample.beat - self.cap_beat
+        return -1
+
+    def tail_gain(self) -> float:
+        """Mean knob gain after the cap lifts (should return to ~1)."""
+        total = len(self.knobs.samples)
+        skip = min(20, max(0, (total - self.lift_beat) // 3))
+        gains = [s.knob_gain for s in self.knobs.samples[self.lift_beat + skip :]]
+        return sum(gains) / len(gains) if gains else float("nan")
+
+
+def run_powercap(name: str, scale: Scale = Scale.PAPER) -> PowerCapExperiment:
+    """Run the power-cap scenario for one benchmark."""
+    spec = get_spec(name)
+    system = built_system(name, scale)
+    app_factory = spec.app_factory(scale)
+    jobs = spec.control_jobs(scale)
+    total_beats = sum(len(app_factory().prepare(job)) for job in jobs)
+    cap_beat = total_beats // 4
+    lift_beat = 3 * total_beats // 4
+
+    reference = experiment_machine(2.4)
+    target = measure_baseline_rate(
+        app_factory,
+        jobs[0],
+        reference,
+        configuration=system.table.baseline.configuration.as_dict(),
+    )
+    events = [
+        RuntimeEvent(cap_beat, lambda m: m.set_frequency(1.6), "power cap"),
+        RuntimeEvent(lift_beat, lambda m: m.set_frequency(2.4), "cap lifted"),
+    ]
+
+    knobs_run = system.runtime(experiment_machine(2.4), target_rate=target).run(
+        jobs, events=events
+    )
+
+    baseline_table = KnobTable([system.table.baseline])
+    no_knobs_runtime = PowerDialRuntime(
+        app=app_factory(),
+        table=baseline_table,
+        machine=experiment_machine(2.4),
+        target_rate=target,
+    )
+    no_knobs_run = no_knobs_runtime.run(jobs, events=events)
+
+    baseline_runtime = PowerDialRuntime(
+        app=app_factory(),
+        table=baseline_table,
+        machine=experiment_machine(2.4),
+        target_rate=target,
+    )
+    baseline_run = baseline_runtime.run(jobs)
+
+    return PowerCapExperiment(
+        name=name,
+        knobs=knobs_run,
+        no_knobs=no_knobs_run,
+        baseline=baseline_run,
+        cap_beat=cap_beat,
+        lift_beat=lift_beat,
+    )
+
+
+def format_fig7(experiment: PowerCapExperiment, series_points: int = 12) -> str:
+    """Figure 7 panel as text: downsampled series plus summary lines."""
+    samples = experiment.knobs.samples
+    stride = max(1, len(samples) // series_points)
+    rows = []
+    for sample in samples[::stride]:
+        perf = sample.normalized_performance
+        rows.append(
+            [
+                sample.beat,
+                f"{sample.time:.1f}",
+                "-" if perf is None else f"{perf:.2f}",
+                f"{sample.knob_gain:.2f}",
+                f"{sample.frequency_ghz:.2f}",
+            ]
+        )
+    knobs_perf, no_knobs_perf = experiment.capped_performance()
+    summary = (
+        f"Figure 7 ({experiment.name}): cap at beat {experiment.cap_beat}, "
+        f"lift at beat {experiment.lift_beat}\n"
+        f"  capped performance with knobs:    {knobs_perf:.3f} of target\n"
+        f"  capped performance without knobs: {no_knobs_perf:.3f} of target\n"
+        f"  mean knob gain during cap:        {experiment.mean_gain_during_cap():.2f}\n"
+        f"  recovery after cap:               {experiment.recovery_beats()} beats\n"
+        f"  knob gain after cap lifts:        {experiment.tail_gain():.2f}"
+    )
+    table = format_table(
+        ["beat", "time s", "norm. perf", "knob gain", "freq GHz"], rows
+    )
+    return f"{summary}\n{table}"

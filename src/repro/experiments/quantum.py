@@ -1,0 +1,183 @@
+"""Ablation A-QUANT: sensitivity to the actuator's time quantum.
+
+Section 2.3.3 fixes the time quantum "heuristically ... as the time
+required to process twenty heartbeats".  This ablation reruns the
+Section 5.4 power-cap scenario with shorter and longer quanta to expose
+the trade the heuristic balances: a short quantum reacts faster but
+derives its heart-rate sample from fewer beats (noisier commands, more
+setting churn); a long quantum smooths the measurement but delays both
+the reaction to the cap and the return to baseline QoS afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.powerdial import measure_baseline_rate
+from repro.core.runtime import RunResult, RuntimeEvent
+from repro.experiments.common import Scale, experiment_machine, format_table
+from repro.experiments.registry import built_system, get_spec
+
+__all__ = [
+    "QuantumResult",
+    "QuantumAblation",
+    "run_quantum_ablation",
+    "format_quantum_ablation",
+]
+
+DEFAULT_QUANTA = (5, 20, 80)
+"""Quanta swept by default: fast, the paper's choice, slow."""
+
+
+@dataclass(frozen=True)
+class QuantumResult:
+    """The power-cap run's summary for one quantum length.
+
+    Attributes:
+        quantum_beats: Heartbeats per control quantum.
+        capped_performance: Mean normalized performance while capped
+            (post-transient); 1.0 is the target.
+        recovery_beats: Beats from the first post-cap dip (performance
+            more than 10% under target) back to within 10% of target
+            (0 when the cap never dents the window, -1 when performance
+            never recovers).
+        performance_deviation: RMS of (normalized performance - 1) over
+            the whole run -- total tracking error including transients.
+        setting_switches: Times the active knob setting changed -- the
+            actuation churn a too-short quantum induces.
+    """
+
+    quantum_beats: int
+    capped_performance: float
+    recovery_beats: int
+    performance_deviation: float
+    setting_switches: int
+
+
+@dataclass
+class QuantumAblation:
+    """Quantum sweep results for one benchmark."""
+
+    name: str
+    cap_beat: int
+    lift_beat: int
+    results: list[QuantumResult]
+
+    def result(self, quantum_beats: int) -> QuantumResult:
+        """Look up one quantum's summary."""
+        for candidate in self.results:
+            if candidate.quantum_beats == quantum_beats:
+                return candidate
+        raise KeyError(f"no result for quantum {quantum_beats!r}")
+
+
+def _summarize(
+    run: RunResult, quantum: int, cap_beat: int, lift_beat: int
+) -> QuantumResult:
+    """Reduce one controlled run to the ablation's metrics."""
+    capped = [
+        s.normalized_performance
+        for s in run.samples[cap_beat + 40 : lift_beat]
+        if s.normalized_performance is not None
+    ]
+    capped_mean = sum(capped) / len(capped) if capped else float("nan")
+
+    dip_beat = None
+    for sample in run.samples[cap_beat:lift_beat]:
+        perf = sample.normalized_performance
+        if perf is not None and perf < 0.90:
+            dip_beat = sample.beat
+            break
+    recovery = 0
+    if dip_beat is not None:
+        recovery = -1
+        for sample in run.samples[dip_beat - run.samples[0].beat :]:
+            perf = sample.normalized_performance
+            if perf is not None and abs(perf - 1.0) <= 0.10:
+                recovery = sample.beat - dip_beat
+                break
+
+    deviations = [
+        (s.normalized_performance - 1.0) ** 2
+        for s in run.samples
+        if s.normalized_performance is not None
+    ]
+    rms = (sum(deviations) / len(deviations)) ** 0.5 if deviations else float("nan")
+
+    switches = sum(
+        1
+        for previous, current in zip(run.settings_used, run.settings_used[1:])
+        if current is not previous
+    )
+    return QuantumResult(
+        quantum_beats=quantum,
+        capped_performance=capped_mean,
+        recovery_beats=recovery,
+        performance_deviation=rms,
+        setting_switches=switches,
+    )
+
+
+def run_quantum_ablation(
+    name: str,
+    scale: Scale = Scale.PAPER,
+    quanta: tuple[int, ...] = DEFAULT_QUANTA,
+) -> QuantumAblation:
+    """Rerun the power-cap scenario once per quantum length."""
+    if not quanta:
+        raise ValueError("need at least one quantum length")
+    spec = get_spec(name)
+    system = built_system(name, scale)
+    app_factory = spec.app_factory(scale)
+    jobs = spec.control_jobs(scale)
+    total_beats = sum(len(app_factory().prepare(job)) for job in jobs)
+    cap_beat, lift_beat = total_beats // 4, 3 * total_beats // 4
+
+    target = measure_baseline_rate(
+        app_factory,
+        jobs[0],
+        experiment_machine(2.4),
+        configuration=system.table.baseline.configuration.as_dict(),
+    )
+
+    results = []
+    for quantum in quanta:
+        events = [
+            RuntimeEvent(cap_beat, lambda m: m.set_frequency(1.6), "power cap"),
+            RuntimeEvent(lift_beat, lambda m: m.set_frequency(2.4), "cap lifted"),
+        ]
+        run = system.runtime(
+            experiment_machine(2.4), target_rate=target, quantum_beats=quantum
+        ).run(jobs, events=events)
+        results.append(_summarize(run, quantum, cap_beat, lift_beat))
+    return QuantumAblation(
+        name=name, cap_beat=cap_beat, lift_beat=lift_beat, results=results
+    )
+
+
+def format_quantum_ablation(ablation: QuantumAblation) -> str:
+    """The ablation as a paper-style table."""
+    rows = [
+        [
+            str(r.quantum_beats),
+            f"{r.capped_performance:.3f}",
+            str(r.recovery_beats),
+            f"{100 * r.performance_deviation:.2f}",
+            str(r.setting_switches),
+        ]
+        for r in ablation.results
+    ]
+    header = (
+        f"Ablation: time quantum on {ablation.name} "
+        f"(cap at beat {ablation.cap_beat}, lift at {ablation.lift_beat})"
+    )
+    return f"{header}\n" + format_table(
+        [
+            "quantum (beats)",
+            "capped perf",
+            "recovery (beats)",
+            "RMS error %",
+            "setting switches",
+        ],
+        rows,
+    )

@@ -1,0 +1,183 @@
+"""Experiment E-SLA: latency SLAs under power capping (Section 3).
+
+Section 3 motivates PowerDial with service-level agreements: power
+capping throttles servers, and "this increased latency may violate
+latency service level agreements."  This experiment runs the swish++
+server scenario as a queueing system: Poisson query arrivals at high
+utilization, a power cap over the middle half of the run, and three
+deployments -- an uncapped reference, the capped server without knobs,
+and the capped server under PowerDial control with the benchmark's
+calibrated knob table.  Without knobs the capped queue diverges and the
+SLA collapses; with knobs the latency distribution matches the uncapped
+reference and the cap is paid for in (bounded) QoS instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.queueing import (
+    LatencyStats,
+    QueueResult,
+    poisson_arrivals,
+    simulate_queue,
+)
+from repro.core.controller import HeartRateController
+from repro.experiments.common import Scale, format_table
+from repro.experiments.registry import built_system
+
+__all__ = ["SlaSeries", "SlaExperiment", "run_sla", "format_sla"]
+
+POWER_CAP_FACTOR = 1.6 / 2.4
+"""Delivered capacity under the paper's power cap (CPU-bound)."""
+
+
+@dataclass(frozen=True)
+class SlaSeries:
+    """One deployment's latency accounting.
+
+    Attributes:
+        label: Deployment name.
+        stats: Latency distribution summary.
+        violation_fraction: Fraction of requests over the SLA threshold.
+        mean_qos_loss: Mean QoS loss paid (0 without knobs).
+        throughput: Completions per second over the run.
+    """
+
+    label: str
+    stats: LatencyStats
+    violation_fraction: float
+    mean_qos_loss: float
+    throughput: float
+
+
+@dataclass
+class SlaExperiment:
+    """All three deployments plus the scenario parameters."""
+
+    name: str
+    offered_rate: float
+    base_service_time: float
+    sla_seconds: float
+    cap_start: float
+    cap_end: float
+    series: list[SlaSeries]
+
+    def series_by_label(self, label: str) -> SlaSeries:
+        """Look up one deployment's accounting."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series labelled {label!r}")
+
+
+def _summarize(label: str, result: QueueResult, sla: float) -> SlaSeries:
+    return SlaSeries(
+        label=label,
+        stats=result.latency_stats(),
+        violation_fraction=result.sla_violation_fraction(sla),
+        mean_qos_loss=result.mean_qos_loss(),
+        throughput=result.throughput(),
+    )
+
+
+def run_sla(
+    name: str = "swish++",
+    scale: Scale = Scale.PAPER,
+    duration: float = 600.0,
+    utilization: float = 0.85,
+    base_service_time: float = 0.05,
+    sla_seconds: float = 1.0,
+    seed: int = 11,
+) -> SlaExperiment:
+    """Run the SLA scenario against one benchmark's calibrated table.
+
+    Args:
+        name: Benchmark whose knob table maps speedups to QoS losses
+            (the paper's server benchmark is swish++).
+        scale: Calibration scale.
+        duration: Run length in seconds; the cap spans the middle half.
+        utilization: Offered load as a fraction of the uncapped service
+            rate.  Must exceed the capped capacity (else the cap merely
+            stretches latency without diverging) and the required
+            speedup ``1 / cap`` must be within the table's range.
+        base_service_time: Seconds per request at baseline knobs,
+            uncapped.
+        sla_seconds: The latency SLA threshold.
+        seed: Arrival-process seed.
+    """
+    system = built_system(name, scale)
+    table = system.table
+    service_rate = 1.0 / base_service_time
+    offered = utilization * service_rate
+    arrivals = poisson_arrivals(offered, duration, seed=seed)
+    cap_start, cap_end = duration / 4.0, 3.0 * duration / 4.0
+
+    def capped(t: float) -> float:
+        return POWER_CAP_FACTOR if cap_start <= t < cap_end else 1.0
+
+    reference = simulate_queue(
+        arrivals, base_service_time, capacity=lambda t: 1.0
+    )
+    no_knobs = simulate_queue(arrivals, base_service_time, capacity=capped)
+    controller = HeartRateController(
+        target_rate=service_rate,
+        baseline_rate=service_rate,
+        max_speedup=table.max_speedup,
+    )
+    knobs = simulate_queue(
+        arrivals,
+        base_service_time,
+        capacity=capped,
+        controller=controller,
+        table=table,
+        control_period=2.0,
+    )
+    return SlaExperiment(
+        name=name,
+        offered_rate=offered,
+        base_service_time=base_service_time,
+        sla_seconds=sla_seconds,
+        cap_start=cap_start,
+        cap_end=cap_end,
+        series=[
+            _summarize("uncapped reference", reference, sla_seconds),
+            _summarize("capped, no knobs", no_knobs, sla_seconds),
+            _summarize("capped, dynamic knobs", knobs, sla_seconds),
+        ],
+    )
+
+
+def format_sla(experiment: SlaExperiment) -> str:
+    """The experiment as a paper-style table."""
+    rows = [
+        [
+            series.label,
+            f"{series.stats.p50:.3f}",
+            f"{series.stats.p95:.3f}",
+            f"{series.stats.p99:.3f}",
+            f"{100 * series.violation_fraction:.1f}",
+            f"{100 * series.mean_qos_loss:.2f}",
+            f"{series.throughput:.1f}",
+        ]
+        for series in experiment.series
+    ]
+    header = (
+        f"Latency SLA under a power cap ({experiment.name} table): "
+        f"{experiment.offered_rate:.1f} req/s offered, "
+        f"{1000 * experiment.base_service_time:.0f} ms base service, "
+        f"SLA {experiment.sla_seconds:.1f} s, cap over "
+        f"[{experiment.cap_start:.0f}, {experiment.cap_end:.0f}) s"
+    )
+    return f"{header}\n" + format_table(
+        [
+            "deployment",
+            "p50 s",
+            "p95 s",
+            "p99 s",
+            "SLA violations %",
+            "qos loss %",
+            "throughput/s",
+        ],
+        rows,
+    )

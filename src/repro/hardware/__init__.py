@@ -1,0 +1,27 @@
+"""Simulated hardware platform (Section 5.1 of the paper).
+
+Provides the virtual clock, the DVFS processor with the Xeon E5530's seven
+P-states, the full-system power model with WattsUp-style 1 Hz sampling, and
+the :class:`~repro.hardware.machine.Machine` server abstraction that every
+experiment executes on.
+"""
+
+from repro.hardware.clock import ClockError, VirtualClock
+from repro.hardware.cpu import XEON_E5530_PSTATES, CpuError, Processor, PState
+from repro.hardware.machine import Machine, MachineError
+from repro.hardware.power import PowerError, PowerMeter, PowerModel, PowerSample
+
+__all__ = [
+    "VirtualClock",
+    "ClockError",
+    "PState",
+    "Processor",
+    "XEON_E5530_PSTATES",
+    "CpuError",
+    "PowerModel",
+    "PowerMeter",
+    "PowerSample",
+    "PowerError",
+    "Machine",
+    "MachineError",
+]

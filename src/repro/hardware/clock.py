@@ -1,0 +1,61 @@
+"""Virtual time for deterministic, platform-independent experiments.
+
+The paper measures wall-clock time on a Dell PowerEdge R410.  We replace
+wall-clock time with a :class:`VirtualClock` that the simulated machine
+advances as applications execute work.  Every timestamped subsystem
+(heartbeats, power meter, controller quanta) reads this clock, so an entire
+experiment is reproducible bit-for-bit and runs as fast as Python can
+compute, regardless of host load.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock", "ClockError"]
+
+
+class ClockError(ValueError):
+    """Raised when a clock operation would move time backwards."""
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock measured in seconds.
+
+    The clock starts at ``start`` (default 0.0) and only moves forward via
+    :meth:`advance` or :meth:`advance_to`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ClockError(f"clock cannot start at negative time {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time.
+
+        Raises :class:`ClockError` for negative increments; a zero increment
+        is allowed (useful for zero-cost bookkeeping events).
+        """
+        if seconds < 0.0:
+            raise ClockError(f"cannot advance clock by negative {seconds!r}s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``.
+
+        Raises :class:`ClockError` if ``timestamp`` is in the past.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot rewind clock from {self._now!r} to {timestamp!r}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,117 @@
+"""A simulated server: cores + DVFS processor + power model + clock.
+
+This is the substrate every experiment runs on.  A :class:`Machine`
+executes *work units* on behalf of applications, advancing its virtual
+clock and feeding the power meter; the PowerDial runtime reads heartbeat
+timestamps from the same clock, so controller behaviour, power draw, and
+application progress are all consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.clock import VirtualClock
+from repro.hardware.cpu import Processor, CpuError
+from repro.hardware.power import PowerMeter, PowerModel
+
+__all__ = ["Machine", "MachineError"]
+
+
+class MachineError(RuntimeError):
+    """Raised for invalid machine operations."""
+
+
+@dataclass
+class Machine:
+    """An eight-core server modeled on the paper's Dell PowerEdge R410.
+
+    Attributes:
+        cores: Number of cores (paper platform: two quad-core Xeons = 8).
+        processor: DVFS processor shared by all cores.
+        power_model: Full-system power model.
+        clock: The machine's virtual clock.
+        meter: WattsUp-style power meter attached to the machine.
+        load_factor: Multiplier (>= 1) on execution time modelling
+            co-located load; the cluster simulator uses this to express
+            capacity sharing when several instances run on one machine.
+    """
+
+    cores: int = 8
+    processor: Processor = field(default_factory=Processor)
+    power_model: PowerModel = field(default_factory=PowerModel)
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    meter: PowerMeter = field(default_factory=PowerMeter)
+    load_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise MachineError(f"machine needs >= 1 core, got {self.cores!r}")
+        if self.load_factor < 1.0:
+            raise MachineError(f"load_factor must be >= 1, got {self.load_factor!r}")
+
+    @property
+    def now(self) -> float:
+        """Current virtual time on this machine."""
+        return self.clock.now
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Apply a DVFS change (e.g. impose or lift a power cap)."""
+        self.processor.set_frequency(frequency_ghz)
+
+    def execute(self, work_units: float, threads: int | None = None) -> float:
+        """Run ``work_units`` of computation; return elapsed virtual seconds.
+
+        The busy interval is reported to the power meter at the utilization
+        implied by ``threads`` (default: all cores).
+        """
+        threads = self.cores if threads is None else threads
+        if threads < 1 or threads > self.cores:
+            raise MachineError(f"threads must be in 1..{self.cores}, got {threads!r}")
+        seconds = self.processor.seconds_for_work(work_units, threads=threads)
+        seconds *= self.load_factor
+        start = self.clock.now
+        end = self.clock.advance(seconds)
+        utilization = threads / self.cores
+        watts = self.power_model.power(
+            utilization,
+            self.processor.pstate,
+            self.processor.max_frequency_ghz,
+            self.processor.pstates[0].voltage,
+        )
+        self.meter.observe(start, end, watts)
+        return seconds
+
+    def idle(self, seconds: float) -> None:
+        """Sit idle for ``seconds`` (power meter sees the idle floor)."""
+        if seconds < 0:
+            raise MachineError(f"cannot idle for negative {seconds!r}s")
+        if seconds == 0:
+            return
+        start = self.clock.now
+        end = self.clock.advance(seconds)
+        watts = self.power_model.power(
+            0.0,
+            self.processor.pstate,
+            self.processor.max_frequency_ghz,
+            self.processor.pstates[0].voltage,
+        )
+        self.meter.observe(start, end, watts)
+
+    def idle_until(self, timestamp: float) -> None:
+        """Idle until the absolute virtual ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise MachineError(
+                f"idle_until target {timestamp!r} is in the past "
+                f"(now {self.clock.now!r})"
+            )
+        self.idle(timestamp - self.clock.now)
+
+    def current_power(self, utilization: float) -> float:
+        """Instantaneous power at ``utilization`` in the current P-state."""
+        return self.power_model.power(
+            utilization,
+            self.processor.pstate,
+            self.processor.max_frequency_ghz,
+            self.processor.pstates[0].voltage,
+        )

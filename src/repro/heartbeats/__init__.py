@@ -1,0 +1,34 @@
+"""Application Heartbeats framework (paper Section 2.3.1, reference [25]).
+
+The generic performance-feedback interface PowerDial uses: applications emit
+one heartbeat per unit of useful work and declare target heart rates; the
+control system observes instantaneous and sliding-window rates.
+"""
+
+from repro.heartbeats.api import HeartbeatError, HeartbeatMonitor, HeartbeatRecord
+from repro.heartbeats.instrument import (
+    InstrumentationError,
+    LoopProfile,
+    choose_heartbeat_section,
+    profile_sections,
+)
+from repro.heartbeats.log import (
+    HeartbeatLogRow,
+    LogFormatError,
+    read_log,
+    write_log,
+)
+
+__all__ = [
+    "HeartbeatMonitor",
+    "HeartbeatRecord",
+    "HeartbeatError",
+    "LoopProfile",
+    "profile_sections",
+    "choose_heartbeat_section",
+    "InstrumentationError",
+    "HeartbeatLogRow",
+    "write_log",
+    "read_log",
+    "LogFormatError",
+]

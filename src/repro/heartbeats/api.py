@@ -1,0 +1,195 @@
+"""Application Heartbeats (Hoffmann et al., ICAC 2010).
+
+The feedback substrate PowerDial builds on.  An application registers a
+heartbeat monitor, declares a target heart-rate window, and calls
+:meth:`HeartbeatMonitor.heartbeat` once per unit of useful work (one loop
+iteration of the main control loop).  Observers — the PowerDial controller,
+experiment harnesses — read instantaneous and windowed heart rates.
+
+Timestamps come from a :class:`~repro.hardware.clock.VirtualClock` so that
+heart rates reflect simulated execution time, exactly as the real API
+reflects wall-clock time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.hardware.clock import VirtualClock
+
+__all__ = ["HeartbeatRecord", "HeartbeatMonitor", "HeartbeatError"]
+
+
+class HeartbeatError(RuntimeError):
+    """Raised for invalid heartbeat API usage."""
+
+
+@dataclass(frozen=True)
+class HeartbeatRecord:
+    """One emitted heartbeat.
+
+    Attributes:
+        sequence: Monotonically increasing beat number, starting at 0.
+        timestamp: Virtual time at which the beat was emitted.
+        tag: Optional application-supplied label (e.g. frame number).
+    """
+
+    sequence: int
+    timestamp: float
+    tag: object | None = None
+
+
+class HeartbeatMonitor:
+    """Registry and rate statistics for one application's heartbeats.
+
+    Mirrors the Application Heartbeats API surface used by the paper:
+    ``register`` (construction), ``heartbeat``, current/window/global rate
+    queries, and min/max target rates.
+
+    Args:
+        clock: Source of timestamps.
+        window_size: Number of most recent beat *intervals* in the sliding
+            window (the paper and [35] use 20).
+        min_target_rate: Minimum desired heart rate in beats/second.
+        max_target_rate: Maximum desired heart rate in beats/second.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        window_size: int = 20,
+        min_target_rate: float | None = None,
+        max_target_rate: float | None = None,
+    ) -> None:
+        if window_size < 1:
+            raise HeartbeatError(f"window_size must be >= 1, got {window_size!r}")
+        self._clock = clock
+        self._window_size = window_size
+        self._records: list[HeartbeatRecord] = []
+        self._intervals: deque[float] = deque(maxlen=window_size)
+        self.set_targets(min_target_rate, max_target_rate)
+
+    # ------------------------------------------------------------------
+    # Targets
+    # ------------------------------------------------------------------
+    def set_targets(
+        self, min_rate: float | None, max_rate: float | None
+    ) -> None:
+        """Declare the desired heart-rate window.
+
+        Either bound may be ``None`` (unconstrained).  The paper's
+        experiments set both to the measured baseline rate.
+        """
+        if min_rate is not None and min_rate <= 0:
+            raise HeartbeatError(f"min target rate must be positive, got {min_rate!r}")
+        if max_rate is not None and max_rate <= 0:
+            raise HeartbeatError(f"max target rate must be positive, got {max_rate!r}")
+        if min_rate is not None and max_rate is not None and min_rate > max_rate:
+            raise HeartbeatError(
+                f"min target {min_rate!r} exceeds max target {max_rate!r}"
+            )
+        self._min_target = min_rate
+        self._max_target = max_rate
+
+    @property
+    def min_target_rate(self) -> float | None:
+        """Minimum desired heart rate (beats/second), if declared."""
+        return self._min_target
+
+    @property
+    def max_target_rate(self) -> float | None:
+        """Maximum desired heart rate (beats/second), if declared."""
+        return self._max_target
+
+    @property
+    def target_rate(self) -> float | None:
+        """Midpoint of the target window (the controller's setpoint ``g``)."""
+        if self._min_target is None and self._max_target is None:
+            return None
+        if self._min_target is None:
+            return self._max_target
+        if self._max_target is None:
+            return self._min_target
+        return 0.5 * (self._min_target + self._max_target)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def heartbeat(self, tag: object | None = None) -> HeartbeatRecord:
+        """Emit one heartbeat at the current virtual time."""
+        now = self._clock.now
+        record = HeartbeatRecord(len(self._records), now, tag)
+        if self._records:
+            interval = now - self._records[-1].timestamp
+            if interval < 0:
+                raise HeartbeatError("heartbeat timestamps went backwards")
+            self._intervals.append(interval)
+        self._records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of beats emitted."""
+        return len(self._records)
+
+    @property
+    def records(self) -> list[HeartbeatRecord]:
+        """All emitted heartbeat records."""
+        return list(self._records)
+
+    @property
+    def window_size(self) -> int:
+        """Sliding window length (in intervals)."""
+        return self._window_size
+
+    def last_interval(self) -> float | None:
+        """Seconds between the two most recent beats, if any."""
+        if not self._intervals:
+            return None
+        return self._intervals[-1]
+
+    def instant_rate(self) -> float | None:
+        """Instantaneous heart rate: 1 / last interval."""
+        interval = self.last_interval()
+        if interval is None or interval == 0.0:
+            return None
+        return 1.0 / interval
+
+    def window_rate(self) -> float | None:
+        """Heart rate over the sliding window (beats/second).
+
+        Computed as the window beat count divided by the window duration —
+        equivalently the reciprocal of the mean interval.  Returns ``None``
+        until at least one interval exists.
+        """
+        if not self._intervals:
+            return None
+        total = sum(self._intervals)
+        if total == 0.0:
+            return None
+        return len(self._intervals) / total
+
+    def global_rate(self) -> float | None:
+        """Average rate over the whole execution so far."""
+        if len(self._records) < 2:
+            return None
+        span = self._records[-1].timestamp - self._records[0].timestamp
+        if span == 0.0:
+            return None
+        return (len(self._records) - 1) / span
+
+    def window_mean_interval(self) -> float | None:
+        """Mean of the window's beat intervals (the paper's 'sliding mean
+        of the last twenty times between heartbeats')."""
+        if not self._intervals:
+            return None
+        return sum(self._intervals) / len(self._intervals)
+
+    def reset(self) -> None:
+        """Forget all beats (targets are preserved)."""
+        self._records.clear()
+        self._intervals.clear()

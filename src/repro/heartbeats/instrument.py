@@ -1,0 +1,96 @@
+"""Automatic heartbeat insertion (paper Section 2.3.1).
+
+The paper's instrumentation system "profiles each application to find the
+most time-consuming loop (in all of our applications this is the main
+control loop), then inserts a heartbeat call at the top of this loop."
+
+Our applications attribute their work to named *sections* through a
+:class:`~repro.apps.base.WorkTracker` (for example ``"main"``,
+``"main/motion_estimation"``, ``"startup/parse"``).  This module profiles a
+sample execution, aggregates work per repeated section, and selects the
+heartbeat site: the outermost repeated section with the largest total work.
+The PowerDial runtime then emits one heartbeat per iteration of that
+section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LoopProfile",
+    "profile_sections",
+    "choose_heartbeat_section",
+    "InstrumentationError",
+]
+
+
+class InstrumentationError(RuntimeError):
+    """Raised when no plausible heartbeat site can be found."""
+
+
+@dataclass(frozen=True)
+class LoopProfile:
+    """Aggregate profile of one named section.
+
+    Attributes:
+        section: Section name (hierarchical, ``/``-separated).
+        entries: How many times the section was entered.
+        total_work: Total work units attributed to the section, including
+            work attributed to its nested sub-sections.
+    """
+
+    section: str
+    entries: int
+    total_work: float
+
+
+def profile_sections(events: list[tuple[str, float]]) -> list[LoopProfile]:
+    """Aggregate raw ``(section, work)`` events into per-section profiles.
+
+    Work attributed to ``"a/b"`` also counts toward the enclosing ``"a"``;
+    entry counts do not roll up (an entry of ``a/b`` is not an entry of
+    ``a``), matching how a loop-profiler counts loop-header executions.
+    """
+    entries: dict[str, int] = {}
+    work: dict[str, float] = {}
+    for section, units in events:
+        if units < 0:
+            raise InstrumentationError(
+                f"negative work {units!r} attributed to section {section!r}"
+            )
+        entries[section] = entries.get(section, 0) + 1
+        parts = section.split("/")
+        for depth in range(1, len(parts) + 1):
+            prefix = "/".join(parts[:depth])
+            work[prefix] = work.get(prefix, 0.0) + units
+    profiles = []
+    for section in sorted(work):
+        profiles.append(
+            LoopProfile(
+                section=section,
+                entries=entries.get(section, 0),
+                total_work=work[section],
+            )
+        )
+    return profiles
+
+
+def choose_heartbeat_section(
+    profiles: list[LoopProfile], min_entries: int = 2
+) -> str:
+    """Pick the heartbeat site: the dominant repeated section.
+
+    Candidates are sections entered at least ``min_entries`` times (a loop,
+    not straight-line startup code).  Among candidates we choose the one
+    with the largest total work; ties break toward the outermost (shortest)
+    name so the heartbeat lands at the top of the main control loop rather
+    than an inner kernel.
+    """
+    candidates = [p for p in profiles if p.entries >= min_entries]
+    if not candidates:
+        raise InstrumentationError(
+            "no repeated section found; cannot choose a heartbeat site"
+        )
+    best = max(candidates, key=lambda p: (p.total_work, -len(p.section)))
+    return best.section

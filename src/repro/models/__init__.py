@@ -1,0 +1,43 @@
+"""Analytical models from Section 3: DVFS energy, consolidation, costs."""
+
+from repro.models.consolidation import (
+    ConsolidationError,
+    ConsolidationPlan,
+    average_power,
+    machines_required,
+    plan_consolidation,
+)
+from repro.models.costs import (
+    ConsolidationSavings,
+    CostBreakdown,
+    CostModel,
+    CostModelError,
+    consolidation_savings,
+    deployment_cost,
+)
+from repro.models.dvfs import (
+    EnergyModelError,
+    KnobDvfsEnergy,
+    dvfs_energy_savings,
+    dvfs_times,
+    knob_dvfs_energy,
+)
+
+__all__ = [
+    "dvfs_times",
+    "dvfs_energy_savings",
+    "knob_dvfs_energy",
+    "KnobDvfsEnergy",
+    "EnergyModelError",
+    "machines_required",
+    "average_power",
+    "plan_consolidation",
+    "ConsolidationPlan",
+    "ConsolidationError",
+    "CostModel",
+    "CostBreakdown",
+    "ConsolidationSavings",
+    "deployment_cost",
+    "consolidation_savings",
+    "CostModelError",
+]

@@ -1,0 +1,96 @@
+"""Server-consolidation sizing and power models (Section 3, Eq. 20–24).
+
+How many machines does a knob-augmented deployment need to meet peak
+load, and how much power does the smaller system draw across utilization
+levels?  These are the equations the Section 5.5 experiments provision
+with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "machines_required",
+    "average_power",
+    "ConsolidationPlan",
+    "plan_consolidation",
+    "ConsolidationError",
+]
+
+
+class ConsolidationError(ValueError):
+    """Raised for invalid consolidation parameters."""
+
+
+def machines_required(original_machines: int, speedup: float) -> int:
+    """Equation 21: ``N_new = ceil(W_total / S / W_machine)``.
+
+    With homogeneous machines the work terms cancel:
+    ``N_new = ceil(N_orig / S)``.
+    """
+    if original_machines < 1:
+        raise ConsolidationError(
+            f"need at least one machine, got {original_machines!r}"
+        )
+    if speedup < 1.0:
+        raise ConsolidationError(f"speedup must be >= 1, got {speedup!r}")
+    return max(1, math.ceil(original_machines / speedup))
+
+
+def average_power(
+    machines: int, utilization: float, p_load: float, p_idle: float
+) -> float:
+    """Equations 22–23: ``N * (U * P_load + (1 - U) * P_idle)``."""
+    if machines < 0:
+        raise ConsolidationError(f"machines must be >= 0, got {machines!r}")
+    if not 0.0 <= utilization <= 1.0:
+        raise ConsolidationError(
+            f"utilization must be in [0, 1], got {utilization!r}"
+        )
+    if p_load < p_idle:
+        raise ConsolidationError("loaded power below idle power")
+    return machines * (utilization * p_load + (1.0 - utilization) * p_idle)
+
+
+@dataclass(frozen=True)
+class ConsolidationPlan:
+    """A provisioning decision plus its power accounting (Eq. 20–24).
+
+    Attributes:
+        original_machines: ``N_orig``.
+        consolidated_machines: ``N_new`` per Eq. 21.
+        original_power: ``P_orig`` at the given utilization (Eq. 22).
+        consolidated_power: ``P_new`` (Eq. 23) — the consolidated system
+            runs the same total work on fewer machines, so its utilization
+            is ``min(1, U * N_orig / N_new)``.
+        power_savings: ``P_save = P_orig - P_new`` (Eq. 24).
+    """
+
+    original_machines: int
+    consolidated_machines: int
+    original_power: float
+    consolidated_power: float
+    power_savings: float
+
+
+def plan_consolidation(
+    original_machines: int,
+    speedup: float,
+    utilization: float,
+    p_load: float,
+    p_idle: float,
+) -> ConsolidationPlan:
+    """Provision with Eq. 21 and account power with Eq. 22–24."""
+    n_new = machines_required(original_machines, speedup)
+    p_orig = average_power(original_machines, utilization, p_load, p_idle)
+    new_utilization = min(1.0, utilization * original_machines / n_new)
+    p_new = average_power(n_new, new_utilization, p_load, p_idle)
+    return ConsolidationPlan(
+        original_machines=original_machines,
+        consolidated_machines=n_new,
+        original_power=p_orig,
+        consolidated_power=p_new,
+        power_savings=p_orig - p_new,
+    )

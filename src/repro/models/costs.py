@@ -1,0 +1,219 @@
+"""Data-center cost models (paper Section 3).
+
+Section 3 motivates consolidation beyond direct energy: "data centers
+also incur capital costs (e.g. power provisioning, cooling, etc.).  Over
+the lifetime of the facility, these capital costs may exceed energy
+costs."  This module prices the consolidation decision of Eq. 20-24:
+server capital, power-provisioning capital (dollars per provisioned
+watt), and energy billed through a PUE factor that charges cooling and
+conversion overhead on every IT watt.
+
+All money is in dollars, power in watts, energy billed at a price per
+kilowatt-hour over a facility lifetime in years.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.consolidation import ConsolidationPlan
+
+__all__ = [
+    "CostModel",
+    "CostBreakdown",
+    "ConsolidationSavings",
+    "deployment_cost",
+    "consolidation_savings",
+    "CostModelError",
+]
+
+_HOURS_PER_YEAR = 8766.0  # 365.25 days
+
+
+class CostModelError(ValueError):
+    """Raised for physically or economically meaningless inputs."""
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Facility cost parameters.
+
+    Defaults follow the figures circulating at the paper's writing (the
+    EPA report [50] and the energy-proportional-computing literature
+    [10]): mid-range 2U servers, ~$10/W provisioned power
+    infrastructure, PUE 1.7, $0.07/kWh industrial power.
+
+    Attributes:
+        server_capital: Purchase price of one machine (dollars).
+        provisioning_per_watt: Capital cost of power and cooling
+            infrastructure per provisioned peak watt (dollars/watt).
+        pue: Power usage effectiveness -- total facility power divided by
+            IT power (>= 1); charges cooling/conversion on every IT watt.
+        energy_price_per_kwh: Billed electricity price (dollars/kWh).
+        lifetime_years: Amortization horizon for the comparison.
+    """
+
+    server_capital: float = 4000.0
+    provisioning_per_watt: float = 10.0
+    pue: float = 1.7
+    energy_price_per_kwh: float = 0.07
+    lifetime_years: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.server_capital < 0:
+            raise CostModelError(
+                f"server capital must be >= 0, got {self.server_capital!r}"
+            )
+        if self.provisioning_per_watt < 0:
+            raise CostModelError(
+                f"provisioning cost must be >= 0, got "
+                f"{self.provisioning_per_watt!r}"
+            )
+        if self.pue < 1.0:
+            raise CostModelError(f"PUE must be >= 1, got {self.pue!r}")
+        if self.energy_price_per_kwh < 0:
+            raise CostModelError(
+                f"energy price must be >= 0, got "
+                f"{self.energy_price_per_kwh!r}"
+            )
+        if self.lifetime_years <= 0:
+            raise CostModelError(
+                f"lifetime must be positive, got {self.lifetime_years!r}"
+            )
+
+    def energy_cost(self, mean_it_watts: float) -> float:
+        """Lifetime energy bill for a deployment drawing ``mean_it_watts``.
+
+        The IT draw is multiplied by the PUE so cooling and conversion
+        overhead is billed alongside the servers themselves.
+        """
+        if mean_it_watts < 0:
+            raise CostModelError(
+                f"power must be >= 0, got {mean_it_watts!r}"
+            )
+        kwh = mean_it_watts * self.pue * _HOURS_PER_YEAR * self.lifetime_years
+        return kwh / 1000.0 * self.energy_price_per_kwh
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Lifetime cost of one deployment.
+
+    Attributes:
+        server_capital: Machines times per-machine price.
+        provisioning_capital: Peak provisioned watts times dollars/watt.
+        energy: Lifetime energy bill at the mean draw, PUE-adjusted.
+        total: Sum of the above.
+    """
+
+    server_capital: float
+    provisioning_capital: float
+    energy: float
+
+    @property
+    def total(self) -> float:
+        """All-in lifetime cost."""
+        return self.server_capital + self.provisioning_capital + self.energy
+
+
+def deployment_cost(
+    machines: int,
+    mean_power: float,
+    peak_power: float,
+    model: CostModel | None = None,
+) -> CostBreakdown:
+    """Price a deployment of ``machines`` servers.
+
+    Args:
+        machines: Number of provisioned machines.
+        mean_power: Average IT draw of the whole pool (watts).
+        peak_power: Provisioned peak IT draw (watts); power and cooling
+            infrastructure is sized for this, not the average.
+        model: Cost parameters (defaults: :class:`CostModel`).
+    """
+    if machines < 0:
+        raise CostModelError(f"machines must be >= 0, got {machines!r}")
+    if mean_power < 0 or peak_power < 0:
+        raise CostModelError("power figures must be >= 0")
+    if mean_power > peak_power + 1e-9:
+        raise CostModelError(
+            f"mean power {mean_power!r} exceeds provisioned peak "
+            f"{peak_power!r}"
+        )
+    model = model or CostModel()
+    return CostBreakdown(
+        server_capital=machines * model.server_capital,
+        provisioning_capital=peak_power * model.pue * model.provisioning_per_watt,
+        energy=model.energy_cost(mean_power),
+    )
+
+
+@dataclass(frozen=True)
+class ConsolidationSavings:
+    """The dollar value of an Eq. 20-24 consolidation.
+
+    Attributes:
+        original: Lifetime cost of the fully provisioned system.
+        consolidated: Lifetime cost of the knob-augmented system.
+        capital_savings: Server + provisioning capital avoided.
+        energy_savings: Lifetime energy avoided.
+        total_savings: All-in difference (>= 0 for a true consolidation).
+    """
+
+    original: CostBreakdown
+    consolidated: CostBreakdown
+
+    @property
+    def capital_savings(self) -> float:
+        """Avoided server and infrastructure capital."""
+        return (
+            self.original.server_capital
+            - self.consolidated.server_capital
+            + self.original.provisioning_capital
+            - self.consolidated.provisioning_capital
+        )
+
+    @property
+    def energy_savings(self) -> float:
+        """Avoided lifetime energy spend."""
+        return self.original.energy - self.consolidated.energy
+
+    @property
+    def total_savings(self) -> float:
+        """All-in lifetime savings."""
+        return self.original.total - self.consolidated.total
+
+
+def consolidation_savings(
+    plan: ConsolidationPlan,
+    peak_power_per_machine: float,
+    model: CostModel | None = None,
+) -> ConsolidationSavings:
+    """Price a :class:`~repro.models.consolidation.ConsolidationPlan`.
+
+    Args:
+        plan: The Eq. 20-24 provisioning decision with its power
+            accounting at the evaluation utilization.
+        peak_power_per_machine: Full-load draw of one machine (watts);
+            sizes the provisioned infrastructure of both systems.
+        model: Cost parameters (defaults: :class:`CostModel`).
+    """
+    if peak_power_per_machine <= 0:
+        raise CostModelError(
+            f"peak power per machine must be positive, got "
+            f"{peak_power_per_machine!r}"
+        )
+    model = model or CostModel()
+    original = deployment_cost(
+        plan.original_machines,
+        plan.original_power,
+        plan.original_machines * peak_power_per_machine,
+        model,
+    )
+    consolidated = deployment_cost(
+        plan.consolidated_machines,
+        plan.consolidated_power,
+        plan.consolidated_machines * peak_power_per_machine,
+        model,
+    )
+    return ConsolidationSavings(original=original, consolidated=consolidated)

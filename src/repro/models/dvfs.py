@@ -1,0 +1,120 @@
+"""Analytical DVFS energy models (paper Section 3, Eq. 12–19, Fig. 3–4).
+
+Pure functions quantifying when DVFS alone, race-to-idle, and the
+combination of DVFS with dynamic knobs save energy.  All powers are in
+watts, times in seconds, energies in joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "dvfs_times",
+    "dvfs_energy_savings",
+    "KnobDvfsEnergy",
+    "knob_dvfs_energy",
+    "EnergyModelError",
+]
+
+
+class EnergyModelError(ValueError):
+    """Raised for physically meaningless model inputs."""
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise EnergyModelError(f"{name} must be positive, got {value!r}")
+
+
+def dvfs_times(t1: float, f_nodvfs: float, f_dvfs: float) -> float:
+    """CPU-bound execution time under DVFS: ``t2 = f_nodvfs / f_dvfs * t1``."""
+    _check_positive(t1=t1, f_nodvfs=f_nodvfs, f_dvfs=f_dvfs)
+    return t1 * f_nodvfs / f_dvfs
+
+
+def dvfs_energy_savings(
+    p_nodvfs: float,
+    p_dvfs: float,
+    p_idle: float,
+    t1: float,
+    t_delay: float,
+) -> float:
+    """Energy saved by DVFS relative to run-fast-then-idle (Equation 12).
+
+    ``E_dvfs = (P_nodvfs*t1 + P_idle*t_delay) - P_dvfs*t2`` with
+    ``t2 = t1 + t_delay``: positive when stretching the task over the slack
+    at lower power beats racing and idling.
+    """
+    _check_positive(p_nodvfs=p_nodvfs, p_dvfs=p_dvfs, p_idle=p_idle, t1=t1)
+    if t_delay < 0:
+        raise EnergyModelError(f"t_delay must be >= 0, got {t_delay!r}")
+    t2 = t1 + t_delay
+    return (p_nodvfs * t1 + p_idle * t_delay) - p_dvfs * t2
+
+
+@dataclass(frozen=True)
+class KnobDvfsEnergy:
+    """Energy accounting for DVFS + dynamic knobs (Eq. 13–19).
+
+    Attributes:
+        e1: Energy of the race-to-idle strategy with knobs (Eq. 14):
+            run at full frequency for ``t1 / S``, idle the rest.
+        e2: Energy of the DVFS strategy with knobs (Eq. 16): run at the
+            reduced frequency for ``t2 / S``, idle the rest.
+        e_elastic: ``min(E1, E2)`` (Eq. 17) — the knob-augmented system
+            picks the better strategy.
+        e_dvfs: Best energy without knobs (Eq. 18).
+        savings: ``E_dvfs - E_elastic`` (Eq. 19).
+    """
+
+    e1: float
+    e2: float
+    e_elastic: float
+    e_dvfs: float
+    savings: float
+
+
+def knob_dvfs_energy(
+    p_nodvfs: float,
+    p_dvfs: float,
+    p_idle: float,
+    t1: float,
+    t_delay: float,
+    speedup: float,
+) -> KnobDvfsEnergy:
+    """Evaluate Equations 13–19 for a task with a knob speedup ``S(QoS)``.
+
+    Args:
+        p_nodvfs: Full-frequency busy power.
+        p_dvfs: Reduced-frequency busy power.
+        p_idle: Idle power.
+        t1: Task time at full frequency without knobs.
+        t_delay: Slack after the task before its deadline.
+        speedup: ``S(QoS)`` — the knob speedup at the accepted QoS loss.
+    """
+    _check_positive(
+        p_nodvfs=p_nodvfs, p_dvfs=p_dvfs, p_idle=p_idle, t1=t1, speedup=speedup
+    )
+    if t_delay < 0:
+        raise EnergyModelError(f"t_delay must be >= 0, got {t_delay!r}")
+    t2 = t1 + t_delay
+
+    t1_prime = t1 / speedup  # Eq. 13
+    t_delay_prime = t_delay + t1 - t1_prime
+    e1 = p_nodvfs * t1_prime + p_idle * t_delay_prime  # Eq. 14
+
+    t2_prime = t2 / speedup  # Eq. 15
+    t_delay_double = t2 - t2_prime
+    e2 = p_dvfs * t2_prime + p_idle * t_delay_double  # Eq. 16
+
+    e_elastic = min(e1, e2)  # Eq. 17
+    e_dvfs = min(p_nodvfs * t1 + p_idle * t_delay, p_dvfs * t2)  # Eq. 18
+    return KnobDvfsEnergy(
+        e1=e1,
+        e2=e2,
+        e_elastic=e_elastic,
+        e_dvfs=e_dvfs,
+        savings=e_dvfs - e_elastic,  # Eq. 19
+    )

@@ -1,0 +1,59 @@
+"""Dynamic influence tracing and control-variable identification (Section 2.1).
+
+The subsystem that turns static configuration parameters into dynamic
+knobs: value-level influence propagation, the logged application address
+space, the four validity checks, the tracing driver, and the developer
+report.
+"""
+
+from repro.tracing.checks import (
+    CandidateVariables,
+    KnobRejectionError,
+    check_consistent,
+    check_constant,
+    filter_relevant,
+    find_candidate_variables,
+)
+from repro.tracing.influence import (
+    TracedValue,
+    combine_influence,
+    influence_of,
+    is_traced,
+    strip,
+    traced,
+)
+from repro.tracing.report import ControlVariableReport, render_report
+from repro.tracing.tracer import (
+    ControlVariable,
+    ControlVariableSet,
+    TraceResult,
+    identify_control_variables,
+    trace_configuration,
+)
+from repro.tracing.variables import Access, AddressSpace, AddressSpaceError, Phase
+
+__all__ = [
+    "TracedValue",
+    "traced",
+    "influence_of",
+    "strip",
+    "is_traced",
+    "combine_influence",
+    "AddressSpace",
+    "AddressSpaceError",
+    "Access",
+    "Phase",
+    "KnobRejectionError",
+    "CandidateVariables",
+    "find_candidate_variables",
+    "filter_relevant",
+    "check_constant",
+    "check_consistent",
+    "TraceResult",
+    "ControlVariable",
+    "ControlVariableSet",
+    "trace_configuration",
+    "identify_control_variables",
+    "ControlVariableReport",
+    "render_report",
+]

@@ -1,0 +1,156 @@
+"""Control-variable validity checks (paper Section 2.1).
+
+PowerDial accepts a set of configuration parameters for transformation into
+dynamic knobs only if the traced control variables satisfy four conditions:
+
+* **Complete and Pure** — every variable influenced by the specified
+  parameters before the first heartbeat is a control variable, and control
+  variables are influenced *only* by the specified parameters.
+* **Relevant** — variables not read after the first heartbeat are filtered
+  out (they do not affect the main control loop).
+* **Constant** — the application never writes a control variable after the
+  first heartbeat.
+* **Consistent** — every combination of parameter settings produces the
+  same set of control variables.
+
+A violation of Pure, Constant, or Consistent rejects the transformation
+(:class:`KnobRejectionError`); Relevant merely filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.tracing.variables import AddressSpace, Phase
+
+__all__ = [
+    "KnobRejectionError",
+    "CandidateVariables",
+    "find_candidate_variables",
+    "filter_relevant",
+    "check_constant",
+    "check_consistent",
+]
+
+
+class KnobRejectionError(RuntimeError):
+    """PowerDial rejects the parameters-to-knobs transformation.
+
+    Attributes:
+        reason: Which check failed (``"pure"``, ``"constant"``,
+            ``"consistent"``).
+        details: Human-readable explanation naming the offending variables.
+    """
+
+    def __init__(self, reason: str, details: str) -> None:
+        super().__init__(f"dynamic knob transformation rejected ({reason}): {details}")
+        self.reason = reason
+        self.details = details
+
+
+@dataclass
+class CandidateVariables:
+    """Variables that passed the Complete-and-Pure check.
+
+    Attributes:
+        influences: Map from variable name to the subset of knob parameters
+            influencing its startup value.
+    """
+
+    influences: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def names(self) -> set[str]:
+        """Candidate variable names."""
+        return set(self.influences)
+
+
+def find_candidate_variables(
+    space: AddressSpace, knob_parameters: set[str]
+) -> CandidateVariables:
+    """Apply the Complete-and-Pure check to a traced startup.
+
+    *Complete*: every variable whose startup value is influenced by any of
+    ``knob_parameters`` becomes a candidate.  *Pure*: each candidate's
+    influence set must be a subset of ``knob_parameters`` — a value mixing
+    knob parameters with other configuration would make replayed knob
+    settings unsound, so it rejects the transformation.
+    """
+    candidates: dict[str, frozenset[str]] = {}
+    impure: dict[str, frozenset[str]] = {}
+    for name, influence in space.influence_map().items():
+        touched = influence & knob_parameters
+        if not touched:
+            continue
+        foreign = influence - knob_parameters
+        if foreign:
+            impure[name] = foreign
+        else:
+            candidates[name] = influence
+    if impure:
+        details = "; ".join(
+            f"{name} also influenced by {sorted(extra)}"
+            for name, extra in sorted(impure.items())
+        )
+        raise KnobRejectionError("pure", details)
+    return CandidateVariables(influences=candidates)
+
+
+def filter_relevant(
+    candidates: CandidateVariables, space: AddressSpace
+) -> CandidateVariables:
+    """Drop candidates never read after the first heartbeat.
+
+    "It filters out any variables that the application does not read after
+    the first heartbeat — the values of these variables are not relevant to
+    the main control loop computation."
+    """
+    read_in_main = {
+        access.name for access in space.reads if access.phase is Phase.MAIN
+    }
+    kept = {
+        name: influence
+        for name, influence in candidates.influences.items()
+        if name in read_in_main
+    }
+    return CandidateVariables(influences=kept)
+
+
+def check_constant(candidates: CandidateVariables, space: AddressSpace) -> None:
+    """Reject if the application wrote a candidate after the first heartbeat.
+
+    Runtime pokes are not application writes and are exempt.
+    """
+    written_in_main = {
+        access.name for access in space.writes if access.phase is Phase.MAIN
+    }
+    violations = sorted(candidates.names & written_in_main)
+    if violations:
+        raise KnobRejectionError(
+            "constant",
+            f"variables written after the first heartbeat: {violations}",
+        )
+
+
+def check_consistent(
+    per_configuration: Mapping[object, CandidateVariables],
+) -> set[str]:
+    """Verify every configuration produced the same control-variable set.
+
+    Returns the common variable-name set on success.
+    """
+    if not per_configuration:
+        raise KnobRejectionError("consistent", "no configurations were traced")
+    items = list(per_configuration.items())
+    reference_key, reference = items[0]
+    for key, candidates in items[1:]:
+        if candidates.names != reference.names:
+            missing = sorted(reference.names - candidates.names)
+            extra = sorted(candidates.names - reference.names)
+            raise KnobRejectionError(
+                "consistent",
+                f"configuration {key!r} disagrees with {reference_key!r}: "
+                f"missing {missing}, extra {extra}",
+            )
+    return set(reference.names)

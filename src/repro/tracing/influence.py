@@ -1,0 +1,213 @@
+"""Dynamic influence tracing at the value level (paper Section 2.1).
+
+The paper's tracer is an LLVM source instrumentor for C/C++ that tags every
+computed value with the set of configuration parameters that influenced it.
+We implement the same dynamic analysis for Python: a configuration
+parameter enters the application as a :class:`TracedValue`, and arithmetic
+on traced values propagates the union of the operands' influence sets.
+
+Like the paper's system, the analysis is *data-flow only*: it does not
+trace indirect control-flow influence (branching on a traced value yields
+plain booleans) nor array-index influence (indexing with a traced value
+returns the element's own influence).  The control-variable report exists
+precisely so a developer can audit the consequences of this imprecision.
+
+Supported datatypes mirror the paper's implementation: ``int``, ``float``
+(``long`` and ``double`` collapse onto these in Python) and vectors
+(Python lists of traced scalars stand in for STL vectors).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = [
+    "TracedValue",
+    "traced",
+    "influence_of",
+    "strip",
+    "is_traced",
+    "combine_influence",
+]
+
+Influence = frozenset
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def combine_influence(*values: Any) -> frozenset[str]:
+    """Union of the influence sets of ``values`` (plain values contribute none)."""
+    result: frozenset[str] = _EMPTY
+    for value in values:
+        if isinstance(value, TracedValue):
+            result = result | value.influence
+    return result
+
+
+def influence_of(value: Any) -> frozenset[str]:
+    """The influence set of ``value``.
+
+    Scalars report their own set; lists and tuples report the union of
+    their elements' sets; everything else reports the empty set.
+    """
+    if isinstance(value, TracedValue):
+        return value.influence
+    if isinstance(value, (list, tuple)):
+        result: frozenset[str] = _EMPTY
+        for item in value:
+            result = result | influence_of(item)
+        return result
+    return _EMPTY
+
+
+def strip(value: Any) -> Any:
+    """Recursively remove tracing wrappers, returning plain Python values."""
+    if isinstance(value, TracedValue):
+        return value.value
+    if isinstance(value, list):
+        return [strip(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(strip(item) for item in value)
+    return value
+
+
+def is_traced(value: Any) -> bool:
+    """True if ``value`` carries a non-empty influence set."""
+    return bool(influence_of(value))
+
+
+def traced(value: Any, *parameters: str) -> Any:
+    """Wrap ``value`` so it carries influence from ``parameters``.
+
+    Lists and tuples are wrapped element-wise (the container itself stays a
+    plain container, matching how the paper traces STL vector contents).
+    """
+    influence = frozenset(parameters)
+    if isinstance(value, TracedValue):
+        return TracedValue(value.value, value.influence | influence)
+    if isinstance(value, list):
+        return [traced(item, *parameters) for item in value]
+    if isinstance(value, tuple):
+        return tuple(traced(item, *parameters) for item in value)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(
+            f"only int/float/list/tuple values can be traced, got {type(value).__name__}"
+        )
+    return TracedValue(value, influence)
+
+
+def _unwrap(value: Any) -> Any:
+    return value.value if isinstance(value, TracedValue) else value
+
+
+class TracedValue:
+    """A numeric value tagged with the parameters that influenced it.
+
+    Arithmetic returns new :class:`TracedValue` instances whose influence
+    is the union of the operands'.  Comparisons, hashing, and truthiness
+    return plain results (control flow is untracked, as in the paper).
+    """
+
+    __slots__ = ("value", "influence")
+
+    def __init__(self, value: int | float, influence: Iterable[str] = ()) -> None:
+        self.value = value
+        self.influence = frozenset(influence)
+
+    # -- representation -------------------------------------------------
+    def __repr__(self) -> str:
+        tags = ",".join(sorted(self.influence)) or "-"
+        return f"TracedValue({self.value!r} <- {tags})"
+
+    # -- conversion (influence is dropped at the boundary) ---------------
+    def __int__(self) -> int:
+        return int(self.value)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __index__(self) -> int:
+        if isinstance(self.value, int):
+            return self.value
+        raise TypeError(f"cannot use non-integer TracedValue {self.value!r} as index")
+
+    def __bool__(self) -> bool:
+        return bool(self.value)
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    # -- comparisons (plain bool: control flow untracked) ----------------
+    def __eq__(self, other: Any) -> bool:
+        return self.value == _unwrap(other)
+
+    def __ne__(self, other: Any) -> bool:
+        return self.value != _unwrap(other)
+
+    def __lt__(self, other: Any) -> bool:
+        return self.value < _unwrap(other)
+
+    def __le__(self, other: Any) -> bool:
+        return self.value <= _unwrap(other)
+
+    def __gt__(self, other: Any) -> bool:
+        return self.value > _unwrap(other)
+
+    def __ge__(self, other: Any) -> bool:
+        return self.value >= _unwrap(other)
+
+    # -- arithmetic -------------------------------------------------------
+    def _binary(self, other: Any, op) -> "TracedValue":
+        result = op(self.value, _unwrap(other))
+        return TracedValue(result, self.influence | combine_influence(other))
+
+    def _rbinary(self, other: Any, op) -> "TracedValue":
+        result = op(_unwrap(other), self.value)
+        return TracedValue(result, self.influence | combine_influence(other))
+
+    def __add__(self, other): return self._binary(other, lambda a, b: a + b)
+    def __radd__(self, other): return self._rbinary(other, lambda a, b: a + b)
+    def __sub__(self, other): return self._binary(other, lambda a, b: a - b)
+    def __rsub__(self, other): return self._rbinary(other, lambda a, b: a - b)
+    def __mul__(self, other): return self._binary(other, lambda a, b: a * b)
+    def __rmul__(self, other): return self._rbinary(other, lambda a, b: a * b)
+    def __truediv__(self, other): return self._binary(other, lambda a, b: a / b)
+    def __rtruediv__(self, other): return self._rbinary(other, lambda a, b: a / b)
+    def __floordiv__(self, other): return self._binary(other, lambda a, b: a // b)
+    def __rfloordiv__(self, other): return self._rbinary(other, lambda a, b: a // b)
+    def __mod__(self, other): return self._binary(other, lambda a, b: a % b)
+    def __rmod__(self, other): return self._rbinary(other, lambda a, b: a % b)
+    def __pow__(self, other): return self._binary(other, lambda a, b: a ** b)
+    def __rpow__(self, other): return self._rbinary(other, lambda a, b: a ** b)
+
+    def __neg__(self) -> "TracedValue":
+        return TracedValue(-self.value, self.influence)
+
+    def __pos__(self) -> "TracedValue":
+        return TracedValue(+self.value, self.influence)
+
+    def __abs__(self) -> "TracedValue":
+        return TracedValue(abs(self.value), self.influence)
+
+    def __round__(self, ndigits: int | None = None) -> "TracedValue":
+        return TracedValue(round(self.value, ndigits), self.influence)
+
+    def __floor__(self) -> "TracedValue":
+        return TracedValue(math.floor(self.value), self.influence)
+
+    def __ceil__(self) -> "TracedValue":
+        return TracedValue(math.ceil(self.value), self.influence)
+
+    def __trunc__(self) -> "TracedValue":
+        return TracedValue(math.trunc(self.value), self.influence)
+
+    # -- influence-preserving helpers ------------------------------------
+    def min_with(self, other: Any) -> "TracedValue":
+        """Influence-preserving minimum (built-in ``min`` would drop the
+        influence set whenever the plain operand wins)."""
+        return self._binary(other, min)
+
+    def max_with(self, other: Any) -> "TracedValue":
+        """Influence-preserving maximum; see :meth:`min_with`."""
+        return self._binary(other, max)

@@ -1,0 +1,228 @@
+"""Dynamic knob identification: the influence-tracing driver (Section 2.1).
+
+For each combination of configuration parameter settings the tracer runs an
+instrumented execution: knob parameters enter the application as traced
+values, startup derives state into a logged :class:`AddressSpace`, and a
+short prefix of the main control loop is executed so read/write phases can
+be observed.  The per-configuration traces feed the validity checks and
+yield a :class:`ControlVariableSet` — the complete table of control
+variables and the value each one takes under every knob setting.  This
+table is what the runtime pokes into the address space to move the
+application around its trade-off space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Protocol, Sequence
+
+from repro.tracing.checks import (
+    CandidateVariables,
+    check_consistent,
+    check_constant,
+    filter_relevant,
+    find_candidate_variables,
+)
+from repro.tracing.influence import strip, traced
+from repro.tracing.variables import Access, AddressSpace
+
+__all__ = [
+    "TraceableApplication",
+    "TraceResult",
+    "ControlVariable",
+    "ControlVariableSet",
+    "trace_configuration",
+    "identify_control_variables",
+]
+
+
+class TraceableApplication(Protocol):
+    """Structural protocol the tracer needs from an application."""
+
+    def initialize(self, config: Mapping[str, Any], space: AddressSpace) -> None:
+        """Derive configuration-dependent state into ``space``."""
+
+    def prepare(self, job: Any) -> Sequence[Any]:
+        """Return the main-control-loop items for one input job."""
+
+    def process_item(self, item: Any, space: AddressSpace, tracker: Any) -> Any:
+        """Process one item, reading control state from ``space``."""
+
+
+class _NullTracker:
+    """Work tracker that discards everything (tracing ignores work)."""
+
+    def add(self, section: str, units: float) -> None:
+        pass
+
+
+@dataclass
+class TraceResult:
+    """Everything observed during one instrumented execution.
+
+    Attributes:
+        configuration: The parameter settings used.
+        space: The logged address space after the run.
+        candidates: Variables surviving Complete/Pure + Relevant + Constant.
+        values: Plain (stripped) values of the candidate variables.
+    """
+
+    configuration: Mapping[str, Any]
+    space: AddressSpace
+    candidates: CandidateVariables
+    values: dict[str, Any] = field(default_factory=dict)
+
+
+def trace_configuration(
+    app: TraceableApplication,
+    configuration: Mapping[str, Any],
+    knob_parameters: set[str],
+    sample_job: Any,
+    loop_iterations: int = 3,
+) -> TraceResult:
+    """Run one instrumented execution and apply the per-run checks.
+
+    Args:
+        app: A fresh application instance.
+        configuration: Full parameter settings (knob and non-knob).
+        knob_parameters: Names of the parameters being transformed.
+        sample_job: One representative input; a short prefix of its items
+            is processed so main-loop accesses are observed.
+        loop_iterations: How many main-loop iterations to execute.
+    """
+    space = AddressSpace(log_accesses=True)
+    # Every (traceable) parameter is tagged with its own name — not just the
+    # knob parameters — so the Pure check can see foreign influence.
+    instrumented: dict[str, Any] = {}
+    for name, value in configuration.items():
+        try:
+            instrumented[name] = traced(value, name)
+        except TypeError:
+            instrumented[name] = value  # non-numeric config stays plain
+    app.initialize(instrumented, space)
+    candidates = find_candidate_variables(space, knob_parameters)
+
+    items = app.prepare(sample_job)
+    tracker = _NullTracker()
+    for index, item in enumerate(items):
+        if index >= loop_iterations:
+            break
+        space.mark_first_heartbeat()
+        app.process_item(item, space, tracker)
+
+    candidates = filter_relevant(candidates, space)
+    check_constant(candidates, space)
+    values = {name: strip(space.peek(name)) for name in candidates.names}
+    return TraceResult(
+        configuration=dict(configuration),
+        space=space,
+        candidates=candidates,
+        values=values,
+    )
+
+
+@dataclass(frozen=True)
+class ControlVariable:
+    """One identified control variable.
+
+    Attributes:
+        name: Variable name in the application address space.
+        parameters: The knob parameters its value derives from.
+        read_sites: Code sites reading it in the main loop.
+        write_sites: Code sites writing it during startup.
+    """
+
+    name: str
+    parameters: frozenset[str]
+    read_sites: tuple[str, ...]
+    write_sites: tuple[str, ...]
+
+
+@dataclass
+class ControlVariableSet:
+    """The calibrated control-variable table for one application.
+
+    Attributes:
+        variables: The identified control variables.
+        knob_parameters: Parameters transformed into dynamic knobs.
+        values: ``values[config_key][var_name]`` — the recorded plain value
+            of each control variable under each parameter combination.
+            ``config_key`` is the sorted tuple of ``(param, value)`` pairs.
+    """
+
+    variables: list[ControlVariable]
+    knob_parameters: set[str]
+    values: dict[tuple, dict[str, Any]]
+
+    @staticmethod
+    def config_key(configuration: Mapping[str, Any]) -> tuple:
+        """Canonical hashable key for a parameter combination."""
+        return tuple(sorted((str(k), v) for k, v in configuration.items()))
+
+    def values_for(self, configuration: Mapping[str, Any]) -> dict[str, Any]:
+        """Control-variable values recorded for ``configuration``."""
+        key = self.config_key(configuration)
+        if key not in self.values:
+            raise KeyError(f"no recorded values for configuration {configuration!r}")
+        return dict(self.values[key])
+
+    @property
+    def names(self) -> list[str]:
+        """Names of all control variables."""
+        return [variable.name for variable in self.variables]
+
+
+def _sites(accesses: Iterable[Access], name: str) -> tuple[str, ...]:
+    seen: list[str] = []
+    for access in accesses:
+        if access.name == name and access.site not in seen:
+            seen.append(access.site)
+    return tuple(seen)
+
+
+def identify_control_variables(
+    app_factory,
+    configurations: Sequence[Mapping[str, Any]],
+    knob_parameters: set[str],
+    sample_job: Any,
+    loop_iterations: int = 3,
+) -> ControlVariableSet:
+    """Trace every parameter combination and build the control-variable set.
+
+    Runs :func:`trace_configuration` for each combination, applies the
+    Consistent check across combinations, and records each variable's value
+    under each combination (the data the runtime replays at actuation
+    time).
+
+    Raises :class:`~repro.tracing.checks.KnobRejectionError` if any check
+    fails.
+    """
+    traces: dict[tuple, TraceResult] = {}
+    for configuration in configurations:
+        app = app_factory()
+        result = trace_configuration(
+            app, configuration, knob_parameters, sample_job, loop_iterations
+        )
+        traces[ControlVariableSet.config_key(configuration)] = result
+
+    common = check_consistent(
+        {key: result.candidates for key, result in traces.items()}
+    )
+
+    reference = next(iter(traces.values()))
+    variables = [
+        ControlVariable(
+            name=name,
+            parameters=reference.candidates.influences[name],
+            read_sites=_sites(reference.space.reads, name),
+            write_sites=_sites(reference.space.writes, name),
+        )
+        for name in sorted(common)
+    ]
+    values = {
+        key: {name: result.values[name] for name in common}
+        for key, result in traces.items()
+    }
+    return ControlVariableSet(
+        variables=variables, knob_parameters=set(knob_parameters), values=values
+    )

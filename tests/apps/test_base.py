@@ -1,0 +1,70 @@
+"""Tests for the application protocol plumbing (WorkTracker, run_job)."""
+
+import pytest
+
+from repro.apps.base import ApplicationError, ItemResult, WorkTracker, run_job
+from repro.tracing.variables import AddressSpace, Phase
+from tests.core.toyapp import ToyApp, toy_jobs
+
+
+class TestWorkTracker:
+    def test_accumulates_total(self):
+        tracker = WorkTracker()
+        tracker.add("main", 5.0)
+        tracker.add("main/kernel", 3.0)
+        assert tracker.total == 8.0
+
+    def test_records_events_in_order(self):
+        tracker = WorkTracker()
+        tracker.add("a", 1.0)
+        tracker.add("b", 2.0)
+        assert tracker.events == [("a", 1.0), ("b", 2.0)]
+
+    def test_take_resets(self):
+        tracker = WorkTracker()
+        tracker.add("a", 4.0)
+        assert tracker.take() == 4.0
+        assert tracker.total == 0.0
+        assert tracker.events == []
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ApplicationError):
+            WorkTracker().add("a", -1.0)
+
+
+class TestItemResult:
+    def test_negative_work_rejected(self):
+        with pytest.raises(ApplicationError):
+            ItemResult(output=None, work=-1.0)
+
+    def test_zero_work_allowed(self):
+        assert ItemResult(output="x", work=0.0).work == 0.0
+
+
+class TestRunJob:
+    def test_outputs_per_item_and_total_work(self):
+        job = toy_jobs(count=1, items=4)[0]
+        outputs, work, tracker = run_job(ToyApp(), {"n": 100}, job)
+        assert len(outputs) == 4
+        assert work == pytest.approx(4 * 100 * 1.0e6)
+
+    def test_space_phase_advances_after_first_item(self):
+        job = toy_jobs(count=1, items=2)[0]
+        space = AddressSpace(log_accesses=True)
+        run_job(ToyApp(), {"n": 100}, job, space=space)
+        assert space.phase is Phase.MAIN
+        # Startup writes happened before the first heartbeat.
+        assert all(
+            access.phase is Phase.STARTUP for access in space.writes
+        )
+
+    def test_tracker_retains_section_events(self):
+        job = toy_jobs(count=1, items=3)[0]
+        _, _, tracker = run_job(ToyApp(), {"n": 50}, job)
+        assert all(section == "main" for section, _ in tracker.events)
+        assert len(tracker.events) == 3
+
+    def test_default_knob_space_roundtrip(self):
+        space = ToyApp.knob_space()
+        assert space.default_configuration() == ToyApp.default_configuration()
+        assert space.size == 5

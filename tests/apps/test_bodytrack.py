@@ -1,0 +1,187 @@
+"""Tests for the bodytrack benchmark (annealed particle filter)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_job
+from repro.apps.bodytrack import (
+    AnnealedParticleFilter,
+    BodytrackApp,
+    POSE_DIMENSIONS,
+    generate_sequence,
+    joint_positions,
+    pose_vector_weights,
+)
+from repro.core.calibration import calibrate
+from repro.core.knobs import KnobSpace, Parameter
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return generate_sequence(frames=12, seed=21)
+
+
+class TestBodyModel:
+    def test_joint_positions_shape(self):
+        poses = np.zeros((5, POSE_DIMENSIONS))
+        poses[:, 1] = 80.0
+        joints = joint_positions(poses)
+        assert joints.shape == (5, 13, 2)
+
+    def test_pelvis_matches_root(self):
+        pose = np.zeros(POSE_DIMENSIONS)
+        pose[0], pose[1] = 30.0, 70.0
+        joints = joint_positions(pose[None, :])[0]
+        assert joints[0] == pytest.approx([30.0, 70.0])
+
+    def test_upright_head_above_pelvis(self):
+        pose = np.zeros(POSE_DIMENSIONS)
+        pose[1] = 50.0
+        joints = joint_positions(pose[None, :])[0]
+        assert joints[2][1] > joints[0][1]  # head y > pelvis y
+
+    def test_every_pose_dimension_moves_some_joint(self):
+        base = np.zeros(POSE_DIMENSIONS)
+        base[1] = 50.0
+        reference = joint_positions(base[None, :])[0]
+        for dim in range(POSE_DIMENSIONS):
+            perturbed = base.copy()
+            perturbed[dim] += 0.3
+            moved = joint_positions(perturbed[None, :])[0]
+            assert not np.allclose(moved, reference), f"dimension {dim} inert"
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            joint_positions(np.zeros((1, POSE_DIMENSIONS + 1)))
+
+    def test_weights_proportional_to_magnitude(self):
+        weights = pose_vector_weights(np.array([10.0, 1.0, 5.0]))
+        assert weights[0] > weights[2] > weights[1]
+        assert np.mean(weights) == pytest.approx(1.0)
+
+    def test_zero_vector_weights_fall_back_to_ones(self):
+        assert np.all(pose_vector_weights(np.zeros(4)) == 1.0)
+
+
+class TestSyntheticSequences:
+    def test_deterministic(self):
+        a = generate_sequence(frames=6, seed=3)
+        b = generate_sequence(frames=6, seed=3)
+        assert np.array_equal(a.observations, b.observations)
+
+    def test_observation_shape(self, sequence):
+        frames, cameras, joints, coords = sequence.observations.shape
+        assert (frames, cameras, joints, coords) == (12, 2, 13, 2)
+
+    def test_observations_are_noisy_projections(self, sequence):
+        clean = sequence.cameras[0].project(
+            joint_positions(sequence.true_poses)
+        )
+        residual = sequence.observations[:, 0] - clean
+        sigma = np.std(residual)
+        assert 1.0 < sigma < 4.0  # configured noise is 2.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            generate_sequence(frames=1, seed=0)
+
+
+class TestParticleFilter:
+    def test_tracks_walking_body(self, sequence):
+        """With generous knobs the filter follows the true joints."""
+        pf = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=1000, layers=5, seed=1
+        )
+        pf.reset(sequence.initial_pose)
+        errors = []
+        true_joints = joint_positions(sequence.true_poses)
+        for t in range(sequence.frame_count):
+            estimate, _ = pf.step(sequence.observations[t])
+            errors.append(
+                np.mean(np.abs(estimate - true_joints[t].ravel()))
+            )
+        assert np.mean(errors) < 6.0  # scene units; skeleton is ~130 tall
+
+    def test_more_particles_track_better(self, sequence):
+        def mean_error(particles, layers):
+            pf = AnnealedParticleFilter(
+                cameras=sequence.cameras,
+                particles=particles,
+                layers=layers,
+                seed=1,
+            )
+            pf.reset(sequence.initial_pose)
+            true_joints = joint_positions(sequence.true_poses)
+            errs = []
+            for t in range(sequence.frame_count):
+                estimate, _ = pf.step(sequence.observations[t])
+                errs.append(np.mean(np.abs(estimate - true_joints[t].ravel())))
+            return float(np.mean(errs))
+
+        assert mean_error(800, 4) < mean_error(50, 1)
+
+    def test_work_scales_with_particles_and_layers(self, sequence):
+        pf_small = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=100, layers=2, seed=1
+        )
+        pf_small.reset(sequence.initial_pose)
+        _, work_small = pf_small.step(sequence.observations[0])
+        pf_big = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=400, layers=4, seed=1
+        )
+        pf_big.reset(sequence.initial_pose)
+        _, work_big = pf_big.step(sequence.observations[0])
+        assert work_big == pytest.approx(8.0 * work_small)
+
+    def test_step_before_reset_rejected(self, sequence):
+        pf = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=10, layers=1
+        )
+        with pytest.raises(RuntimeError):
+            pf.step(sequence.observations[0])
+
+    def test_invalid_knobs_rejected(self, sequence):
+        with pytest.raises(ValueError):
+            AnnealedParticleFilter(sequence.cameras, particles=0, layers=1)
+        with pytest.raises(ValueError):
+            AnnealedParticleFilter(sequence.cameras, particles=10, layers=0)
+
+
+class TestApp:
+    def test_default_configuration(self):
+        config = BodytrackApp.default_configuration()
+        assert config["particles"] == 2000 and config["layers"] == 5
+
+    def test_run_job_produces_pose_per_frame(self, sequence):
+        outputs, work, _ = run_job(
+            BodytrackApp(), {"particles": 200, "layers": 2}, sequence
+        )
+        assert len(outputs) == sequence.frame_count
+        assert all(out.shape == (26,) for out in outputs)
+        assert work > 0
+
+    def test_calibration_shape_matches_paper(self, sequence):
+        """Speedup up to ~7x with modest QoS loss (Figure 5c)."""
+        space = KnobSpace(
+            (
+                Parameter("particles", (100, 500, 2000), 2000),
+                Parameter("layers", (1, 5), 5),
+            )
+        )
+        result = calibrate(BodytrackApp, [sequence], knob_space=space)
+        fastest = result.point_for({"particles": 100, "layers": 1})
+        assert 4.0 < fastest.speedup < 12.0
+        assert 0.0 < fastest.qos_loss < 0.4
+
+    def test_qos_improves_with_more_particles(self, sequence):
+        space = KnobSpace(
+            (
+                Parameter("particles", (100, 1000, 2000), 2000),
+                Parameter("layers", (5,), 5),
+            )
+        )
+        result = calibrate(BodytrackApp, [sequence], knob_space=space)
+        assert (
+            result.point_for({"particles": 100, "layers": 5}).qos_loss
+            > result.point_for({"particles": 1000, "layers": 5}).qos_loss
+        )

@@ -1,0 +1,108 @@
+"""Property-based tests on the particle filter's statistical invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bodytrack import (
+    AnnealedParticleFilter,
+    POSE_DIMENSIONS,
+    generate_sequence,
+    joint_positions,
+)
+from repro.apps.bodytrack.particle_filter import AnnealedParticleFilter as APF
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    return generate_sequence(frames=6, seed=77)
+
+
+class TestResampling:
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_systematic_resample_indices_valid(self, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.01, 1.0, size=50)
+        weights /= weights.sum()
+        indices = APF._systematic_resample(weights, rng)
+        assert indices.shape == (50,)
+        assert indices.min() >= 0 and indices.max() < 50
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_resample_frequency_tracks_weight(self, seed):
+        """A particle with half the total weight is drawn ~half the time."""
+        rng = np.random.default_rng(seed)
+        weights = np.full(100, 0.5 / 99)
+        weights[0] = 0.5
+        indices = APF._systematic_resample(weights, rng)
+        count = int(np.sum(indices == 0))
+        assert 45 <= count <= 55  # systematic resampling is low-variance
+
+    def test_degenerate_weights_pick_single_particle(self):
+        rng = np.random.default_rng(0)
+        weights = np.zeros(10)
+        weights[3] = 1.0
+        indices = APF._systematic_resample(weights, rng)
+        assert np.all(indices == 3)
+
+
+class TestFilterBehaviour:
+    def test_determinism_across_instances(self, sequence):
+        def run():
+            pf = AnnealedParticleFilter(
+                cameras=sequence.cameras, particles=120, layers=2, seed=5
+            )
+            pf.reset(sequence.initial_pose)
+            return [pf.step(obs)[0] for obs in sequence.observations]
+
+        first, second = run(), run()
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_estimates_are_finite(self, sequence):
+        pf = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=60, layers=3, seed=2
+        )
+        pf.reset(sequence.initial_pose)
+        for obs in sequence.observations:
+            estimate, work = pf.step(obs)
+            assert np.all(np.isfinite(estimate))
+            assert work > 0
+
+    @given(layers=st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_work_linear_in_layers(self, layers, sequence):
+        pf = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=100, layers=layers, seed=2
+        )
+        pf.reset(sequence.initial_pose)
+        _, work = pf.step(sequence.observations[0])
+        pf_one = AnnealedParticleFilter(
+            cameras=sequence.cameras, particles=100, layers=1, seed=2
+        )
+        pf_one.reset(sequence.initial_pose)
+        _, work_one = pf_one.step(sequence.observations[0])
+        assert work == pytest.approx(layers * work_one)
+
+    def test_more_layers_reduce_energy_of_estimate(self, sequence):
+        """Annealing drives the estimate toward the observation optimum."""
+
+        def estimate_energy(layers):
+            pf = AnnealedParticleFilter(
+                cameras=sequence.cameras, particles=400, layers=layers, seed=3
+            )
+            pf.reset(sequence.initial_pose)
+            estimate = None
+            for obs in sequence.observations[:3]:
+                estimate, _ = pf.step(obs)
+            # Energy of the final estimate against the last observation.
+            joints = estimate.reshape(1, 13, 2)
+            total = 0.0
+            for cam_index, camera in enumerate(sequence.cameras):
+                residual = camera.project(joints) - sequence.observations[2][cam_index]
+                total += float(np.sum(residual**2))
+            return total
+
+        assert estimate_energy(5) < estimate_energy(1) * 1.5

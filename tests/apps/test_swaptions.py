@@ -1,0 +1,140 @@
+"""Tests for the swaptions benchmark (HJM Monte-Carlo pricer)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.base import run_job
+from repro.apps.swaptions import (
+    DEFAULT_TRIALS,
+    Swaption,
+    SwaptionsApp,
+    TRIAL_VALUES,
+    generate_swaptions,
+    price_swaption,
+    production_portfolios,
+    simulation_work,
+    training_portfolios,
+)
+from repro.core.calibration import calibrate
+from repro.core.knobs import KnobSpace, Parameter
+
+
+@pytest.fixture(scope="module")
+def swaption():
+    return Swaption(identifier=7)
+
+
+class TestPricer:
+    def test_price_is_positive_for_at_the_money(self, swaption):
+        price, _ = price_swaption(swaption, 4000)
+        assert price > 0.0
+
+    def test_price_is_deterministic(self, swaption):
+        assert price_swaption(swaption, 1000) == price_swaption(swaption, 1000)
+
+    def test_common_random_numbers_prefix_property(self, swaption):
+        """Pricing with n trials equals the mean of the first n payoffs of
+        the 2n-trial stream (different -sm values share randomness)."""
+        price_n, _ = price_swaption(swaption, 500)
+        price_2n, _ = price_swaption(swaption, 1000)
+        # Both contain the same first 500 payoffs; they differ only by the
+        # second half's contribution.
+        assert price_2n != price_n  # genuinely more information
+        # Error shrinks with more trials (against a 40k-trial reference).
+        reference, _ = price_swaption(swaption, 40_000)
+        err_n = abs(price_n - reference)
+        err_8n = abs(price_swaption(swaption, 4000)[0] - reference)
+        assert err_8n < err_n
+
+    def test_standard_error_shrinks_like_sqrt_n(self, swaption):
+        _, se_1k = price_swaption(swaption, 1000)
+        _, se_16k = price_swaption(swaption, 16_000)
+        assert se_16k == pytest.approx(se_1k / 4.0, rel=0.25)
+
+    def test_deep_in_the_money_worth_more(self):
+        cheap = Swaption(identifier=1, strike=0.06, initial_rate=0.04)
+        rich = Swaption(identifier=1, strike=0.02, initial_rate=0.04)
+        assert price_swaption(rich, 4000)[0] > price_swaption(cheap, 4000)[0]
+
+    def test_zero_volatility_gives_deterministic_payoff(self):
+        swaption = Swaption(identifier=3, volatility=0.0, strike=0.02)
+        _, stderr = price_swaption(swaption, 100)
+        assert stderr == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_trials_rejected(self, swaption):
+        with pytest.raises(ValueError):
+            price_swaption(swaption, 0)
+
+    def test_invalid_contract_rejected(self):
+        with pytest.raises(ValueError):
+            Swaption(identifier=1, maturity_years=0.0)
+        with pytest.raises(ValueError):
+            Swaption(identifier=1, volatility=-1.0)
+
+    @given(trials=st.integers(min_value=100, max_value=2000))
+    @settings(max_examples=10, deadline=None)
+    def test_work_scales_linearly_with_trials(self, trials):
+        swaption = Swaption(identifier=2)
+        assert simulation_work(swaption, 2 * trials) == pytest.approx(
+            2.0 * simulation_work(swaption, trials)
+        )
+
+
+class TestWorkload:
+    def test_generate_is_deterministic(self):
+        assert generate_swaptions(4, seed=5) == generate_swaptions(4, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert generate_swaptions(4, seed=5) != generate_swaptions(4, seed=6)
+
+    def test_training_and_production_disjoint(self):
+        train = {s.identifier for job in training_portfolios() for s in job}
+        prod = {s.identifier for job in production_portfolios() for s in job}
+        assert not train & prod
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_swaptions(0, seed=1)
+
+
+class TestApp:
+    def test_default_configuration_is_max_trials(self):
+        assert SwaptionsApp.default_configuration() == {"sm": DEFAULT_TRIALS}
+
+    def test_paper_knob_structure(self):
+        """100 settings in equal increments, default = most accurate."""
+        assert len(TRIAL_VALUES) == 100
+        steps = {b - a for a, b in zip(TRIAL_VALUES, TRIAL_VALUES[1:])}
+        assert steps == {200}
+
+    def test_run_job_prices_each_swaption(self):
+        job = generate_swaptions(3, seed=9)
+        outputs, work, tracker = run_job(SwaptionsApp(), {"sm": 1000}, job)
+        assert len(outputs) == 3
+        assert all(price >= 0.0 for price in outputs)
+        assert work == pytest.approx(sum(simulation_work(s, 1000) for s in job))
+
+    def test_calibration_speedup_tracks_trial_ratio(self):
+        space = KnobSpace(
+            (Parameter("sm", (1000, 5000, DEFAULT_TRIALS), DEFAULT_TRIALS),)
+        )
+        result = calibrate(
+            SwaptionsApp, [generate_swaptions(4, seed=3)], knob_space=space
+        )
+        point = result.point_for({"sm": 1000})
+        assert point.speedup == pytest.approx(DEFAULT_TRIALS / 1000, rel=0.01)
+        assert point.qos_loss > 0.0
+
+    def test_qos_loss_monotone_in_trials(self):
+        """Fewer trials -> more price distortion (Figure 5a shape)."""
+        space = KnobSpace(
+            (Parameter("sm", (400, 4000, DEFAULT_TRIALS), DEFAULT_TRIALS),)
+        )
+        result = calibrate(
+            SwaptionsApp, [generate_swaptions(6, seed=4)], knob_space=space
+        )
+        loss_400 = result.point_for({"sm": 400}).qos_loss
+        loss_4000 = result.point_for({"sm": 4000}).qos_loss
+        assert loss_400 > loss_4000 > 0.0
+        assert loss_400 < 0.15  # acceptably small, as in the paper

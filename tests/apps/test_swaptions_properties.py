@@ -1,0 +1,70 @@
+"""Property-based tests on the HJM pricer's financial invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.swaptions import Swaption, price_swaption
+
+TRIALS = 3000
+
+
+@st.composite
+def swaption_params(draw):
+    rate = draw(st.floats(min_value=0.02, max_value=0.06))
+    return {
+        "identifier": draw(st.integers(min_value=1, max_value=10_000)),
+        "maturity_years": draw(st.sampled_from([0.5, 1.0, 2.0])),
+        "tenor_years": draw(st.sampled_from([1.0, 2.0])),
+        "strike": rate * draw(st.floats(min_value=0.8, max_value=1.2)),
+        "initial_rate": rate,
+        "volatility": draw(st.floats(min_value=0.005, max_value=0.02)),
+    }
+
+
+class TestPricingInvariants:
+    @given(params=swaption_params())
+    @settings(max_examples=15, deadline=None)
+    def test_price_nonnegative(self, params):
+        price, _ = price_swaption(Swaption(**params), TRIALS)
+        assert price >= 0.0
+
+    @given(params=swaption_params())
+    @settings(max_examples=10, deadline=None)
+    def test_payer_price_decreases_with_strike(self, params):
+        """A payer swaption pays when rates exceed the strike: raising the
+        strike can only lower the price."""
+        low = Swaption(**{**params, "strike": params["strike"] * 0.9})
+        high = Swaption(**{**params, "strike": params["strike"] * 1.1})
+        price_low, _ = price_swaption(low, TRIALS)
+        price_high, _ = price_swaption(high, TRIALS)
+        assert price_low >= price_high - 1e-12
+
+    @given(params=swaption_params())
+    @settings(max_examples=10, deadline=None)
+    def test_at_the_money_price_increases_with_volatility(self, params):
+        """Optionality is worth more under more uncertainty."""
+        params = {**params, "strike": params["initial_rate"]}
+        calm = Swaption(**{**params, "volatility": 0.006})
+        wild = Swaption(**{**params, "volatility": 0.02})
+        price_calm, _ = price_swaption(calm, TRIALS)
+        price_wild, _ = price_swaption(wild, TRIALS)
+        assert price_wild >= price_calm - 1e-9
+
+    @given(
+        params=swaption_params(),
+        trials=st.sampled_from([500, 1000, 2000]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_determinism(self, params, trials):
+        swaption = Swaption(**params)
+        assert price_swaption(swaption, trials) == price_swaption(
+            swaption, trials
+        )
+
+    @given(params=swaption_params())
+    @settings(max_examples=10, deadline=None)
+    def test_stderr_positive_with_volatility(self, params):
+        swaption = Swaption(**{**params, "strike": params["initial_rate"] * 0.8})
+        _, stderr = price_swaption(swaption, TRIALS)
+        assert stderr >= 0.0

@@ -1,0 +1,198 @@
+"""Tests for the swish++ benchmark (search engine)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_job
+from repro.apps.swish import (
+    InvertedIndex,
+    SwishApp,
+    f_measure_at,
+    generate_corpus,
+    generate_queries,
+    mean_f_measure_loss,
+    precision_recall_f,
+)
+from repro.core.calibration import calibrate
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        documents=200, tokens_per_document=400, vocabulary_size=4000, seed=13
+    )
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return InvertedIndex(corpus)
+
+
+@pytest.fixture(scope="module")
+def queries(corpus):
+    return generate_queries(corpus, count=40, seed=17)
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = generate_corpus(documents=5, seed=1)
+        b = generate_corpus(documents=5, seed=1)
+        assert all(
+            np.array_equal(x.tokens, y.tokens)
+            for x, y in zip(a.documents, b.documents)
+        )
+
+    def test_document_count_and_lengths(self, corpus):
+        assert len(corpus) == 200
+        lengths = [len(d) for d in corpus.documents]
+        assert min(lengths) >= 400 * 0.7 - 1
+        assert max(lengths) <= 400 * 1.3 + 1
+
+    def test_zipf_head_dominates(self, corpus):
+        """The most frequent word should vastly outnumber a mid-rank word."""
+        counts = np.zeros(corpus.vocabulary_size)
+        for document in corpus.documents:
+            values, occurrences = np.unique(document.tokens, return_counts=True)
+            counts[values] += occurrences
+        assert counts[0] > 20 * counts[min(500, corpus.vocabulary_size - 1)]
+
+    def test_stop_words_are_most_frequent(self, corpus):
+        assert corpus.stop_words == frozenset(range(50))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(documents=0)
+        with pytest.raises(ValueError):
+            generate_corpus(vocabulary_size=10, stop_word_count=10)
+
+
+class TestIndex:
+    def test_postings_cover_every_document_containing_term(self, corpus, index):
+        term = corpus.documents[0].tokens[0]
+        docs_with_term = {
+            d.doc_id for d in corpus.documents if term in d.tokens
+        }
+        assert {doc for doc, _ in index.postings(int(term))} == docs_with_term
+
+    def test_search_returns_at_most_max_results(self, index, queries):
+        results, _ = index.search(list(queries[0]), max_results=5)
+        assert len(results) <= 5
+
+    def test_search_ranked_descending(self, index, queries):
+        results, _ = index.search(list(queries[0]), max_results=50)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_truncation_preserves_top_ranks(self, index, queries):
+        """The max-results knob only drops the tail (paper Section 5.3)."""
+        full, _ = index.search(list(queries[0]), max_results=100)
+        truncated, _ = index.search(list(queries[0]), max_results=10)
+        assert [r.doc_id for r in truncated] == [r.doc_id for r in full[:10]]
+
+    def test_fewer_results_cost_less_work(self, index, queries):
+        _, work_100 = index.search(list(queries[0]), max_results=100)
+        _, work_5 = index.search(list(queries[0]), max_results=5)
+        assert work_5 < work_100
+
+    def test_unknown_term_matches_nothing(self, index):
+        results, _ = index.search([999_999], max_results=10)
+        assert results == []
+
+    def test_invalid_max_results_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.search([1], max_results=0)
+
+
+class TestQueries:
+    def test_deterministic(self, corpus):
+        assert generate_queries(corpus, 10, seed=1) == generate_queries(
+            corpus, 10, seed=1
+        )
+
+    def test_queries_exclude_stop_words(self, corpus, queries):
+        for query in queries:
+            assert not set(query) & corpus.stop_words
+
+    def test_query_lengths_in_range(self, queries):
+        assert all(1 <= len(q) <= 3 for q in queries)
+
+    def test_invalid_count_rejected(self, corpus):
+        with pytest.raises(ValueError):
+            generate_queries(corpus, 0, seed=1)
+
+
+class TestMetrics:
+    def test_perfect_retrieval(self):
+        prf = precision_recall_f([1, 2, 3], [1, 2, 3])
+        assert (prf.precision, prf.recall, prf.f_measure) == (1.0, 1.0, 1.0)
+
+    def test_half_recall(self):
+        prf = precision_recall_f([1], [1, 2])
+        assert prf.precision == 1.0
+        assert prf.recall == 0.5
+        assert prf.f_measure == pytest.approx(2 / 3)
+
+    def test_empty_both_is_perfect(self):
+        assert precision_recall_f([], []).f_measure == 1.0
+
+    def test_no_overlap_is_zero(self):
+        assert precision_recall_f([1], [2]).f_measure == 0.0
+
+    def test_f_at_cutoff_truncation_math(self):
+        """k=5 of a 10-deep baseline: P=1, R=0.5, F=2/3 (paper's 30%-ish
+        loss at the fastest setting under P@10)."""
+        baseline = list(range(100))
+        observed = baseline[:5]
+        prf = f_measure_at(observed, baseline, cutoff=10)
+        assert prf.f_measure == pytest.approx(2 / 3)
+
+    def test_mean_loss_over_batch(self):
+        base = [[1, 2], [3, 4]]
+        obs = [[1, 2], [3]]
+        loss = mean_f_measure_loss(obs, base, cutoff=2)
+        assert loss == pytest.approx((0.0 + (1 - 2 / 3)) / 2)
+
+    def test_batch_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_f_measure_loss([[1]], [[1], [2]], cutoff=5)
+        with pytest.raises(ValueError):
+            mean_f_measure_loss([], [], cutoff=5)
+        with pytest.raises(ValueError):
+            f_measure_at([1], [1], cutoff=0)
+
+
+class TestApp:
+    def test_speedup_matches_paper_scale(self, index, queries):
+        """~1.5x at 5 results (Section 1.2)."""
+        factory = lambda: SwishApp(index=index)
+        _, work_100, _ = run_job(factory(), {"max_results": 100}, queries)
+        _, work_5, _ = run_job(factory(), {"max_results": 5}, queries)
+        assert 1.2 < work_100 / work_5 < 1.9
+
+    def test_precision_perfect_above_cutoff(self, index, queries):
+        """P@10 loss is zero for every knob setting >= 10."""
+        factory = lambda: SwishApp(index=index, qos_cutoff=10)
+        metric = factory().qos_metric()
+        base, _, _ = run_job(factory(), {"max_results": 100}, queries)
+        for k in (10, 25, 50, 75):
+            observed, _, _ = run_job(factory(), {"max_results": k}, queries)
+            assert metric(base, observed) == pytest.approx(0.0)
+
+    def test_loss_grows_as_knob_shrinks_at_p100(self, index, queries):
+        """Under P@100 the loss increases monotonically as the knob drops
+        (the Figure 5d line)."""
+        factory = lambda: SwishApp(index=index, qos_cutoff=100)
+        metric = factory().qos_metric()
+        base, _, _ = run_job(factory(), {"max_results": 100}, queries)
+        losses = []
+        for k in (75, 50, 25, 10, 5):
+            observed, _, _ = run_job(factory(), {"max_results": k}, queries)
+            losses.append(metric(base, observed))
+        assert all(b >= a - 1e-9 for a, b in zip(losses, losses[1:]))
+        assert losses[-1] > 0.5  # large recall loss at k=5
+
+    def test_calibration_over_paper_knob_values(self, index, queries):
+        result = calibrate(lambda: SwishApp(index=index), [queries])
+        assert len(result.points) == 6  # {5, 10, 25, 50, 75, 100}
+        fastest = max(result.points, key=lambda p: p.speedup)
+        assert fastest.configuration["max_results"] == 5

@@ -1,0 +1,107 @@
+"""Property-based tests on the search engine's ranking invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.swish import (
+    InvertedIndex,
+    f_measure_at,
+    generate_corpus,
+    generate_queries,
+    precision_recall_f,
+)
+
+
+@pytest.fixture(scope="module")
+def index():
+    corpus = generate_corpus(
+        documents=120, tokens_per_document=250, vocabulary_size=3000, seed=55
+    )
+    return InvertedIndex(corpus)
+
+
+class TestRankingInvariants:
+    @given(k=st.sampled_from([1, 3, 10, 40, 100]))
+    @settings(max_examples=10, deadline=None)
+    def test_truncation_is_prefix_of_full_ranking(self, k, index):
+        """For every knob value, results are a prefix of the baseline."""
+        queries = generate_queries(index.corpus, count=5, seed=k)
+        for query in queries:
+            full, _ = index.search(list(query), max_results=100)
+            truncated, _ = index.search(list(query), max_results=k)
+            assert [r.doc_id for r in truncated] == [
+                r.doc_id for r in full[:k]
+            ]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_work_monotone_in_max_results(self, seed, index):
+        queries = generate_queries(index.corpus, count=1, seed=seed)
+        works = [
+            index.search(list(queries[0]), max_results=k)[1]
+            for k in (5, 25, 100)
+        ]
+        assert works[0] <= works[1] <= works[2]
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_results_only_contain_matching_documents(self, seed, index):
+        queries = generate_queries(index.corpus, count=1, seed=seed)
+        query = list(queries[0])
+        results, _ = index.search(query, max_results=100)
+        matching = index.matching_documents(query)
+        assert all(r.doc_id in matching for r in results)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_scores_deterministic(self, seed, index):
+        queries = generate_queries(index.corpus, count=1, seed=seed)
+        first, _ = index.search(list(queries[0]), max_results=50)
+        second, _ = index.search(list(queries[0]), max_results=50)
+        assert first == second
+
+
+class TestMetricProperties:
+    @given(
+        returned=st.lists(
+            st.integers(min_value=0, max_value=50), max_size=30, unique=True
+        ),
+        relevant=st.lists(
+            st.integers(min_value=0, max_value=50), max_size=30, unique=True
+        ),
+    )
+    def test_f_measure_bounded(self, returned, relevant):
+        prf = precision_recall_f(returned, relevant)
+        assert 0.0 <= prf.precision <= 1.0
+        assert 0.0 <= prf.recall <= 1.0
+        assert 0.0 <= prf.f_measure <= 1.0
+
+    @given(
+        relevant=st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=1,
+            max_size=30,
+            unique=True,
+        )
+    )
+    def test_perfect_retrieval_has_unit_f(self, relevant):
+        prf = precision_recall_f(relevant, relevant)
+        assert prf.f_measure == pytest.approx(1.0)
+
+    @given(
+        baseline=st.lists(
+            st.integers(min_value=0, max_value=200),
+            min_size=10,
+            max_size=60,
+            unique=True,
+        ),
+        cutoff=st.sampled_from([5, 10, 20]),
+    )
+    def test_f_at_cutoff_monotone_in_returned_depth(self, baseline, cutoff):
+        """Returning a longer prefix never lowers F@N."""
+        values = []
+        for depth in (2, 5, 10, 20, 40):
+            observed = baseline[:depth]
+            values.append(f_measure_at(observed, baseline, cutoff).f_measure)
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))

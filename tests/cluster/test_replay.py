@@ -1,0 +1,60 @@
+"""Tests for load-profile replay against two deployments."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.replay import replay_profile
+from repro.cluster.system import ClusterSpec
+from repro.cluster.workload import LoadProfile, spiky_profile
+from repro.core.knobs import KnobConfiguration, KnobSetting, KnobTable
+
+
+TABLE = KnobTable(
+    [
+        KnobSetting(KnobConfiguration({"k": 0}), 1.0, 0.0),
+        KnobSetting(KnobConfiguration({"k": 1}), 2.0, 0.02),
+        KnobSetting(KnobConfiguration({"k": 2}), 4.0, 0.08),
+    ]
+)
+
+ORIGINAL = ClusterSpec(machines=4, slots_per_machine=8)
+CONSOLIDATED = ClusterSpec(machines=1, slots_per_machine=8)
+
+
+class TestReplay:
+    def test_flat_low_load_saves_idle_energy_with_zero_loss(self):
+        profile = LoadProfile(utilizations=(0.25,) * 10, epoch_seconds=60.0)
+        result = replay_profile(ORIGINAL, CONSOLIDATED, TABLE, profile)
+        assert result.energy_savings_fraction > 0.4
+        assert result.worst_qos_loss == 0.0
+        assert result.oversubscribed_epochs == 0
+
+    def test_spikes_cost_qos_but_not_capacity(self):
+        profile = LoadProfile(
+            utilizations=(0.25, 0.25, 1.0, 0.25), epoch_seconds=60.0
+        )
+        result = replay_profile(ORIGINAL, CONSOLIDATED, TABLE, profile)
+        assert result.oversubscribed_epochs == 1
+        # Peak on 1 machine = ratio 4 -> the 4x setting's loss.
+        assert result.worst_qos_loss == pytest.approx(0.08)
+
+    def test_energy_accounting_matches_hand_computation(self):
+        profile = LoadProfile(utilizations=(0.0,), epoch_seconds=100.0)
+        result = replay_profile(ORIGINAL, CONSOLIDATED, TABLE, profile)
+        assert result.original_energy_joules == pytest.approx(4 * 90.0 * 100.0)
+        assert result.consolidated_energy_joules == pytest.approx(90.0 * 100.0)
+
+    def test_mean_loss_is_load_weighted(self):
+        profile = LoadProfile(utilizations=(1.0, 0.1), epoch_seconds=1.0)
+        result = replay_profile(ORIGINAL, CONSOLIDATED, TABLE, profile)
+        # Spike epoch carries most of the load weight.
+        expected = (0.08 * 32 + 0.0 * 3.2) / (32 + 3.2)
+        assert result.mean_qos_loss == pytest.approx(expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_savings_never_negative_on_spiky_days(self, seed):
+        profile = spiky_profile(epochs=24, seed=seed)
+        result = replay_profile(ORIGINAL, CONSOLIDATED, TABLE, profile)
+        assert result.energy_savings_fraction >= 0.0
+        assert 0.0 <= result.worst_qos_loss <= 0.08 + 1e-12

@@ -1,0 +1,138 @@
+"""Tests for the cluster serving-system model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.system import (
+    ClusterError,
+    ClusterSpec,
+    evaluate_system,
+    place_instances,
+)
+from repro.cluster.workload import LoadProfile, spiky_profile, utilization_sweep
+from repro.core.knobs import KnobConfiguration, KnobSetting, KnobTable
+
+
+TABLE = KnobTable(
+    [
+        KnobSetting(KnobConfiguration({"k": 0}), 1.0, 0.0),
+        KnobSetting(KnobConfiguration({"k": 1}), 2.0, 0.02),
+        KnobSetting(KnobConfiguration({"k": 2}), 4.0, 0.08),
+    ]
+)
+
+
+class TestPlacement:
+    def test_even_split(self):
+        assert place_instances(8, 4) == [2, 2, 2, 2]
+
+    def test_remainder_spread(self):
+        assert place_instances(10, 4) == [3, 3, 2, 2]
+
+    def test_zero_instances(self):
+        assert place_instances(0, 3) == [0, 0, 0]
+
+    @given(
+        instances=st.integers(min_value=0, max_value=500),
+        machines=st.integers(min_value=1, max_value=32),
+    )
+    def test_placement_is_proportional(self, instances, machines):
+        placement = place_instances(instances, machines)
+        assert sum(placement) == instances
+        assert max(placement) - min(placement) <= 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ClusterError):
+            place_instances(-1, 2)
+        with pytest.raises(ClusterError):
+            place_instances(1, 0)
+
+
+class TestEvaluateSystem:
+    def setup_method(self):
+        self.spec = ClusterSpec(machines=4, slots_per_machine=8)
+
+    def test_idle_pool_draws_idle_power(self):
+        point = evaluate_system(self.spec, 0)
+        assert point.power_watts == pytest.approx(4 * 90.0)
+        assert point.qos_loss == 0.0
+
+    def test_peak_pool_draws_peak_power(self):
+        point = evaluate_system(self.spec, 32)
+        assert point.power_watts == pytest.approx(4 * 220.0)
+        assert point.qos_loss == 0.0
+
+    def test_baseline_oversubscription_rejected(self):
+        with pytest.raises(ClusterError):
+            evaluate_system(self.spec, 33)
+
+    def test_knobbed_pool_absorbs_oversubscription(self):
+        small = ClusterSpec(machines=1, slots_per_machine=8)
+        point = evaluate_system(small, 16, table=TABLE)
+        assert point.max_required_speedup == pytest.approx(2.0)
+        assert point.qos_loss == pytest.approx(0.02)
+        assert point.performance_factor == 1.0
+
+    def test_blended_ratio_uses_actuator_plan(self):
+        small = ClusterSpec(machines=1, slots_per_machine=8)
+        point = evaluate_system(small, 12, table=TABLE)  # ratio 1.5
+        # Actuator blends 2x with baseline: work-weighted loss 2*.02/3.
+        assert point.qos_loss == pytest.approx(2 * 0.02 / 3)
+
+    def test_saturation_costs_performance(self):
+        small = ClusterSpec(machines=1, slots_per_machine=8)
+        point = evaluate_system(small, 48, table=TABLE)  # ratio 6 > s_max 4
+        assert point.performance_factor == pytest.approx(4.0 / 6.0)
+        assert point.qos_loss == pytest.approx(0.08)
+
+    def test_fractional_load_supported(self):
+        point = evaluate_system(self.spec, 16.5)
+        assert 4 * 90.0 < point.power_watts < 4 * 220.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ClusterError):
+            evaluate_system(self.spec, -1.0)
+
+    @given(load=st.floats(min_value=0.0, max_value=32.0))
+    def test_power_monotone_in_load(self, load):
+        lighter = evaluate_system(self.spec, load)
+        heavier = evaluate_system(self.spec, min(32.0, load + 1.0))
+        assert heavier.power_watts >= lighter.power_watts - 1e-9
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec(machines=0, slots_per_machine=8)
+        with pytest.raises(ClusterError):
+            ClusterSpec(machines=1, slots_per_machine=0)
+
+
+class TestWorkloads:
+    def test_sweep_covers_unit_interval(self):
+        sweep = utilization_sweep(11)
+        assert sweep[0] == 0.0 and sweep[-1] == 1.0
+        assert len(sweep) == 11
+
+    def test_sweep_needs_two_points(self):
+        with pytest.raises(ValueError):
+            utilization_sweep(1)
+
+    def test_spiky_profile_statistics(self):
+        profile = spiky_profile(epochs=200, seed=3)
+        assert profile.peak == 1.0
+        assert 0.15 < profile.mean < 0.45  # mostly low utilization
+
+    def test_spiky_profile_deterministic(self):
+        assert (
+            spiky_profile(epochs=20, seed=9).utilizations
+            == spiky_profile(epochs=20, seed=9).utilizations
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile(utilizations=())
+        with pytest.raises(ValueError):
+            LoadProfile(utilizations=(1.5,))
+        with pytest.raises(ValueError):
+            LoadProfile(utilizations=(0.5,), epoch_seconds=0.0)
+        with pytest.raises(ValueError):
+            spiky_profile(spike_probability=1.5)

@@ -1,0 +1,181 @@
+"""Tests for the related-work controller implementations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+    SpeedupController,
+)
+from repro.core.controller import ControllerError, HeartRateController
+
+
+def run_plant(controller, baseline, steps, capacity=1.0):
+    """Drive h(t+1) = capacity * b * s(t) and return the rate series."""
+    rates = []
+    speedup = controller.speedup
+    for _ in range(steps):
+        rate = capacity * baseline * speedup
+        rates.append(rate)
+        speedup = controller.update(rate)
+    return rates
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "controller",
+        [
+            PIDController(10.0, 10.0),
+            HeuristicStepController(10.0),
+            BangBangController(10.0, high_speedup=4.0),
+            HeartRateController(10.0, 10.0),
+        ],
+    )
+    def test_conforms_to_speedup_controller(self, controller):
+        assert isinstance(controller, SpeedupController)
+        before = controller.speedup
+        after = controller.update(5.0)
+        assert after == controller.speedup
+        controller.reset()
+        assert controller.speedup == before
+
+
+class TestPID:
+    def test_pure_integral_matches_paper_controller(self):
+        """kp = kd = 0, ki = 1 is exactly Eq. 4."""
+        pid = PIDController(10.0, 4.0, kp=0.0, ki=1.0, kd=0.0)
+        paper = HeartRateController(10.0, 4.0)
+        for rate in [3.0, 7.5, 11.0, 10.0, 9.0, 14.0, 2.0]:
+            assert pid.update(rate) == pytest.approx(paper.update(rate))
+
+    def test_proportional_term(self):
+        pid = PIDController(10.0, 5.0, kp=2.0, ki=0.0)
+        # e/b = (10-5)/5 = 1; s = 1 + kp*1 = 3.
+        assert pid.update(5.0) == pytest.approx(3.0)
+
+    def test_derivative_term(self):
+        pid = PIDController(10.0, 5.0, kp=0.0, ki=0.0, kd=1.0, min_speedup=0.1)
+        pid.update(5.0)  # first step: no derivative
+        # e goes (10-5)/5 = 1 -> (10-7.5)/5 = 0.5; d = -0.5; s = 1 - 0.5.
+        assert pid.update(7.5) == pytest.approx(0.5)
+
+    def test_converges_on_capped_plant(self):
+        pid = PIDController(10.0, 10.0, kp=0.2, ki=0.8, max_speedup=4.0)
+        rates = run_plant(pid, baseline=10.0, steps=40, capacity=0.5)
+        assert rates[-1] == pytest.approx(10.0, rel=0.02)
+
+    def test_anti_windup_stops_integral_growth(self):
+        pid = PIDController(10.0, 10.0, max_speedup=2.0)
+        for _ in range(50):
+            pid.update(0.0)  # unreachable target; command saturates
+        assert pid.speedup == 2.0
+        # One on-target observation must not need 50 steps to unwind.
+        pid.update(10.0)
+        assert pid.speedup == 2.0  # integral froze at the clamp
+        pid.update(25.0)  # now genuinely ahead: command comes down
+        assert pid.speedup < 2.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControllerError):
+            PIDController(0.0, 1.0)
+        with pytest.raises(ControllerError):
+            PIDController(1.0, -1.0)
+        with pytest.raises(ControllerError):
+            PIDController(1.0, 1.0, kp=-0.1)
+        with pytest.raises(ControllerError):
+            PIDController(1.0, 1.0, min_speedup=0.0)
+        with pytest.raises(ControllerError):
+            PIDController(1.0, 1.0, min_speedup=2.0, max_speedup=1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ControllerError):
+            PIDController(10.0, 10.0).update(-1.0)
+
+
+class TestHeuristicStep:
+    def test_steps_up_when_slow(self):
+        controller = HeuristicStepController(10.0, step_factor=1.5)
+        assert controller.update(5.0) == pytest.approx(1.5)
+
+    def test_steps_down_when_fast(self):
+        controller = HeuristicStepController(
+            10.0, step_factor=1.5, min_speedup=0.1
+        )
+        controller.update(5.0)  # up to 1.5
+        assert controller.update(20.0) == pytest.approx(1.0)
+
+    def test_holds_inside_band(self):
+        controller = HeuristicStepController(10.0, tolerance=0.10)
+        assert controller.update(9.5) == 1.0
+        assert controller.update(10.5) == 1.0
+
+    def test_limit_cycles_with_coarse_steps(self):
+        """A big blind step never lands on the target: the rate ping-pongs
+        across it forever (the Section 6 predictability critique)."""
+        controller = HeuristicStepController(
+            10.0, step_factor=2.0, tolerance=0.05, min_speedup=0.25
+        )
+        rates = run_plant(controller, baseline=10.0, steps=60, capacity=0.6)
+        tail = rates[-20:]
+        # 0.6 * 2^k can never be within 5% of 1.0 -> perpetual switching.
+        assert any(rate < 9.5 for rate in tail)
+        assert any(rate > 10.5 for rate in tail)
+
+    def test_clamps(self):
+        controller = HeuristicStepController(
+            10.0, step_factor=10.0, max_speedup=3.0
+        )
+        controller.update(1.0)
+        assert controller.speedup == 3.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControllerError):
+            HeuristicStepController(0.0)
+        with pytest.raises(ControllerError):
+            HeuristicStepController(10.0, step_factor=1.0)
+        with pytest.raises(ControllerError):
+            HeuristicStepController(10.0, tolerance=1.0)
+        with pytest.raises(ControllerError):
+            HeuristicStepController(10.0, min_speedup=-1.0)
+
+
+class TestBangBang:
+    def test_switches_levels(self):
+        controller = BangBangController(10.0, high_speedup=4.0)
+        assert controller.update(5.0) == 4.0
+        assert controller.update(15.0) == 1.0
+
+    def test_oscillates_forever(self):
+        controller = BangBangController(10.0, high_speedup=4.0)
+        rates = run_plant(controller, baseline=10.0, steps=30, capacity=0.5)
+        # Alternates between 0.5*b*1 = 5 and 0.5*b*4 = 20 after warmup.
+        assert sorted(set(rates[-10:])) == pytest.approx([5.0, 20.0])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControllerError):
+            BangBangController(0.0, 2.0)
+        with pytest.raises(ControllerError):
+            BangBangController(10.0, high_speedup=1.0, low_speedup=2.0)
+
+
+@given(
+    baseline=st.floats(min_value=0.5, max_value=50.0),
+    capacity=st.floats(min_value=0.3, max_value=1.0),
+)
+def test_paper_controller_deadbeat_for_any_capacity(baseline, capacity):
+    """Property: on the nominal plant the integral controller reaches the
+    target in one step after the first observation, for any capacity drop
+    it has headroom to absorb -- the deadbeat pole at 0."""
+    controller = HeartRateController(
+        target_rate=baseline, baseline_rate=baseline, max_speedup=10.0
+    )
+    # First observation: rate = capacity * b; controller compensates.
+    controller.update(capacity * baseline)
+    # The controller's model predicts h = b * s; with the true plant gain
+    # capacity * b the next rate is capacity * b * s.  Deadbeat holds when
+    # the gain is modeled exactly; with a capacity drop the effective gain
+    # error is `capacity`, still stable (pole 1 - capacity in (0, 0.7]).
+    rates = run_plant(controller, baseline, steps=60, capacity=capacity)
+    assert rates[-1] == pytest.approx(baseline, rel=0.02)

@@ -1,0 +1,234 @@
+"""Tests for the closed-loop evaluation harness and disturbance models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.comparison import ClosedLoopScenario, evaluate_controller
+from repro.control.disturbances import (
+    MeasurementNoise,
+    constant_profile,
+    pulse_profile,
+    ramp_profile,
+    sinusoid_profile,
+    step_profile,
+)
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+)
+from repro.core.controller import HeartRateController
+
+
+class TestProfiles:
+    def test_constant(self):
+        profile = constant_profile(0.75)
+        assert profile(0) == 0.75
+        assert profile(1000) == 0.75
+
+    def test_constant_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            constant_profile(0.0)
+
+    def test_step(self):
+        profile = step_profile(10, 0.5)
+        assert profile(9) == 1.0
+        assert profile(10) == 0.5
+        assert profile(99) == 0.5
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            step_profile(-1, 0.5)
+        with pytest.raises(ValueError):
+            step_profile(1, 0.0)
+
+    def test_pulse_matches_paper_scenario(self):
+        """Cap imposed at 1/4, lifted at 3/4 of a 400-step run."""
+        profile = pulse_profile(100, 300, 1.6 / 2.4)
+        assert profile(0) == 1.0
+        assert profile(100) == pytest.approx(1.6 / 2.4)
+        assert profile(299) == pytest.approx(1.6 / 2.4)
+        assert profile(300) == 1.0
+
+    def test_pulse_validation(self):
+        with pytest.raises(ValueError):
+            pulse_profile(10, 10, 0.5)
+        with pytest.raises(ValueError):
+            pulse_profile(0, 10, -0.5)
+
+    def test_ramp_endpoints_and_midpoint(self):
+        profile = ramp_profile(10, 20, 0.5)
+        assert profile(0) == 1.0
+        assert profile(10) == 1.0
+        assert profile(15) == pytest.approx(0.75)
+        assert profile(20) == 0.5
+        assert profile(50) == 0.5
+
+    def test_ramp_validation(self):
+        with pytest.raises(ValueError):
+            ramp_profile(5, 5, 0.5)
+        with pytest.raises(ValueError):
+            ramp_profile(0, 5, 0.0)
+
+    def test_sinusoid_oscillates_around_mean(self):
+        profile = sinusoid_profile(period=20, amplitude=0.2)
+        values = [profile(step) for step in range(40)]
+        assert max(values) == pytest.approx(1.2, abs=0.01)
+        assert min(values) == pytest.approx(0.8, abs=0.01)
+        assert sum(values) / len(values) == pytest.approx(1.0, abs=0.01)
+
+    def test_sinusoid_validation(self):
+        with pytest.raises(ValueError):
+            sinusoid_profile(1, 0.1)
+        with pytest.raises(ValueError):
+            sinusoid_profile(10, -0.1)
+        with pytest.raises(ValueError):
+            sinusoid_profile(10, 1.0)  # capacity would hit zero
+
+
+class TestMeasurementNoise:
+    def test_zero_sigma_is_identity(self):
+        noise = MeasurementNoise(sigma=0.0)
+        assert noise.observe(7.0) == 7.0
+
+    def test_reproducible_for_fixed_seed(self):
+        first = MeasurementNoise(sigma=0.1, seed=42)
+        second = MeasurementNoise(sigma=0.1, seed=42)
+        samples_a = [first.observe(10.0) for _ in range(20)]
+        samples_b = [second.observe(10.0) for _ in range(20)]
+        assert samples_a == samples_b
+
+    def test_reset_restarts_stream(self):
+        noise = MeasurementNoise(sigma=0.1, seed=7)
+        first = [noise.observe(10.0) for _ in range(5)]
+        noise.reset()
+        assert [noise.observe(10.0) for _ in range(5)] == first
+
+    def test_truncation_keeps_rate_nonnegative(self):
+        noise = MeasurementNoise(sigma=0.3, seed=1)
+        assert all(noise.observe(10.0) >= 0.0 for _ in range(200))
+
+    def test_unbiased_within_tolerance(self):
+        noise = MeasurementNoise(sigma=0.05, seed=3)
+        samples = [noise.observe(10.0) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementNoise(sigma=-0.1)
+        with pytest.raises(ValueError):
+            MeasurementNoise().observe(-1.0)
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClosedLoopScenario(0.0, 1.0, 10)
+        with pytest.raises(ValueError):
+            ClosedLoopScenario(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            ClosedLoopScenario(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            ClosedLoopScenario(1.0, 1.0, 10, max_speedup=0.0)
+
+
+class TestEvaluation:
+    def scenario(self, **overrides):
+        defaults = dict(
+            target_rate=10.0,
+            baseline_rate=10.0,
+            steps=200,
+            capacity=step_profile(50, 0.5),
+            max_speedup=5.0,
+        )
+        defaults.update(overrides)
+        return ClosedLoopScenario(**defaults)
+
+    def test_integral_controller_recovers_from_cap(self):
+        controller = HeartRateController(10.0, 10.0, max_speedup=5.0)
+        result = evaluate_controller(controller, self.scenario())
+        # Settled on target before the cap...
+        assert result.errors[49] == pytest.approx(0.0, abs=1e-9)
+        # ...dips at the cap...
+        assert result.errors[50] == pytest.approx(0.5)
+        # ...and returns to target within a handful of control periods.
+        assert result.settled_within(after=51, budget=25)
+        assert result.heart_rates[-1] == pytest.approx(10.0, rel=0.02)
+
+    def test_bang_bang_never_settles(self):
+        controller = BangBangController(10.0, high_speedup=5.0)
+        result = evaluate_controller(controller, self.scenario())
+        assert result.settling_step(after=51) is None
+        assert result.oscillation_crossings > 10
+
+    def test_integral_beats_heuristic_on_itae(self):
+        integral = HeartRateController(10.0, 10.0, max_speedup=5.0)
+        heuristic = HeuristicStepController(
+            10.0, step_factor=1.5, max_speedup=5.0
+        )
+        scenario = self.scenario()
+        integral_score = evaluate_controller(integral, scenario).itae
+        heuristic_score = evaluate_controller(heuristic, scenario).itae
+        assert integral_score < heuristic_score
+
+    def test_pid_with_integral_gains_matches_paper(self):
+        paper = HeartRateController(10.0, 10.0, max_speedup=5.0)
+        pid = PIDController(10.0, 10.0, ki=1.0, max_speedup=5.0)
+        scenario = self.scenario()
+        a = evaluate_controller(paper, scenario)
+        b = evaluate_controller(pid, scenario)
+        assert a.heart_rates == pytest.approx(b.heart_rates)
+
+    def test_noise_does_not_destroy_convergence(self):
+        controller = HeartRateController(10.0, 10.0, max_speedup=5.0)
+        result = evaluate_controller(
+            controller,
+            self.scenario(noise=MeasurementNoise(sigma=0.02, seed=5)),
+        )
+        tail = result.heart_rates[-30:]
+        assert sum(tail) / len(tail) == pytest.approx(10.0, rel=0.05)
+
+    def test_unreachable_target_saturates(self):
+        """Capacity drop beyond s_max: the loop pegs at the fastest
+        setting, exactly the Figure 7 'without dynamic knobs' floor."""
+        controller = HeartRateController(10.0, 10.0, max_speedup=2.0)
+        result = evaluate_controller(
+            controller, self.scenario(capacity=step_profile(10, 0.25))
+        )
+        # 0.25 * 2.0 = 0.5 of target is the best achievable.
+        assert result.heart_rates[-1] == pytest.approx(5.0, rel=0.02)
+
+    def test_evaluation_series_lengths(self):
+        controller = HeartRateController(10.0, 10.0)
+        scenario = self.scenario(steps=37)
+        result = evaluate_controller(controller, scenario)
+        assert len(result.heart_rates) == 37
+        assert len(result.speedups) == 37
+        assert len(result.errors) == 37
+
+    def test_settling_step_validation(self):
+        controller = HeartRateController(10.0, 10.0)
+        result = evaluate_controller(controller, self.scenario(steps=20))
+        with pytest.raises(ValueError):
+            result.settling_step(after=100)
+
+
+@given(
+    capacity_factor=st.floats(min_value=0.35, max_value=0.95),
+    at_step=st.integers(min_value=5, max_value=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_integral_controller_always_recovers(capacity_factor, at_step):
+    """Property: for any power-cap depth it has knob headroom to absorb,
+    the paper's controller re-converges to the target."""
+    controller = HeartRateController(10.0, 10.0, max_speedup=4.0)
+    scenario = ClosedLoopScenario(
+        target_rate=10.0,
+        baseline_rate=10.0,
+        steps=at_step + 120,
+        capacity=step_profile(at_step, capacity_factor),
+        max_speedup=4.0,
+    )
+    result = evaluate_controller(controller, scenario)
+    assert result.heart_rates[-1] == pytest.approx(10.0, rel=0.02)
+    assert result.settled_within(after=at_step, budget=100)

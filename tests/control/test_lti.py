@@ -1,0 +1,215 @@
+"""Tests for the Z-domain transfer-function toolkit (paper Eq. 5-8)."""
+
+import math
+
+import pytest
+
+from repro.control.lti import (
+    TransferFunction,
+    TransferFunctionError,
+    heartbeat_controller_tf,
+    heartbeat_plant_tf,
+    powerdial_closed_loop,
+)
+
+
+class TestConstruction:
+    def test_denominator_made_monic(self):
+        tf = TransferFunction([2.0], [2.0, -2.0])
+        assert tf.numerator == (1.0,)
+        assert tf.denominator == (1.0, -1.0)
+
+    def test_leading_zeros_trimmed(self):
+        tf = TransferFunction([0.0, 0.0, 1.0], [0.0, 1.0, -1.0])
+        assert tf.numerator == (1.0,)
+        assert tf.denominator == (1.0, -1.0)
+
+    def test_noncausal_rejected(self):
+        with pytest.raises(TransferFunctionError):
+            TransferFunction([1.0, 0.0], [1.0])
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(TransferFunctionError):
+            TransferFunction([1.0], [0.0])
+
+    def test_order(self):
+        assert TransferFunction([1.0], [1.0, 0.0]).order == 1
+        assert TransferFunction([1.0], [1.0, 0.0, 0.25]).order == 2
+
+    def test_repr_round_trips_structure(self):
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        assert "1.0" in repr(tf) and "-0.5" in repr(tf)
+
+
+class TestEvaluation:
+    def test_point_evaluation(self):
+        # H(z) = 1 / (z - 0.5); H(2) = 1 / 1.5.
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        assert tf(2.0) == pytest.approx(1.0 / 1.5)
+
+    def test_evaluation_at_pole_raises(self):
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        with pytest.raises(TransferFunctionError):
+            tf(0.5)
+
+    def test_dc_gain_is_value_at_one(self):
+        tf = TransferFunction([0.5], [1.0, -0.5])
+        assert tf.dc_gain() == pytest.approx(1.0)
+
+
+class TestPolesZerosStability:
+    def test_integrator_pole_on_unit_circle(self):
+        integrator = TransferFunction([1.0], [1.0, -1.0])
+        assert integrator.poles() == (pytest.approx(1.0),)
+        assert not integrator.is_stable()
+
+    def test_delay_pole_at_origin(self):
+        delay = TransferFunction([1.0], [1.0, 0.0])
+        assert delay.poles() == (pytest.approx(0.0),)
+        assert delay.is_stable()
+
+    def test_zeros(self):
+        # N(z) = z - 0.25.
+        tf = TransferFunction([1.0, -0.25], [1.0, 0.0, 0.0])
+        assert tf.zeros() == (pytest.approx(0.25),)
+
+    def test_gain_has_no_poles(self):
+        gain = TransferFunction([3.0], [1.0])
+        assert gain.poles() == ()
+        assert gain.is_stable()
+        assert gain.dominant_pole() == 0.0
+
+    def test_convergence_time_deadbeat(self):
+        delay = TransferFunction([1.0], [1.0, 0.0])
+        assert delay.convergence_time() == 0.0
+
+    def test_convergence_time_geometric(self):
+        # Pole at 0.5: t_c = -4 / log10(0.5).
+        tf = TransferFunction([0.5], [1.0, -0.5])
+        assert tf.convergence_time() == pytest.approx(-4.0 / math.log10(0.5))
+
+    def test_convergence_time_unstable(self):
+        tf = TransferFunction([1.0], [1.0, -1.5])
+        assert tf.convergence_time() == math.inf
+
+
+class TestComposition:
+    def test_cascade_multiplies_responses(self):
+        delay = TransferFunction([1.0], [1.0, 0.0])
+        double_delay = delay.cascade(delay)
+        assert double_delay.impulse_response(4) == pytest.approx(
+            [0.0, 0.0, 1.0, 0.0]
+        )
+
+    def test_parallel_adds_responses(self):
+        delay = TransferFunction([1.0], [1.0, 0.0])
+        doubled = delay.parallel(delay)
+        assert doubled.impulse_response(3) == pytest.approx([0.0, 2.0, 0.0])
+
+    def test_unity_feedback_closes_integrator_to_delay(self):
+        # 1/(z-1) under unity feedback -> 1/z: the Eq. 7 -> Eq. 8 step.
+        open_loop = TransferFunction([1.0], [1.0, -1.0])
+        closed = open_loop.feedback()
+        assert closed.impulse_response(4) == pytest.approx(
+            [0.0, 1.0, 0.0, 0.0]
+        )
+
+    def test_feedback_with_element(self):
+        # H = 1 with feedback K = 1 -> 1 / 2.
+        gain = TransferFunction([1.0], [1.0])
+        closed = gain.feedback(gain)
+        assert closed.dc_gain() == pytest.approx(0.5)
+
+
+class TestTimeDomain:
+    def test_delay_shifts_input(self):
+        delay = TransferFunction([1.0], [1.0, 0.0])
+        assert delay.simulate([3.0, 1.0, 4.0, 1.0]) == pytest.approx(
+            [0.0, 3.0, 1.0, 4.0]
+        )
+
+    def test_integrator_accumulates(self):
+        # y[k] = y[k-1] + u[k-1] for H = 1/(z-1).
+        integrator = TransferFunction([1.0], [1.0, -1.0])
+        assert integrator.step_response(5) == pytest.approx(
+            [0.0, 1.0, 2.0, 3.0, 4.0]
+        )
+
+    def test_geometric_decay(self):
+        # H = 1 / (z - 0.5): impulse response 0, 1, 0.5, 0.25, ...
+        tf = TransferFunction([1.0], [1.0, -0.5])
+        assert tf.impulse_response(5) == pytest.approx(
+            [0.0, 1.0, 0.5, 0.25, 0.125]
+        )
+
+    def test_settling_steps_geometric(self):
+        # Step response of (1-a)/(z-a) approaches 1 like 1 - a^k.
+        tf = TransferFunction([0.5], [1.0, -0.5])
+        settled = tf.settling_steps(tolerance=0.02)
+        # 0.5^k < 0.02 first at k = 6 (0.5^6 ~ 0.0156).
+        assert settled == 6
+
+    def test_settling_steps_unstable_raises(self):
+        tf = TransferFunction([1.0], [1.0, -2.0])
+        with pytest.raises(TransferFunctionError):
+            tf.settling_steps()
+
+    def test_invalid_horizon(self):
+        tf = TransferFunction([1.0], [1.0, 0.0])
+        with pytest.raises(TransferFunctionError):
+            tf.step_response(0)
+        with pytest.raises(TransferFunctionError):
+            tf.impulse_response(0)
+        with pytest.raises(TransferFunctionError):
+            tf.settling_steps(tolerance=0.0)
+
+
+class TestPaperLoop:
+    """Execute the paper's Eq. 5-8 derivation."""
+
+    def test_controller_tf_is_scaled_integrator(self):
+        # F(z) = z / (b (z-1)).
+        controller = heartbeat_controller_tf(baseline_rate=4.0)
+        assert controller.numerator == pytest.approx((0.25, 0.0))
+        assert controller.denominator == pytest.approx((1.0, -1.0))
+
+    def test_plant_tf_is_scaled_delay(self):
+        plant = heartbeat_plant_tf(baseline_rate=4.0)
+        assert plant.impulse_response(3) == pytest.approx([0.0, 4.0, 0.0])
+
+    @pytest.mark.parametrize("baseline", [0.5, 1.0, 7.25])
+    def test_closed_loop_is_one_over_z(self, baseline):
+        closed = powerdial_closed_loop(baseline)
+        # Eq. 8: F_loop(z) = 1/z -- a pure delay.
+        assert closed.impulse_response(5) == pytest.approx(
+            [0.0, 1.0, 0.0, 0.0, 0.0]
+        )
+        assert closed.dc_gain() == pytest.approx(1.0)
+        assert closed.convergence_time() == 0.0
+        assert closed.is_stable()
+
+    @pytest.mark.parametrize("gain_error", [0.25, 0.5, 1.5, 1.9])
+    def test_mismodeled_gain_moves_pole(self, gain_error):
+        closed = powerdial_closed_loop(2.0, gain_error=gain_error)
+        dominant = closed.dominant_pole()
+        assert abs(dominant - (1.0 - gain_error)) == pytest.approx(0.0, abs=1e-9)
+        assert closed.is_stable()
+        # Still converges to the target (unit DC gain), just not deadbeat.
+        assert closed.dc_gain() == pytest.approx(1.0)
+
+    def test_gain_error_of_two_is_marginal(self):
+        closed = powerdial_closed_loop(2.0, gain_error=2.0)
+        assert not closed.is_stable()
+
+    def test_gain_error_beyond_two_diverges(self):
+        closed = powerdial_closed_loop(2.0, gain_error=2.5)
+        response = closed.step_response(40)
+        assert abs(response[-1] - 1.0) > abs(response[20] - 1.0)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(TransferFunctionError):
+            heartbeat_controller_tf(0.0)
+        with pytest.raises(TransferFunctionError):
+            heartbeat_plant_tf(-1.0)
+        with pytest.raises(TransferFunctionError):
+            powerdial_closed_loop(1.0, gain_error=0.0)

@@ -1,0 +1,90 @@
+"""Property-based tests for the transfer-function algebra."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.control.lti import TransferFunction, powerdial_closed_loop
+
+# Stable single-pole systems H = k / (z - a), |a| < 1.
+stable_poles = st.floats(min_value=-0.9, max_value=0.9).filter(
+    lambda a: abs(a) > 1e-6
+)
+gains = st.floats(min_value=0.1, max_value=10.0)
+signals = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0), min_size=1, max_size=30
+)
+
+
+@given(pole=stable_poles, gain=gains, inputs=signals)
+def test_simulation_is_linear(pole, gain, inputs):
+    """Scaling the input scales the output (LTI homogeneity)."""
+    tf = TransferFunction([gain], [1.0, -pole])
+    base = tf.simulate(inputs)
+    scaled = tf.simulate([3.0 * u for u in inputs])
+    assert all(
+        math.isclose(3.0 * b, s, rel_tol=1e-9, abs_tol=1e-9)
+        for b, s in zip(base, scaled)
+    )
+
+
+@given(pole=stable_poles, gain=gains, first=signals, second=signals)
+def test_simulation_superposes(pole, gain, first, second):
+    """simulate(u1 + u2) == simulate(u1) + simulate(u2) (additivity)."""
+    tf = TransferFunction([gain], [1.0, -pole])
+    length = min(len(first), len(second))
+    first, second = first[:length], second[:length]
+    combined = tf.simulate([a + b for a, b in zip(first, second)])
+    separate = [
+        a + b for a, b in zip(tf.simulate(first), tf.simulate(second))
+    ]
+    assert all(
+        math.isclose(c, s, rel_tol=1e-9, abs_tol=1e-6)
+        for c, s in zip(combined, separate)
+    )
+
+
+@given(pole=stable_poles, gain=gains, inputs=signals)
+def test_cascade_equals_sequential_simulation(pole, gain, inputs):
+    """(F * G).simulate == G.simulate(F.simulate(.)) for LTI systems."""
+    f = TransferFunction([gain], [1.0, -pole])
+    g = TransferFunction([1.0], [1.0, 0.0])  # pure delay
+    cascaded = f.cascade(g).simulate(inputs)
+    sequential = g.simulate(f.simulate(inputs))
+    assert all(
+        math.isclose(c, s, rel_tol=1e-9, abs_tol=1e-6)
+        for c, s in zip(cascaded, sequential)
+    )
+
+
+@given(pole=stable_poles, gain=gains)
+def test_dc_gain_matches_step_response_limit(pole, gain):
+    """The step response of a stable system converges to H(1)."""
+    tf = TransferFunction([gain], [1.0, -pole])
+    response = tf.step_response(300)
+    assert math.isclose(response[-1], tf.dc_gain(), rel_tol=1e-3, abs_tol=1e-6)
+
+
+@given(pole=stable_poles, gain=gains)
+def test_parallel_doubles_dc_gain(pole, gain):
+    tf = TransferFunction([gain], [1.0, -pole])
+    assert math.isclose(
+        tf.parallel(tf).dc_gain(), 2.0 * tf.dc_gain(), rel_tol=1e-9
+    )
+
+
+@given(
+    baseline=st.floats(min_value=0.1, max_value=50.0),
+    gain_error=st.floats(min_value=0.05, max_value=1.95),
+)
+@settings(max_examples=50)
+def test_closed_loop_always_converges_for_stable_gain_errors(
+    baseline, gain_error
+):
+    """For any 0 < k < 2 the mis-modeled loop keeps unit DC gain and a
+    pole at 1 - k -- the robustness margin of the paper's design."""
+    closed = powerdial_closed_loop(baseline, gain_error=gain_error)
+    assert closed.is_stable()
+    assert math.isclose(closed.dc_gain(), 1.0, rel_tol=1e-9)
+    dominant = abs(closed.dominant_pole())
+    assert math.isclose(dominant, abs(1.0 - gain_error), abs_tol=1e-9)

@@ -1,0 +1,65 @@
+"""Tests for the actuator's selection tolerance (boundary-jitter guard)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.actuator import ActuationPolicy, Actuator, ActuatorError
+from repro.core.knobs import KnobConfiguration, KnobSetting, KnobTable
+
+
+TABLE = KnobTable(
+    [
+        KnobSetting(KnobConfiguration({"k": 0}), 1.0, 0.0),
+        KnobSetting(KnobConfiguration({"k": 1}), 2.0, 0.02),
+        KnobSetting(KnobConfiguration({"k": 2}), 4.0, 0.08),
+    ]
+)
+
+
+class TestSelectionTolerance:
+    def test_jitter_above_setting_sticks_to_it(self):
+        """A command 1% above the 2x setting runs 2x for the quantum
+        rather than blending 4x with baseline."""
+        actuator = Actuator(TABLE, selection_tolerance=0.02)
+        plan = actuator.plan(2.02)
+        assert len(plan.segments) == 1
+        assert plan.segments[0].setting.speedup == 2.0
+        assert plan.achieved_speedup == 2.0
+
+    def test_command_beyond_tolerance_blends(self):
+        actuator = Actuator(TABLE, selection_tolerance=0.02)
+        plan = actuator.plan(2.1)
+        speeds = sorted(seg.speedup for seg in plan.segments)
+        assert speeds == [1.0, 4.0]
+
+    def test_zero_tolerance_is_exact(self):
+        actuator = Actuator(TABLE, selection_tolerance=0.0)
+        plan = actuator.plan(2.0 + 1e-6)
+        speeds = sorted(seg.speedup for seg in plan.segments)
+        assert speeds == [1.0, 4.0]
+
+    def test_tolerance_bounds_validated(self):
+        with pytest.raises(ActuatorError):
+            Actuator(TABLE, selection_tolerance=-0.1)
+        with pytest.raises(ActuatorError):
+            Actuator(TABLE, selection_tolerance=0.5)
+
+    @given(speedup=st.floats(min_value=1.0, max_value=3.99))
+    def test_shortfall_bounded_by_tolerance(self, speedup):
+        """Achieved speedup is never more than `tolerance` below the
+        command (and never above what the command asked for by blending)."""
+        tolerance = 0.02
+        actuator = Actuator(TABLE, selection_tolerance=tolerance)
+        plan = actuator.plan(speedup)
+        achieved = sum(seg.fraction * seg.speedup for seg in plan.segments)
+        assert achieved >= speedup / (1.0 + tolerance) - 1e-9
+        assert achieved <= speedup + 1e-9
+
+    @given(speedup=st.floats(min_value=1.0, max_value=3.99))
+    def test_tolerant_plan_never_loses_qos_to_exact_plan(self, speedup):
+        """Sticking to the lower setting can only reduce expected loss."""
+        exact = Actuator(TABLE, selection_tolerance=0.0).plan(speedup)
+        tolerant = Actuator(TABLE, selection_tolerance=0.02).plan(speedup)
+        assert (
+            tolerant.expected_qos_loss() <= exact.expected_qos_loss() + 1e-12
+        )

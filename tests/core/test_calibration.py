@@ -1,0 +1,101 @@
+"""Tests for the calibrator, using the deterministic toy application."""
+
+import pytest
+
+from repro.core.calibration import CalibrationError, calibrate, evaluate_points
+from repro.core.knobs import KnobConfiguration
+from repro.core.powerdial import build_powerdial
+from tests.core.toyapp import N_MAX, N_VALUES, ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate(ToyApp, toy_jobs())
+
+
+class TestCalibrate:
+    def test_explores_every_combination(self, calibration):
+        assert len(calibration.points) == len(N_VALUES)
+
+    def test_baseline_point_has_unit_speedup_zero_loss(self, calibration):
+        baseline = calibration.point_for({"n": N_MAX})
+        assert baseline.speedup == pytest.approx(1.0)
+        assert baseline.qos_loss == 0.0
+
+    def test_speedups_are_work_ratios(self, calibration):
+        """Toy work is exactly n per item, so speedup = N_MAX / n."""
+        for n in N_VALUES:
+            point = calibration.point_for({"n": n})
+            assert point.speedup == pytest.approx(N_MAX / n)
+
+    def test_qos_loss_grows_as_knob_shrinks(self, calibration):
+        losses = [calibration.point_for({"n": n}).qos_loss for n in N_VALUES]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_per_input_data_recorded(self, calibration):
+        point = calibration.point_for({"n": 100})
+        assert len(point.per_input_speedup) == 3
+        assert len(point.per_input_qos) == 3
+
+    def test_unknown_configuration_rejected(self, calibration):
+        with pytest.raises(CalibrationError):
+            calibration.point_for({"n": 12345})
+
+    def test_requires_training_inputs(self):
+        with pytest.raises(CalibrationError):
+            calibrate(ToyApp, [])
+
+
+class TestParetoAndTable:
+    def test_toy_frontier_is_entire_monotone_space(self, calibration):
+        """Toy speedup and loss are both monotone in n, so every point is
+        Pareto-optimal."""
+        assert len(calibration.pareto_points()) == len(N_VALUES)
+
+    def test_knob_table_contains_baseline(self, calibration):
+        table = calibration.knob_table()
+        assert table.baseline.speedup == pytest.approx(1.0)
+        assert table.max_speedup == pytest.approx(N_MAX / min(N_VALUES))
+
+    def test_qos_cap_excludes_settings(self):
+        result = calibrate(ToyApp, toy_jobs(), qos_cap=1.0 / 150)
+        table = result.knob_table()
+        # Settings with loss above 1/150 (i.e. n < 150) are excluded.
+        assert table.max_speedup == pytest.approx(N_MAX / 200)
+
+
+class TestEvaluatePoints:
+    def test_production_matches_training_for_deterministic_app(self):
+        """The toy app's response is input-independent, so production
+        re-measurement agrees exactly (Table 2 correlation = 1)."""
+        training = calibrate(ToyApp, toy_jobs(seed=1))
+        production_points = evaluate_points(
+            ToyApp,
+            [p.configuration for p in training.pareto_points()],
+            toy_jobs(seed=2),
+        )
+        for train, prod in zip(training.pareto_points(), production_points):
+            assert prod.speedup == pytest.approx(train.speedup)
+            assert prod.qos_loss == pytest.approx(train.qos_loss, abs=1e-4)
+
+
+class TestBuildPowerdial:
+    def test_full_workflow_produces_system(self):
+        system = build_powerdial(ToyApp, toy_jobs())
+        assert len(system.table) == len(N_VALUES)
+        assert sorted(system.control_set.names) == [
+            "half_iterations",
+            "iterations",
+        ]
+        assert system.report.variable_count == 2
+
+    def test_table_settings_carry_control_values(self):
+        system = build_powerdial(ToyApp, toy_jobs())
+        fastest = system.table.fastest
+        assert fastest.control_values["iterations"] == min(N_VALUES)
+        baseline = system.table.baseline
+        assert baseline.control_values["iterations"] == N_MAX
+
+    def test_requires_training_jobs(self):
+        with pytest.raises(ValueError):
+            build_powerdial(ToyApp, [])

@@ -1,0 +1,152 @@
+"""Tests for the heart-rate controller and its Z-domain properties."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.controller import (
+    ControllerError,
+    HeartRateController,
+    analyze_closed_loop,
+    convergence_time,
+)
+
+
+def simulate(controller, baseline, steps, platform_scale=1.0):
+    """Close the loop against the paper's model h(t+1) = b * s(t)."""
+    rates = []
+    speedup = controller.speedup
+    for _ in range(steps):
+        rate = baseline * platform_scale * speedup
+        speedup = controller.update(rate)
+        rates.append(rate)
+    return rates
+
+
+class TestControllerLaw:
+    def test_integral_update_rule(self):
+        """s(t) = s(t-1) + e(t)/b   (Equation 4)."""
+        controller = HeartRateController(target_rate=10.0, baseline_rate=5.0)
+        new = controller.update(8.0)
+        assert new == pytest.approx(1.0 + (10.0 - 8.0) / 5.0)
+        assert controller.last_error == pytest.approx(2.0)
+
+    def test_on_target_leaves_speedup_unchanged(self):
+        controller = HeartRateController(10.0, 10.0)
+        controller.update(10.0)
+        assert controller.speedup == 1.0
+
+    def test_speedup_clamped_at_min(self):
+        controller = HeartRateController(10.0, 10.0, min_speedup=1.0)
+        controller.update(50.0)  # far above target -> would go below 1
+        assert controller.speedup == 1.0
+
+    def test_speedup_clamped_at_max(self):
+        controller = HeartRateController(10.0, 10.0, max_speedup=3.0)
+        for _ in range(20):
+            controller.update(0.0)
+        assert controller.speedup == 3.0
+
+    def test_reset(self):
+        controller = HeartRateController(10.0, 10.0)
+        controller.update(2.0)
+        controller.reset()
+        assert controller.speedup == 1.0
+        assert controller.last_error == 0.0
+
+    def test_target_settable(self):
+        controller = HeartRateController(10.0, 10.0)
+        controller.target_rate = 20.0
+        assert controller.target_rate == 20.0
+        with pytest.raises(ControllerError):
+            controller.target_rate = 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ControllerError):
+            HeartRateController(0.0, 1.0)
+        with pytest.raises(ControllerError):
+            HeartRateController(1.0, 0.0)
+        with pytest.raises(ControllerError):
+            HeartRateController(1.0, 1.0, min_speedup=0.0)
+        with pytest.raises(ControllerError):
+            HeartRateController(1.0, 1.0, min_speedup=2.0, max_speedup=1.0)
+
+    def test_negative_rate_rejected(self):
+        controller = HeartRateController(10.0, 10.0)
+        with pytest.raises(ControllerError):
+            controller.update(-1.0)
+
+
+class TestClosedLoopBehaviour:
+    def test_deadbeat_convergence_with_exact_model(self):
+        """With the exact model h(t+1) = b*s(t), a setpoint step is
+        corrected in a single control period (pole at z=0)."""
+        controller = HeartRateController(
+            target_rate=15.0, baseline_rate=10.0, max_speedup=10.0
+        )
+        rates = simulate(controller, baseline=10.0, steps=5, platform_scale=1.0)
+        assert rates[0] == pytest.approx(10.0)  # pre-correction
+        assert rates[1] == pytest.approx(15.0)  # deadbeat
+        assert rates[-1] == pytest.approx(15.0)
+
+    def test_convergence_after_capacity_drop(self):
+        """A 2.4 -> 1.6 GHz power cap scales the true gain by 2/3; the pole
+        moves to 1 - 2/3 and convergence is geometric."""
+        controller = HeartRateController(10.0, 10.0, max_speedup=10.0)
+        rates = simulate(
+            controller, baseline=10.0, steps=60, platform_scale=1.6 / 2.4
+        )
+        assert rates[-1] == pytest.approx(10.0, rel=1e-6)
+
+    def test_convergence_with_mismatched_gain_is_geometric(self):
+        """Modeled b wrong by 2x still converges (pole at 1 - 1/2)."""
+        controller = HeartRateController(10.0, 20.0, max_speedup=50.0)
+        rates = simulate(controller, baseline=10.0, steps=60, platform_scale=0.5)
+        assert rates[-1] == pytest.approx(10.0, rel=1e-3)
+
+    @given(scale=st.floats(min_value=0.2, max_value=1.0))
+    def test_converges_for_any_capacity_drop(self, scale):
+        """Pole 1 - scale stays inside the unit circle for scale in (0,2),
+        so the loop converges for any capacity reduction."""
+        controller = HeartRateController(10.0, 10.0, max_speedup=1000.0)
+        rates = simulate(controller, baseline=10.0, steps=200, platform_scale=scale)
+        assert rates[-1] == pytest.approx(10.0, rel=1e-3)
+
+    @given(scale=st.floats(min_value=0.2, max_value=1.0))
+    def test_no_oscillation_for_capacity_drops(self, scale):
+        """For drops (scale <= 1) the pole is in [0,1): the rate approaches
+        the target from below and never overshoots."""
+        controller = HeartRateController(10.0, 10.0, max_speedup=1000.0)
+        rates = simulate(controller, baseline=10.0, steps=50, platform_scale=scale)
+        assert all(rate <= 10.0 + 1e-9 for rate in rates)
+        assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+
+
+class TestZDomainAnalysis:
+    def test_paper_loop_is_deadbeat(self):
+        """F_loop(z) = 1/z: pole at origin, unit gain, instant settling."""
+        analysis = analyze_closed_loop(pole=0.0)
+        assert analysis.poles == (0.0,)
+        assert analysis.steady_state_gain == 1.0
+        assert analysis.stable
+        assert analysis.convergence_time == 0.0
+
+    def test_stable_pole_converges_in_finite_time(self):
+        analysis = analyze_closed_loop(pole=0.5)
+        assert analysis.stable
+        assert 0.0 < analysis.convergence_time < math.inf
+        assert analysis.steady_state_gain == 1.0
+
+    def test_unit_circle_pole_never_settles(self):
+        assert convergence_time(1.0) == math.inf
+        assert not analyze_closed_loop(pole=-1.0).stable
+
+    def test_convergence_time_formula(self):
+        assert convergence_time(0.1) == pytest.approx(-4.0 / math.log10(0.1))
+
+    @given(pole=st.floats(min_value=0.01, max_value=0.99))
+    def test_slower_poles_settle_slower(self, pole):
+        faster = convergence_time(pole / 2)
+        slower = convergence_time(pole)
+        assert slower > faster

@@ -1,0 +1,212 @@
+"""Unit and property tests for the knob data model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.knobs import (
+    KnobConfiguration,
+    KnobError,
+    KnobSetting,
+    KnobSpace,
+    KnobTable,
+    Parameter,
+)
+
+
+def make_table(points):
+    """Helper: settings from (speedup, qos_loss) pairs keyed by index."""
+    return KnobTable(
+        [
+            KnobSetting(KnobConfiguration({"k": i}), speedup=s, qos_loss=q)
+            for i, (s, q) in enumerate(points)
+        ]
+    )
+
+
+class TestParameter:
+    def test_valid(self):
+        p = Parameter("sm", (1, 2, 3), default=3)
+        assert p.default == 3
+
+    def test_default_must_be_in_values(self):
+        with pytest.raises(KnobError):
+            Parameter("sm", (1, 2), default=5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(KnobError):
+            Parameter("sm", (1, 1, 2), default=1)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(KnobError):
+            Parameter("sm", (), default=None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(KnobError):
+            Parameter("", (1,), default=1)
+
+
+class TestKnobConfiguration:
+    def test_mapping_protocol(self):
+        config = KnobConfiguration({"b": 2, "a": 1})
+        assert config["a"] == 1
+        assert dict(config) == {"a": 1, "b": 2}
+        assert len(config) == 2
+
+    def test_hash_and_equality_order_independent(self):
+        c1 = KnobConfiguration({"a": 1, "b": 2})
+        c2 = KnobConfiguration({"b": 2, "a": 1})
+        assert c1 == c2 and hash(c1) == hash(c2)
+
+    def test_equality_with_plain_mapping(self):
+        assert KnobConfiguration({"a": 1}) == {"a": 1}
+
+    def test_missing_key(self):
+        with pytest.raises(KeyError):
+            KnobConfiguration({"a": 1})["z"]
+
+    def test_as_dict_is_mutable_copy(self):
+        config = KnobConfiguration({"a": 1})
+        d = config.as_dict()
+        d["a"] = 9
+        assert config["a"] == 1
+
+
+class TestKnobSpace:
+    def test_size_is_product_of_ranges(self):
+        space = KnobSpace(
+            (Parameter("a", (1, 2, 3), 3), Parameter("b", (10, 20), 20))
+        )
+        assert space.size == 6
+        assert len(list(space.configurations())) == 6
+
+    def test_default_configuration(self):
+        space = KnobSpace((Parameter("a", (1, 2), 2),))
+        assert space.default_configuration() == {"a": 2}
+
+    def test_configurations_cover_all_combinations(self):
+        space = KnobSpace(
+            (Parameter("a", (1, 2), 2), Parameter("b", (10, 20), 20))
+        )
+        combos = {tuple(sorted(c.items())) for c in space.configurations()}
+        assert combos == {
+            (("a", 1), ("b", 10)),
+            (("a", 1), ("b", 20)),
+            (("a", 2), ("b", 10)),
+            (("a", 2), ("b", 20)),
+        }
+
+    def test_configuration_builder_validates(self):
+        space = KnobSpace((Parameter("a", (1, 2), 2),))
+        assert space.configuration(a=1) == {"a": 1}
+        with pytest.raises(KnobError):
+            space.configuration(a=99)
+        with pytest.raises(KnobError):
+            space.configuration(a=1, z=2)
+        with pytest.raises(KnobError):
+            space.configuration()
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(KnobError):
+            KnobSpace((Parameter("a", (1,), 1), Parameter("a", (2,), 2)))
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(KnobError):
+            KnobSpace(())
+
+
+class TestKnobSetting:
+    def test_dominates(self):
+        better = KnobSetting(KnobConfiguration({"k": 1}), 2.0, 0.01)
+        worse = KnobSetting(KnobConfiguration({"k": 2}), 1.5, 0.05)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_equal_points_do_not_dominate(self):
+        a = KnobSetting(KnobConfiguration({"k": 1}), 2.0, 0.01)
+        b = KnobSetting(KnobConfiguration({"k": 2}), 2.0, 0.01)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(KnobError):
+            KnobSetting(KnobConfiguration({"k": 1}), 0.0, 0.0)
+        with pytest.raises(KnobError):
+            KnobSetting(KnobConfiguration({"k": 1}), 1.0, -0.1)
+
+
+class TestKnobTable:
+    def test_sorted_by_speedup_with_baseline_first(self):
+        table = make_table([(3.0, 0.1), (1.0, 0.0), (2.0, 0.05)])
+        assert [s.speedup for s in table] == [1.0, 2.0, 3.0]
+        assert table.baseline.speedup == 1.0
+        assert table.fastest.speedup == 3.0
+        assert table.max_speedup == 3.0
+
+    def test_requires_baseline(self):
+        with pytest.raises(KnobError):
+            make_table([(2.0, 0.1), (3.0, 0.2)])
+
+    def test_minimal_speedup_at_least(self):
+        table = make_table([(1.0, 0.0), (2.0, 0.05), (4.0, 0.2)])
+        assert table.minimal_speedup_at_least(1.5).speedup == 2.0
+        assert table.minimal_speedup_at_least(2.0).speedup == 2.0
+        assert table.minimal_speedup_at_least(2.1).speedup == 4.0
+        with pytest.raises(KnobError):
+            table.minimal_speedup_at_least(5.0)
+
+    def test_pareto_frontier_drops_dominated(self):
+        table = make_table([(1.0, 0.0), (2.0, 0.5), (2.5, 0.1), (3.0, 0.2)])
+        frontier = table.pareto_frontier()
+        speedups = [s.speedup for s in frontier]
+        assert 2.0 not in speedups  # dominated by (2.5, 0.1)
+        assert speedups == [1.0, 2.5, 3.0]
+
+    def test_qos_cap_filters(self):
+        table = make_table([(1.0, 0.0), (2.0, 0.04), (3.0, 0.2)])
+        capped = table.with_qos_cap(0.05)
+        assert [s.speedup for s in capped] == [1.0, 2.0]
+        with pytest.raises(KnobError):
+            table.with_qos_cap(-1.0)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(KnobError):
+            KnobTable([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=100.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_pareto_frontier_is_monotone(self, points):
+        """On the frontier, more speedup must cost more QoS loss."""
+        points = [(1.0, 0.0)] + points
+        table = make_table(points)
+        frontier = table.pareto_frontier()
+        for earlier, later in zip(frontier, frontier[1:]):
+            assert later.speedup >= earlier.speedup
+            assert later.qos_loss >= earlier.qos_loss
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=100.0),
+                st.floats(min_value=0.0, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_no_frontier_point_is_dominated(self, points):
+        points = [(1.0, 0.0)] + points
+        table = make_table(points)
+        frontier = table.pareto_frontier()
+        for candidate in frontier:
+            assert not any(
+                other.dominates(candidate)
+                for other in table
+                if other is not candidate
+            )

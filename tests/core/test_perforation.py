@@ -1,0 +1,95 @@
+"""Tests for the loop-perforation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import run_job
+from repro.core.calibration import calibrate
+from repro.core.perforation import (
+    PerforatedApplication,
+    PerforationError,
+)
+from tests.core.toyapp import N_MAX, ToyApp, toy_jobs
+
+
+def perforated_factory():
+    return PerforatedApplication(ToyApp())
+
+
+class TestPerforationMechanics:
+    def test_skip_zero_is_identity(self):
+        job = toy_jobs(count=1, items=6)[0]
+        plain, work_plain, _ = run_job(ToyApp(), {"n": N_MAX}, job)
+        perforated, work_perf, _ = run_job(
+            perforated_factory(), {"skip": 0}, job
+        )
+        assert perforated == plain
+        assert work_perf == pytest.approx(work_plain)
+
+    def test_skip_one_halves_work(self):
+        job = toy_jobs(count=1, items=8)[0]
+        _, work_full, _ = run_job(perforated_factory(), {"skip": 0}, job)
+        _, work_half, _ = run_job(perforated_factory(), {"skip": 1}, job)
+        assert work_full / work_half == pytest.approx(2.0)
+
+    def test_skipped_items_reuse_last_output(self):
+        job = toy_jobs(count=1, items=6)[0]
+        outputs, _, _ = run_job(perforated_factory(), {"skip": 1}, job)
+        assert outputs[1] == outputs[0]
+        assert outputs[3] == outputs[2]
+        assert outputs[2] != outputs[0]
+
+    def test_first_item_never_skipped(self):
+        job = toy_jobs(count=1, items=4)[0]
+        outputs, _, _ = run_job(perforated_factory(), {"skip": 3}, job)
+        assert outputs[0] is not None
+
+    def test_skip_work_charged(self):
+        app = PerforatedApplication(ToyApp(), skip_work=100.0)
+        job = toy_jobs(count=1, items=4)[0]
+        _, work, _ = run_job(app, {"skip": 3}, job)
+        # 1 real item + 3 skipped at 100 units each.
+        assert work == pytest.approx(N_MAX * 1.0e6 + 3 * 100.0)
+
+    def test_invalid_skip_work_rejected(self):
+        with pytest.raises(PerforationError):
+            PerforatedApplication(ToyApp(), skip_work=-1.0)
+
+    def test_reset_clears_reuse_state(self):
+        app = perforated_factory()
+        job = toy_jobs(count=1, items=4)[0]
+        run_job(app, {"skip": 3}, job)
+        app.reset()
+        outputs, _, _ = run_job(app, {"skip": 3}, job)
+        assert outputs[0] is not None
+
+
+class TestPerforationVsKnobs:
+    def test_knobs_dominate_perforation_at_matched_speedup(self):
+        """The headline ablation: at ~2x speedup, calibrated knobs lose far
+        less QoS than blind perforation (the paper's motivation for
+        exploiting the application's own accuracy machinery)."""
+        jobs = toy_jobs(count=2, items=12, seed=9)
+        knob_result = calibrate(ToyApp, jobs)
+        perf_result = calibrate(perforated_factory, jobs)
+
+        knob_2x = min(
+            (p for p in knob_result.points if p.speedup >= 1.9),
+            key=lambda p: p.speedup,
+        )
+        perf_2x = min(
+            (p for p in perf_result.points if p.speedup >= 1.9),
+            key=lambda p: p.speedup,
+        )
+        assert knob_2x.qos_loss < perf_2x.qos_loss
+
+    def test_perforation_speedups_track_skip_factor(self):
+        import math
+
+        items = 16
+        jobs = toy_jobs(count=1, items=items, seed=9)
+        result = calibrate(perforated_factory, jobs)
+        for point in result.points:
+            skip = point.configuration["skip"]
+            processed = math.ceil(items / (skip + 1))
+            assert point.speedup == pytest.approx(items / processed)

@@ -1,0 +1,110 @@
+"""Unit and property tests for the QoS distortion metric (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.qos import (
+    DistortionMetric,
+    FMeasureQoS,
+    QoSError,
+    distortion,
+)
+
+
+class TestDistortion:
+    def test_identical_outputs_have_zero_loss(self):
+        assert distortion([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_single_component_relative_error(self):
+        assert distortion([10.0], [9.0]) == pytest.approx(0.1)
+
+    def test_mean_over_components(self):
+        # Component losses 0.1 and 0.3 -> mean 0.2.
+        assert distortion([10.0, 10.0], [9.0, 7.0]) == pytest.approx(0.2)
+
+    def test_weights_scale_components(self):
+        # Equation 1: qos = (1/m) * sum(w_i * |rel err|).
+        value = distortion([10.0, 10.0], [9.0, 7.0], weights=[2.0, 0.0])
+        assert value == pytest.approx(0.5 * (2.0 * 0.1 + 0.0))
+
+    def test_zero_baseline_component_uses_absolute_error(self):
+        assert distortion([0.0], [0.5]) == pytest.approx(0.5)
+
+    def test_negative_baseline_components_allowed(self):
+        assert distortion([-10.0], [-9.0]) == pytest.approx(0.1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(QoSError):
+            distortion([1.0, 2.0], [1.0])
+
+    def test_empty_abstraction_rejected(self):
+        with pytest.raises(QoSError):
+            distortion([], [])
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(QoSError):
+            distortion([1.0], [1.0], weights=[1.0, 2.0])
+        with pytest.raises(QoSError):
+            distortion([1.0], [1.0], weights=[-1.0])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(QoSError):
+            distortion([[1.0]], [[1.0]])
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50)
+    )
+    def test_self_distortion_is_zero(self, values):
+        assert distortion(values, values) == 0.0
+
+    @given(
+        base=st.lists(
+            st.floats(min_value=0.1, max_value=1e3), min_size=1, max_size=20
+        ),
+        scale=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_uniform_scaling_gives_uniform_loss(self, base, scale):
+        observed = [b * scale for b in base]
+        assert distortion(base, observed) == pytest.approx(abs(1.0 - scale))
+
+    @given(
+        base=st.lists(
+            st.floats(min_value=0.1, max_value=1e3), min_size=2, max_size=20
+        )
+    )
+    def test_distortion_nonnegative(self, base):
+        observed = list(reversed(base))
+        assert distortion(base, observed) >= 0.0
+
+
+class TestDistortionMetric:
+    def test_wraps_abstraction(self):
+        metric = DistortionMetric(lambda out: np.asarray(out, dtype=float))
+        assert metric([10.0], [9.0]) == pytest.approx(0.1)
+        assert metric.name == "distortion"
+
+    def test_weights_depend_on_baseline(self):
+        """bodytrack-style magnitude-proportional weights."""
+        metric = DistortionMetric(
+            lambda out: np.asarray(out, dtype=float),
+            weights=lambda base: np.abs(base) / np.sum(np.abs(base)),
+        )
+        loss_big_error_on_big = metric([10.0, 1.0], [9.0, 1.0])
+        loss_big_error_on_small = metric([10.0, 1.0], [10.0, 0.9])
+        assert loss_big_error_on_big > loss_big_error_on_small
+
+
+class TestFMeasureQoS:
+    def test_perfect_f_is_zero_loss(self):
+        metric = FMeasureQoS(lambda base, obs: 1.0)
+        assert metric(None, None) == 0.0
+
+    def test_loss_is_one_minus_f(self):
+        metric = FMeasureQoS(lambda base, obs: 0.4)
+        assert metric(None, None) == pytest.approx(0.6)
+
+    def test_out_of_range_f_rejected(self):
+        metric = FMeasureQoS(lambda base, obs: 1.5)
+        with pytest.raises(QoSError):
+            metric(None, None)

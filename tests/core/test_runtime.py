@@ -1,0 +1,154 @@
+"""Integration tests for the PowerDial runtime on the toy application."""
+
+import pytest
+
+from repro.core.actuator import ActuationPolicy
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime, RuntimeEvent
+from repro.hardware.machine import Machine
+from tests.core.toyapp import N_MAX, ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def make_runtime(system, machine=None, policy=ActuationPolicy.MINIMAL_SPEEDUP):
+    machine = machine or Machine()
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    runtime = system.runtime(machine, target_rate=target, policy=policy)
+    return runtime, machine, target
+
+
+def long_jobs(n_jobs=2, items=150):
+    return toy_jobs(count=n_jobs, items=items, seed=3)
+
+
+class TestSteadyState:
+    def test_uncapped_run_stays_at_baseline_setting(self, system):
+        runtime, _, _ = make_runtime(system)
+        result = runtime.run(long_jobs())
+        # Platform delivers exactly the target -> no knob movement.
+        assert all(s.speedup == pytest.approx(1.0) for s in result.settings_used)
+
+    def test_uncapped_performance_is_on_target(self, system):
+        runtime, _, _ = make_runtime(system)
+        result = runtime.run(long_jobs())
+        assert result.mean_normalized_performance(skip=25) == pytest.approx(
+            1.0, rel=0.05
+        )
+
+    def test_outputs_grouped_by_job(self, system):
+        runtime, _, _ = make_runtime(system)
+        jobs = long_jobs()
+        result = runtime.run(jobs)
+        assert len(result.outputs_by_job) == len(jobs)
+        assert [len(out) for out in result.outputs_by_job] == [
+            len(job) for job in jobs
+        ]
+
+    def test_samples_cover_every_beat(self, system):
+        runtime, _, _ = make_runtime(system)
+        jobs = long_jobs()
+        result = runtime.run(jobs)
+        assert len(result.samples) == sum(len(j) for j in jobs)
+        assert [s.beat for s in result.samples] == list(range(len(result.samples)))
+
+
+class TestPowerCapResponse:
+    def test_cap_forces_knob_gain_up(self, system):
+        runtime, _, _ = make_runtime(system)
+        events = [
+            RuntimeEvent(at_beat=60, action=lambda m: m.set_frequency(1.6), label="cap")
+        ]
+        result = runtime.run(long_jobs(), events=events)
+        gains_before = [s.knob_gain for s in result.samples[:55]]
+        gains_after = [s.knob_gain for s in result.samples[100:]]
+        assert max(gains_before) == pytest.approx(1.0)
+        assert max(gains_after) > 1.0
+
+    def test_cap_performance_recovers_to_target(self, system):
+        runtime, _, _ = make_runtime(system)
+        events = [
+            RuntimeEvent(at_beat=60, action=lambda m: m.set_frequency(1.6), label="cap")
+        ]
+        result = runtime.run(long_jobs(), events=events)
+        tail = [s.normalized_performance for s in result.samples[-40:]]
+        assert sum(tail) / len(tail) == pytest.approx(1.0, rel=0.05)
+
+    def test_without_knobs_cap_performance_stays_low(self, system):
+        """A one-setting table (baseline only) cannot adapt."""
+        from repro.core.knobs import KnobTable
+
+        baseline_only = KnobTable([system.table.baseline])
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = PowerDialRuntime(
+            app=ToyApp(),
+            table=baseline_only,
+            machine=machine,
+            target_rate=target,
+        )
+        events = [
+            RuntimeEvent(at_beat=60, action=lambda m: m.set_frequency(1.6), label="cap")
+        ]
+        result = runtime.run(long_jobs(), events=events)
+        tail = [s.normalized_performance for s in result.samples[-40:]]
+        assert sum(tail) / len(tail) == pytest.approx(1.6 / 2.4, rel=0.05)
+
+    def test_lifting_cap_returns_to_baseline_quality(self, system):
+        runtime, _, _ = make_runtime(system)
+        events = [
+            RuntimeEvent(at_beat=50, action=lambda m: m.set_frequency(1.6), label="cap"),
+            RuntimeEvent(at_beat=180, action=lambda m: m.set_frequency(2.4), label="lift"),
+        ]
+        result = runtime.run(long_jobs(n_jobs=2, items=150), events=events)
+        tail_gains = [s.knob_gain for s in result.samples[-30:]]
+        assert max(tail_gains) == pytest.approx(1.0)
+
+
+class TestRaceToIdle:
+    def test_race_to_idle_holds_global_throughput_with_idle_slack(self, system):
+        machine = Machine()
+        baseline = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        # Ask for half the platform's baseline rate: the slack becomes idle.
+        target = baseline / 2
+        runtime = system.runtime(
+            machine,
+            target_rate=target,
+            baseline_rate=target,
+            policy=ActuationPolicy.RACE_TO_IDLE,
+        )
+        result = runtime.run(long_jobs(n_jobs=2, items=300))
+        global_rate = (len(result.samples) - 1) / result.elapsed
+        assert global_rate == pytest.approx(target, rel=0.10)
+
+    def test_race_to_idle_saves_power_versus_busy_baseline(self, system):
+        machine = Machine()
+        baseline = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = system.runtime(
+            machine,
+            target_rate=baseline / 2,
+            baseline_rate=baseline / 2,
+            policy=ActuationPolicy.RACE_TO_IDLE,
+        )
+        result = runtime.run(long_jobs(n_jobs=2, items=300))
+        # Idle periods pull the mean power below the full-load 220 W.
+        assert result.mean_power is not None
+        assert result.mean_power < 220.0
+
+
+class TestControlVariablePokes:
+    def test_application_sees_poked_values(self, system):
+        """After a cap, processed items must reflect reduced iterations."""
+        runtime, _, _ = make_runtime(system)
+        events = [
+            RuntimeEvent(at_beat=40, action=lambda m: m.set_frequency(1.6), label="cap")
+        ]
+        jobs = long_jobs(n_jobs=1, items=200)
+        result = runtime.run(jobs, events=events)
+        # Toy output = item * (1 + 1/n): smaller n -> larger relative output.
+        outputs = result.outputs_by_job[0]
+        rel = [out / item for out, item in zip(outputs, jobs[0])]
+        assert max(rel[100:]) > min(rel[:30]) + 1e-6

@@ -1,0 +1,121 @@
+"""Integration tests: alternative controllers driving the real runtime.
+
+The runtime's decision mechanism is pluggable (any SpeedupController);
+these tests rerun the power-cap scenario on the toy application under
+PID, heuristic-step, and bang-bang control and verify both that the
+plumbing works and that the paper's controller remains the best tracker.
+"""
+
+import pytest
+
+from repro.control.alternatives import (
+    BangBangController,
+    HeuristicStepController,
+    PIDController,
+)
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import RuntimeEvent
+from repro.hardware.machine import Machine
+from tests.core.toyapp import ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def capped_run(system, controller_factory=None):
+    """Run the toy app through a cap at beat 60 under a given controller."""
+    machine = Machine()
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    controller = None
+    if controller_factory is not None:
+        controller = controller_factory(target, system.table.max_speedup)
+    runtime = system.runtime(machine, target_rate=target, controller=controller)
+    events = [
+        RuntimeEvent(at_beat=60, action=lambda m: m.set_frequency(1.6), label="cap")
+    ]
+    jobs = toy_jobs(count=2, items=150, seed=3)
+    return runtime.run(jobs, events=events)
+
+
+def tail_performance(result, beats=40):
+    values = [
+        s.normalized_performance
+        for s in result.samples[-beats:]
+        if s.normalized_performance is not None
+    ]
+    return sum(values) / len(values)
+
+
+class TestPluggableControllers:
+    def test_default_is_paper_controller(self, system):
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = system.runtime(machine, target_rate=target)
+        from repro.core.controller import HeartRateController
+
+        assert isinstance(runtime.controller, HeartRateController)
+
+    def test_pid_holds_target_through_cap(self, system):
+        result = capped_run(
+            system,
+            lambda target, s_max: PIDController(
+                target, target, kp=0.2, ki=0.8, max_speedup=s_max
+            ),
+        )
+        assert tail_performance(result) == pytest.approx(1.0, rel=0.07)
+        # The cap forced the knobs off baseline.
+        assert max(s.knob_gain for s in result.samples[100:]) > 1.0
+
+    def test_heuristic_tracks_loosely(self, system):
+        result = capped_run(
+            system,
+            lambda target, s_max: HeuristicStepController(
+                target, step_factor=1.25, max_speedup=s_max
+            ),
+        )
+        # It adapts (gain rises) but with visibly worse tracking than
+        # the integral controller's 5% band.
+        assert max(s.knob_gain for s in result.samples[100:]) > 1.0
+        assert tail_performance(result) == pytest.approx(1.0, rel=0.30)
+
+    def test_bang_bang_oscillates_on_real_app(self, system):
+        result = capped_run(
+            system,
+            lambda target, s_max: BangBangController(
+                target, high_speedup=s_max
+            ),
+        )
+        gains = [s.knob_gain for s in result.samples[120:]]
+        # Switches between the extremes rather than settling.
+        assert max(gains) > 1.5 * min(gains)
+
+    def test_paper_controller_tracks_best(self, system):
+        def error(result):
+            values = [
+                abs(s.normalized_performance - 1.0)
+                for s in result.samples[100:]
+                if s.normalized_performance is not None
+            ]
+            return sum(values) / len(values)
+
+        paper = error(capped_run(system))
+        heuristic = error(
+            capped_run(
+                system,
+                lambda target, s_max: HeuristicStepController(
+                    target, step_factor=1.25, max_speedup=s_max
+                ),
+            )
+        )
+        bang = error(
+            capped_run(
+                system,
+                lambda target, s_max: BangBangController(
+                    target, high_speedup=s_max
+                ),
+            )
+        )
+        assert paper <= heuristic + 1e-9
+        assert paper < bang

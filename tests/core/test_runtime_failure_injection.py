@@ -1,0 +1,126 @@
+"""Failure-injection and edge-case tests for the controlled runtime."""
+
+import pytest
+
+from repro.core.actuator import ActuationPolicy
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import RuntimeEvent
+from repro.hardware.machine import Machine
+from tests.core.toyapp import ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def make_runtime(system, machine=None):
+    machine = machine or Machine()
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    return system.runtime(machine, target_rate=target), machine, target
+
+
+class TestEventInjection:
+    def test_event_at_beat_zero_applies_before_first_item(self, system):
+        runtime, machine, _ = make_runtime(system)
+        events = [RuntimeEvent(0, lambda m: m.set_frequency(1.6), "early cap")]
+        result = runtime.run(toy_jobs(count=1, items=60, seed=1), events=events)
+        assert result.samples[0].frequency_ghz == 1.6
+
+    def test_event_beyond_end_never_fires(self, system):
+        fired = []
+        runtime, _, _ = make_runtime(system)
+        events = [RuntimeEvent(10_000, lambda m: fired.append(1), "late")]
+        runtime.run(toy_jobs(count=1, items=30, seed=1), events=events)
+        assert fired == []
+
+    def test_events_dispatch_in_beat_order_regardless_of_input_order(
+        self, system
+    ):
+        order = []
+        runtime, _, _ = make_runtime(system)
+        events = [
+            RuntimeEvent(40, lambda m: order.append("second"), "b"),
+            RuntimeEvent(10, lambda m: order.append("first"), "a"),
+        ]
+        runtime.run(toy_jobs(count=1, items=80, seed=1), events=events)
+        assert order == ["first", "second"]
+
+    def test_repeated_cap_lift_cycles(self, system):
+        """Thrashing power caps: the controller survives and recovers."""
+        runtime, _, _ = make_runtime(system)
+        events = []
+        for index, beat in enumerate(range(40, 400, 80)):
+            freq = 1.6 if index % 2 == 0 else 2.4
+            events.append(
+                RuntimeEvent(beat, lambda m, f=freq: m.set_frequency(f), "flip")
+            )
+        result = runtime.run(toy_jobs(count=1, items=450, seed=2), events=events)
+        tail = [
+            s.normalized_performance
+            for s in result.samples[-40:]
+            if s.normalized_performance is not None
+        ]
+        assert sum(tail) / len(tail) == pytest.approx(1.0, rel=0.12)
+
+    def test_cap_to_lowest_state_saturates_gracefully(self, system):
+        """A cap deeper than the knob range can compensate: the runtime
+        saturates at the fastest setting rather than failing."""
+        from repro.core.knobs import KnobTable
+
+        # Table with limited headroom: baseline plus a 1.6x setting only.
+        limited = KnobTable(
+            [s for s in system.table if s.speedup < 2.1][:2]
+            or [system.table.baseline]
+        )
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        from repro.core.runtime import PowerDialRuntime
+
+        runtime = PowerDialRuntime(
+            app=ToyApp(), table=limited, machine=machine, target_rate=target
+        )
+        events = [RuntimeEvent(20, lambda m: m.set_frequency(1.6), "cap")]
+        result = runtime.run(toy_jobs(count=1, items=120, seed=3), events=events)
+        # Saturated: runs at the fastest available setting.
+        assert result.samples[-1].knob_gain == limited.max_speedup
+
+
+class TestRuntimeInvariants:
+    def test_sample_times_monotone(self, system):
+        runtime, _, _ = make_runtime(system)
+        result = runtime.run(toy_jobs(count=2, items=50, seed=4))
+        times = [s.time for s in result.samples]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_all_settings_come_from_table(self, system):
+        runtime, _, _ = make_runtime(system)
+        events = [RuntimeEvent(30, lambda m: m.set_frequency(1.6), "cap")]
+        result = runtime.run(toy_jobs(count=1, items=150, seed=5), events=events)
+        table_settings = set(id(s) for s in system.table)
+        assert all(id(s) in table_settings for s in result.settings_used)
+
+    def test_energy_is_positive_and_consistent_with_power(self, system):
+        runtime, machine, _ = make_runtime(system)
+        result = runtime.run(toy_jobs(count=1, items=200, seed=6))
+        assert result.energy_joules > 0
+        if result.mean_power is not None:
+            approx_energy = result.mean_power * machine.now
+            assert result.energy_joules == pytest.approx(
+                approx_energy, rel=0.2
+            )
+
+    def test_rerunning_runtime_resets_state(self, system):
+        runtime, _, _ = make_runtime(system)
+        first = runtime.run(toy_jobs(count=1, items=40, seed=7))
+        second = runtime.run(toy_jobs(count=1, items=40, seed=7))
+        assert len(first.samples) == len(second.samples)
+        # Beats renumber from zero on each run.
+        assert second.samples[0].beat == 0
+
+    def test_empty_job_list_yields_empty_result(self, system):
+        runtime, _, _ = make_runtime(system)
+        result = runtime.run([])
+        assert result.samples == []
+        assert result.outputs_by_job == []
+        assert result.elapsed == 0.0

@@ -1,0 +1,41 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The heavier scenario examples (power_capping, server_consolidation,
+search_sla) calibrate at near-paper scale and are exercised instead by
+the benchmark harness, which regenerates the same artifacts; these tests
+keep the cheap examples (and therefore the README's entry points) from
+rotting.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_application.py",
+    "controller_shootout.py",
+    "race_to_idle.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_to_completion(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"example {script} is missing"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {script} produced no output"
+
+
+def test_all_examples_documented_in_readme():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in EXAMPLES.glob("*.py"):
+        assert f"examples/{script.name}" in readme, (
+            f"{script.name} missing from the README example table"
+        )

@@ -1,0 +1,99 @@
+"""Tests for the controller and time-quantum ablation experiments."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.controllers import (
+    format_controller_ablation,
+    run_controller_ablation,
+)
+from repro.experiments.quantum import (
+    format_quantum_ablation,
+    run_quantum_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def controller_ablation():
+    return run_controller_ablation("swaptions", Scale.TINY, steps=200)
+
+
+@pytest.fixture(scope="module")
+def quantum_ablation():
+    return run_quantum_ablation("swaptions", Scale.TINY, quanta=(5, 20))
+
+
+class TestControllerAblation:
+    def test_all_four_families_scored(self, controller_ablation):
+        labels = [result.label for result in controller_ablation.results]
+        assert labels == [
+            "integral (paper)",
+            "pid",
+            "heuristic step",
+            "bang-bang",
+        ]
+
+    def test_integral_settles_fast_after_cap(self, controller_ablation):
+        integral = controller_ablation.result("integral (paper)")
+        assert integral.settle_after_cap is not None
+        assert integral.settle_after_cap <= 10
+
+    def test_bang_bang_never_settles_under_cap(self, controller_ablation):
+        assert controller_ablation.result("bang-bang").settle_after_cap is None
+
+    def test_integral_has_lowest_itae(self, controller_ablation):
+        integral = controller_ablation.result("integral (paper)")
+        for other in controller_ablation.results:
+            assert integral.evaluation.itae <= other.evaluation.itae + 1e-9
+
+    def test_qos_losses_are_finite_and_bounded(self, controller_ablation):
+        for result in controller_ablation.results:
+            assert 0.0 <= result.mean_qos_loss < 1.0
+
+    def test_unknown_label_raises(self, controller_ablation):
+        with pytest.raises(KeyError):
+            controller_ablation.result("fuzzy logic")
+
+    def test_format_lists_every_controller(self, controller_ablation):
+        text = format_controller_ablation(controller_ablation)
+        for result in controller_ablation.results:
+            assert result.label in text
+        assert "ITAE" in text
+
+    def test_noise_variant_runs(self):
+        ablation = run_controller_ablation(
+            "swaptions", Scale.TINY, steps=120, noise_sigma=0.02
+        )
+        integral = ablation.result("integral (paper)")
+        # Still tracks through the cap despite sensor noise.
+        assert integral.evaluation.mean_abs_error < 0.10
+
+
+class TestQuantumAblation:
+    def test_results_per_quantum(self, quantum_ablation):
+        assert [r.quantum_beats for r in quantum_ablation.results] == [5, 20]
+
+    def test_all_quanta_recover(self, quantum_ablation):
+        for result in quantum_ablation.results:
+            assert result.recovery_beats >= 0
+
+    def test_capped_performance_reasonable(self, quantum_ablation):
+        for result in quantum_ablation.results:
+            assert result.capped_performance > 0.7
+
+    def test_switches_counted(self, quantum_ablation):
+        for result in quantum_ablation.results:
+            assert result.setting_switches >= 1
+
+    def test_unknown_quantum_raises(self, quantum_ablation):
+        with pytest.raises(KeyError):
+            quantum_ablation.result(13)
+
+    def test_empty_quanta_rejected(self):
+        with pytest.raises(ValueError):
+            run_quantum_ablation("swaptions", Scale.TINY, quanta=())
+
+    def test_format_contains_rows(self, quantum_ablation):
+        text = format_quantum_ablation(quantum_ablation)
+        assert "quantum (beats)" in text
+        assert "5" in text and "20" in text

@@ -1,0 +1,51 @@
+"""Tests for the `python -m repro.experiments` command-line driver."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "swish++" in out
+
+    def test_fig34(self, capsys):
+        assert main(["fig34"]) == 0
+        assert "Equations 12-19" in capsys.readouterr().out
+
+    def test_fig8_with_app_and_scale(self, capsys):
+        assert main(["fig8", "--app", "swaptions", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8 (swaptions)" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "overhead" in capsys.readouterr().out
+
+    def test_ablation_controllers(self, capsys):
+        assert main(
+            ["ablation-controllers", "--app", "swaptions", "--scale", "tiny"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "integral (paper)" in out and "bang-bang" in out
+
+    def test_ablation_quantum(self, capsys):
+        assert main(
+            ["ablation-quantum", "--app", "swaptions", "--scale", "tiny"]
+        ) == 0
+        assert "time quantum" in capsys.readouterr().out
+
+    def test_sla(self, capsys):
+        assert main(["sla", "--app", "swaptions", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Latency SLA" in out and "dynamic knobs" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure-99"])
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--app", "doom"])

@@ -1,0 +1,52 @@
+"""Tests for the latency-SLA experiment (Section 3)."""
+
+import pytest
+
+from repro.experiments.common import Scale
+from repro.experiments.sla import format_sla, run_sla
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_sla("swaptions", Scale.TINY, duration=240.0)
+
+
+class TestSlaExperiment:
+    def test_three_series(self, experiment):
+        labels = [series.label for series in experiment.series]
+        assert labels == [
+            "uncapped reference",
+            "capped, no knobs",
+            "capped, dynamic knobs",
+        ]
+
+    def test_cap_spans_middle_half(self, experiment):
+        assert experiment.cap_start == pytest.approx(60.0)
+        assert experiment.cap_end == pytest.approx(180.0)
+
+    def test_no_knobs_violates_sla(self, experiment):
+        no_knobs = experiment.series_by_label("capped, no knobs")
+        reference = experiment.series_by_label("uncapped reference")
+        assert no_knobs.stats.p95 > 5.0 * reference.stats.p95
+        assert no_knobs.violation_fraction > 0.2
+
+    def test_knobs_preserve_latency(self, experiment):
+        knobs = experiment.series_by_label("capped, dynamic knobs")
+        reference = experiment.series_by_label("uncapped reference")
+        assert knobs.stats.p95 < 2.0 * reference.stats.p95
+
+    def test_knobs_pay_in_qos(self, experiment):
+        knobs = experiment.series_by_label("capped, dynamic knobs")
+        assert knobs.mean_qos_loss > 0.0
+        reference = experiment.series_by_label("uncapped reference")
+        assert reference.mean_qos_loss == 0.0
+
+    def test_unknown_label_raises(self, experiment):
+        with pytest.raises(KeyError):
+            experiment.series_by_label("magic")
+
+    def test_format_contains_all_series(self, experiment):
+        text = format_sla(experiment)
+        for series in experiment.series:
+            assert series.label in text
+        assert "SLA" in text

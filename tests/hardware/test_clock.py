@@ -1,0 +1,73 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.clock import ClockError, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_by_default(self):
+        assert VirtualClock().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert VirtualClock(5.5).now == 5.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = VirtualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_zero_advance_allowed(self):
+        clock = VirtualClock(1.0)
+        clock.advance(0.0)
+        assert clock.now == 1.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock(1.0)
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+        assert clock.now == 1.0
+
+    def test_advance_to_absolute(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_rejected(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_now_is_noop(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_monotonicity_property(self, increments):
+        clock = VirtualClock()
+        previous = clock.now
+        for step in increments:
+            clock.advance(step)
+            assert clock.now >= previous
+            previous = clock.now
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=50))
+    def test_time_is_sum_of_increments(self, increments):
+        clock = VirtualClock()
+        clock_total = 0.0
+        for step in increments:
+            clock.advance(step)
+            clock_total += step
+        assert clock.now == pytest.approx(clock_total)

@@ -1,0 +1,120 @@
+"""Unit tests for the DVFS processor model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.cpu import XEON_E5530_PSTATES, CpuError, Processor, PState
+
+
+class TestPState:
+    def test_valid_state(self):
+        state = PState(frequency_ghz=2.4, voltage=1.0)
+        assert state.frequency_ghz == 2.4
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(CpuError):
+            PState(frequency_ghz=0.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(CpuError):
+            PState(frequency_ghz=2.0, voltage=0.0)
+
+
+class TestXeonPstates:
+    def test_seven_states(self):
+        """The paper's platform supports seven power states."""
+        assert len(XEON_E5530_PSTATES) == 7
+
+    def test_frequency_range_matches_paper(self):
+        """Clock frequencies from 2.4 GHz to 1.6 GHz."""
+        freqs = [s.frequency_ghz for s in XEON_E5530_PSTATES]
+        assert freqs[0] == 2.4
+        assert freqs[-1] == 1.6
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_figure6_axis_frequencies(self):
+        freqs = [s.frequency_ghz for s in XEON_E5530_PSTATES]
+        assert freqs == [2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6]
+
+    def test_voltage_scales_with_frequency(self):
+        volts = [s.voltage for s in XEON_E5530_PSTATES]
+        assert volts == sorted(volts, reverse=True)
+        assert volts[0] == pytest.approx(1.0)
+        assert volts[-1] == pytest.approx(0.85)
+
+
+class TestProcessor:
+    def test_defaults_to_fastest_state(self):
+        cpu = Processor()
+        assert cpu.frequency_ghz == 2.4
+
+    def test_set_frequency(self):
+        cpu = Processor()
+        cpu.set_frequency(1.6)
+        assert cpu.frequency_ghz == 1.6
+
+    def test_set_frequency_unknown_rejected(self):
+        cpu = Processor()
+        with pytest.raises(CpuError):
+            cpu.set_frequency(3.0)
+
+    def test_set_state_by_index(self):
+        cpu = Processor()
+        cpu.set_state(6)
+        assert cpu.frequency_ghz == 1.6
+
+    def test_set_state_out_of_range(self):
+        cpu = Processor()
+        with pytest.raises(CpuError):
+            cpu.set_state(7)
+
+    def test_work_time_scales_inversely_with_frequency(self):
+        """CPU-bound scaling: t2 = (f_nodvfs / f_dvfs) * t1 (Section 3)."""
+        cpu = Processor()
+        t_fast = cpu.seconds_for_work(1e9)
+        cpu.set_frequency(1.6)
+        t_slow = cpu.seconds_for_work(1e9)
+        assert t_slow / t_fast == pytest.approx(2.4 / 1.6)
+
+    def test_work_time_scales_inversely_with_threads(self):
+        cpu = Processor()
+        assert cpu.seconds_for_work(8e9, threads=8) == pytest.approx(
+            cpu.seconds_for_work(1e9, threads=1)
+        )
+
+    def test_zero_work_takes_zero_time(self):
+        assert Processor().seconds_for_work(0.0) == 0.0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(CpuError):
+            Processor().seconds_for_work(-1.0)
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(CpuError):
+            Processor().seconds_for_work(1.0, threads=0)
+
+    def test_slowdown_vs_max(self):
+        cpu = Processor()
+        assert cpu.slowdown_vs_max() == pytest.approx(1.0)
+        cpu.set_frequency(1.6)
+        assert cpu.slowdown_vs_max() == pytest.approx(1.5)
+
+    def test_pstates_sorted_fastest_first_regardless_of_input_order(self):
+        cpu = Processor(pstates=(PState(1.0), PState(2.0), PState(1.5)))
+        assert [s.frequency_ghz for s in cpu.pstates] == [2.0, 1.5, 1.0]
+
+    def test_requires_at_least_one_pstate(self):
+        with pytest.raises(CpuError):
+            Processor(pstates=())
+
+    @given(
+        work=st.floats(min_value=1.0, max_value=1e12),
+        state=st.integers(min_value=0, max_value=6),
+    )
+    def test_work_time_positive_and_proportional(self, work, state):
+        cpu = Processor()
+        cpu.set_state(state)
+        t1 = cpu.seconds_for_work(work)
+        t2 = cpu.seconds_for_work(2.0 * work)
+        assert t1 > 0
+        assert t2 == pytest.approx(2.0 * t1)

@@ -1,0 +1,106 @@
+"""Unit tests for the simulated server machine."""
+
+import pytest
+
+from repro.hardware.machine import Machine, MachineError
+
+
+class TestMachineExecution:
+    def test_execute_advances_clock(self):
+        machine = Machine()
+        seconds = machine.execute(2.4e9)  # one second at 2.4 GHz x 1 thread? no: 8 threads
+        assert machine.now == pytest.approx(seconds)
+
+    def test_execute_full_threads_by_default(self):
+        machine = Machine()
+        # 8 threads at 2.4 GHz retire 8 * 2.4e9 units/second.
+        seconds = machine.execute(8 * 2.4e9)
+        assert seconds == pytest.approx(1.0)
+
+    def test_execute_single_thread(self):
+        machine = Machine()
+        seconds = machine.execute(2.4e9, threads=1)
+        assert seconds == pytest.approx(1.0)
+
+    def test_dvfs_slows_execution(self):
+        machine = Machine()
+        t_fast = machine.execute(1e9)
+        machine.set_frequency(1.6)
+        t_slow = machine.execute(1e9)
+        assert t_slow / t_fast == pytest.approx(2.4 / 1.6)
+
+    def test_load_factor_scales_time(self):
+        loaded = Machine(load_factor=4.0)
+        unloaded = Machine()
+        assert loaded.execute(1e9) == pytest.approx(4.0 * unloaded.execute(1e9))
+
+    def test_invalid_load_factor_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(load_factor=0.5)
+
+    def test_invalid_threads_rejected(self):
+        machine = Machine()
+        with pytest.raises(MachineError):
+            machine.execute(1.0, threads=9)
+        with pytest.raises(MachineError):
+            machine.execute(1.0, threads=0)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(MachineError):
+            Machine(cores=0)
+
+
+class TestMachinePowerAccounting:
+    def test_busy_power_reaches_peak_at_full_load(self):
+        machine = Machine()
+        machine.execute(8 * 2.4e9 * 3)  # three seconds, all cores busy
+        assert machine.meter.mean_power() == pytest.approx(220.0)
+
+    def test_idle_power_is_idle_floor(self):
+        machine = Machine()
+        machine.idle(3.0)
+        assert machine.meter.mean_power() == pytest.approx(90.0)
+
+    def test_partial_utilization_power_between_idle_and_peak(self):
+        machine = Machine()
+        machine.execute(4 * 2.4e9 * 3, threads=4)  # half the cores
+        mean = machine.meter.mean_power()
+        assert 90.0 < mean < 220.0
+
+    def test_energy_accumulates_across_busy_and_idle(self):
+        machine = Machine()
+        machine.execute(8 * 2.4e9)  # 1 s at 220 W
+        machine.idle(1.0)  # 1 s at 90 W
+        assert machine.meter.energy_joules == pytest.approx(310.0)
+
+    def test_capped_machine_draws_less_at_full_load(self):
+        capped = Machine()
+        capped.set_frequency(1.6)
+        capped.execute(8 * 1.6e9 * 3)  # three seconds busy at 1.6 GHz
+        assert capped.meter.mean_power() < 220.0
+
+    def test_idle_until_absolute_time(self):
+        machine = Machine()
+        machine.idle_until(5.0)
+        assert machine.now == 5.0
+
+    def test_idle_until_past_rejected(self):
+        machine = Machine()
+        machine.idle(2.0)
+        with pytest.raises(MachineError):
+            machine.idle_until(1.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(MachineError):
+            Machine().idle(-1.0)
+
+    def test_zero_idle_is_noop(self):
+        machine = Machine()
+        machine.idle(0.0)
+        assert machine.now == 0.0
+        assert machine.meter.energy_joules == 0.0
+
+    def test_current_power_reports_instantaneous_draw(self):
+        machine = Machine()
+        assert machine.current_power(0.0) == pytest.approx(90.0)
+        assert machine.current_power(1.0) == pytest.approx(220.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the Application Heartbeats API."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.clock import VirtualClock
+from repro.heartbeats.api import HeartbeatError, HeartbeatMonitor
+
+
+def beat_at_intervals(monitor, clock, intervals):
+    monitor.heartbeat()
+    for interval in intervals:
+        clock.advance(interval)
+        monitor.heartbeat()
+
+
+class TestHeartbeatEmission:
+    def test_records_sequence_and_timestamp(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        first = monitor.heartbeat()
+        clock.advance(0.5)
+        second = monitor.heartbeat(tag="frame-1")
+        assert first.sequence == 0 and first.timestamp == 0.0
+        assert second.sequence == 1 and second.timestamp == 0.5
+        assert second.tag == "frame-1"
+
+    def test_count_tracks_beats(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        beat_at_intervals(monitor, clock, [0.1] * 4)
+        assert monitor.count == 5
+
+    def test_reset_clears_beats_keeps_targets(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, min_target_rate=5.0, max_target_rate=5.0)
+        beat_at_intervals(monitor, clock, [0.1, 0.1])
+        monitor.reset()
+        assert monitor.count == 0
+        assert monitor.target_rate == 5.0
+
+
+class TestRates:
+    def test_instant_rate_is_reciprocal_of_last_interval(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        beat_at_intervals(monitor, clock, [0.25])
+        assert monitor.instant_rate() == pytest.approx(4.0)
+
+    def test_rates_none_before_first_interval(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        assert monitor.instant_rate() is None
+        assert monitor.window_rate() is None
+        assert monitor.global_rate() is None
+        monitor.heartbeat()
+        assert monitor.window_rate() is None
+
+    def test_window_rate_uses_only_recent_intervals(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=2)
+        beat_at_intervals(monitor, clock, [1.0, 0.5, 0.5])
+        # Window holds the last two intervals (0.5, 0.5) -> 2 beats/s.
+        assert monitor.window_rate() == pytest.approx(2.0)
+
+    def test_global_rate_covers_whole_run(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        beat_at_intervals(monitor, clock, [1.0, 0.5, 0.5])
+        assert monitor.global_rate() == pytest.approx(3 / 2.0)
+
+    def test_window_mean_interval_matches_paper_metric(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=20)
+        beat_at_intervals(monitor, clock, [0.2] * 10)
+        assert monitor.window_mean_interval() == pytest.approx(0.2)
+
+    def test_zero_interval_rates_degrade_gracefully(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock)
+        monitor.heartbeat()
+        monitor.heartbeat()  # same timestamp
+        assert monitor.instant_rate() is None
+        assert monitor.window_rate() is None
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=40))
+    def test_window_rate_bounded_by_extreme_intervals(self, intervals):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=20)
+        beat_at_intervals(monitor, clock, intervals)
+        window = intervals[-20:]
+        rate = monitor.window_rate()
+        assert 1.0 / max(window) - 1e-9 <= rate <= 1.0 / min(window) + 1e-9
+
+
+class TestTargets:
+    def test_target_rate_is_midpoint(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, min_target_rate=4.0, max_target_rate=6.0)
+        assert monitor.target_rate == pytest.approx(5.0)
+
+    def test_single_sided_targets(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, min_target_rate=4.0)
+        assert monitor.target_rate == 4.0
+        monitor.set_targets(None, 8.0)
+        assert monitor.target_rate == 8.0
+
+    def test_no_targets_means_none(self):
+        assert HeartbeatMonitor(VirtualClock()).target_rate is None
+
+    def test_invalid_targets_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(HeartbeatError):
+            HeartbeatMonitor(clock, min_target_rate=-1.0)
+        with pytest.raises(HeartbeatError):
+            HeartbeatMonitor(clock, min_target_rate=5.0, max_target_rate=4.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(HeartbeatError):
+            HeartbeatMonitor(VirtualClock(), window_size=0)

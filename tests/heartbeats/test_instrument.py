@@ -1,0 +1,67 @@
+"""Unit tests for automatic heartbeat-site selection."""
+
+import pytest
+
+from repro.heartbeats.instrument import (
+    InstrumentationError,
+    choose_heartbeat_section,
+    profile_sections,
+)
+
+
+class TestProfileSections:
+    def test_aggregates_entries_and_work(self):
+        events = [("main", 10.0), ("main", 20.0), ("startup", 5.0)]
+        profiles = {p.section: p for p in profile_sections(events)}
+        assert profiles["main"].entries == 2
+        assert profiles["main"].total_work == 30.0
+        assert profiles["startup"].entries == 1
+
+    def test_nested_work_rolls_up_to_parent(self):
+        events = [("main/me", 10.0), ("main/dct", 5.0), ("main", 1.0)]
+        profiles = {p.section: p for p in profile_sections(events)}
+        assert profiles["main"].total_work == 16.0
+        assert profiles["main/me"].total_work == 10.0
+
+    def test_entries_do_not_roll_up(self):
+        events = [("main/me", 10.0), ("main/me", 10.0)]
+        profiles = {p.section: p for p in profile_sections(events)}
+        assert profiles["main/me"].entries == 2
+        assert profiles["main"].entries == 0
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(InstrumentationError):
+            profile_sections([("main", -1.0)])
+
+    def test_empty_events_yield_no_profiles(self):
+        assert profile_sections([]) == []
+
+
+class TestChooseHeartbeatSection:
+    def test_picks_dominant_repeated_section(self):
+        """The most time-consuming loop gets the heartbeat (Section 2.3.1)."""
+        events = [("startup", 100.0)] + [("main", 30.0)] * 10 + [("io", 1.0)] * 10
+        profiles = profile_sections(events)
+        assert choose_heartbeat_section(profiles) == "main"
+
+    def test_straight_line_startup_never_chosen(self):
+        """A one-shot section is not a loop, however expensive."""
+        events = [("startup", 1e9)] + [("main", 1.0)] * 5
+        profiles = profile_sections(events)
+        assert choose_heartbeat_section(profiles) == "main"
+
+    def test_outermost_wins_ties(self):
+        """When nested work dominates, beat at the top of the outer loop."""
+        events = [("main/kernel", 50.0)] * 4 + [("main", 0.0)] * 4
+        profiles = profile_sections(events)
+        assert choose_heartbeat_section(profiles) == "main"
+
+    def test_no_repeated_section_is_an_error(self):
+        profiles = profile_sections([("startup", 5.0)])
+        with pytest.raises(InstrumentationError):
+            choose_heartbeat_section(profiles)
+
+    def test_min_entries_threshold_respected(self):
+        events = [("a", 10.0)] * 2 + [("b", 1.0)] * 5
+        profiles = profile_sections(events)
+        assert choose_heartbeat_section(profiles, min_entries=3) == "b"

@@ -1,0 +1,86 @@
+"""Tests for the Section 3 consolidation models (Eq. 20-24)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.consolidation import (
+    ConsolidationError,
+    average_power,
+    machines_required,
+    plan_consolidation,
+)
+
+
+class TestMachinesRequired:
+    def test_paper_parsec_provisioning(self):
+        """4 machines with S >= 4 consolidate to 1 (the 3/4 reduction)."""
+        assert machines_required(4, 4.0) == 1
+        assert machines_required(4, 4.5) == 1
+
+    def test_paper_swish_provisioning(self):
+        """3 machines with S ~ 1.5 consolidate to 2 (the 1/3 reduction)."""
+        assert machines_required(3, 1.5) == 2
+
+    def test_ceiling_behavior(self):
+        assert machines_required(4, 3.9) == 2
+        assert machines_required(10, 3.0) == 4
+
+    def test_unit_speedup_keeps_everything(self):
+        assert machines_required(7, 1.0) == 7
+
+    def test_never_below_one_machine(self):
+        assert machines_required(2, 100.0) == 1
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConsolidationError):
+            machines_required(0, 2.0)
+        with pytest.raises(ConsolidationError):
+            machines_required(4, 0.5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=100),
+        s=st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_consolidated_capacity_still_covers_peak(self, n, s):
+        """Equation 21's defining property: N_new * S >= N_orig."""
+        assert machines_required(n, s) * s >= n - 1e-9
+
+
+class TestAveragePower:
+    def test_equation_22(self):
+        assert average_power(4, 0.25, 220.0, 90.0) == pytest.approx(
+            4 * (0.25 * 220 + 0.75 * 90)
+        )
+
+    def test_idle_system(self):
+        assert average_power(4, 0.0, 220.0, 90.0) == pytest.approx(360.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConsolidationError):
+            average_power(-1, 0.5, 220.0, 90.0)
+        with pytest.raises(ConsolidationError):
+            average_power(1, 1.5, 220.0, 90.0)
+        with pytest.raises(ConsolidationError):
+            average_power(1, 0.5, 80.0, 90.0)
+
+
+class TestPlanConsolidation:
+    def test_savings_positive_at_typical_utilization(self):
+        plan = plan_consolidation(4, 4.0, 0.25, 220.0, 90.0)
+        assert plan.consolidated_machines == 1
+        assert plan.power_savings > 0
+
+    def test_consolidated_system_utilization_rises(self):
+        plan = plan_consolidation(4, 4.0, 0.25, 220.0, 90.0)
+        # 25% of 4 machines of work on 1 machine -> 100% utilization.
+        assert plan.consolidated_power == pytest.approx(220.0)
+
+    @given(
+        u=st.floats(min_value=0.0, max_value=1.0),
+        s=st.floats(min_value=1.0, max_value=16.0),
+    )
+    def test_savings_never_negative(self, u, s):
+        """Fewer machines at higher utilization never draw more power
+        (idle power dominates the waste)."""
+        plan = plan_consolidation(8, s, u, 220.0, 90.0)
+        assert plan.power_savings >= -1e-9

@@ -1,0 +1,158 @@
+"""Tests for the Section 3 data-center cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.consolidation import plan_consolidation
+from repro.models.costs import (
+    ConsolidationSavings,
+    CostModel,
+    CostModelError,
+    consolidation_savings,
+    deployment_cost,
+)
+
+HOURS_PER_YEAR = 8766.0
+
+
+class TestCostModel:
+    def test_defaults_are_valid(self):
+        model = CostModel()
+        assert model.pue >= 1.0
+        assert model.lifetime_years > 0
+
+    def test_energy_cost_formula(self):
+        # 1000 W IT at PUE 2.0 for 1 year at $0.10/kWh:
+        # 1000 * 2 * 8766 / 1000 * 0.10 = $1753.20.
+        model = CostModel(
+            pue=2.0, energy_price_per_kwh=0.10, lifetime_years=1.0
+        )
+        assert model.energy_cost(1000.0) == pytest.approx(1753.2)
+
+    def test_energy_cost_zero_power(self):
+        assert CostModel().energy_cost(0.0) == 0.0
+
+    def test_energy_cost_negative_power_rejected(self):
+        with pytest.raises(CostModelError):
+            CostModel().energy_cost(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"server_capital": -1.0},
+            {"provisioning_per_watt": -0.5},
+            {"pue": 0.99},
+            {"energy_price_per_kwh": -0.01},
+            {"lifetime_years": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(CostModelError):
+            CostModel(**kwargs)
+
+
+class TestDeploymentCost:
+    def test_breakdown_components(self):
+        model = CostModel(
+            server_capital=1000.0,
+            provisioning_per_watt=5.0,
+            pue=1.5,
+            energy_price_per_kwh=0.10,
+            lifetime_years=1.0,
+        )
+        cost = deployment_cost(
+            4, mean_power=400.0, peak_power=880.0, model=model
+        )
+        assert cost.server_capital == 4000.0
+        # Provisioned watts are PUE-inflated: 880 * 1.5 * $5.
+        assert cost.provisioning_capital == pytest.approx(6600.0)
+        assert cost.energy == pytest.approx(
+            400.0 * 1.5 * HOURS_PER_YEAR / 1000.0 * 0.10
+        )
+        assert cost.total == pytest.approx(
+            cost.server_capital + cost.provisioning_capital + cost.energy
+        )
+
+    def test_zero_machines(self):
+        cost = deployment_cost(0, 0.0, 0.0)
+        assert cost.total == 0.0
+
+    def test_mean_above_peak_rejected(self):
+        with pytest.raises(CostModelError):
+            deployment_cost(1, mean_power=300.0, peak_power=200.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(CostModelError):
+            deployment_cost(-1, 0.0, 0.0)
+        with pytest.raises(CostModelError):
+            deployment_cost(1, -1.0, 10.0)
+
+
+class TestConsolidationSavings:
+    def plan(self, speedup=4.0, utilization=0.25):
+        # Paper platform power levels: 220 W loaded, 90 W idle.
+        return plan_consolidation(
+            original_machines=4,
+            speedup=speedup,
+            utilization=utilization,
+            p_load=220.0,
+            p_idle=90.0,
+        )
+
+    def test_savings_positive_for_real_consolidation(self):
+        savings = consolidation_savings(self.plan(), 220.0)
+        assert savings.capital_savings > 0
+        assert savings.energy_savings > 0
+        assert savings.total_savings == pytest.approx(
+            savings.capital_savings + savings.energy_savings
+        )
+
+    def test_capital_dominates_at_low_utilization(self):
+        """The Section 3 observation: over the facility lifetime the
+        capital costs can exceed the energy costs."""
+        savings = consolidation_savings(self.plan(utilization=0.2), 220.0)
+        assert savings.capital_savings > savings.energy_savings
+
+    def test_no_speedup_no_savings(self):
+        plan = self.plan(speedup=1.0)
+        savings = consolidation_savings(plan, 220.0)
+        assert plan.consolidated_machines == plan.original_machines
+        assert savings.capital_savings == pytest.approx(0.0)
+        assert savings.total_savings == pytest.approx(0.0, abs=1e-6)
+
+    def test_invalid_peak_power(self):
+        with pytest.raises(CostModelError):
+            consolidation_savings(self.plan(), 0.0)
+
+    def test_returns_both_breakdowns(self):
+        savings = consolidation_savings(self.plan(), 220.0)
+        assert isinstance(savings, ConsolidationSavings)
+        assert savings.original.server_capital == 4 * CostModel().server_capital
+        assert savings.consolidated.server_capital == CostModel().server_capital
+
+
+@given(
+    machines=st.integers(min_value=1, max_value=64),
+    speedup=st.floats(min_value=1.0, max_value=50.0),
+    utilization=st.floats(min_value=0.0, max_value=1.0),
+    p_idle=st.floats(min_value=10.0, max_value=150.0),
+)
+def test_consolidation_never_costs_more(machines, speedup, utilization, p_idle):
+    """Property: pricing an Eq. 21 consolidation can only save money --
+    fewer machines, less provisioned power, and Eq. 22-24 guarantee the
+    smaller pool never draws more."""
+    p_load = p_idle + 100.0
+    plan = plan_consolidation(machines, speedup, utilization, p_load, p_idle)
+    savings = consolidation_savings(plan, p_load)
+    assert savings.total_savings >= -1e-6
+    assert savings.capital_savings >= -1e-6
+
+
+@given(
+    mean=st.floats(min_value=0.0, max_value=5000.0),
+    extra=st.floats(min_value=0.0, max_value=5000.0),
+    price=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_energy_cost_monotone_in_power_and_price(mean, extra, price):
+    model = CostModel(energy_price_per_kwh=price)
+    assert model.energy_cost(mean + extra) >= model.energy_cost(mean)

@@ -1,0 +1,101 @@
+"""Tests for the Section 3 DVFS energy models (Eq. 12-19)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.models.dvfs import (
+    EnergyModelError,
+    dvfs_energy_savings,
+    dvfs_times,
+    knob_dvfs_energy,
+)
+
+# Paper platform constants.
+P_NODVFS, P_DVFS, P_IDLE = 220.0, 176.0, 90.0
+
+
+class TestDvfsTimes:
+    def test_frequency_ratio_scaling(self):
+        """t2 = f_nodvfs / f_dvfs * t1 (Section 3)."""
+        assert dvfs_times(100.0, 2.4, 1.6) == pytest.approx(150.0)
+
+    def test_same_frequency_no_change(self):
+        assert dvfs_times(100.0, 2.4, 2.4) == 100.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(EnergyModelError):
+            dvfs_times(0.0, 2.4, 1.6)
+        with pytest.raises(EnergyModelError):
+            dvfs_times(1.0, 2.4, 0.0)
+
+
+class TestDvfsEnergySavings:
+    def test_equation_12_accounting(self):
+        """E_dvfs = (P_nodvfs*t1 + P_idle*t_delay) - P_dvfs*t2 (Fig. 3).
+
+        At the paper platform's powers the two strategies nearly tie
+        (savings ~100 J on a 26 kJ task) — DVFS barely pays here, which
+        is exactly why the paper adds dynamic knobs on top.
+        """
+        savings = dvfs_energy_savings(P_NODVFS, P_DVFS, P_IDLE, 100.0, 50.0)
+        assert savings == pytest.approx(
+            (220.0 * 100 + 90.0 * 50) - 176.0 * 150
+        )
+        assert savings == pytest.approx(100.0)
+
+    def test_dvfs_wins_with_low_enough_dvfs_power(self):
+        savings = dvfs_energy_savings(P_NODVFS, 140.0, P_IDLE, 100.0, 50.0)
+        assert savings > 0
+
+    def test_no_slack_means_pure_power_comparison(self):
+        savings = dvfs_energy_savings(P_NODVFS, P_DVFS, P_IDLE, 100.0, 0.0)
+        assert savings == pytest.approx(220.0 * 100 - 176.0 * 100)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(EnergyModelError):
+            dvfs_energy_savings(P_NODVFS, P_DVFS, P_IDLE, 100.0, -1.0)
+
+
+class TestKnobDvfsEnergy:
+    def test_unit_speedup_reduces_to_dvfs_only(self):
+        """S = 1: knobs change nothing, savings are zero (Eq. 19)."""
+        result = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 50.0, 1.0)
+        assert result.e_elastic == pytest.approx(result.e_dvfs)
+        assert result.savings == pytest.approx(0.0)
+
+    def test_equation_14_race_to_idle_accounting(self):
+        result = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 0.0, 2.0)
+        # t1' = 50, t_delay' = 50.
+        assert result.e1 == pytest.approx(220.0 * 50 + 90.0 * 50)
+
+    def test_equation_16_dvfs_stretch_accounting(self):
+        result = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 0.0, 2.0)
+        # t2 = 100, t2' = 50, t_delay'' = 50.
+        assert result.e2 == pytest.approx(176.0 * 50 + 90.0 * 50)
+
+    def test_elastic_takes_the_minimum(self):
+        result = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 25.0, 3.0)
+        assert result.e_elastic == pytest.approx(min(result.e1, result.e2))
+
+    @given(
+        speedup=st.floats(min_value=1.0, max_value=100.0),
+        slack=st.floats(min_value=0.0, max_value=200.0),
+    )
+    def test_knob_savings_never_negative(self, speedup, slack):
+        """Knobs only add options, so E_elastic <= E_dvfs always."""
+        result = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, slack, speedup)
+        assert result.savings >= -1e-9
+
+    @given(
+        s1=st.floats(min_value=1.0, max_value=10.0),
+        s2=st.floats(min_value=1.0, max_value=10.0),
+    )
+    def test_more_speedup_never_costs_energy(self, s1, s2):
+        lo, hi = sorted((s1, s2))
+        result_lo = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 20.0, lo)
+        result_hi = knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 20.0, hi)
+        assert result_hi.e_elastic <= result_lo.e_elastic + 1e-9
+
+    def test_invalid_speedup_rejected(self):
+        with pytest.raises(EnergyModelError):
+            knob_dvfs_energy(P_NODVFS, P_DVFS, P_IDLE, 100.0, 0.0, 0.0)

@@ -1,0 +1,194 @@
+"""Tests for the control-variable checks and the tracing driver.
+
+Uses small synthetic applications that conform to the traceable protocol,
+including deliberately broken ones that each check must reject.
+"""
+
+import pytest
+
+from repro.tracing.checks import (
+    KnobRejectionError,
+    check_consistent,
+    check_constant,
+    filter_relevant,
+    find_candidate_variables,
+)
+from repro.tracing.influence import traced
+from repro.tracing.report import render_report
+from repro.tracing.tracer import (
+    ControlVariableSet,
+    identify_control_variables,
+    trace_configuration,
+)
+from repro.tracing.variables import AddressSpace
+
+
+class WellBehavedApp:
+    """Derives two control variables from `sm`, reads both in the loop."""
+
+    def initialize(self, config, space):
+        space.write("num_trials", config["sm"] * 100)
+        space.write("block", config["sm"] // 2 + 1)
+        space.write("unrelated", 42)
+
+    def prepare(self, job):
+        return list(range(job))
+
+    def process_item(self, item, space, tracker):
+        n = space.read("num_trials")
+        b = space.read("block")
+        return int(n) + int(b)
+
+
+class ImpureApp(WellBehavedApp):
+    """Mixes the knob parameter with another config value (Pure violation)."""
+
+    def initialize(self, config, space):
+        space.write("num_trials", config["sm"] * config["other"])
+
+
+class NonConstantApp(WellBehavedApp):
+    """Writes a control variable inside the main loop (Constant violation)."""
+
+    def process_item(self, item, space, tracker):
+        n = space.read("num_trials")
+        space.write("num_trials", n + 1)
+        return int(n)
+
+
+class IrrelevantApp(WellBehavedApp):
+    """Derives a variable it never reads in the main loop."""
+
+    def initialize(self, config, space):
+        super().initialize(config, space)
+        space.write("derived_but_unused", config["sm"] + 7)
+
+
+class InconsistentApp(WellBehavedApp):
+    """Produces different control variables for different settings."""
+
+    def initialize(self, config, space):
+        space.write("num_trials", config["sm"] * 100)
+        if int(config["sm"]) > 1:
+            space.write("extra", config["sm"] * 2)
+        space.write("block", config["sm"] // 2 + 1)
+
+    def process_item(self, item, space, tracker):
+        n = space.read("num_trials")
+        b = space.read("block")
+        if "extra" in space:
+            n = n + space.read("extra")
+        return int(n) + int(b)
+
+
+class TestFindCandidates:
+    def test_finds_influenced_variables(self):
+        space = AddressSpace()
+        space.write("a", traced(5, "sm") * 2)
+        space.write("plain", 7)
+        candidates = find_candidate_variables(space, {"sm"})
+        assert candidates.names == {"a"}
+        assert candidates.influences["a"] == {"sm"}
+
+    def test_impure_variable_rejects(self):
+        space = AddressSpace()
+        space.write("a", traced(5, "sm") * traced(2, "other"))
+        with pytest.raises(KnobRejectionError) as excinfo:
+            find_candidate_variables(space, {"sm"})
+        assert excinfo.value.reason == "pure"
+        assert "other" in excinfo.value.details
+
+    def test_multi_knob_purity_ok(self):
+        space = AddressSpace()
+        space.write("a", traced(5, "sm") + traced(1, "layers"))
+        candidates = find_candidate_variables(space, {"sm", "layers"})
+        assert candidates.influences["a"] == {"sm", "layers"}
+
+
+class TestTraceConfiguration:
+    def test_well_behaved_app_yields_control_variables(self):
+        result = trace_configuration(
+            WellBehavedApp(), {"sm": 4}, {"sm"}, sample_job=5
+        )
+        assert set(result.values) == {"num_trials", "block"}
+        assert result.values["num_trials"] == 400
+        assert result.values["block"] == 3
+
+    def test_values_are_plain_not_traced(self):
+        result = trace_configuration(
+            WellBehavedApp(), {"sm": 4}, {"sm"}, sample_job=5
+        )
+        assert type(result.values["num_trials"]) is int
+
+    def test_irrelevant_variable_filtered_not_rejected(self):
+        result = trace_configuration(
+            IrrelevantApp(), {"sm": 4}, {"sm"}, sample_job=5
+        )
+        assert "derived_but_unused" not in result.values
+        assert "num_trials" in result.values
+
+    def test_impure_app_rejected(self):
+        with pytest.raises(KnobRejectionError) as excinfo:
+            trace_configuration(
+                ImpureApp(), {"sm": 4, "other": 3}, {"sm"}, sample_job=5
+            )
+        assert excinfo.value.reason == "pure"
+
+    def test_nonconstant_app_rejected(self):
+        with pytest.raises(KnobRejectionError) as excinfo:
+            trace_configuration(NonConstantApp(), {"sm": 4}, {"sm"}, sample_job=5)
+        assert excinfo.value.reason == "constant"
+
+
+class TestIdentifyControlVariables:
+    def test_records_values_for_every_configuration(self):
+        configs = [{"sm": 1}, {"sm": 2}, {"sm": 4}]
+        control = identify_control_variables(
+            WellBehavedApp, configs, {"sm"}, sample_job=5
+        )
+        assert sorted(control.names) == ["block", "num_trials"]
+        assert control.values_for({"sm": 2})["num_trials"] == 200
+        assert control.values_for({"sm": 4})["num_trials"] == 400
+
+    def test_inconsistent_app_rejected(self):
+        configs = [{"sm": 1}, {"sm": 2}]
+        with pytest.raises(KnobRejectionError) as excinfo:
+            identify_control_variables(
+                InconsistentApp, configs, {"sm"}, sample_job=5
+            )
+        assert excinfo.value.reason == "consistent"
+
+    def test_unknown_configuration_lookup_fails(self):
+        control = identify_control_variables(
+            WellBehavedApp, [{"sm": 1}], {"sm"}, sample_job=5
+        )
+        with pytest.raises(KeyError):
+            control.values_for({"sm": 99})
+
+    def test_access_sites_present(self):
+        control = identify_control_variables(
+            WellBehavedApp, [{"sm": 1}], {"sm"}, sample_job=5
+        )
+        by_name = {v.name: v for v in control.variables}
+        assert any("initialize" in s for s in by_name["num_trials"].write_sites)
+        assert any("process_item" in s for s in by_name["num_trials"].read_sites)
+
+
+class TestConsistentCheck:
+    def test_empty_rejected(self):
+        with pytest.raises(KnobRejectionError):
+            check_consistent({})
+
+
+class TestReport:
+    def test_report_lists_variables_parameters_and_sites(self):
+        control = identify_control_variables(
+            WellBehavedApp, [{"sm": 1}, {"sm": 2}], {"sm"}, sample_job=5
+        )
+        report = render_report("wellbehaved", control)
+        assert report.variable_count == 2
+        assert "num_trials" in report.text
+        assert "sm" in report.text
+        assert "initialize" in report.text
+        assert "2 parameter combination(s)" in report.text
+        assert str(report) == report.text

@@ -1,0 +1,177 @@
+"""Unit tests for value-level influence propagation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tracing.influence import (
+    TracedValue,
+    combine_influence,
+    influence_of,
+    is_traced,
+    strip,
+    traced,
+)
+
+
+class TestTracedConstruction:
+    def test_traced_int(self):
+        value = traced(5, "sm")
+        assert value.value == 5
+        assert value.influence == {"sm"}
+
+    def test_traced_float(self):
+        value = traced(2.5, "qp")
+        assert value.value == 2.5
+
+    def test_traced_list_wraps_elements(self):
+        values = traced([1, 2, 3], "layers")
+        assert all(isinstance(v, TracedValue) for v in values)
+        assert influence_of(values) == {"layers"}
+
+    def test_traced_tuple_wraps_elements(self):
+        values = traced((1.0, 2.0), "p")
+        assert isinstance(values, tuple)
+        assert influence_of(values) == {"p"}
+
+    def test_retracing_merges_influence(self):
+        value = traced(traced(5, "a"), "b")
+        assert value.influence == {"a", "b"}
+
+    def test_untraceable_types_rejected(self):
+        with pytest.raises(TypeError):
+            traced("text", "p")
+        with pytest.raises(TypeError):
+            traced(True, "p")
+
+
+class TestArithmeticPropagation:
+    def test_binary_ops_union_influence(self):
+        a = traced(6, "x")
+        b = traced(3, "y")
+        assert (a + b).influence == {"x", "y"}
+        assert (a - b).value == 3
+        assert (a * b).value == 18
+        assert (a / b).value == 2.0
+        assert (a // b).value == 2
+        assert (a % b).value == 0
+        assert (a ** b).value == 216
+
+    def test_mixed_with_plain_operands(self):
+        a = traced(10, "x")
+        assert (a + 5).influence == {"x"}
+        assert (5 + a).influence == {"x"}
+        assert (a * 2).value == 20
+        assert (100 / a).value == 10.0
+        assert (100 // a).value == 10
+        assert (100 - a).value == 90
+        assert (3 % a).value == 3
+        assert (2 ** a).value == 1024
+
+    def test_unary_ops_keep_influence(self):
+        a = traced(-4, "x")
+        assert (-a).value == 4 and (-a).influence == {"x"}
+        assert abs(a).value == 4
+        assert (+a).value == -4
+
+    def test_rounding_family(self):
+        a = traced(2.7, "x")
+        assert round(a).value == 3
+        assert math.floor(a).value == 2
+        assert math.ceil(a).value == 3
+        assert math.trunc(a).value == 2
+        assert math.floor(a).influence == {"x"}
+
+    def test_chained_derivation_accumulates(self):
+        sm = traced(1000, "sm")
+        derived = (sm * 2 + 10) // 3
+        assert derived.value == (1000 * 2 + 10) // 3
+        assert derived.influence == {"sm"}
+
+    @given(
+        a=st.integers(min_value=-1000, max_value=1000),
+        b=st.integers(min_value=1, max_value=1000),
+    )
+    def test_traced_arithmetic_matches_plain(self, a, b):
+        ta, tb = traced(a, "a"), traced(b, "b")
+        assert (ta + tb).value == a + b
+        assert (ta * tb).value == a * b
+        assert (ta - tb).value == a - b
+        assert (ta // tb).value == a // b
+        assert (ta % tb).value == a % b
+
+    @given(
+        a=st.floats(min_value=-1e6, max_value=1e6),
+        b=st.floats(min_value=0.001, max_value=1e6),
+    )
+    def test_influence_union_property(self, a, b):
+        ta, tb = traced(a, "a"), traced(b, "b")
+        for result in (ta + tb, ta * tb, ta / tb, ta - tb):
+            assert result.influence == {"a", "b"}
+
+
+class TestControlFlowBoundary:
+    def test_comparisons_return_plain_bool(self):
+        """Control-flow influence is untracked, as in the paper."""
+        a = traced(5, "x")
+        assert isinstance(a > 3, bool)
+        assert (a > 3) is True
+        assert (a == 5) is True
+        assert (a != 5) is False
+        assert (a <= 5) is True
+        assert (a >= 6) is False
+        assert (a < 6) is True
+
+    def test_bool_conversion(self):
+        assert bool(traced(1, "x")) is True
+        assert bool(traced(0, "x")) is False
+
+    def test_index_usable_in_range(self):
+        a = traced(3, "n")
+        assert list(range(a)) == [0, 1, 2]
+
+    def test_index_rejects_floats(self):
+        with pytest.raises(TypeError):
+            range(traced(2.5, "n"))
+
+    def test_min_with_preserves_influence(self):
+        a = traced(5, "x")
+        result = a.min_with(2)
+        assert result.value == 2
+        assert result.influence == {"x"}
+
+    def test_max_with_preserves_influence(self):
+        a = traced(5, "x")
+        result = a.max_with(9)
+        assert result.value == 9
+        assert result.influence == {"x"}
+
+
+class TestHelpers:
+    def test_strip_recurses(self):
+        nested = [traced(1, "a"), (traced(2, "b"), 3)]
+        assert strip(nested) == [1, (2, 3)]
+
+    def test_influence_of_plain_is_empty(self):
+        assert influence_of(42) == frozenset()
+        assert influence_of("text") == frozenset()
+
+    def test_influence_of_mixed_list(self):
+        assert influence_of([traced(1, "a"), 2, traced(3, "b")]) == {"a", "b"}
+
+    def test_is_traced(self):
+        assert is_traced(traced(1, "a"))
+        assert not is_traced(1)
+        assert not is_traced(TracedValue(1, ()))
+
+    def test_combine_influence(self):
+        assert combine_influence(traced(1, "a"), 2, traced(3, "b")) == {"a", "b"}
+
+    def test_conversions_drop_wrapper(self):
+        assert int(traced(5, "x")) == 5
+        assert float(traced(5, "x")) == 5.0
+        assert isinstance(int(traced(5, "x")), int)
+
+    def test_hash_matches_value(self):
+        assert hash(traced(5, "x")) == hash(5)

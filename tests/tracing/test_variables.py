@@ -1,0 +1,119 @@
+"""Unit tests for the logged application address space."""
+
+import pytest
+
+from repro.tracing.influence import traced
+from repro.tracing.variables import AddressSpace, AddressSpaceError, Phase
+
+
+class TestBasicStore:
+    def test_write_then_read(self):
+        space = AddressSpace()
+        space.write("n", 5)
+        assert space.read("n") == 5
+
+    def test_unknown_read_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            AddressSpace().read("missing")
+
+    def test_unknown_poke_rejected(self):
+        """The runtime can only poke variables the application created."""
+        with pytest.raises(AddressSpaceError):
+            AddressSpace().poke("missing", 1)
+
+    def test_peek_does_not_log(self):
+        space = AddressSpace()
+        space.write("n", 5)
+        space.peek("n")
+        assert space.reads == []
+
+    def test_names_in_insertion_order(self):
+        space = AddressSpace()
+        space.write("b", 1)
+        space.write("a", 2)
+        assert space.names() == ["b", "a"]
+
+    def test_contains_len_iter(self):
+        space = AddressSpace()
+        space.write("x", 1)
+        assert "x" in space and "y" not in space
+        assert len(space) == 1
+        assert list(space) == ["x"]
+
+
+class TestPhaseLogging:
+    def test_startup_phase_until_first_heartbeat(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        assert space.writes[0].phase is Phase.STARTUP
+        space.mark_first_heartbeat()
+        space.write("m", 2)
+        assert space.writes[1].phase is Phase.MAIN
+
+    def test_mark_is_idempotent(self):
+        space = AddressSpace()
+        space.mark_first_heartbeat()
+        space.mark_first_heartbeat()
+        assert space.phase is Phase.MAIN
+
+    def test_reads_of_filters_by_phase(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        space.read("n")
+        space.mark_first_heartbeat()
+        space.read("n")
+        assert len(space.reads_of("n")) == 2
+        assert len(space.reads_of("n", Phase.MAIN)) == 1
+        assert len(space.reads_of("n", Phase.STARTUP)) == 1
+
+    def test_writes_of_filters_by_phase(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        space.mark_first_heartbeat()
+        space.write("n", 2)
+        assert len(space.writes_of("n", Phase.MAIN)) == 1
+
+    def test_access_sites_recorded(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        site = space.writes[0].site
+        assert "test_variables" in site
+
+    def test_logging_can_be_disabled(self):
+        space = AddressSpace(log_accesses=False)
+        space.write("n", 1)
+        space.read("n")
+        assert space.reads == [] and space.writes == []
+
+
+class TestPokes:
+    def test_poke_changes_value_without_application_write(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        space.mark_first_heartbeat()
+        space.poke("n", 9)
+        assert space.read("n") == 9
+        assert space.writes_of("n", Phase.MAIN) == []
+        assert len(space.pokes) == 1
+
+    def test_poke_site_is_runtime(self):
+        space = AddressSpace()
+        space.write("n", 1)
+        space.poke("n", 2)
+        assert space.pokes[0].site == "powerdial.runtime"
+
+
+class TestSnapshots:
+    def test_snapshot_strips_tracing(self):
+        space = AddressSpace()
+        space.write("n", traced(5, "sm"))
+        space.write("v", [traced(1, "sm"), 2])
+        assert space.snapshot() == {"n": 5, "v": [1, 2]}
+
+    def test_influence_map(self):
+        space = AddressSpace()
+        space.write("n", traced(5, "sm"))
+        space.write("plain", 7)
+        influence = space.influence_map()
+        assert influence["n"] == {"sm"}
+        assert influence["plain"] == frozenset()
