@@ -4,6 +4,9 @@ Every benchmark regenerates one paper artifact (table or figure) at PAPER
 scale, asserts its headline shape, and emits the paper-style rows both to
 stdout and to ``benchmarks/output/<artifact>.txt`` so the regenerated
 artifacts persist after the run.
+
+Everything under ``benchmarks/`` is marked ``slow``: the fast tier
+(``pytest -m "not slow"``) runs the unit and tiny-scale tests only.
 """
 
 from __future__ import annotations
@@ -13,6 +16,14 @@ from pathlib import Path
 import pytest
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every paper-scale benchmark as slow."""
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture()

@@ -13,10 +13,23 @@ Settings are applied by *poking recorded control-variable values into the
 application's address space* — the application is never told its knobs
 moved; its main loop simply reads different values, exactly the paper's
 mechanism.
+
+The runtime is resumable: :meth:`PowerDialRuntime.begin` arms a run,
+:meth:`PowerDialRuntime.step` advances it one control quantum at a time,
+and :meth:`PowerDialRuntime.finish` collects the :class:`RunResult`.
+:meth:`PowerDialRuntime.run` is a thin loop over ``step`` and keeps the
+original one-shot semantics.  Between steps a host may feed new jobs
+(:meth:`PowerDialRuntime.feed`), inject events
+(:meth:`PowerDialRuntime.inject`), or run *other* instances on the same
+machine — which is how :mod:`repro.datacenter` cooperatively schedules
+many live PowerDial instances on shared hardware.
 """
 
 from __future__ import annotations
 
+import enum
+import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -28,7 +41,13 @@ from repro.heartbeats.api import HeartbeatMonitor
 from repro.hardware.machine import Machine
 from repro.tracing.variables import AddressSpace
 
-__all__ = ["RuntimeEvent", "RuntimeSample", "RunResult", "PowerDialRuntime"]
+__all__ = [
+    "RuntimeEvent",
+    "RuntimeSample",
+    "RunResult",
+    "StepStatus",
+    "PowerDialRuntime",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +64,30 @@ class RuntimeEvent:
     at_beat: int
     action: Callable[[Machine], None]
     label: str = "event"
+
+
+class StepStatus(enum.Enum):
+    """What one :meth:`PowerDialRuntime.step` call accomplished.
+
+    ``RAN`` — the runtime advanced through (about) one control quantum,
+    closing the loop at the boundary.  ``STARVED`` — the job queue is
+    empty but input is still open; the clock did not move, and the host
+    should feed work or idle the machine.  ``FINISHED`` — input is closed
+    and every job has been processed; :meth:`PowerDialRuntime.finish` may
+    now be called.
+    """
+
+    RAN = "ran"
+    STARVED = "starved"
+    FINISHED = "finished"
+
+
+@dataclass(frozen=True)
+class _PendingJob:
+    """A queued job and the completion callback of its submitter."""
+
+    job: Any
+    on_complete: Callable[[float], None] | None = None
 
 
 @dataclass(frozen=True)
@@ -185,6 +228,12 @@ class PowerDialRuntime:
         )
         self.space = AddressSpace(log_accesses=False)
         self._current_setting: KnobSetting | None = None
+        self._job_queue: deque[_PendingJob] = deque()
+        self._event_heap: list[tuple[int, int, RuntimeEvent]] = []
+        self._event_seq = 0
+        self._input_closed = False
+        self._stepper: Any = None
+        self._result: RunResult | None = None
 
     # ------------------------------------------------------------------
     def _apply_setting(self, setting: KnobSetting) -> None:
@@ -212,23 +261,107 @@ class PowerDialRuntime:
         return self.actuator.plan(speedup)
 
     # ------------------------------------------------------------------
-    def run(
+    # Resumable execution API
+    # ------------------------------------------------------------------
+    def begin(
         self,
-        jobs: Sequence[Any],
+        jobs: Sequence[Any] = (),
         events: Sequence[RuntimeEvent] = (),
-    ) -> RunResult:
-        """Run ``jobs`` to completion under dynamic-knob control."""
-        app, machine, monitor = self.app, self.machine, self.monitor
+    ) -> None:
+        """Arm a new controlled run without executing anything yet.
+
+        Resets the application, monitor, and controller; queues ``jobs``
+        and ``events``.  Further jobs may be supplied with :meth:`feed`
+        until :meth:`close_input` is called, and events injected with
+        :meth:`inject` at any point while the run is live.
+        """
+        app = self.app
         app.reset()
-        monitor.reset()
+        self.monitor.reset()
         self.controller.reset()
         self.space = AddressSpace(log_accesses=False)
         app.initialize(self.table.baseline.configuration.as_dict(), self.space)
         self._current_setting = None
         self._apply_setting(self.table.baseline)
+        self._job_queue = deque(_PendingJob(job) for job in jobs)
+        self._event_heap = []
+        self._event_seq = 0
+        self._input_closed = False
+        self._result = None
+        self._stepper = self._stepping()
+        for event in events:
+            self.inject(event)
 
-        pending = sorted(events, key=lambda e: e.at_beat)
-        event_index = 0
+    def feed(
+        self,
+        job: Any,
+        on_complete: Callable[[float], None] | None = None,
+    ) -> None:
+        """Queue one more job on a live run.
+
+        ``on_complete`` (if given) is called with the machine's virtual
+        time when the job's last item has been processed — the completion
+        hook request-driven hosts use to measure per-job latency.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before feed()")
+        if self._input_closed:
+            raise RuntimeError("cannot feed jobs after close_input()")
+        self._job_queue.append(_PendingJob(job, on_complete))
+
+    def close_input(self) -> None:
+        """Declare the job stream complete; step() drains what remains."""
+        self._input_closed = True
+
+    def inject(self, event: RuntimeEvent) -> None:
+        """Schedule an event on a live run (dispatched by beat count).
+
+        Events whose ``at_beat`` is already in the past fire before the
+        next processed item, matching the dispatch rule of :meth:`run`.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before inject()")
+        heapq.heappush(
+            self._event_heap, (event.at_beat, self._event_seq, event)
+        )
+        self._event_seq += 1
+
+    @property
+    def pending_jobs(self) -> int:
+        """Jobs queued but not yet started (admission-control signal)."""
+        return len(self._job_queue)
+
+    @property
+    def finished(self) -> bool:
+        """True once the run has drained and the result is available."""
+        return self._result is not None
+
+    def step(self) -> StepStatus:
+        """Advance the run by (about) one control quantum.
+
+        Returns :data:`StepStatus.RAN` after crossing a quantum boundary,
+        :data:`StepStatus.STARVED` when the queue is empty but input is
+        still open (the clock does not move), and
+        :data:`StepStatus.FINISHED` once everything has been processed.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before step()")
+        try:
+            return next(self._stepper)
+        except StopIteration:
+            return StepStatus.FINISHED
+
+    def finish(self) -> RunResult:
+        """Return the completed run's :class:`RunResult`."""
+        if self._result is None:
+            raise RuntimeError(
+                "run not finished — drain step() until FINISHED first"
+            )
+        return self._result
+
+    def _stepping(self):
+        """The run loop as a generator, yielding at quantum boundaries."""
+        app, machine, monitor = self.app, self.machine, self.monitor
         # "We heuristically establish the time quantum as the time required
         # to process twenty heartbeats" — at the target rate, so it is a
         # fixed time window of quantum_beats / g seconds.
@@ -244,24 +377,37 @@ class PowerDialRuntime:
         first_beat_time: float | None = None
         threads = app.threads()
 
-        for job in jobs:
+        while True:
+            if not self._job_queue:
+                if self._input_closed:
+                    break
+                stalled_at = machine.now
+                yield StepStatus.STARVED
+                if machine.now > stalled_at:
+                    # The host idled the machine (or ran co-tenants) while
+                    # we were starved; restart the quantum so the gap is
+                    # not billed to this instance as slowness.
+                    quantum_start = machine.now
+                    beats_in_quantum = 0
+                continue
+            pending_job = self._job_queue.popleft()
             outputs: list[Any] = []
-            for item in app.prepare(job):
+            for item in app.prepare(pending_job.job):
                 # External events (power caps, load changes).
                 while (
-                    event_index < len(pending)
-                    and pending[event_index].at_beat <= monitor.count
+                    self._event_heap
+                    and self._event_heap[0][0] <= monitor.count
                 ):
-                    pending[event_index].action(machine)
-                    event_index += 1
+                    heapq.heappop(self._event_heap)[2].action(machine)
 
-                # Quantum boundary: close the loop.
+                # Quantum boundary: close the loop, then yield the machine.
                 if machine.now - quantum_start >= quantum_duration:
                     plan = self._replan(
                         beats_in_quantum, machine.now - quantum_start
                     )
                     quantum_start = machine.now
                     beats_in_quantum = 0
+                    yield StepStatus.RAN
 
                 # Locate ourselves inside the quantum and pick the setting.
                 fraction = (machine.now - quantum_start) / quantum_duration
@@ -275,6 +421,7 @@ class PowerDialRuntime:
                     )
                     quantum_start = machine.now
                     beats_in_quantum = 0
+                    yield StepStatus.RAN
                     setting = plan.setting_at(0.0)
                     if setting is None:  # pragma: no cover - plans run first
                         setting = self.table.fastest
@@ -308,6 +455,8 @@ class PowerDialRuntime:
                 )
                 settings_used.append(setting)
             outputs_by_job.append(outputs)
+            if pending_job.on_complete is not None:
+                pending_job.on_complete(machine.now)
 
         elapsed = 0.0
         if first_beat_time is not None:
@@ -316,7 +465,7 @@ class PowerDialRuntime:
             mean_power: float | None = machine.meter.mean_power()
         except Exception:
             mean_power = None
-        return RunResult(
+        self._result = RunResult(
             samples=samples,
             outputs_by_job=outputs_by_job,
             settings_used=settings_used,
@@ -324,3 +473,20 @@ class PowerDialRuntime:
             energy_joules=machine.meter.energy_joules,
             elapsed=elapsed,
         )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[Any],
+        events: Sequence[RuntimeEvent] = (),
+    ) -> RunResult:
+        """Run ``jobs`` to completion under dynamic-knob control.
+
+        A thin loop over the resumable API: ``begin``, drain ``step``,
+        ``finish``.
+        """
+        self.begin(jobs, events)
+        self.close_input()
+        while self.step() is not StepStatus.FINISHED:
+            pass
+        return self.finish()

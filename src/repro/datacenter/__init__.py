@@ -1,0 +1,92 @@
+"""Event-driven datacenter serving: many PowerDial instances, one budget.
+
+The paper evaluates PowerDial one instance at a time (§5.4 power capping)
+or through a closed-form cluster model (§5.5 consolidation).  This
+package is the shared-infrastructure layer between those two views: a
+discrete-event simulation of N live, interleaved PowerDial-controlled
+instances on M machines, serving open per-tenant request streams under a
+single facility power budget.
+
+Module map:
+
+* :mod:`~repro.datacenter.engine` — the discrete-event core: a global
+  event queue (arrivals, arbiter ticks) interleaving per-machine virtual
+  clocks; cooperative round-robin scheduling of instances via the
+  runtime's resumable ``step()`` API; per-request latency accounting.
+* :mod:`~repro.datacenter.traffic` — open-loop arrival traces: Poisson,
+  diurnal, bursty, and epoch profiles reusing
+  :class:`~repro.cluster.workload.LoadProfile`.
+* :mod:`~repro.datacenter.tenants` — tenant specs, latency SLAs,
+  admission control limits, and attainment accounting.
+* :mod:`~repro.datacenter.arbiter` — the hierarchical power arbiter:
+  global budget -> per-machine DVFS caps -> each instance's existing
+  heartbeat controller, with periodic reallocation toward SLA-violating
+  tenants.
+* :mod:`~repro.datacenter.service` — a lightweight knobbed service
+  application whose calibrated trade-off space is exactly predictable,
+  so datacenter sweeps stay fast.
+"""
+
+from repro.datacenter.arbiter import (
+    ArbiterError,
+    ArbiterPolicy,
+    PowerArbiter,
+    frequency_for_cap,
+    machine_cap_ceiling,
+    machine_cap_floor,
+)
+from repro.datacenter.engine import (
+    DatacenterEngine,
+    DatacenterResult,
+    EngineError,
+    InstanceBinding,
+)
+from repro.datacenter.service import (
+    ServiceApp,
+    request_stream,
+    service_training_jobs,
+)
+from repro.datacenter.tenants import (
+    CompletedRequest,
+    LatencySLA,
+    TenantError,
+    TenantReport,
+    TenantSpec,
+    TenantStats,
+)
+from repro.datacenter.traffic import (
+    TrafficError,
+    TrafficTrace,
+    burst_trace,
+    diurnal_trace,
+    poisson_trace,
+    profile_trace,
+)
+
+__all__ = [
+    "ArbiterError",
+    "ArbiterPolicy",
+    "PowerArbiter",
+    "frequency_for_cap",
+    "machine_cap_ceiling",
+    "machine_cap_floor",
+    "DatacenterEngine",
+    "DatacenterResult",
+    "EngineError",
+    "InstanceBinding",
+    "ServiceApp",
+    "request_stream",
+    "service_training_jobs",
+    "CompletedRequest",
+    "LatencySLA",
+    "TenantError",
+    "TenantReport",
+    "TenantSpec",
+    "TenantStats",
+    "TrafficError",
+    "TrafficTrace",
+    "burst_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "profile_trace",
+]

@@ -1,0 +1,184 @@
+"""Hierarchical power-budget arbitration: budget -> machine caps -> DVFS.
+
+The top of the three-level hierarchy the datacenter subsystem runs:
+
+1. **Global budget** — a facility power budget in watts, fixed for the
+   run (a circuit limit, or a demand-response commitment).
+2. **Per-machine caps** — every arbitration period the arbiter divides
+   the budget into per-machine caps and enforces each cap with DVFS,
+   exactly the mechanism of the paper's §5.4 power-capping study: a cap
+   maps to the fastest P-state whose full-load system power stays under
+   it, so the cap holds even if the machine saturates.
+3. **Per-instance heartbeat control** — each instance's existing
+   PowerDial controller observes the resulting slowdown through its
+   heart rate and spends dynamic-knob speedup (QoS loss) to compensate.
+   The arbiter never talks to instances; the knob layer reacts to the
+   hardware it is given, as in the paper.
+
+Under :data:`ArbiterPolicy.STATIC_EQUAL` the budget is split evenly — the
+baseline a shared cluster without runtime knowledge would use.  Under
+:data:`ArbiterPolicy.SLA_AWARE` each machine's share grows with the SLA
+shortfall of its resident tenants, shifting watts toward violating
+tenants at the expense of machines with headroom (whose tenants fall
+back on their knobs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.hardware.machine import Machine
+
+__all__ = [
+    "ArbiterError",
+    "ArbiterPolicy",
+    "machine_cap_floor",
+    "machine_cap_ceiling",
+    "frequency_for_cap",
+    "PowerArbiter",
+]
+
+
+class ArbiterError(ValueError):
+    """Raised for invalid arbitration configuration."""
+
+
+class ArbiterPolicy(enum.Enum):
+    """How the global budget is divided across machines."""
+
+    STATIC_EQUAL = "static-equal"
+    SLA_AWARE = "sla-aware"
+
+
+def machine_cap_floor(machine: Machine) -> float:
+    """Lowest enforceable cap: full-load power in the slowest P-state.
+
+    Machines stay powered on (the paper's testbed never powers servers
+    off), so no DVFS setting can guarantee less than this under load.
+    """
+    slowest = machine.processor.pstates[-1]
+    return machine.power_model.power(
+        1.0,
+        slowest,
+        machine.processor.max_frequency_ghz,
+        machine.processor.pstates[0].voltage,
+    )
+
+
+def machine_cap_ceiling(machine: Machine) -> float:
+    """Full-load power in the fastest P-state; caps above this are slack."""
+    fastest = machine.processor.pstates[0]
+    return machine.power_model.power(
+        1.0,
+        fastest,
+        machine.processor.max_frequency_ghz,
+        machine.processor.pstates[0].voltage,
+    )
+
+
+def frequency_for_cap(machine: Machine, cap_watts: float) -> float:
+    """The fastest frequency whose full-load power respects ``cap_watts``.
+
+    Falls back to the slowest P-state when the cap is below the floor
+    (the machine cannot do better while staying on).
+    """
+    processor = machine.processor
+    v_max = processor.pstates[0].voltage
+    for pstate in processor.pstates:  # ordered fastest first
+        watts = machine.power_model.power(
+            1.0, pstate, processor.max_frequency_ghz, v_max
+        )
+        if watts <= cap_watts + 1e-9:
+            return pstate.frequency_ghz
+    return processor.pstates[-1].frequency_ghz
+
+
+class PowerArbiter:
+    """Divides a global power budget into enforceable per-machine caps.
+
+    Args:
+        budget_watts: The global budget.  Must be at least the sum of
+            the machines' cap floors — machines cannot be pushed below
+            their slowest P-state's full-load power.
+        machines: The machine pool being arbitrated.
+        policy: Allocation policy; see :class:`ArbiterPolicy`.
+        gain: SLA-aware sensitivity — a machine with aggregate shortfall
+            ``v`` bids weight ``1 + gain * v``, so ``gain`` watts-per-
+            violation steers how aggressively the budget chases SLAs.
+    """
+
+    def __init__(
+        self,
+        budget_watts: float,
+        machines: Sequence[Machine],
+        policy: ArbiterPolicy = ArbiterPolicy.SLA_AWARE,
+        gain: float = 8.0,
+    ) -> None:
+        if not machines:
+            raise ArbiterError("arbiter needs at least one machine")
+        if gain < 0:
+            raise ArbiterError(f"gain must be >= 0, got {gain!r}")
+        self.machines = list(machines)
+        self.policy = policy
+        self.gain = gain
+        self.floors = [machine_cap_floor(m) for m in self.machines]
+        self.ceilings = [machine_cap_ceiling(m) for m in self.machines]
+        if budget_watts < sum(self.floors) - 1e-9:
+            raise ArbiterError(
+                f"budget {budget_watts!r} W is below the pool's floor "
+                f"{sum(self.floors):.1f} W ({len(self.machines)} machines "
+                "pinned to their slowest P-state)"
+            )
+        self.budget_watts = float(budget_watts)
+
+    def allocate(self, violation_scores: Sequence[float]) -> list[float]:
+        """Compute per-machine caps summing to at most the budget.
+
+        ``violation_scores`` gives each machine's aggregate SLA shortfall
+        (>= 0; the engine sums its resident tenants' shortfalls).  Every
+        machine is guaranteed its floor; the surplus is divided equally
+        (STATIC_EQUAL) or by violation-weighted bidding (SLA_AWARE), and
+        shares beyond a machine's ceiling cascade to the others.
+        """
+        if len(violation_scores) != len(self.machines):
+            raise ArbiterError(
+                f"expected {len(self.machines)} scores, got "
+                f"{len(violation_scores)!r}"
+            )
+        if any(score < 0 for score in violation_scores):
+            raise ArbiterError("violation scores must be >= 0")
+        if self.policy is ArbiterPolicy.STATIC_EQUAL:
+            weights = [1.0] * len(self.machines)
+        else:
+            weights = [1.0 + self.gain * score for score in violation_scores]
+
+        caps = list(self.floors)
+        surplus = self.budget_watts - sum(self.floors)
+        open_set = set(range(len(self.machines)))
+        # Water-fill: machines that hit their ceiling return the excess.
+        while surplus > 1e-9 and open_set:
+            total_weight = sum(weights[i] for i in open_set)
+            granted = 0.0
+            saturated = []
+            for i in open_set:
+                share = surplus * weights[i] / total_weight
+                headroom = self.ceilings[i] - caps[i]
+                take = min(share, headroom)
+                caps[i] += take
+                granted += take
+                if headroom - take <= 1e-9:
+                    saturated.append(i)
+            open_set.difference_update(saturated)
+            surplus -= granted
+            if granted <= 1e-9:
+                break
+        return caps
+
+    def apply(self, violation_scores: Sequence[float]) -> list[float]:
+        """Allocate and enforce caps via DVFS; returns the caps."""
+        caps = self.allocate(violation_scores)
+        for machine, cap in zip(self.machines, caps):
+            machine.set_frequency(frequency_for_cap(machine, cap))
+        return caps

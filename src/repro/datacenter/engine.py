@@ -1,0 +1,319 @@
+"""Event-driven interleaving of many live PowerDial instances.
+
+The engine hosts N controlled application instances on M simulated
+machines and drives them with open-loop request arrivals.  It is a
+discrete-event simulation in *two* layers of virtual time:
+
+* a global event queue (arrivals, arbiter ticks) in facility time;
+* each machine's own :class:`~repro.hardware.clock.VirtualClock`, which
+  advances as its resident instances execute work.
+
+Between consecutive global events every machine runs its instances
+cooperatively — round-robin, one control quantum per
+:meth:`~repro.core.runtime.PowerDialRuntime.step` — until its clock
+catches up with the event time; a machine with nothing runnable idles
+(its power meter sees the idle floor).  Because co-resident instances
+share one clock, contention emerges naturally: while one instance holds
+the machine, its neighbors' heart rates sag, their controllers command
+speedup, and their dynamic knobs absorb the oversubscription — the §5.5
+mechanism, now under interleaved, bursty, multi-tenant traffic.
+
+Completion times are measured on the machine clock against global
+arrival times, giving end-to-end request latencies for the tenant SLA
+accounting; the :class:`~repro.datacenter.arbiter.PowerArbiter` (when
+present) reallocates the facility power budget every period toward
+machines whose tenants are missing their SLAs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
+from repro.datacenter.arbiter import PowerArbiter
+from repro.datacenter.tenants import TenantReport, TenantSpec, TenantStats
+from repro.hardware.machine import Machine
+
+__all__ = ["EngineError", "InstanceBinding", "DatacenterResult", "DatacenterEngine"]
+
+_ARRIVAL = 0
+_ARBITER = 1
+
+
+class EngineError(ValueError):
+    """Raised for invalid engine configuration or usage."""
+
+
+@dataclass
+class InstanceBinding:
+    """One tenant's live instance placed on one machine.
+
+    Attributes:
+        tenant: The tenant being served.
+        runtime: Its PowerDial runtime, bound to the host machine.
+        machine_index: Index of that machine in the engine's pool.
+    """
+
+    tenant: TenantSpec
+    runtime: PowerDialRuntime
+    machine_index: int
+    stats: TenantStats = field(default_factory=TenantStats)
+    starved: bool = False
+    finished: bool = False
+    next_request: int = 0
+
+
+@dataclass
+class DatacenterResult:
+    """Everything observed during one datacenter run.
+
+    Attributes:
+        tenant_reports: Per-tenant SLA summaries, in binding order.
+        run_results: Each instance's full :class:`RunResult`, by tenant.
+            Note that ``mean_power``/``energy_joules`` inside a
+            RunResult come from the *shared* machine meter: co-resident
+            tenants all report the whole machine's draw (per-tenant
+            energy attribution is a roadmap item); use
+            ``machine_mean_power``/``total_energy_joules`` for pool
+            accounting.
+        machine_mean_power: Mean measured watts per machine.
+        total_energy_joules: Integrated energy across the pool.
+        makespan: Latest machine virtual time at the end of the run.
+        budget_watts: The arbitrated global budget (None when uncapped).
+        cap_history: ``(time, per-machine caps)`` per arbitration.
+    """
+
+    tenant_reports: list[TenantReport]
+    run_results: dict[str, RunResult]
+    machine_mean_power: list[float]
+    total_energy_joules: float
+    makespan: float
+    budget_watts: float | None
+    cap_history: list[tuple[float, tuple[float, ...]]]
+
+    @property
+    def total_mean_power(self) -> float:
+        """Sum of the machines' mean power draws."""
+        return sum(self.machine_mean_power)
+
+    def report_for(self, tenant_name: str) -> TenantReport:
+        """Look up one tenant's report by name."""
+        for report in self.tenant_reports:
+            if report.name == tenant_name:
+                return report
+        raise EngineError(f"no tenant named {tenant_name!r}")
+
+    def slas_met(self) -> int:
+        """How many tenants attained their SLA."""
+        return sum(1 for report in self.tenant_reports if report.sla_met)
+
+
+class _Host:
+    """Engine-side view of one machine and its resident instances."""
+
+    def __init__(self, machine: Machine, instances: list[InstanceBinding]):
+        self.machine = machine
+        self.instances = instances
+        self._rr = 0
+
+    def next_runnable(self) -> InstanceBinding | None:
+        """Round-robin over instances that can make progress."""
+        for offset in range(len(self.instances)):
+            index = (self._rr + offset) % len(self.instances)
+            instance = self.instances[index]
+            if not instance.finished and not instance.starved:
+                self._rr = index + 1
+                return instance
+        return None
+
+
+class DatacenterEngine:
+    """Runs a multi-tenant, multi-machine scenario to completion.
+
+    Args:
+        machines: The machine pool (each with its own clock and meter).
+        bindings: Tenant instances placed on those machines; every
+            binding's runtime must execute on ``machines[machine_index]``.
+        arbiter: Optional power arbiter over the same pool.  Applied at
+            time zero and then every ``arbiter_period`` seconds.
+        arbiter_period: Seconds between budget reallocations.
+        attainment_window: Lookback horizon for the per-tick SLA
+            attainment signal fed to the arbiter.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[Machine],
+        bindings: Sequence[InstanceBinding],
+        arbiter: PowerArbiter | None = None,
+        arbiter_period: float = 10.0,
+        attainment_window: float = 20.0,
+    ) -> None:
+        if not machines:
+            raise EngineError("engine needs at least one machine")
+        if not bindings:
+            raise EngineError("engine needs at least one tenant instance")
+        if arbiter_period <= 0 or attainment_window <= 0:
+            raise EngineError("arbiter period and window must be positive")
+        names = [binding.tenant.name for binding in bindings]
+        if len(set(names)) != len(names):
+            raise EngineError(f"tenant names must be unique, got {names!r}")
+        for binding in bindings:
+            if not 0 <= binding.machine_index < len(machines):
+                raise EngineError(
+                    f"machine index {binding.machine_index!r} out of range"
+                )
+            if binding.runtime.machine is not machines[binding.machine_index]:
+                raise EngineError(
+                    f"tenant {binding.tenant.name!r}'s runtime is not bound "
+                    f"to machine {binding.machine_index}"
+                )
+        if arbiter is not None and list(arbiter.machines) != list(machines):
+            raise EngineError("arbiter must manage the engine's machine pool")
+        self.machines = list(machines)
+        self.bindings = list(bindings)
+        self.arbiter = arbiter
+        self.arbiter_period = arbiter_period
+        self.attainment_window = attainment_window
+        self.hosts = [
+            _Host(machine, [b for b in self.bindings if b.machine_index == i])
+            for i, machine in enumerate(self.machines)
+        ]
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def _advance(self, host: _Host, until: float) -> None:
+        """Run ``host`` cooperatively until its clock reaches ``until``."""
+        while host.machine.now < until - 1e-12:
+            instance = host.next_runnable()
+            if instance is None:
+                host.machine.idle_until(until)
+                return
+            status = instance.runtime.step()
+            if status is StepStatus.STARVED:
+                instance.starved = True
+            elif status is StepStatus.FINISHED:
+                instance.finished = True
+
+    def _drain(self, host: _Host) -> None:
+        """Run every resident instance to completion (input closed)."""
+        while True:
+            unfinished = [i for i in host.instances if not i.finished]
+            if not unfinished:
+                return
+            for instance in unfinished:
+                if instance.runtime.step() is StepStatus.FINISHED:
+                    instance.finished = True
+
+    def _violation_scores(self, now: float) -> list[float]:
+        """Aggregate per-machine SLA shortfall for the arbiter."""
+        scores = [0.0] * len(self.machines)
+        since = now - self.attainment_window
+        for binding in self.bindings:
+            sla = binding.tenant.sla
+            attainment = binding.stats.recent_attainment(
+                sla.latency_bound, since, now
+            )
+            if attainment is None:
+                # Nothing completed: fully violating if work is backed
+                # up, otherwise simply quiet.
+                backlogged = binding.runtime.pending_jobs > 0
+                shortfall = sla.attainment_target if backlogged else 0.0
+            else:
+                shortfall = max(0.0, sla.attainment_target - attainment)
+            scores[binding.machine_index] += binding.tenant.weight * shortfall
+        return scores
+
+    def _dispatch_arrival(self, binding: InstanceBinding, now: float) -> None:
+        binding.stats.record_offer()
+        if binding.runtime.pending_jobs >= binding.tenant.max_queue_depth:
+            binding.stats.record_rejection()
+            return
+        index = binding.next_request
+        binding.next_request += 1
+        stats = binding.stats
+        binding.runtime.feed(
+            binding.tenant.job_factory(index),
+            on_complete=lambda completion, arrival=now: stats.record_completion(
+                arrival, completion
+            ),
+        )
+        binding.starved = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> DatacenterResult:
+        """Execute the scenario and collect per-tenant results."""
+        if self._ran:
+            raise EngineError("engine scenarios are single-use; build a new one")
+        self._ran = True
+
+        for binding in self.bindings:
+            binding.runtime.begin()
+
+        horizon = max(binding.tenant.trace.duration for binding in self.bindings)
+        heap: list[tuple[float, int, int, InstanceBinding | None]] = []
+        seq = 0
+        for binding in self.bindings:
+            for arrival in binding.tenant.trace.arrivals:
+                heap.append((arrival, seq, _ARRIVAL, binding))
+                seq += 1
+        cap_history: list[tuple[float, tuple[float, ...]]] = []
+        if self.arbiter is not None:
+            ticks = int(math.floor(horizon / self.arbiter_period))
+            for k in range(1, ticks + 1):
+                heap.append((k * self.arbiter_period, seq, _ARBITER, None))
+                seq += 1
+            # Enforce the budget from time zero (no SLA signal yet).
+            caps = self.arbiter.apply([0.0] * len(self.machines))
+            cap_history.append((0.0, tuple(caps)))
+        heapq.heapify(heap)
+
+        while heap:
+            now = heap[0][0]
+            for host in self.hosts:
+                self._advance(host, now)
+            while heap and heap[0][0] <= now + 1e-12:
+                _, _, kind, binding = heapq.heappop(heap)
+                if kind == _ARRIVAL:
+                    assert binding is not None
+                    self._dispatch_arrival(binding, now)
+                else:
+                    assert self.arbiter is not None
+                    caps = self.arbiter.apply(self._violation_scores(now))
+                    cap_history.append((now, tuple(caps)))
+
+        for binding in self.bindings:
+            binding.runtime.close_input()
+        for host in self.hosts:
+            self._drain(host)
+
+        run_results = {
+            binding.tenant.name: binding.runtime.finish()
+            for binding in self.bindings
+        }
+        reports = [
+            binding.stats.report(binding.tenant.name, binding.tenant.sla)
+            for binding in self.bindings
+        ]
+        machine_power = []
+        for machine in self.machines:
+            try:
+                machine_power.append(machine.meter.mean_power())
+            except Exception:
+                machine_power.append(0.0)
+        return DatacenterResult(
+            tenant_reports=reports,
+            run_results=run_results,
+            machine_mean_power=machine_power,
+            total_energy_joules=sum(
+                machine.meter.energy_joules for machine in self.machines
+            ),
+            makespan=max(machine.now for machine in self.machines),
+            budget_watts=(
+                self.arbiter.budget_watts if self.arbiter is not None else None
+            ),
+            cap_history=cap_history,
+        )

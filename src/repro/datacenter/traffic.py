@@ -1,0 +1,194 @@
+"""Open-loop request-arrival traces for datacenter scenarios.
+
+The paper's server experiments (§5.4–5.5) drive one instance at a time;
+the datacenter engine instead serves *open* per-tenant request streams.
+This module generates the arrival processes: homogeneous Poisson
+(:func:`poisson_trace`), the diurnal load curve every user-facing service
+sees (:func:`diurnal_trace`), on/off burst patterns
+(:func:`burst_trace`), and epoch-wise traces driven by the §5.5
+:class:`~repro.cluster.workload.LoadProfile` utilization profiles
+(:func:`profile_trace`), so the closed-form consolidation sweeps and the
+event-driven engine can be exercised at matching operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.queueing import poisson_arrivals
+from repro.cluster.workload import LoadProfile
+
+__all__ = [
+    "TrafficError",
+    "TrafficTrace",
+    "poisson_trace",
+    "diurnal_trace",
+    "burst_trace",
+    "profile_trace",
+]
+
+
+class TrafficError(ValueError):
+    """Raised for invalid traffic-generation parameters."""
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """One tenant's request arrivals over a simulation horizon.
+
+    Attributes:
+        name: Generator label (for reports).
+        arrivals: Sorted arrival times in seconds, all within
+            ``[0, duration)``.
+        duration: Simulation horizon the trace covers.
+    """
+
+    name: str
+    arrivals: tuple[float, ...]
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise TrafficError(f"duration must be positive, got {self.duration!r}")
+        if any(b < a for a, b in zip(self.arrivals, self.arrivals[1:])):
+            raise TrafficError("arrival times must be sorted")
+        if self.arrivals and not (
+            self.arrivals[0] >= 0.0 and self.arrivals[-1] < self.duration
+        ):
+            raise TrafficError("arrivals must lie within [0, duration)")
+
+    @property
+    def count(self) -> int:
+        """Total requests in the trace."""
+        return len(self.arrivals)
+
+    def mean_rate(self) -> float:
+        """Average arrival rate over the horizon (requests/second)."""
+        return len(self.arrivals) / self.duration
+
+
+def poisson_trace(
+    rate: float, duration: float, seed: int = 0, name: str = "poisson"
+) -> TrafficTrace:
+    """Homogeneous Poisson arrivals at ``rate`` requests/second."""
+    arrivals = poisson_arrivals(rate, duration, seed=seed)
+    return TrafficTrace(name=name, arrivals=tuple(arrivals), duration=duration)
+
+
+def _thinned_poisson(
+    intensity, peak_rate: float, duration: float, seed: int
+) -> tuple[float, ...]:
+    """Nonhomogeneous Poisson via thinning a ``peak_rate`` stream."""
+    rng = np.random.default_rng(seed)
+    arrivals: list[float] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / peak_rate))
+        if clock >= duration:
+            return tuple(arrivals)
+        if rng.uniform() * peak_rate < intensity(clock):
+            arrivals.append(clock)
+
+
+def diurnal_trace(
+    peak_rate: float,
+    duration: float,
+    period: float = 120.0,
+    trough_fraction: float = 0.2,
+    seed: int = 0,
+    name: str = "diurnal",
+) -> TrafficTrace:
+    """A day/night sinusoidal load curve compressed into ``period`` seconds.
+
+    Intensity swings between ``trough_fraction * peak_rate`` and
+    ``peak_rate`` on a sinusoid starting at the trough, so short horizons
+    see a full quiet-then-busy cycle.
+    """
+    if peak_rate <= 0:
+        raise TrafficError(f"peak rate must be positive, got {peak_rate!r}")
+    if period <= 0:
+        raise TrafficError(f"period must be positive, got {period!r}")
+    if not 0.0 <= trough_fraction <= 1.0:
+        raise TrafficError(
+            f"trough fraction must be in [0, 1], got {trough_fraction!r}"
+        )
+    mid = 0.5 * (1.0 + trough_fraction)
+    swing = 0.5 * (1.0 - trough_fraction)
+
+    def intensity(t: float) -> float:
+        return peak_rate * (mid - swing * np.cos(2.0 * np.pi * t / period))
+
+    return TrafficTrace(
+        name=name,
+        arrivals=_thinned_poisson(intensity, peak_rate, duration, seed),
+        duration=duration,
+    )
+
+
+def burst_trace(
+    base_rate: float,
+    burst_rate: float,
+    duration: float,
+    burst_every: float = 40.0,
+    burst_length: float = 8.0,
+    seed: int = 0,
+    name: str = "burst",
+) -> TrafficTrace:
+    """A low baseline punctuated by periodic high-rate bursts.
+
+    Mirrors the "intermittent load spikes" the paper cites from Barroso &
+    Hölzle: intensity is ``base_rate`` except during the first
+    ``burst_length`` seconds of every ``burst_every``-second window,
+    where it is ``burst_rate``.
+    """
+    if base_rate < 0 or burst_rate <= 0:
+        raise TrafficError("rates must be positive (base may be zero)")
+    if burst_rate < base_rate:
+        raise TrafficError(
+            f"burst rate {burst_rate!r} must be >= base rate {base_rate!r}"
+        )
+    if not 0.0 < burst_length <= burst_every:
+        raise TrafficError(
+            f"burst length {burst_length!r} must be in (0, {burst_every!r}]"
+        )
+
+    def intensity(t: float) -> float:
+        return burst_rate if (t % burst_every) < burst_length else base_rate
+
+    return TrafficTrace(
+        name=name,
+        arrivals=_thinned_poisson(intensity, burst_rate, duration, seed),
+        duration=duration,
+    )
+
+
+def profile_trace(
+    profile: LoadProfile,
+    peak_rate: float,
+    seed: int = 0,
+    name: str = "profile",
+) -> TrafficTrace:
+    """Arrivals following a §5.5 utilization profile.
+
+    Each epoch of the :class:`~repro.cluster.workload.LoadProfile` offers
+    Poisson load at ``utilization * peak_rate``, so the event-driven
+    engine can be driven at exactly the operating points of the
+    closed-form Figure 8 sweeps.
+    """
+    if peak_rate <= 0:
+        raise TrafficError(f"peak rate must be positive, got {peak_rate!r}")
+    duration = len(profile.utilizations) * profile.epoch_seconds
+
+    def intensity(t: float) -> float:
+        epoch = min(
+            int(t // profile.epoch_seconds), len(profile.utilizations) - 1
+        )
+        return peak_rate * profile.utilizations[epoch]
+
+    return TrafficTrace(
+        name=name,
+        arrivals=_thinned_poisson(intensity, peak_rate, duration, seed),
+        duration=duration,
+    )

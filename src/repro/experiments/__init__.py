@@ -17,6 +17,13 @@ from repro.experiments.consolidation import (
     format_fig8,
     run_consolidation,
 )
+from repro.experiments.datacenter import (
+    DatacenterExperiment,
+    TenantScenario,
+    default_tenant_mix,
+    format_datacenter,
+    run_datacenter,
+)
 from repro.experiments.energy_models import (
     EnergyScenario,
     format_fig34,
@@ -41,7 +48,13 @@ from repro.experiments.quantum import (
     format_quantum_ablation,
     run_quantum_ablation,
 )
-from repro.experiments.registry import APP_SPECS, AppSpec, built_system, get_spec
+from repro.experiments.registry import (
+    APP_SPECS,
+    AppSpec,
+    built_service_system,
+    built_system,
+    get_spec,
+)
 from repro.experiments.sla import (
     SlaExperiment,
     SlaSeries,
@@ -80,6 +93,12 @@ __all__ = [
     "ConsolidationPoint",
     "run_consolidation",
     "format_fig8",
+    "DatacenterExperiment",
+    "TenantScenario",
+    "default_tenant_mix",
+    "run_datacenter",
+    "format_datacenter",
+    "built_service_system",
     "InputSummary",
     "summarize_inputs",
     "format_table1",

@@ -10,6 +10,7 @@ Regenerate any paper artifact directly::
     python -m repro.experiments fig8 --app swish++
     python -m repro.experiments fig34
     python -m repro.experiments overhead
+    python -m repro.experiments datacenter
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
 """
@@ -27,6 +28,7 @@ from repro.experiments import (
     format_fig7,
     format_fig8,
     format_controller_ablation,
+    format_datacenter,
     format_fig34,
     format_overhead,
     format_quantum_ablation,
@@ -35,6 +37,7 @@ from repro.experiments import (
     format_table2,
     run_consolidation,
     run_controller_ablation,
+    run_datacenter,
     run_energy_models,
     run_overhead,
     run_power_qos,
@@ -54,7 +57,9 @@ _PER_APP = {
     "ablation-quantum",
     "sla",
 }
-_ARTIFACTS = sorted(_PER_APP | {"table1", "table2", "fig34", "overhead"})
+_ARTIFACTS = sorted(
+    _PER_APP | {"table1", "table2", "fig34", "overhead", "datacenter"}
+)
 
 
 def _run(artifact: str, app: str, scale: Scale) -> str:
@@ -80,6 +85,8 @@ def _run(artifact: str, app: str, scale: Scale) -> str:
         return format_quantum_ablation(run_quantum_ablation(app, scale))
     if artifact == "sla":
         return format_sla(run_sla(app, scale))
+    if artifact == "datacenter":
+        return format_datacenter(run_datacenter(scale))
     if artifact == "overhead":
         return format_overhead(
             [run_overhead(name, Scale.TINY) for name in APP_SPECS]

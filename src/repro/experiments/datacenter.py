@@ -1,0 +1,279 @@
+"""Experiment E-DC: multi-tenant serving under a global power budget.
+
+The scenario the paper's §5.4 (power capping) and §5.5 (consolidation)
+point at but never run: several live PowerDial instances, mixed traffic
+shapes, one facility power budget.  The experiment executes the *same*
+tenant mix — identical arrival traces, identical request contents —
+twice through the event-driven engine:
+
+* **static-equal** — the budget split evenly across machines, the
+  baseline of a cluster without runtime knowledge;
+* **sla-aware** — the hierarchical arbiter reallocating watts each
+  period toward machines whose tenants are missing their latency SLAs.
+
+The default mix stresses the interesting asymmetry: machine 0 hosts two
+light, accuracy-tolerant tenants (a diurnal search front-end and a
+bursty analytics stream) whose dynamic knobs absorb whatever frequency
+they are given, while machine 1 hosts a heavily loaded *knob-poor*
+billing tenant (exact service — baseline setting only) that can only be
+helped with power, next to an accuracy-tolerant reports tenant.  The
+SLA-aware arbiter finds that structure at runtime through the SLA
+signal alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.powerdial import measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime
+from repro.datacenter.arbiter import ArbiterPolicy, PowerArbiter
+from repro.datacenter.engine import (
+    DatacenterEngine,
+    DatacenterResult,
+    InstanceBinding,
+)
+from repro.datacenter.service import ServiceApp, request_stream, service_training_jobs
+from repro.datacenter.tenants import LatencySLA, TenantSpec
+from repro.datacenter.traffic import (
+    TrafficTrace,
+    burst_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+from repro.experiments.common import Scale, experiment_machine, format_table
+from repro.experiments.registry import built_service_system
+
+__all__ = [
+    "TenantScenario",
+    "DatacenterExperiment",
+    "default_tenant_mix",
+    "build_engine",
+    "run_datacenter",
+    "format_datacenter",
+]
+
+DEFAULT_BUDGET_WATTS = 420.0
+"""Default facility budget for two machines (floor ≈ 366 W, peak 440 W)."""
+
+
+@dataclass(frozen=True)
+class TenantScenario:
+    """Declarative description of one tenant in a scenario.
+
+    Attributes:
+        name: Tenant identifier.
+        machine_index: Placement in the machine pool.
+        trace_kind: ``steady`` (Poisson), ``diurnal``, or ``burst``.
+        rate: Mean rate for ``steady``; peak rate for the other shapes.
+        qos_cap: Accuracy tolerance (None = full knob table; 0.0 =
+            knob-poor exact service).
+        latency_bound: SLA latency bound in seconds.
+        attainment_target: Required fraction within the bound.
+        weight: Arbitration priority.
+        seed: Trace and request-content seed.
+    """
+
+    name: str
+    machine_index: int
+    trace_kind: str
+    rate: float
+    qos_cap: float | None = None
+    latency_bound: float = 1.0
+    attainment_target: float = 0.9
+    weight: float = 1.0
+    seed: int = 0
+
+    def trace(self, horizon: float) -> TrafficTrace:
+        """Materialize this tenant's arrival trace over ``horizon``."""
+        if self.trace_kind == "steady":
+            return poisson_trace(
+                self.rate, horizon, seed=self.seed, name="steady"
+            )
+        if self.trace_kind == "diurnal":
+            return diurnal_trace(
+                self.rate, horizon, period=90.0, seed=self.seed
+            )
+        if self.trace_kind == "burst":
+            return burst_trace(
+                0.15 * self.rate, self.rate, horizon, seed=self.seed
+            )
+        raise ValueError(f"unknown trace kind {self.trace_kind!r}")
+
+
+def default_tenant_mix() -> tuple[TenantScenario, ...]:
+    """The four-tenant, two-machine mix described in the module doc."""
+    return (
+        TenantScenario(
+            "search", 0, "diurnal", rate=1.5, qos_cap=None, seed=1
+        ),
+        TenantScenario(
+            "analytics", 0, "burst", rate=2.0, qos_cap=None, seed=2
+        ),
+        TenantScenario(
+            "billing", 1, "steady", rate=2.8, qos_cap=0.0, weight=3.0, seed=3
+        ),
+        TenantScenario(
+            "reports", 1, "steady", rate=1.0, qos_cap=None, seed=4
+        ),
+    )
+
+
+def build_engine(
+    tenants: tuple[TenantScenario, ...],
+    machines_count: int,
+    horizon: float,
+    budget_watts: float | None,
+    policy: ArbiterPolicy,
+    arbiter_period: float = 10.0,
+    attainment_window: float = 20.0,
+) -> DatacenterEngine:
+    """Assemble machines, instances, and arbiter for one scenario run."""
+    system = built_service_system()
+    machines = [experiment_machine() for _ in range(machines_count)]
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machines[0]
+    )
+    bindings = []
+    for index, tenant in enumerate(tenants):
+        table = (
+            system.table
+            if tenant.qos_cap is None
+            else system.table.with_qos_cap(tenant.qos_cap)
+        )
+        runtime = PowerDialRuntime(
+            app=ServiceApp(),
+            table=table,
+            machine=machines[tenant.machine_index],
+            target_rate=target,
+        )
+        spec = TenantSpec(
+            name=tenant.name,
+            trace=tenant.trace(horizon),
+            sla=LatencySLA(tenant.latency_bound, tenant.attainment_target),
+            job_factory=request_stream(seed=100 + index),
+            qos_cap=tenant.qos_cap,
+            weight=tenant.weight,
+        )
+        bindings.append(
+            InstanceBinding(
+                tenant=spec,
+                runtime=runtime,
+                machine_index=tenant.machine_index,
+            )
+        )
+    arbiter = None
+    if budget_watts is not None:
+        arbiter = PowerArbiter(budget_watts, machines, policy=policy)
+    return DatacenterEngine(
+        machines,
+        bindings,
+        arbiter=arbiter,
+        arbiter_period=arbiter_period,
+        attainment_window=attainment_window,
+    )
+
+
+@dataclass
+class DatacenterExperiment:
+    """Static-vs-arbitrated comparison on one tenant mix."""
+
+    tenants: tuple[TenantScenario, ...]
+    machines: int
+    budget_watts: float
+    horizon: float
+    static: DatacenterResult
+    arbitrated: DatacenterResult
+
+    def attainment_delta(self, name: str) -> float:
+        """Arbitrated minus static SLA attainment for one tenant."""
+        return (
+            self.arbitrated.report_for(name).attainment
+            - self.static.report_for(name).attainment
+        )
+
+    def best_improvement(self) -> tuple[str, float]:
+        """The tenant the arbiter helped most, and by how much."""
+        return max(
+            ((t.name, self.attainment_delta(t.name)) for t in self.tenants),
+            key=lambda pair: pair[1],
+        )
+
+
+def run_datacenter(
+    scale: Scale = Scale.PAPER,
+    budget_watts: float = DEFAULT_BUDGET_WATTS,
+    tenants: tuple[TenantScenario, ...] | None = None,
+    machines: int = 2,
+) -> DatacenterExperiment:
+    """Run the tenant mix under both arbitration policies."""
+    tenants = tenants if tenants is not None else default_tenant_mix()
+    horizon = 40.0 if scale is Scale.TINY else 120.0
+    static = build_engine(
+        tenants, machines, horizon, budget_watts, ArbiterPolicy.STATIC_EQUAL
+    ).run()
+    arbitrated = build_engine(
+        tenants, machines, horizon, budget_watts, ArbiterPolicy.SLA_AWARE
+    ).run()
+    return DatacenterExperiment(
+        tenants=tenants,
+        machines=machines,
+        budget_watts=budget_watts,
+        horizon=horizon,
+        static=static,
+        arbitrated=arbitrated,
+    )
+
+
+def format_datacenter(experiment: DatacenterExperiment) -> str:
+    """Render the per-tenant SLA comparison as text."""
+    rows = []
+    for tenant in experiment.tenants:
+        static = experiment.static.report_for(tenant.name)
+        arbitrated = experiment.arbitrated.report_for(tenant.name)
+        rows.append(
+            [
+                tenant.name,
+                f"m{tenant.machine_index}",
+                tenant.trace_kind,
+                "exact" if tenant.qos_cap == 0.0 else "knobbed",
+                f"{static.offered}",
+                f"{static.rejected}/{arbitrated.rejected}",
+                f"{static.p95_latency:.2f}/{arbitrated.p95_latency:.2f}",
+                f"{static.attainment:.3f}",
+                f"{arbitrated.attainment:.3f}",
+                "yes" if arbitrated.sla_met else "no",
+            ]
+        )
+    name, delta = experiment.best_improvement()
+    header = (
+        f"Datacenter arbitration: {len(experiment.tenants)} tenants on "
+        f"{experiment.machines} machines, {experiment.budget_watts:.0f} W "
+        f"budget, {experiment.horizon:.0f} s horizon\n"
+        f"  mean pool power: static-equal "
+        f"{experiment.static.total_mean_power:.1f} W, sla-aware "
+        f"{experiment.arbitrated.total_mean_power:.1f} W "
+        f"(budget {experiment.budget_watts:.0f} W)\n"
+        f"  SLAs met: static-equal {experiment.static.slas_met()}/"
+        f"{len(experiment.tenants)}, sla-aware "
+        f"{experiment.arbitrated.slas_met()}/{len(experiment.tenants)}\n"
+        f"  largest arbiter gain: {name} "
+        f"{experiment.static.report_for(name).attainment:.3f} -> "
+        f"{experiment.arbitrated.report_for(name).attainment:.3f} "
+        f"({delta:+.3f} attainment)"
+    )
+    return f"{header}\n" + format_table(
+        [
+            "tenant",
+            "mach",
+            "traffic",
+            "service",
+            "offered",
+            "rej s/a",
+            "p95 s/a",
+            "att static",
+            "att sla-aware",
+            "SLA met",
+        ],
+        rows,
+    )

@@ -24,9 +24,16 @@ from repro.apps.swish import (
 from repro.apps.x264 import X264App, synthesize_video
 from repro.core.knobs import KnobSpace, Parameter
 from repro.core.powerdial import PowerDialSystem, build_powerdial
+from repro.datacenter.service import ServiceApp, service_training_jobs
 from repro.experiments.common import Scale
 
-__all__ = ["AppSpec", "APP_SPECS", "get_spec", "built_system"]
+__all__ = [
+    "AppSpec",
+    "APP_SPECS",
+    "get_spec",
+    "built_system",
+    "built_service_system",
+]
 
 
 @dataclass(frozen=True)
@@ -292,3 +299,23 @@ def built_system(
             trace_iterations=2,
         )
     return _SYSTEMS[key]
+
+
+_SERVICE_SYSTEM: list[PowerDialSystem] = []
+
+
+def built_service_system() -> PowerDialSystem:
+    """Build (and cache) the PowerDial system for the datacenter service.
+
+    The datacenter scenarios host many instances of the lightweight
+    :class:`~repro.datacenter.service.ServiceApp`; one calibration serves
+    them all — tenants with accuracy tolerances restrict the shared table
+    via :meth:`~repro.core.knobs.KnobTable.with_qos_cap`.
+    """
+    if not _SERVICE_SYSTEM:
+        _SERVICE_SYSTEM.append(
+            build_powerdial(
+                ServiceApp, service_training_jobs(), trace_iterations=2
+            )
+        )
+    return _SERVICE_SYSTEM[0]

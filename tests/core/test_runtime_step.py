@@ -1,0 +1,161 @@
+"""Parity tests for the resumable step() API against one-shot run().
+
+The datacenter engine cooperatively schedules many live runtimes through
+``begin``/``step``/``finish``; these tests pin down the contract that the
+incremental path is *identical* to the monolithic ``run`` — same samples,
+same outputs, same energy — including when events are injected mid-run.
+"""
+
+import pytest
+
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import RuntimeEvent, StepStatus
+from repro.hardware.machine import Machine
+from tests.core.toyapp import ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def fresh_runtime(system):
+    machine = Machine()
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    return system.runtime(machine, target_rate=target)
+
+
+def jobs():
+    return toy_jobs(count=2, items=120, seed=3)
+
+
+def cap_event(at_beat=60):
+    return RuntimeEvent(
+        at_beat=at_beat, action=lambda m: m.set_frequency(1.6), label="cap"
+    )
+
+
+class TestRunStepEquivalence:
+    def test_run_equals_iterated_step(self, system):
+        reference = fresh_runtime(system).run(jobs())
+
+        runtime = fresh_runtime(system)
+        runtime.begin(jobs())
+        runtime.close_input()
+        statuses = []
+        while (status := runtime.step()) is not StepStatus.FINISHED:
+            statuses.append(status)
+        stepped = runtime.finish()
+
+        assert stepped == reference
+        # With input closed up front the runtime is never starved.
+        assert all(s is StepStatus.RAN for s in statuses)
+
+    def test_run_equals_iterated_step_with_events(self, system):
+        reference = fresh_runtime(system).run(jobs(), events=[cap_event()])
+
+        runtime = fresh_runtime(system)
+        runtime.begin(jobs(), events=[cap_event()])
+        runtime.close_input()
+        while runtime.step() is not StepStatus.FINISHED:
+            pass
+        assert runtime.finish() == reference
+
+    def test_each_step_advances_about_one_quantum(self, system):
+        runtime = fresh_runtime(system)
+        quantum = runtime.actuator.quantum_beats / runtime.target_rate
+        runtime.begin(jobs())
+        runtime.close_input()
+        last = runtime.machine.now
+        while runtime.step() is StepStatus.RAN:
+            advance = runtime.machine.now - last
+            last = runtime.machine.now
+            # One quantum, plus at most one item of overshoot.
+            assert advance == pytest.approx(quantum, rel=0.5)
+
+    def test_finish_before_drain_is_an_error(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin(jobs())
+        runtime.step()
+        with pytest.raises(RuntimeError):
+            runtime.finish()
+
+    def test_step_before_begin_is_an_error(self, system):
+        runtime = fresh_runtime(system)
+        with pytest.raises(RuntimeError):
+            runtime.step()
+
+
+class TestMidRunInjection:
+    def test_mid_run_inject_matches_run_with_events(self, system):
+        """Injecting a future event between steps ≡ passing it to run()."""
+        reference = fresh_runtime(system).run(jobs(), events=[cap_event(60)])
+
+        runtime = fresh_runtime(system)
+        runtime.begin(jobs())
+        runtime.close_input()
+        # Two quanta ≈ 40 beats: safely before the event's beat.
+        runtime.step()
+        runtime.step()
+        assert runtime.monitor.count < 60
+        runtime.inject(cap_event(60))
+        while runtime.step() is not StepStatus.FINISHED:
+            pass
+        assert runtime.finish() == reference
+
+    def test_past_beat_injection_fires_before_next_item(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin(jobs())
+        runtime.close_input()
+        runtime.step()
+        fired_at = []
+        runtime.inject(
+            RuntimeEvent(
+                at_beat=0,
+                action=lambda m: fired_at.append(runtime.monitor.count),
+                label="probe",
+            )
+        )
+        runtime.step()
+        assert fired_at, "past-due event did not fire"
+        # Dispatched before the step's first processed item.
+        assert fired_at[0] <= runtime.monitor.count - 1
+
+
+class TestFeedAndStarvation:
+    def test_starved_then_fed_run_completes(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin()
+        assert runtime.step() is StepStatus.STARVED
+        job = toy_jobs(count=1, items=40, seed=9)[0]
+        completions = []
+        runtime.feed(job, on_complete=completions.append)
+        runtime.close_input()
+        while runtime.step() is not StepStatus.FINISHED:
+            pass
+        result = runtime.finish()
+        assert len(result.outputs_by_job) == 1
+        assert len(result.outputs_by_job[0]) == len(job)
+        assert completions == [pytest.approx(runtime.machine.now)]
+
+    def test_starved_step_does_not_advance_clock(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin()
+        before = runtime.machine.now
+        assert runtime.step() is StepStatus.STARVED
+        assert runtime.machine.now == before
+
+    def test_feed_after_close_rejected(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin()
+        runtime.close_input()
+        with pytest.raises(RuntimeError):
+            runtime.feed(toy_jobs(count=1)[0])
+
+    def test_pending_jobs_counts_queue(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin()
+        assert runtime.pending_jobs == 0
+        runtime.feed(toy_jobs(count=1, items=10)[0])
+        runtime.feed(toy_jobs(count=1, items=10)[0])
+        assert runtime.pending_jobs == 2

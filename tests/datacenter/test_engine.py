@@ -1,0 +1,237 @@
+"""Integration tests for the event-driven datacenter engine."""
+
+import pytest
+
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime
+from repro.datacenter import (
+    ArbiterPolicy,
+    DatacenterEngine,
+    EngineError,
+    InstanceBinding,
+    LatencySLA,
+    PowerArbiter,
+    ServiceApp,
+    TenantSpec,
+    burst_trace,
+    poisson_trace,
+    request_stream,
+    service_training_jobs,
+)
+from repro.experiments.common import experiment_machine
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ServiceApp, service_training_jobs(), trace_iterations=2)
+
+
+def make_binding(
+    system,
+    machine,
+    machine_index,
+    name,
+    trace,
+    qos_cap=None,
+    sla=None,
+    max_queue_depth=32,
+    seed=0,
+):
+    table = system.table if qos_cap is None else system.table.with_qos_cap(qos_cap)
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machine
+    )
+    runtime = PowerDialRuntime(
+        app=ServiceApp(), table=table, machine=machine, target_rate=target
+    )
+    spec = TenantSpec(
+        name=name,
+        trace=trace,
+        sla=sla or LatencySLA(latency_bound=1.0, attainment_target=0.9),
+        job_factory=request_stream(seed=seed),
+        qos_cap=qos_cap,
+        max_queue_depth=max_queue_depth,
+    )
+    return InstanceBinding(
+        tenant=spec, runtime=runtime, machine_index=machine_index
+    )
+
+
+class TestAccounting:
+    def test_every_admitted_request_completes(self, system):
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.5, 30.0, seed=1)
+            ),
+            make_binding(
+                system, machines[0], 0, "b", poisson_trace(1.0, 30.0, seed=2), seed=1
+            ),
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        for binding, report in zip(bindings, result.tenant_reports):
+            assert report.offered == binding.tenant.trace.count
+            assert report.completed == report.admitted
+            assert report.offered == report.admitted + report.rejected
+
+    def test_latencies_are_positive_and_causal(self, system):
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(2.0, 30.0, seed=3)
+            )
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        for record in bindings[0].stats.completions:
+            assert record.completion > record.arrival
+        # Requests complete no earlier than the virtual service time.
+        report = result.tenant_reports[0]
+        assert report.mean_latency > 0.1  # ~5 items at ~42 ms each
+
+    def test_makespan_covers_horizon(self, system):
+        machines = [experiment_machine(), experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.0, 25.0, seed=4)
+            ),
+            make_binding(
+                system, machines[1], 1, "b", poisson_trace(1.0, 25.0, seed=5), seed=1
+            ),
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        assert result.makespan >= 25.0 - 1.0
+        assert result.total_energy_joules > 0
+        assert all(power > 0 for power in result.machine_mean_power)
+
+    def test_engine_is_single_use(self, system):
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.0, 5.0, seed=6)
+            )
+        ]
+        engine = DatacenterEngine(machines, bindings)
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.run()
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_requests(self, system):
+        machines = [experiment_machine()]
+        # Offered far beyond one machine's capacity, tiny queue.
+        trace = burst_trace(2.0, 30.0, 30.0, burst_every=10.0, burst_length=5.0, seed=7)
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "hot", trace, max_queue_depth=4
+            )
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        report = result.tenant_reports[0]
+        assert report.rejected > 0
+        assert report.completed == report.admitted
+        # The queue bound also bounds latency: depth * service time-ish.
+        assert report.p95_latency < 4.0
+
+
+class TestContention:
+    def test_co_tenants_trigger_knob_speedup(self, system):
+        """Saturating co-resident tenants must engage dynamic knobs."""
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(3.0, 40.0, seed=8)
+            ),
+            make_binding(
+                system, machines[0], 0, "b", poisson_trace(3.0, 40.0, seed=9), seed=1
+            ),
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        max_gain = max(
+            sample.knob_gain
+            for run in result.run_results.values()
+            for sample in run.samples
+        )
+        assert max_gain > 1.0
+
+    def test_solo_light_tenant_stays_at_baseline(self, system):
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "solo", poisson_trace(0.5, 40.0, seed=10)
+            )
+        ]
+        result = DatacenterEngine(machines, bindings).run()
+        run = result.run_results["solo"]
+        # An unloaded, uncapped machine never needs knob gain.
+        assert all(s.speedup == pytest.approx(1.0) for s in run.settings_used)
+
+
+class TestArbitratedRuns:
+    def test_budget_respected(self, system):
+        machines = [experiment_machine(), experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(2.5, 40.0, seed=11)
+            ),
+            make_binding(
+                system, machines[1], 1, "b", poisson_trace(2.5, 40.0, seed=12), seed=1
+            ),
+        ]
+        arbiter = PowerArbiter(400.0, machines, policy=ArbiterPolicy.SLA_AWARE)
+        result = DatacenterEngine(machines, bindings, arbiter=arbiter).run()
+        assert result.budget_watts == pytest.approx(400.0)
+        assert result.total_mean_power <= 400.0 + 1e-6
+        for (_, caps) in result.cap_history:
+            assert sum(caps) <= 400.0 + 1e-6
+
+    def test_caps_slow_the_machines(self, system):
+        machines = [experiment_machine(), experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.0, 20.0, seed=13)
+            ),
+            make_binding(
+                system, machines[1], 1, "b", poisson_trace(1.0, 20.0, seed=14), seed=1
+            ),
+        ]
+        arbiter = PowerArbiter(380.0, machines, policy=ArbiterPolicy.STATIC_EQUAL)
+        DatacenterEngine(machines, bindings, arbiter=arbiter).run()
+        # 380/2 = 190 W per machine: must run below the top frequency.
+        for machine in machines:
+            assert machine.processor.frequency_ghz < 2.4
+
+
+class TestValidation:
+    def test_runtime_machine_mismatch_rejected(self, system):
+        machines = [experiment_machine(), experiment_machine()]
+        binding = make_binding(
+            system, machines[1], 0, "a", poisson_trace(1.0, 5.0, seed=15)
+        )
+        with pytest.raises(EngineError):
+            DatacenterEngine(machines, [binding])
+
+    def test_duplicate_tenant_names_rejected(self, system):
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "dup", poisson_trace(1.0, 5.0, seed=16)
+            ),
+            make_binding(
+                system, machines[0], 0, "dup", poisson_trace(1.0, 5.0, seed=17), seed=1
+            ),
+        ]
+        with pytest.raises(EngineError):
+            DatacenterEngine(machines, bindings)
+
+    def test_arbiter_pool_must_match(self, system):
+        machines = [experiment_machine()]
+        other = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.0, 5.0, seed=18)
+            )
+        ]
+        arbiter = PowerArbiter(200.0, other)
+        with pytest.raises(EngineError):
+            DatacenterEngine(machines, bindings, arbiter=arbiter)

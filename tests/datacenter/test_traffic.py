@@ -1,0 +1,97 @@
+"""Tests for the open-loop traffic generators."""
+
+import pytest
+
+from repro.cluster.workload import LoadProfile
+from repro.datacenter.traffic import (
+    TrafficError,
+    TrafficTrace,
+    burst_trace,
+    diurnal_trace,
+    poisson_trace,
+    profile_trace,
+)
+
+
+class TestTrafficTrace:
+    def test_rejects_unsorted_arrivals(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace(name="bad", arrivals=(2.0, 1.0), duration=10.0)
+
+    def test_rejects_arrivals_outside_horizon(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace(name="bad", arrivals=(5.0, 11.0), duration=10.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(TrafficError):
+            TrafficTrace(name="bad", arrivals=(), duration=0.0)
+
+    def test_mean_rate(self):
+        trace = TrafficTrace(name="t", arrivals=(1.0, 2.0, 3.0, 4.0), duration=8.0)
+        assert trace.mean_rate() == pytest.approx(0.5)
+        assert trace.count == 4
+
+
+class TestPoisson:
+    def test_rate_is_close_to_requested(self):
+        trace = poisson_trace(rate=5.0, duration=400.0, seed=1)
+        assert trace.mean_rate() == pytest.approx(5.0, rel=0.15)
+
+    def test_deterministic_per_seed(self):
+        assert poisson_trace(2.0, 50.0, seed=3) == poisson_trace(2.0, 50.0, seed=3)
+        assert poisson_trace(2.0, 50.0, seed=3) != poisson_trace(2.0, 50.0, seed=4)
+
+
+class TestDiurnal:
+    def test_midday_beats_night(self):
+        # Starts at the trough; intensity peaks mid-period, so the middle
+        # half of the cycle must out-arrive the outer quarters.
+        trace = diurnal_trace(
+            peak_rate=8.0, duration=200.0, period=200.0, seed=2
+        )
+        busy = sum(1 for t in trace.arrivals if 50.0 <= t < 150.0)
+        quiet = trace.count - busy
+        assert busy > 1.5 * quiet
+
+    def test_never_exceeds_peak_on_average(self):
+        trace = diurnal_trace(peak_rate=4.0, duration=300.0, seed=5)
+        assert trace.mean_rate() < 4.0
+
+    def test_invalid_trough_rejected(self):
+        with pytest.raises(TrafficError):
+            diurnal_trace(4.0, 100.0, trough_fraction=1.5)
+
+
+class TestBurst:
+    def test_bursts_concentrate_arrivals(self):
+        trace = burst_trace(
+            base_rate=0.2,
+            burst_rate=10.0,
+            duration=400.0,
+            burst_every=40.0,
+            burst_length=8.0,
+            seed=7,
+        )
+        in_burst = sum(1 for t in trace.arrivals if (t % 40.0) < 8.0)
+        # 20% of the time carries the overwhelming majority of requests.
+        assert in_burst / trace.count > 0.8
+
+    def test_burst_rate_must_dominate(self):
+        with pytest.raises(TrafficError):
+            burst_trace(base_rate=5.0, burst_rate=1.0, duration=100.0)
+
+
+class TestProfile:
+    def test_follows_epoch_utilizations(self):
+        profile = LoadProfile(utilizations=(0.1, 0.9), epoch_seconds=200.0)
+        trace = profile_trace(profile, peak_rate=5.0, seed=9)
+        first = sum(1 for t in trace.arrivals if t < 200.0)
+        second = trace.count - first
+        assert trace.duration == pytest.approx(400.0)
+        assert first == pytest.approx(0.1 * 5.0 * 200.0, rel=0.4)
+        assert second == pytest.approx(0.9 * 5.0 * 200.0, rel=0.2)
+
+    def test_zero_peak_rejected(self):
+        profile = LoadProfile(utilizations=(0.5,))
+        with pytest.raises(TrafficError):
+            profile_trace(profile, peak_rate=0.0)

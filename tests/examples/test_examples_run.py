@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "custom_application.py",
     "controller_shootout.py",
     "race_to_idle.py",
+    "datacenter_arbiter.py",
 ]
 
 

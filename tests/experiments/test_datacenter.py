@@ -1,0 +1,61 @@
+"""Tests for the datacenter experiment and its CLI entry (tiny scale)."""
+
+import pytest
+
+from repro.experiments import Scale, format_datacenter, run_datacenter
+from repro.experiments.__main__ import main
+from repro.experiments.datacenter import default_tenant_mix
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_datacenter(Scale.TINY)
+
+
+class TestRunDatacenter:
+    def test_both_policies_within_budget(self, experiment):
+        assert experiment.static.total_mean_power <= experiment.budget_watts
+        assert experiment.arbitrated.total_mean_power <= experiment.budget_watts
+
+    def test_identical_offered_load_across_policies(self, experiment):
+        """Both policies must see the very same arrival traces."""
+        for static, arbitrated in zip(
+            experiment.static.tenant_reports,
+            experiment.arbitrated.tenant_reports,
+        ):
+            assert static.name == arbitrated.name
+            assert static.offered == arbitrated.offered
+
+    def test_arbiter_improves_a_tenant(self, experiment):
+        name, delta = experiment.best_improvement()
+        assert delta > 0.0
+        assert experiment.arbitrated.slas_met() >= experiment.static.slas_met()
+
+    def test_scenario_shape(self, experiment):
+        assert len(experiment.tenants) >= 3
+        assert experiment.machines >= 2
+        machine_indices = {t.machine_index for t in experiment.tenants}
+        assert len(machine_indices) >= 2
+
+    def test_caps_recorded_every_period(self, experiment):
+        times = [t for t, _ in experiment.arbitrated.cap_history]
+        assert times[0] == 0.0
+        assert len(times) >= experiment.horizon / 10.0
+
+    def test_mix_has_a_knob_poor_tenant(self):
+        assert any(t.qos_cap == 0.0 for t in default_tenant_mix())
+
+
+class TestFormat:
+    def test_format_mentions_every_tenant(self, experiment):
+        text = format_datacenter(experiment)
+        for tenant in experiment.tenants:
+            assert tenant.name in text
+        assert "SLAs met" in text
+        assert "budget" in text
+
+    def test_cli_runs_tiny_scenario(self, capsys):
+        assert main(["datacenter", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Datacenter arbitration" in out
+        assert "sla-aware" in out
