@@ -1,0 +1,119 @@
+"""Microbenchmarks of the PowerDial runtime's hot step path.
+
+Three probes, matching the optimizations this harness exists to keep
+honest:
+
+* ``step_path`` — a full :meth:`~repro.core.runtime.PowerDialRuntime`
+  run over a stream of service jobs: items/second and heartbeats/second
+  through the whole monitor -> controller -> actuator -> machine loop.
+* ``heartbeat_window`` — beats/second through
+  :meth:`~repro.heartbeats.api.HeartbeatMonitor.heartbeat` plus a
+  ``window_rate`` query per beat (O(1) running-sum path; the naive
+  recompute made this O(window) per beat).
+* ``actuation_plan`` — per-call cost of
+  :meth:`~repro.core.actuator.Actuator.plan` versus the runtime's
+  cached ``_plan_for`` on a repeated command (the steady-state case).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.core.powerdial import measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime
+from repro.datacenter.service import ServiceApp, service_training_jobs
+from repro.experiments.common import experiment_machine
+from repro.experiments.registry import built_service_system
+from repro.hardware.clock import VirtualClock
+from repro.heartbeats.api import HeartbeatMonitor
+
+__all__ = ["bench_runtime"]
+
+
+def _bench_step_path(jobs: int, items_per_job: int) -> dict[str, Any]:
+    system = built_service_system()
+    machine = experiment_machine()
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machine
+    )
+    runtime = PowerDialRuntime(
+        app=ServiceApp(),
+        table=system.table,
+        machine=machine,
+        target_rate=target,
+    )
+    workload = [[float(1 + i % 7)] * items_per_job for i in range(jobs)]
+    start = time.perf_counter()
+    result = runtime.run(workload)
+    elapsed = time.perf_counter() - start
+    beats = len(result.samples)
+    return {
+        "jobs": jobs,
+        "items": jobs * items_per_job,
+        "seconds": elapsed,
+        "items_per_sec": jobs * items_per_job / elapsed,
+        "beats_per_sec": beats / elapsed,
+    }
+
+
+def _bench_heartbeat_window(beats: int) -> dict[str, Any]:
+    clock = VirtualClock()
+    monitor = HeartbeatMonitor(clock, window_size=20)
+    start = time.perf_counter()
+    for _ in range(beats):
+        clock.advance(0.042)
+        monitor.heartbeat()
+        monitor.window_rate()
+    elapsed = time.perf_counter() - start
+    return {
+        "beats": beats,
+        "window_size": 20,
+        "seconds": elapsed,
+        "beats_per_sec": beats / elapsed,
+    }
+
+
+def _bench_actuation_plan(calls: int) -> dict[str, Any]:
+    system = built_service_system()
+    machine = experiment_machine()
+    runtime = PowerDialRuntime(
+        app=ServiceApp(),
+        table=system.table,
+        machine=machine,
+        target_rate=20.0,
+    )
+    # A blended command (between table settings) is the expensive case.
+    speedup = 0.5 * (1.0 + system.table.max_speedup)
+    start = time.perf_counter()
+    for _ in range(calls):
+        runtime.actuator.plan(speedup)
+    uncached = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(calls):
+        runtime._plan_for(speedup)
+    cached = time.perf_counter() - start
+    return {
+        "calls": calls,
+        "uncached_seconds": uncached,
+        "cached_seconds": cached,
+        "uncached_us_per_call": 1e6 * uncached / calls,
+        "cached_us_per_call": 1e6 * cached / calls,
+        "cache_speedup": uncached / cached if cached > 0 else float("inf"),
+    }
+
+
+def bench_runtime(smoke: bool = False) -> dict[str, Any]:
+    """Run the three step-path microbenchmarks; return the JSON payload."""
+    if smoke:
+        jobs, items, beats, calls = 40, 5, 20_000, 20_000
+    else:
+        jobs, items, beats, calls = 400, 5, 200_000, 100_000
+    return {
+        "benchmark": "runtime-step-path",
+        "probes": {
+            "step_path": _bench_step_path(jobs, items),
+            "heartbeat_window": _bench_heartbeat_window(beats),
+            "actuation_plan": _bench_actuation_plan(calls),
+        },
+    }

@@ -1,0 +1,125 @@
+"""Reference scenarios the perf-tracking bench harness times.
+
+One scenario family, parameterized by pool size: ``machines`` servers,
+one Poisson-driven :class:`~repro.datacenter.service.ServiceApp` tenant
+per machine at modest utilization.  Mostly-idle pools are exactly the
+regime the lazy scheduler targets (the eager loop pays O(machines) per
+event regardless of idleness), and one-tenant-per-machine keeps the
+virtual workload identical across pool sizes so wall-clock differences
+measure the engine, not the workload.
+
+Scenarios are fully seeded: the same :class:`PoolScenario` always
+builds the same traces, requests, and calibration, so timings across
+PRs compare like for like.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.powerdial import measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime
+from repro.datacenter.arbiter import PowerArbiter
+from repro.datacenter.engine import DatacenterEngine, InstanceBinding
+from repro.datacenter.service import (
+    ServiceApp,
+    request_stream,
+    service_training_jobs,
+)
+from repro.datacenter.tenants import LatencySLA, TenantSpec
+from repro.datacenter.traffic import poisson_trace
+from repro.experiments.common import experiment_machine
+from repro.experiments.registry import built_service_system
+
+__all__ = ["PoolScenario", "build_pool_engine", "count_events"]
+
+BUDGET_WATTS_PER_MACHINE = 200.0
+"""Arbitrated-scenario budget per machine (floor ~183 W, ceiling 220 W)."""
+
+
+@dataclass(frozen=True)
+class PoolScenario:
+    """One timed engine scenario.
+
+    Attributes:
+        machines: Pool size (one tenant per machine).
+        horizon: Trace duration in virtual seconds.
+        rate: Per-tenant Poisson arrival rate (requests/second).
+        arbitrated: Whether a power arbiter runs (adds barrier ticks).
+        arbiter_period: Seconds between arbitrations when arbitrated.
+    """
+
+    machines: int
+    horizon: float = 30.0
+    rate: float = 0.4
+    arbitrated: bool = False
+    arbiter_period: float = 10.0
+
+    @property
+    def label(self) -> str:
+        """Stable scenario name used in the bench JSON."""
+        kind = "arbitrated" if self.arbitrated else "open"
+        return f"{kind}-{self.machines}m"
+
+    def tenant_trace(self, index: int):
+        """The (seeded) arrival trace of tenant ``index``."""
+        return poisson_trace(self.rate, self.horizon, seed=index, name="bench")
+
+
+def build_pool_engine(
+    scenario: PoolScenario,
+    backend: str = "serial",
+    workers: int | None = None,
+) -> DatacenterEngine:
+    """Materialize a fresh engine for ``scenario`` (engines are one-shot)."""
+    system = built_service_system()
+    machines = [experiment_machine() for _ in range(scenario.machines)]
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machines[0]
+    )
+    bindings = []
+    for index in range(scenario.machines):
+        runtime = PowerDialRuntime(
+            app=ServiceApp(),
+            table=system.table,
+            machine=machines[index],
+            target_rate=target,
+        )
+        spec = TenantSpec(
+            name=f"tenant-{index}",
+            trace=scenario.tenant_trace(index),
+            sla=LatencySLA(latency_bound=1.0, attainment_target=0.9),
+            job_factory=request_stream(seed=1000 + index),
+        )
+        bindings.append(
+            InstanceBinding(tenant=spec, runtime=runtime, machine_index=index)
+        )
+    arbiter = None
+    if scenario.arbitrated:
+        arbiter = PowerArbiter(
+            BUDGET_WATTS_PER_MACHINE * scenario.machines, machines
+        )
+    return DatacenterEngine(
+        machines,
+        bindings,
+        arbiter=arbiter,
+        arbiter_period=scenario.arbiter_period,
+        backend=backend,
+        workers=workers,
+    )
+
+
+def count_events(scenario: PoolScenario) -> int:
+    """Global events (arrivals + arbiter ticks) a scenario will process.
+
+    Computed from the traces alone — no engine (with its runtimes and
+    calibration) is built just to count.
+    """
+    arrivals = sum(
+        scenario.tenant_trace(index).count for index in range(scenario.machines)
+    )
+    ticks = 0
+    if scenario.arbitrated:
+        ticks = int(math.floor(scenario.horizon / scenario.arbiter_period))
+    return arrivals + ticks

@@ -227,6 +227,10 @@ class PowerDialRuntime:
             selection_tolerance=0.02,
         )
         self.space = AddressSpace(log_accesses=False)
+        # Plans depend only on the (immutable) table, policy, and the
+        # commanded speedup, so the last plan is reused whenever the
+        # controller's output is unchanged — the common steady-state case.
+        self._plan_cache: tuple[float, ActuationPlan] | None = None
         self._current_setting: KnobSetting | None = None
         self._job_queue: deque[_PendingJob] = deque()
         self._event_heap: list[tuple[int, int, RuntimeEvent]] = []
@@ -244,6 +248,20 @@ class PowerDialRuntime:
             self.space.poke(name, value)
         self._current_setting = setting
 
+    def _plan_for(self, speedup: float) -> ActuationPlan:
+        """The actuation plan for ``speedup``, cached across quanta.
+
+        In steady state the integral controller repeats the same command
+        for quantum after quantum; rebuilding the identical plan (table
+        search + plan validation) was the hottest part of the replan path.
+        """
+        cached = self._plan_cache
+        if cached is not None and cached[0] == speedup:
+            return cached[1]
+        plan = self.actuator.plan(speedup)
+        self._plan_cache = (speedup, plan)
+        return plan
+
     def _replan(self, beats_in_quantum: int, quantum_elapsed: float) -> ActuationPlan:
         """Controller + actuator step at a quantum boundary.
 
@@ -258,7 +276,7 @@ class PowerDialRuntime:
         else:
             rate = self.monitor.window_rate() or self.target_rate
         speedup = self.controller.update(rate)
-        return self.actuator.plan(speedup)
+        return self._plan_for(speedup)
 
     # ------------------------------------------------------------------
     # Resumable execution API
@@ -366,7 +384,7 @@ class PowerDialRuntime:
         # to process twenty heartbeats" — at the target rate, so it is a
         # fixed time window of quantum_beats / g seconds.
         quantum_duration = self.actuator.quantum_beats / self.target_rate
-        plan = self.actuator.plan(self.controller.speedup)
+        plan = self._plan_for(self.controller.speedup)
         quantum_start = machine.now
         beats_in_quantum = 0
 

@@ -9,10 +9,17 @@ single facility power budget.
 
 Module map:
 
-* :mod:`~repro.datacenter.engine` — the discrete-event core: a global
-  event queue (arrivals, arbiter ticks) interleaving per-machine virtual
-  clocks; cooperative round-robin scheduling of instances via the
-  runtime's resumable ``step()`` API; per-request latency accounting.
+* :mod:`~repro.datacenter.engine` — the discrete-event core: a lazily
+  merged global event stream (arrivals, arbiter ticks) interleaving
+  per-machine virtual clocks; cooperative round-robin scheduling of
+  instances via the runtime's resumable ``step()`` API; per-request
+  latency accounting.  Idle machines are skipped per event and settled
+  in O(1) when they next matter, so cost scales with events, not
+  events × machines.
+* :mod:`~repro.datacenter.shard` — the multiprocess backend: machines
+  partitioned across forked workers that run independently between
+  arbiter barriers and exchange only violation scores / power caps,
+  with results identical to the serial scheduler.
 * :mod:`~repro.datacenter.traffic` — open-loop arrival traces: Poisson,
   diurnal, bursty, and epoch profiles reusing
   :class:`~repro.cluster.workload.LoadProfile`.
@@ -36,11 +43,13 @@ from repro.datacenter.arbiter import (
     machine_cap_floor,
 )
 from repro.datacenter.engine import (
+    ENGINE_BACKENDS,
     DatacenterEngine,
     DatacenterResult,
     EngineError,
     InstanceBinding,
 )
+from repro.datacenter.shard import fork_available, partition_machines
 from repro.datacenter.service import (
     ServiceApp,
     request_stream,
@@ -70,10 +79,13 @@ __all__ = [
     "frequency_for_cap",
     "machine_cap_ceiling",
     "machine_cap_floor",
+    "ENGINE_BACKENDS",
     "DatacenterEngine",
     "DatacenterResult",
     "EngineError",
     "InstanceBinding",
+    "fork_available",
+    "partition_machines",
     "ServiceApp",
     "request_stream",
     "service_training_jobs",

@@ -4,7 +4,7 @@ The engine hosts N controlled application instances on M simulated
 machines and drives them with open-loop request arrivals.  It is a
 discrete-event simulation in *two* layers of virtual time:
 
-* a global event queue (arrivals, arbiter ticks) in facility time;
+* a global event stream (arrivals, arbiter ticks) in facility time;
 * each machine's own :class:`~repro.hardware.clock.VirtualClock`, which
   advances as its resident instances execute work.
 
@@ -23,6 +23,25 @@ arrival times, giving end-to-end request latencies for the tenant SLA
 accounting; the :class:`~repro.datacenter.arbiter.PowerArbiter` (when
 present) reallocates the facility power budget every period toward
 machines whose tenants are missing their SLAs.
+
+Scheduling is *lazy*: an event only advances the machine it concerns
+(arrivals touch one host; arbiter ticks synchronize the pool, since
+they change DVFS states and read every tenant's SLA signal).  A machine
+with nothing to do is not visited per event — its idle time is settled
+in a single O(1) ``idle_until`` when it next matters — so the cost of a
+run scales with the number of events, not events × machines.  Arrival
+streams are consumed through a lazy sorted merge of the per-tenant
+traces (each already sorted) instead of heapifying one entry per
+request.
+
+Three execution backends share these semantics:
+
+* ``"serial"`` — the lazy single-process scheduler (default);
+* ``"sharded"`` — machines partitioned across ``workers`` forked
+  processes which run independently between arbiter barriers (see
+  :mod:`repro.datacenter.shard`); identical results to ``"serial"``;
+* ``"eager"`` — the original advance-every-host-per-event loop, kept as
+  the reference baseline for the :mod:`repro.bench` perf trajectory.
 """
 
 from __future__ import annotations
@@ -30,17 +49,26 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
 from repro.datacenter.arbiter import PowerArbiter
 from repro.datacenter.tenants import TenantReport, TenantSpec, TenantStats
 from repro.hardware.machine import Machine
 
-__all__ = ["EngineError", "InstanceBinding", "DatacenterResult", "DatacenterEngine"]
+__all__ = [
+    "EngineError",
+    "InstanceBinding",
+    "DatacenterResult",
+    "DatacenterEngine",
+    "ENGINE_BACKENDS",
+]
 
 _ARRIVAL = 0
 _ARBITER = 1
+
+ENGINE_BACKENDS = ("serial", "sharded", "eager")
+"""Recognized ``DatacenterEngine`` backends."""
 
 
 class EngineError(ValueError):
@@ -142,6 +170,13 @@ class DatacenterEngine:
         arbiter_period: Seconds between budget reallocations.
         attainment_window: Lookback horizon for the per-tick SLA
             attainment signal fed to the arbiter.
+        backend: ``"serial"`` (lazy single-process, default),
+            ``"sharded"`` (multiprocess; identical results), or
+            ``"eager"`` (the original advance-all loop, kept as the
+            benchmark baseline).
+        workers: Worker-process count for the sharded backend (clamped
+            to the machine count; default: the host's CPU count).
+            Ignored by the other backends.
     """
 
     def __init__(
@@ -151,6 +186,8 @@ class DatacenterEngine:
         arbiter: PowerArbiter | None = None,
         arbiter_period: float = 10.0,
         attainment_window: float = 20.0,
+        backend: str = "serial",
+        workers: int | None = None,
     ) -> None:
         if not machines:
             raise EngineError("engine needs at least one machine")
@@ -158,6 +195,12 @@ class DatacenterEngine:
             raise EngineError("engine needs at least one tenant instance")
         if arbiter_period <= 0 or attainment_window <= 0:
             raise EngineError("arbiter period and window must be positive")
+        if backend not in ENGINE_BACKENDS:
+            raise EngineError(
+                f"unknown backend {backend!r}; expected one of {ENGINE_BACKENDS}"
+            )
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers!r}")
         names = [binding.tenant.name for binding in bindings]
         if len(set(names)) != len(names):
             raise EngineError(f"tenant names must be unique, got {names!r}")
@@ -178,11 +221,98 @@ class DatacenterEngine:
         self.arbiter = arbiter
         self.arbiter_period = arbiter_period
         self.attainment_window = attainment_window
+        self.backend = backend
+        self.workers = workers
         self.hosts = [
             _Host(machine, [b for b in self.bindings if b.machine_index == i])
             for i, machine in enumerate(self.machines)
         ]
+        # Filled by the sharded backend after run(): per-shard CPU
+        # seconds, barrier waits excluded (bench-harness telemetry).
+        self.shard_busy_seconds: list[float] | None = None
         self._ran = False
+
+    # ------------------------------------------------------------------
+    # Event plumbing shared by all backends
+    # ------------------------------------------------------------------
+    def _tick_times(self) -> list[float]:
+        """Arbiter barrier times over the scenario horizon."""
+        if self.arbiter is None:
+            return []
+        horizon = max(b.tenant.trace.duration for b in self.bindings)
+        ticks = int(math.floor(horizon / self.arbiter_period))
+        return [k * self.arbiter_period for k in range(1, ticks + 1)]
+
+    def _final_event_time(self, tick_times: Sequence[float]) -> float:
+        """Time of the last global event (all hosts settle to it)."""
+        last = tick_times[-1] if tick_times else 0.0
+        for binding in self.bindings:
+            arrivals = binding.tenant.trace.arrivals
+            if arrivals:
+                last = max(last, arrivals[-1])
+        return last
+
+    def _event_stream(
+        self,
+        bindings: Sequence[InstanceBinding],
+        tick_times: Sequence[float],
+    ) -> Iterator[tuple[float, int, int, int, InstanceBinding | None]]:
+        """Lazily merge pre-sorted per-tenant arrival streams and ticks.
+
+        Events are ``(time, kind, binding_index, seq, binding)`` tuples
+        ordered by time; arrivals sort before an arbiter tick at the same
+        instant (matching the original engine's dispatch order), and
+        simultaneous arrivals dispatch in binding order.  ``heapq.merge``
+        keeps this O(log k) per event over k already-sorted streams —
+        no per-request heap entries are materialized.
+        """
+        index_of = {id(b): i for i, b in enumerate(self.bindings)}
+
+        def arrivals(binding: InstanceBinding) -> Iterable[
+            tuple[float, int, int, int, InstanceBinding | None]
+        ]:
+            bindex = index_of[id(binding)]
+            for seq, at in enumerate(binding.tenant.trace.arrivals):
+                yield (at, _ARRIVAL, bindex, seq, binding)
+
+        def ticks() -> Iterable[tuple[float, int, int, int, InstanceBinding | None]]:
+            for seq, at in enumerate(tick_times):
+                yield (at, _ARBITER, -1, seq, None)
+
+        streams = [arrivals(binding) for binding in bindings]
+        if tick_times:
+            streams.append(ticks())
+        return heapq.merge(*streams)
+
+    def _pump(
+        self,
+        events: Iterator[tuple[float, int, int, int, InstanceBinding | None]],
+        hosts: Sequence[_Host],
+        final_time: float,
+        on_tick: Callable[[float], None],
+    ) -> None:
+        """Drive ``hosts`` through the event stream, lazily.
+
+        An arrival advances only its own host (idle neighbours are left
+        alone — their gap is settled in one ``idle_until`` when they next
+        matter); an arbiter tick settles every host in ``hosts`` to the
+        tick time, because DVFS states and SLA signals are about to
+        change.  After the last event, every host settles to
+        ``final_time`` so pool-level accounting (makespan, idle energy)
+        is independent of per-host event density.
+        """
+        for time, kind, _, _, binding in events:
+            if kind == _ARRIVAL:
+                if binding is None:
+                    raise EngineError("arrival event lost its tenant binding")
+                self._advance(self.hosts[binding.machine_index], time)
+                self._dispatch_arrival(binding, time)
+            else:
+                for host in hosts:
+                    self._advance(host, time)
+                on_tick(time)
+        for host in hosts:
+            self._advance(host, final_time)
 
     # ------------------------------------------------------------------
     def _advance(self, host: _Host, until: float) -> None:
@@ -208,11 +338,18 @@ class DatacenterEngine:
                 if instance.runtime.step() is StepStatus.FINISHED:
                     instance.finished = True
 
-    def _violation_scores(self, now: float) -> list[float]:
-        """Aggregate per-machine SLA shortfall for the arbiter."""
+    def _violation_scores(
+        self, now: float, bindings: Sequence[InstanceBinding] | None = None
+    ) -> list[float]:
+        """Aggregate per-machine SLA shortfall for the arbiter.
+
+        ``bindings`` restricts the aggregation to a subset (the sharded
+        backend scores only a worker's resident tenants); machines with
+        no scored tenants stay at 0.
+        """
         scores = [0.0] * len(self.machines)
         since = now - self.attainment_window
-        for binding in self.bindings:
+        for binding in self.bindings if bindings is None else bindings:
             sla = binding.tenant.sla
             attainment = binding.stats.recent_attainment(
                 sla.latency_bound, since, now
@@ -244,52 +381,30 @@ class DatacenterEngine:
         binding.starved = False
 
     # ------------------------------------------------------------------
-    def run(self) -> DatacenterResult:
-        """Execute the scenario and collect per-tenant results."""
-        if self._ran:
-            raise EngineError("engine scenarios are single-use; build a new one")
-        self._ran = True
-
+    # Run orchestration
+    # ------------------------------------------------------------------
+    def _begin_run(self) -> list[tuple[float, tuple[float, ...]]]:
+        """Arm every runtime and enforce the budget from time zero."""
         for binding in self.bindings:
             binding.runtime.begin()
-
-        horizon = max(binding.tenant.trace.duration for binding in self.bindings)
-        heap: list[tuple[float, int, int, InstanceBinding | None]] = []
-        seq = 0
-        for binding in self.bindings:
-            for arrival in binding.tenant.trace.arrivals:
-                heap.append((arrival, seq, _ARRIVAL, binding))
-                seq += 1
         cap_history: list[tuple[float, tuple[float, ...]]] = []
         if self.arbiter is not None:
-            ticks = int(math.floor(horizon / self.arbiter_period))
-            for k in range(1, ticks + 1):
-                heap.append((k * self.arbiter_period, seq, _ARBITER, None))
-                seq += 1
             # Enforce the budget from time zero (no SLA signal yet).
             caps = self.arbiter.apply([0.0] * len(self.machines))
             cap_history.append((0.0, tuple(caps)))
-        heapq.heapify(heap)
+        return cap_history
 
-        while heap:
-            now = heap[0][0]
-            for host in self.hosts:
-                self._advance(host, now)
-            while heap and heap[0][0] <= now + 1e-12:
-                _, _, kind, binding = heapq.heappop(heap)
-                if kind == _ARRIVAL:
-                    assert binding is not None
-                    self._dispatch_arrival(binding, now)
-                else:
-                    assert self.arbiter is not None
-                    caps = self.arbiter.apply(self._violation_scores(now))
-                    cap_history.append((now, tuple(caps)))
-
+    def _finalize(self) -> None:
+        """Close every input stream and drain the remaining work."""
         for binding in self.bindings:
             binding.runtime.close_input()
         for host in self.hosts:
             self._drain(host)
 
+    def _collect_result(
+        self, cap_history: list[tuple[float, tuple[float, ...]]]
+    ) -> DatacenterResult:
+        """Assemble the :class:`DatacenterResult` from engine state."""
         run_results = {
             binding.tenant.name: binding.runtime.finish()
             for binding in self.bindings
@@ -317,3 +432,79 @@ class DatacenterEngine:
             ),
             cap_history=cap_history,
         )
+
+    def run(self) -> DatacenterResult:
+        """Execute the scenario and collect per-tenant results."""
+        if self._ran:
+            raise EngineError("engine scenarios are single-use; build a new one")
+        self._ran = True
+        if self.backend == "sharded":
+            from repro.datacenter.shard import run_sharded
+
+            return run_sharded(self)
+        if self.backend == "eager":
+            return self._run_eager()
+        return self._run_serial()
+
+    def _run_serial(self) -> DatacenterResult:
+        """The lazy single-process scheduler (see module docstring)."""
+        cap_history = self._begin_run()
+        tick_times = self._tick_times()
+
+        def on_tick(now: float) -> None:
+            if self.arbiter is None:
+                raise EngineError("arbiter tick scheduled without an arbiter")
+            caps = self.arbiter.apply(self._violation_scores(now))
+            cap_history.append((now, tuple(caps)))
+
+        self._pump(
+            self._event_stream(self.bindings, tick_times),
+            self.hosts,
+            self._final_event_time(tick_times),
+            on_tick,
+        )
+        self._finalize()
+        return self._collect_result(cap_history)
+
+    def _run_eager(self) -> DatacenterResult:
+        """The original PR 1 loop: advance *every* host at *every* event.
+
+        O(events × machines); kept verbatim (modulo the assert->raise
+        hardening) as the baseline the :mod:`repro.bench` harness measures
+        the lazy scheduler against.
+        """
+        cap_history = self._begin_run()
+        horizon = max(binding.tenant.trace.duration for binding in self.bindings)
+        heap: list[tuple[float, int, int, InstanceBinding | None]] = []
+        seq = 0
+        for binding in self.bindings:
+            for arrival in binding.tenant.trace.arrivals:
+                heap.append((arrival, seq, _ARRIVAL, binding))
+                seq += 1
+        if self.arbiter is not None:
+            ticks = int(math.floor(horizon / self.arbiter_period))
+            for k in range(1, ticks + 1):
+                heap.append((k * self.arbiter_period, seq, _ARBITER, None))
+                seq += 1
+        heapq.heapify(heap)
+
+        while heap:
+            now = heap[0][0]
+            for host in self.hosts:
+                self._advance(host, now)
+            while heap and heap[0][0] <= now + 1e-12:
+                _, _, kind, binding = heapq.heappop(heap)
+                if kind == _ARRIVAL:
+                    if binding is None:
+                        raise EngineError("arrival event lost its tenant binding")
+                    self._dispatch_arrival(binding, now)
+                else:
+                    if self.arbiter is None:
+                        raise EngineError(
+                            "arbiter tick scheduled without an arbiter"
+                        )
+                    caps = self.arbiter.apply(self._violation_scores(now))
+                    cap_history.append((now, tuple(caps)))
+
+        self._finalize()
+        return self._collect_result(cap_history)

@@ -1,0 +1,281 @@
+"""Sharded multiprocess backend for the datacenter engine.
+
+Between arbiter barriers, machines are completely independent: an
+arrival only touches its own host, and co-residency contention is
+confined to one machine's clock.  The sharded backend exploits this by
+partitioning the machine pool (with the tenants resident on each
+machine) across forked worker processes.  Each worker advances its
+shard through the same lazy event loop the serial backend runs; the
+only cross-shard traffic is at the arbiter barriers, where workers
+report per-machine SLA violation scores and receive the freshly
+allocated power caps — a few floats per machine per tick.
+
+Determinism: every worker replays exactly the event subsequence the
+serial scheduler would have applied to its machines, settles its hosts
+at the same barrier instants, and the parent runs the same arbiter
+allocation on the same assembled score vector, so a sharded run yields
+*identical* per-tenant reports, cap history, and pool energy to a
+serial run of the same scenario (asserted by the parity tests).
+
+The backend requires the ``fork`` start method (workers inherit the
+armed engine — closures, generators and all — without pickling); the
+engine raises :class:`~repro.datacenter.engine.EngineError` on
+platforms without it.  Only results cross process boundaries, and those
+are plain dataclasses.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.datacenter.arbiter import frequency_for_cap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datacenter.engine import DatacenterEngine, DatacenterResult
+
+__all__ = [
+    "fork_available",
+    "partition_machines",
+    "run_sharded",
+    "usable_cpu_count",
+]
+
+
+def fork_available() -> bool:
+    """Whether the host supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    Respects cgroup/affinity limits (CI containers routinely expose a
+    64-core box but pin the job to a couple of cores), unlike
+    ``multiprocessing.cpu_count()``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def partition_machines(machine_count: int, workers: int) -> list[list[int]]:
+    """Round-robin machine indices across ``workers`` shards.
+
+    Round-robin keeps shards balanced when load correlates with machine
+    index (scenario builders typically fill machines in order).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers!r}")
+    workers = min(workers, machine_count)
+    return [list(range(start, machine_count, workers)) for start in range(workers)]
+
+
+def _worker_main(
+    engine: "DatacenterEngine",
+    machine_indices: Sequence[int],
+    tick_times: Sequence[float],
+    final_time: float,
+    conn,
+) -> None:
+    """Advance one shard to completion, exchanging scores/caps at barriers."""
+    try:
+        # Workers are short-lived batch processes: everything they
+        # allocate dies with them, so cyclic GC is pure overhead here.
+        gc.disable()
+        # CPU time, not wall: on hosts with fewer cores than workers the
+        # processes time-slice, and wall-clock deltas would count the
+        # *other* workers' turns.  Blocking at barriers burns no CPU.
+        started = time.process_time()
+        owned = set(machine_indices)
+        hosts = [engine.hosts[i] for i in machine_indices]
+        bindings = [b for b in engine.bindings if b.machine_index in owned]
+
+        def on_tick(now: float) -> None:
+            scores = engine._violation_scores(now, bindings)
+            conn.send(("scores", [scores[i] for i in machine_indices]))
+            message = conn.recv()
+            if message[0] != "caps":  # pragma: no cover - protocol guard
+                raise RuntimeError(f"expected caps at barrier, got {message[0]!r}")
+            for host, cap in zip(hosts, message[1]):
+                host.machine.set_frequency(frequency_for_cap(host.machine, cap))
+
+        engine._pump(
+            engine._event_stream(bindings, tick_times),
+            hosts,
+            final_time,
+            on_tick,
+        )
+        for binding in bindings:
+            binding.runtime.close_input()
+        for host in hosts:
+            engine._drain(host)
+
+        machine_power: dict[int, float] = {}
+        machine_energy: dict[int, float] = {}
+        machine_now: dict[int, float] = {}
+        for index in machine_indices:
+            machine = engine.machines[index]
+            try:
+                machine_power[index] = machine.meter.mean_power()
+            except Exception:
+                machine_power[index] = 0.0
+            machine_energy[index] = machine.meter.energy_joules
+            machine_now[index] = machine.now
+        payload: dict[str, Any] = {
+            "reports": {
+                b.tenant.name: b.stats.report(b.tenant.name, b.tenant.sla)
+                for b in bindings
+            },
+            "stats": {b.tenant.name: b.stats for b in bindings},
+            "run_results": {
+                b.tenant.name: b.runtime.finish() for b in bindings
+            },
+            "machine_power": machine_power,
+            "machine_energy": machine_energy,
+            "machine_now": machine_now,
+            # Shard CPU seconds (barrier waits excluded by construction)
+            # — the bench harness uses it to project multi-core
+            # wall-clock from single-core hosts.
+            "busy_seconds": time.process_time() - started,
+        }
+        conn.send(("done", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - broken pipe on teardown
+            pass
+    finally:
+        conn.close()
+
+
+def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
+    """Execute ``engine``'s scenario across forked shard workers.
+
+    The parent arms the runtimes and applies the time-zero caps *before*
+    forking (workers inherit that state), then acts purely as the
+    barrier coordinator: gather violation scores, run the arbiter's
+    allocation, scatter the new caps.  Results are reassembled in
+    binding/machine order so every float is summed in the same order the
+    serial backend uses.
+    """
+    from repro.datacenter.engine import DatacenterResult, EngineError
+
+    if not fork_available():
+        raise EngineError(
+            "sharded backend requires the 'fork' multiprocessing start "
+            "method (unavailable on this platform); use backend='serial'"
+        )
+    context = multiprocessing.get_context("fork")
+    requested = engine.workers or usable_cpu_count()
+    shards = partition_machines(len(engine.machines), requested)
+
+    cap_history = engine._begin_run()
+    tick_times = engine._tick_times()
+    final_time = engine._final_event_time(tick_times)
+
+    connections = []
+    processes = []
+    try:
+        for shard in shards:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_worker_main,
+                args=(engine, shard, tick_times, final_time, child_conn),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            connections.append(parent_conn)
+            processes.append(process)
+
+        def receive(conn, process, expected: str):
+            try:
+                message = conn.recv()
+            except EOFError:
+                raise EngineError(
+                    f"shard worker died unexpectedly "
+                    f"(exit code {process.exitcode!r})"
+                ) from None
+            if message[0] == "error":
+                raise EngineError(f"shard worker failed:\n{message[1]}")
+            if message[0] != expected:  # pragma: no cover - protocol guard
+                raise EngineError(
+                    f"shard protocol error: expected {expected!r}, "
+                    f"got {message[0]!r}"
+                )
+            return message[1]
+
+        for now in tick_times:
+            scores = [0.0] * len(engine.machines)
+            for conn, process, shard in zip(connections, processes, shards):
+                shard_scores = receive(conn, process, "scores")
+                for index, score in zip(shard, shard_scores):
+                    scores[index] = score
+            if engine.arbiter is None:
+                raise EngineError("arbiter tick scheduled without an arbiter")
+            caps = engine.arbiter.allocate(scores)
+            cap_history.append((now, tuple(caps)))
+            for conn, shard in zip(connections, shards):
+                conn.send(("caps", [caps[i] for i in shard]))
+
+        payloads = [
+            receive(conn, process, "done")
+            for conn, process in zip(connections, processes)
+        ]
+    finally:
+        for conn in connections:
+            conn.close()
+        for process in processes:
+            process.join(timeout=30.0)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join()
+
+    reports_by_name: dict[str, Any] = {}
+    stats_by_name: dict[str, Any] = {}
+    run_results_by_name: dict[str, Any] = {}
+    machine_power: dict[int, float] = {}
+    machine_energy: dict[int, float] = {}
+    machine_now: dict[int, float] = {}
+    for payload in payloads:
+        reports_by_name.update(payload["reports"])
+        stats_by_name.update(payload["stats"])
+        run_results_by_name.update(payload["run_results"])
+        machine_power.update(payload["machine_power"])
+        machine_energy.update(payload["machine_energy"])
+        machine_now.update(payload["machine_now"])
+    # Telemetry for the bench harness: per-shard CPU seconds.
+    engine.shard_busy_seconds = [p["busy_seconds"] for p in payloads]
+
+    # Reflect worker-side accounting on the parent's bindings so callers
+    # inspecting binding.stats after run() see the same data serial
+    # leaves behind (runtime generator state stays worker-side).
+    for binding in engine.bindings:
+        binding.stats = stats_by_name[binding.tenant.name]
+
+    return DatacenterResult(
+        tenant_reports=[
+            reports_by_name[b.tenant.name] for b in engine.bindings
+        ],
+        run_results={
+            b.tenant.name: run_results_by_name[b.tenant.name]
+            for b in engine.bindings
+        },
+        machine_mean_power=[
+            machine_power[i] for i in range(len(engine.machines))
+        ],
+        total_energy_joules=sum(
+            machine_energy[i] for i in range(len(engine.machines))
+        ),
+        makespan=max(machine_now[i] for i in range(len(engine.machines))),
+        budget_watts=(
+            engine.arbiter.budget_watts if engine.arbiter is not None else None
+        ),
+        cap_history=cap_history,
+    )

@@ -11,6 +11,7 @@ Regenerate any paper artifact directly::
     python -m repro.experiments fig34
     python -m repro.experiments overhead
     python -m repro.experiments datacenter
+    python -m repro.experiments datacenter --backend sharded --workers 4
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
 """
@@ -20,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.datacenter.engine import ENGINE_BACKENDS
 from repro.experiments import (
     APP_SPECS,
     Scale,
@@ -62,7 +64,13 @@ _ARTIFACTS = sorted(
 )
 
 
-def _run(artifact: str, app: str, scale: Scale) -> str:
+def _run(
+    artifact: str,
+    app: str,
+    scale: Scale,
+    backend: str = "serial",
+    workers: int | None = None,
+) -> str:
     if artifact == "table1":
         return format_table1(summarize_inputs(scale))
     if artifact == "table2":
@@ -86,7 +94,9 @@ def _run(artifact: str, app: str, scale: Scale) -> str:
     if artifact == "sla":
         return format_sla(run_sla(app, scale))
     if artifact == "datacenter":
-        return format_datacenter(run_datacenter(scale))
+        return format_datacenter(
+            run_datacenter(scale, backend=backend, workers=workers)
+        )
     if artifact == "overhead":
         return format_overhead(
             [run_overhead(name, Scale.TINY) for name in APP_SPECS]
@@ -113,9 +123,27 @@ def main(argv: list[str] | None = None) -> int:
         default=Scale.PAPER.value,
         help="experiment scale (default: paper)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=list(ENGINE_BACKENDS),
+        default="serial",
+        help="datacenter engine backend (datacenter artifact only; "
+        "default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded backend (datacenter "
+        "artifact only; default: usable CPU count)",
+    )
     args = parser.parse_args(argv)
+    if args.artifact != "datacenter" and (
+        args.backend != "serial" or args.workers is not None
+    ):
+        parser.error("--backend/--workers apply to the datacenter artifact only")
     scale = Scale(args.scale)
-    print(_run(args.artifact, args.app, scale))
+    print(_run(args.artifact, args.app, scale, args.backend, args.workers))
     return 0
 
 

@@ -127,6 +127,8 @@ def build_engine(
     policy: ArbiterPolicy,
     arbiter_period: float = 10.0,
     attainment_window: float = 20.0,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> DatacenterEngine:
     """Assemble machines, instances, and arbiter for one scenario run."""
     system = built_service_system()
@@ -171,6 +173,8 @@ def build_engine(
         arbiter=arbiter,
         arbiter_period=arbiter_period,
         attainment_window=attainment_window,
+        backend=backend,
+        workers=workers,
     )
 
 
@@ -205,15 +209,34 @@ def run_datacenter(
     budget_watts: float = DEFAULT_BUDGET_WATTS,
     tenants: tuple[TenantScenario, ...] | None = None,
     machines: int = 2,
+    backend: str = "serial",
+    workers: int | None = None,
 ) -> DatacenterExperiment:
-    """Run the tenant mix under both arbitration policies."""
+    """Run the tenant mix under both arbitration policies.
+
+    ``backend``/``workers`` select the engine execution backend (the
+    sharded backend produces identical results to serial, so the
+    comparison is backend-invariant).
+    """
     tenants = tenants if tenants is not None else default_tenant_mix()
     horizon = 40.0 if scale is Scale.TINY else 120.0
     static = build_engine(
-        tenants, machines, horizon, budget_watts, ArbiterPolicy.STATIC_EQUAL
+        tenants,
+        machines,
+        horizon,
+        budget_watts,
+        ArbiterPolicy.STATIC_EQUAL,
+        backend=backend,
+        workers=workers,
     ).run()
     arbitrated = build_engine(
-        tenants, machines, horizon, budget_watts, ArbiterPolicy.SLA_AWARE
+        tenants,
+        machines,
+        horizon,
+        budget_watts,
+        ArbiterPolicy.SLA_AWARE,
+        backend=backend,
+        workers=workers,
     ).run()
     return DatacenterExperiment(
         tenants=tenants,

@@ -68,6 +68,9 @@ class HeartbeatMonitor:
         self._window_size = window_size
         self._records: list[HeartbeatRecord] = []
         self._intervals: deque[float] = deque(maxlen=window_size)
+        # Running sum of the window's intervals, maintained incrementally
+        # so the per-beat rate queries are O(1) instead of O(window).
+        self._window_sum = 0.0
         self.set_targets(min_target_rate, max_target_rate)
 
     # ------------------------------------------------------------------
@@ -124,7 +127,10 @@ class HeartbeatMonitor:
             interval = now - self._records[-1].timestamp
             if interval < 0:
                 raise HeartbeatError("heartbeat timestamps went backwards")
+            if len(self._intervals) == self._window_size:
+                self._window_sum -= self._intervals[0]
             self._intervals.append(interval)
+            self._window_sum += interval
         self._records.append(record)
         return record
 
@@ -164,12 +170,13 @@ class HeartbeatMonitor:
 
         Computed as the window beat count divided by the window duration —
         equivalently the reciprocal of the mean interval.  Returns ``None``
-        until at least one interval exists.
+        until at least one interval exists.  O(1): the window duration is
+        maintained as a running sum as beats arrive.
         """
         if not self._intervals:
             return None
-        total = sum(self._intervals)
-        if total == 0.0:
+        total = self._window_sum
+        if total <= 0.0:
             return None
         return len(self._intervals) / total
 
@@ -184,12 +191,14 @@ class HeartbeatMonitor:
 
     def window_mean_interval(self) -> float | None:
         """Mean of the window's beat intervals (the paper's 'sliding mean
-        of the last twenty times between heartbeats')."""
+        of the last twenty times between heartbeats').  O(1) via the
+        running window sum."""
         if not self._intervals:
             return None
-        return sum(self._intervals) / len(self._intervals)
+        return self._window_sum / len(self._intervals)
 
     def reset(self) -> None:
         """Forget all beats (targets are preserved)."""
         self._records.clear()
         self._intervals.clear()
+        self._window_sum = 0.0

@@ -159,3 +159,28 @@ class TestFeedAndStarvation:
         runtime.feed(toy_jobs(count=1, items=10)[0])
         runtime.feed(toy_jobs(count=1, items=10)[0])
         assert runtime.pending_jobs == 2
+
+
+class TestPlanCache:
+    """_plan_for reuses the last plan while the command is unchanged."""
+
+    def test_repeated_command_returns_same_plan_object(self, system):
+        runtime = fresh_runtime(system)
+        top = runtime.table.max_speedup
+        blended = 0.5 * (1.0 + top)
+        first = runtime._plan_for(blended)
+        assert runtime._plan_for(blended) is first
+
+    def test_cached_plan_matches_fresh_actuator_plan(self, system):
+        runtime = fresh_runtime(system)
+        for speedup in (1.0, 0.5 * (1.0 + runtime.table.max_speedup), 1.0):
+            cached = runtime._plan_for(speedup)
+            assert cached == runtime.actuator.plan(speedup)
+
+    def test_changed_command_replans(self, system):
+        runtime = fresh_runtime(system)
+        top = runtime.table.max_speedup
+        first = runtime._plan_for(1.0)
+        second = runtime._plan_for(top)
+        assert second is not first
+        assert second.achieved_speedup == pytest.approx(top)

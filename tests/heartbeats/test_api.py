@@ -119,3 +119,55 @@ class TestTargets:
     def test_invalid_window_rejected(self):
         with pytest.raises(HeartbeatError):
             HeartbeatMonitor(VirtualClock(), window_size=0)
+
+
+class TestRunningWindowSum:
+    """The O(1) running-sum window statistics vs the naive recompute."""
+
+    def test_exact_agreement_with_naive_sum_across_rollover(self):
+        # Dyadic intervals are exactly representable, so the running
+        # add/subtract sum must agree bit-for-bit with a fresh sum()
+        # at every beat — including well past window rollover.
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=5)
+        intervals = [(1 + (i * 7) % 13) / 64.0 for i in range(40)]
+        monitor.heartbeat()
+        for interval in intervals:
+            clock.advance(interval)
+            monitor.heartbeat()
+            naive_total = sum(monitor._intervals)
+            naive_count = len(monitor._intervals)
+            assert monitor.window_rate() == naive_count / naive_total
+            assert monitor.window_mean_interval() == naive_total / naive_count
+
+    def test_exact_agreement_after_reset(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=4)
+        beat_at_intervals(monitor, clock, [0.25, 0.5, 0.125, 0.25, 0.5])
+        monitor.reset()
+        assert monitor.window_rate() is None
+        assert monitor.window_mean_interval() is None
+        beat_at_intervals(monitor, clock, [0.5, 0.25])
+        assert monitor.window_rate() == 2 / 0.75
+        assert monitor.window_mean_interval() == 0.75 / 2
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=10.0), min_size=1, max_size=200
+        )
+    )
+    def test_running_sum_tracks_naive_sum_for_arbitrary_floats(self, intervals):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=20)
+        beat_at_intervals(monitor, clock, intervals)
+        naive = sum(monitor._intervals)
+        # Running add/subtract can drift from the naive sum by a few
+        # ulps of the *largest* window sum seen, so tolerance is scaled
+        # generously rather than exact here (exactness for representable
+        # values is pinned by the dyadic tests above).
+        assert monitor.window_rate() == pytest.approx(
+            len(monitor._intervals) / naive, rel=1e-7
+        )
+        assert monitor.window_mean_interval() == pytest.approx(
+            naive / len(monitor._intervals), rel=1e-7
+        )
