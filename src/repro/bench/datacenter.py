@@ -21,9 +21,15 @@ import time
 from typing import Any, Sequence
 
 from repro.bench.scenarios import PoolScenario, build_pool_engine, count_events
+from repro.datacenter.billing import CONSERVATION_TOLERANCE
 from repro.datacenter.shard import fork_available, usable_cpu_count
 
-__all__ = ["DEFAULT_POOL_SIZES", "SMOKE_POOL_SIZES", "bench_datacenter"]
+__all__ = [
+    "CONSERVATION_TOLERANCE",
+    "DEFAULT_POOL_SIZES",
+    "SMOKE_POOL_SIZES",
+    "bench_datacenter",
+]
 
 DEFAULT_POOL_SIZES = (8, 32, 128)
 """Pool sizes of the full bench run (one tenant per machine)."""
@@ -38,18 +44,37 @@ def _time_backend(
     workers: int | None,
     repeats: int,
 ) -> dict[str, Any]:
-    """Best-of-``repeats`` wall-clock for one backend on one scenario."""
+    """Best-of-``repeats`` wall-clock for one backend on one scenario.
+
+    Every timed run doubles as a billing audit: the per-tenant billed
+    energy plus the unattributed idle energy must reproduce the metered
+    pool energy to :data:`CONSERVATION_TOLERANCE` relative, or the
+    bench aborts — a perf harness must not post numbers for an engine
+    that is silently losing watt-seconds.
+    """
     best = float("inf")
     busy: list[float] | None = None
+    conservation_error = 0.0
     for _ in range(max(1, repeats)):
         engine = build_pool_engine(scenario, backend=backend, workers=workers)
         start = time.perf_counter()
-        engine.run()
+        result = engine.run()
         elapsed = time.perf_counter() - start
+        error = result.energy_conservation_rel_error()
+        if error > CONSERVATION_TOLERANCE:
+            raise RuntimeError(
+                f"billing conservation violated on {scenario.label} "
+                f"({backend}): rel error {error:.3e} > "
+                f"{CONSERVATION_TOLERANCE:.0e}"
+            )
+        conservation_error = max(conservation_error, error)
         if elapsed < best:
             best = elapsed
             busy = engine.shard_busy_seconds
-    entry: dict[str, Any] = {"seconds": best}
+    entry: dict[str, Any] = {
+        "seconds": best,
+        "conservation_rel_error": conservation_error,
+    }
     if busy is not None:
         entry["worker_busy_seconds"] = busy
         coordination = max(0.0, best - sum(busy))

@@ -20,6 +20,12 @@ Module map:
   partitioned across forked workers that run independently between
   arbiter barriers and exchange only violation scores / power caps,
   with results identical to the serial scheduler.
+* :mod:`~repro.datacenter.billing` — the per-tenant metering layer:
+  ledgers the engine charges per dispatched ``step()``, end-of-run
+  :class:`~repro.datacenter.billing.TenantBill` composition (energy,
+  Eq. 9–11 QoS-loss-seconds, admission rejections), and the
+  energy-conservation accounting (billed + unattributed idle == total
+  metered pool energy).
 * :mod:`~repro.datacenter.traffic` — open-loop arrival traces: Poisson,
   diurnal, bursty, and epoch profiles reusing
   :class:`~repro.cluster.workload.LoadProfile`.
@@ -41,6 +47,15 @@ from repro.datacenter.arbiter import (
     frequency_for_cap,
     machine_cap_ceiling,
     machine_cap_floor,
+)
+from repro.datacenter.billing import (
+    CONSERVATION_TOLERANCE,
+    BillingError,
+    TenantBill,
+    TenantLedger,
+    compose_bill,
+    conservation_summary,
+    qos_loss_seconds,
 )
 from repro.datacenter.engine import (
     ENGINE_BACKENDS,
@@ -79,6 +94,13 @@ __all__ = [
     "frequency_for_cap",
     "machine_cap_ceiling",
     "machine_cap_floor",
+    "BillingError",
+    "CONSERVATION_TOLERANCE",
+    "TenantBill",
+    "TenantLedger",
+    "compose_bill",
+    "conservation_summary",
+    "qos_loss_seconds",
     "ENGINE_BACKENDS",
     "DatacenterEngine",
     "DatacenterResult",

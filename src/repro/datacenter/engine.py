@@ -34,6 +34,14 @@ streams are consumed through a lazy sorted merge of the per-tenant
 traces (each already sorted) instead of heapifying one entry per
 request.
 
+Every dispatched ``step()`` is metered for billing: the machine meter's
+energy delta and the clock delta across the step are charged to the
+stepping tenant's :class:`~repro.datacenter.billing.TenantLedger`,
+while lazily settled idle gaps accumulate per machine as unattributed
+idle energy — so :attr:`DatacenterResult.bills` attributes every
+watt-second of pool energy to a tenant or to the idle floor (the
+conservation invariant the billing tests pin).
+
 Three execution backends share these semantics:
 
 * ``"serial"`` — the lazy single-process scheduler (default);
@@ -53,6 +61,12 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
 from repro.datacenter.arbiter import PowerArbiter
+from repro.datacenter.billing import (
+    TenantBill,
+    TenantLedger,
+    compose_bill,
+    conservation_summary,
+)
 from repro.datacenter.tenants import TenantReport, TenantSpec, TenantStats
 from repro.hardware.machine import Machine
 
@@ -83,12 +97,17 @@ class InstanceBinding:
         tenant: The tenant being served.
         runtime: Its PowerDial runtime, bound to the host machine.
         machine_index: Index of that machine in the engine's pool.
+        stats: Mutable SLA/admission accounting the engine fills in.
+        ledger: Mutable billing meter (energy + machine time) charged
+            per dispatched ``step()``; see
+            :class:`~repro.datacenter.billing.TenantLedger`.
     """
 
     tenant: TenantSpec
     runtime: PowerDialRuntime
     machine_index: int
     stats: TenantStats = field(default_factory=TenantStats)
+    ledger: TenantLedger = field(default_factory=TenantLedger)
     starved: bool = False
     finished: bool = False
     next_request: int = 0
@@ -103,10 +122,16 @@ class DatacenterResult:
         run_results: Each instance's full :class:`RunResult`, by tenant.
             Note that ``mean_power``/``energy_joules`` inside a
             RunResult come from the *shared* machine meter: co-resident
-            tenants all report the whole machine's draw (per-tenant
-            energy attribution is a roadmap item); use
-            ``machine_mean_power``/``total_energy_joules`` for pool
-            accounting.
+            tenants all report the whole machine's draw; for pool
+            accounting use ``machine_mean_power``/
+            ``total_energy_joules``, and for per-tenant attribution use
+            ``bills``.
+        bills: Per-tenant :class:`~repro.datacenter.billing.TenantBill`
+            (energy, QoS-loss, admission attribution), in binding
+            order; byte-identical across backends.
+        idle_energy_joules: Per-machine watt-seconds no tenant was
+            running for (lazy ``idle_until`` settlements, plus any
+            energy already on a meter before the run began).
         machine_mean_power: Mean measured watts per machine.
         total_energy_joules: Integrated energy across the pool.
         makespan: Latest machine virtual time at the end of the run.
@@ -116,6 +141,8 @@ class DatacenterResult:
 
     tenant_reports: list[TenantReport]
     run_results: dict[str, RunResult]
+    bills: list[TenantBill]
+    idle_energy_joules: list[float]
     machine_mean_power: list[float]
     total_energy_joules: float
     makespan: float
@@ -127,12 +154,40 @@ class DatacenterResult:
         """Sum of the machines' mean power draws."""
         return sum(self.machine_mean_power)
 
+    @property
+    def billed_energy_joules(self) -> float:
+        """Total watt-seconds attributed to tenants across the pool."""
+        return sum(bill.energy_joules for bill in self.bills)
+
+    @property
+    def unattributed_idle_joules(self) -> float:
+        """Total watt-seconds no tenant was charged for (idle floor)."""
+        return sum(self.idle_energy_joules)
+
     def report_for(self, tenant_name: str) -> TenantReport:
         """Look up one tenant's report by name."""
         for report in self.tenant_reports:
             if report.name == tenant_name:
                 return report
         raise EngineError(f"no tenant named {tenant_name!r}")
+
+    def bill_for(self, tenant_name: str) -> TenantBill:
+        """Look up one tenant's bill by name."""
+        for bill in self.bills:
+            if bill.tenant == tenant_name:
+                return bill
+        raise EngineError(f"no tenant named {tenant_name!r}")
+
+    def energy_conservation(self) -> dict[str, float]:
+        """Billed + idle vs metered pool energy; see
+        :func:`~repro.datacenter.billing.conservation_summary`."""
+        return conservation_summary(
+            self.bills, self.idle_energy_joules, self.total_energy_joules
+        )
+
+    def energy_conservation_rel_error(self) -> float:
+        """Relative mismatch of billed + idle against metered energy."""
+        return self.energy_conservation()["rel_error"]
 
     def slas_met(self) -> int:
         """How many tenants attained their SLA."""
@@ -142,7 +197,10 @@ class DatacenterResult:
 class _Host:
     """Engine-side view of one machine and its resident instances."""
 
-    def __init__(self, machine: Machine, instances: list[InstanceBinding]):
+    def __init__(
+        self, index: int, machine: Machine, instances: list[InstanceBinding]
+    ):
+        self.index = index
         self.machine = machine
         self.instances = instances
         self._rr = 0
@@ -224,9 +282,14 @@ class DatacenterEngine:
         self.backend = backend
         self.workers = workers
         self.hosts = [
-            _Host(machine, [b for b in self.bindings if b.machine_index == i])
+            _Host(i, machine, [b for b in self.bindings if b.machine_index == i])
             for i, machine in enumerate(self.machines)
         ]
+        # Watt-seconds per machine that no tenant was running for; the
+        # billing conservation invariant is
+        #   sum(binding.ledger.energy_joules) + sum(idle_energy_joules)
+        #       == total metered pool energy.
+        self.idle_energy_joules: list[float] = [0.0] * len(self.machines)
         # Filled by the sharded backend after run(): per-shard CPU
         # seconds, barrier waits excluded (bench-harness telemetry).
         self.shard_busy_seconds: list[float] | None = None
@@ -316,17 +379,47 @@ class DatacenterEngine:
 
     # ------------------------------------------------------------------
     def _advance(self, host: _Host, until: float) -> None:
-        """Run ``host`` cooperatively until its clock reaches ``until``."""
-        while host.machine.now < until - 1e-12:
+        """Run ``host`` cooperatively until its clock reaches ``until``.
+
+        Every ``step()`` dispatched here is metered: the increase of the
+        machine meter's integrated energy and of the machine clock
+        across the step is charged to the stepping tenant's ledger.  The
+        closing ``idle_until`` settlement belongs to no tenant and
+        accumulates as the machine's unattributed idle energy.
+        """
+        machine = host.machine
+        while machine.now < until - 1e-12:
             instance = host.next_runnable()
             if instance is None:
-                host.machine.idle_until(until)
+                energy_before = machine.meter.energy_joules
+                machine.idle_until(until)
+                self.idle_energy_joules[host.index] += (
+                    machine.meter.energy_joules - energy_before
+                )
                 return
-            status = instance.runtime.step()
+            status = self._metered_step(host, instance)
             if status is StepStatus.STARVED:
                 instance.starved = True
             elif status is StepStatus.FINISHED:
                 instance.finished = True
+
+    def _metered_step(self, host: _Host, instance: InstanceBinding) -> StepStatus:
+        """Dispatch one ``step()`` and charge its deltas to the tenant.
+
+        The single choke point for billing attribution: every backend
+        and every phase (event pumping and post-input drain) must route
+        step dispatch through here, or the conservation invariant
+        breaks.
+        """
+        machine = host.machine
+        meter = machine.meter
+        energy_before = meter.energy_joules
+        started = machine.now
+        status = instance.runtime.step()
+        instance.ledger.charge(
+            meter.energy_joules - energy_before, machine.now - started
+        )
+        return status
 
     def _drain(self, host: _Host) -> None:
         """Run every resident instance to completion (input closed)."""
@@ -335,7 +428,7 @@ class DatacenterEngine:
             if not unfinished:
                 return
             for instance in unfinished:
-                if instance.runtime.step() is StepStatus.FINISHED:
+                if self._metered_step(host, instance) is StepStatus.FINISHED:
                     instance.finished = True
 
     def _violation_scores(
@@ -385,6 +478,12 @@ class DatacenterEngine:
     # ------------------------------------------------------------------
     def _begin_run(self) -> list[tuple[float, tuple[float, ...]]]:
         """Arm every runtime and enforce the budget from time zero."""
+        for index, machine in enumerate(self.machines):
+            # Energy already on a meter (a machine reused after e.g. a
+            # calibration run) predates every tenant: fold it into the
+            # unattributed account so conservation holds regardless.
+            if machine.meter.energy_joules:
+                self.idle_energy_joules[index] += machine.meter.energy_joules
         for binding in self.bindings:
             binding.runtime.begin()
         cap_history: list[tuple[float, tuple[float, ...]]] = []
@@ -413,6 +512,15 @@ class DatacenterEngine:
             binding.stats.report(binding.tenant.name, binding.tenant.sla)
             for binding in self.bindings
         ]
+        bills = [
+            compose_bill(
+                binding.machine_index,
+                report,
+                binding.ledger,
+                run_results[binding.tenant.name],
+            )
+            for binding, report in zip(self.bindings, reports)
+        ]
         machine_power = []
         for machine in self.machines:
             try:
@@ -422,6 +530,8 @@ class DatacenterEngine:
         return DatacenterResult(
             tenant_reports=reports,
             run_results=run_results,
+            bills=bills,
+            idle_energy_joules=list(self.idle_energy_joules),
             machine_mean_power=machine_power,
             total_energy_joules=sum(
                 machine.meter.energy_joules for machine in self.machines

@@ -14,8 +14,12 @@ Determinism: every worker replays exactly the event subsequence the
 serial scheduler would have applied to its machines, settles its hosts
 at the same barrier instants, and the parent runs the same arbiter
 allocation on the same assembled score vector, so a sharded run yields
-*identical* per-tenant reports, cap history, and pool energy to a
-serial run of the same scenario (asserted by the parity tests).
+*identical* per-tenant reports, billing ledgers/bills, cap history,
+and pool energy to a serial run of the same scenario (asserted by the
+parity tests).  At the "done" barrier each worker additionally returns
+its tenants' billing ledgers and its machines' unattributed idle
+energy; the parent composes the bills from those reassembled pieces
+exactly as the serial collector would.
 
 The backend requires the ``fork`` start method (workers inherit the
 armed engine — closures, generators and all — without pickling); the
@@ -34,6 +38,7 @@ import traceback
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.datacenter.arbiter import frequency_for_cap
+from repro.datacenter.billing import compose_bill
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.datacenter.engine import DatacenterEngine, DatacenterResult
@@ -118,6 +123,7 @@ def _worker_main(
 
         machine_power: dict[int, float] = {}
         machine_energy: dict[int, float] = {}
+        machine_idle: dict[int, float] = {}
         machine_now: dict[int, float] = {}
         for index in machine_indices:
             machine = engine.machines[index]
@@ -126,6 +132,7 @@ def _worker_main(
             except Exception:
                 machine_power[index] = 0.0
             machine_energy[index] = machine.meter.energy_joules
+            machine_idle[index] = engine.idle_energy_joules[index]
             machine_now[index] = machine.now
         payload: dict[str, Any] = {
             "reports": {
@@ -133,11 +140,13 @@ def _worker_main(
                 for b in bindings
             },
             "stats": {b.tenant.name: b.stats for b in bindings},
+            "ledgers": {b.tenant.name: b.ledger for b in bindings},
             "run_results": {
                 b.tenant.name: b.runtime.finish() for b in bindings
             },
             "machine_power": machine_power,
             "machine_energy": machine_energy,
+            "machine_idle": machine_idle,
             "machine_now": machine_now,
             # Shard CPU seconds (barrier waits excluded by construction)
             # — the bench harness uses it to project multi-core
@@ -239,25 +248,46 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
 
     reports_by_name: dict[str, Any] = {}
     stats_by_name: dict[str, Any] = {}
+    ledgers_by_name: dict[str, Any] = {}
     run_results_by_name: dict[str, Any] = {}
     machine_power: dict[int, float] = {}
     machine_energy: dict[int, float] = {}
+    machine_idle: dict[int, float] = {}
     machine_now: dict[int, float] = {}
     for payload in payloads:
         reports_by_name.update(payload["reports"])
         stats_by_name.update(payload["stats"])
+        ledgers_by_name.update(payload["ledgers"])
         run_results_by_name.update(payload["run_results"])
         machine_power.update(payload["machine_power"])
         machine_energy.update(payload["machine_energy"])
+        machine_idle.update(payload["machine_idle"])
         machine_now.update(payload["machine_now"])
     # Telemetry for the bench harness: per-shard CPU seconds.
     engine.shard_busy_seconds = [p["busy_seconds"] for p in payloads]
 
-    # Reflect worker-side accounting on the parent's bindings so callers
-    # inspecting binding.stats after run() see the same data serial
-    # leaves behind (runtime generator state stays worker-side).
+    # Reflect worker-side accounting on the parent's bindings and idle
+    # account so callers inspecting the engine after run() see the same
+    # data serial leaves behind (runtime generator state stays
+    # worker-side).
     for binding in engine.bindings:
         binding.stats = stats_by_name[binding.tenant.name]
+        binding.ledger = ledgers_by_name[binding.tenant.name]
+    for index, idle in machine_idle.items():
+        engine.idle_energy_joules[index] = idle
+
+    # Bills are composed from the same (report, ledger, run-result)
+    # triples a serial run would pass, in the same binding order, so
+    # every float matches the serial backend bit for bit.
+    bills = [
+        compose_bill(
+            binding.machine_index,
+            reports_by_name[binding.tenant.name],
+            binding.ledger,
+            run_results_by_name[binding.tenant.name],
+        )
+        for binding in engine.bindings
+    ]
 
     return DatacenterResult(
         tenant_reports=[
@@ -267,6 +297,8 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             b.tenant.name: run_results_by_name[b.tenant.name]
             for b in engine.bindings
         },
+        bills=bills,
+        idle_energy_joules=list(engine.idle_energy_joules),
         machine_mean_power=[
             machine_power[i] for i in range(len(engine.machines))
         ],

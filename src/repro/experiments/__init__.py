@@ -17,11 +17,14 @@ from repro.experiments.consolidation import (
     format_fig8,
     run_consolidation,
 )
+from repro.experiments.catalog import ARTIFACTS, Artifact, PER_APP_ARTIFACTS
 from repro.experiments.datacenter import (
     DatacenterExperiment,
     TenantScenario,
+    billing_payload,
     default_tenant_mix,
     format_datacenter,
+    format_datacenter_bills,
     run_datacenter,
 )
 from repro.experiments.energy_models import (
@@ -98,6 +101,11 @@ __all__ = [
     "default_tenant_mix",
     "run_datacenter",
     "format_datacenter",
+    "format_datacenter_bills",
+    "billing_payload",
+    "ARTIFACTS",
+    "Artifact",
+    "PER_APP_ARTIFACTS",
     "built_service_system",
     "InputSummary",
     "summarize_inputs",

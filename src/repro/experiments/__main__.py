@@ -1,6 +1,8 @@
 """Command-line entry point for the experiment harness.
 
-Regenerate any paper artifact directly::
+Regenerate any paper artifact directly (one subcommand per artifact;
+``python -m repro.experiments --help`` lists them all with the same
+descriptions ``docs/SCENARIOS.md`` documents recipe by recipe)::
 
     python -m repro.experiments table1
     python -m repro.experiments table2
@@ -12,6 +14,7 @@ Regenerate any paper artifact directly::
     python -m repro.experiments overhead
     python -m repro.experiments datacenter
     python -m repro.experiments datacenter --backend sharded --workers 4
+    python -m repro.experiments datacenter --bill
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
 """
@@ -31,6 +34,7 @@ from repro.experiments import (
     format_fig8,
     format_controller_ablation,
     format_datacenter,
+    format_datacenter_bills,
     format_fig34,
     format_overhead,
     format_quantum_ablation,
@@ -49,19 +53,7 @@ from repro.experiments import (
     run_tradeoff,
     summarize_inputs,
 )
-
-_PER_APP = {
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig8",
-    "ablation-controllers",
-    "ablation-quantum",
-    "sla",
-}
-_ARTIFACTS = sorted(
-    _PER_APP | {"table1", "table2", "fig34", "overhead", "datacenter"}
-)
+from repro.experiments.catalog import ARTIFACTS, PER_APP_ARTIFACTS
 
 
 def _run(
@@ -70,7 +62,9 @@ def _run(
     scale: Scale,
     backend: str = "serial",
     workers: int | None = None,
+    bill: bool = False,
 ) -> str:
+    """Execute one artifact subcommand and return its rendered output."""
     if artifact == "table1":
         return format_table1(summarize_inputs(scale))
     if artifact == "table2":
@@ -94,9 +88,10 @@ def _run(
     if artifact == "sla":
         return format_sla(run_sla(app, scale))
     if artifact == "datacenter":
-        return format_datacenter(
-            run_datacenter(scale, backend=backend, workers=workers)
-        )
+        experiment = run_datacenter(scale, backend=backend, workers=workers)
+        if bill:
+            return format_datacenter_bills(experiment)
+        return format_datacenter(experiment)
     if artifact == "overhead":
         return format_overhead(
             [run_overhead(name, Scale.TINY) for name in APP_SPECS]
@@ -104,46 +99,72 @@ def _run(
     raise ValueError(f"unknown artifact {artifact!r}")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI driver; returns a process exit code."""
+def build_parser() -> argparse.ArgumentParser:
+    """The experiment CLI: one documented subparser per catalog entry."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate a PowerDial paper table or figure.",
     )
-    parser.add_argument("artifact", choices=_ARTIFACTS)
-    parser.add_argument(
-        "--app",
-        choices=sorted(APP_SPECS),
-        default="swaptions",
-        help="benchmark for per-application figures (default: swaptions)",
+    subparsers = parser.add_subparsers(
+        dest="artifact",
+        metavar="artifact",
+        required=True,
     )
-    parser.add_argument(
-        "--scale",
-        choices=[s.value for s in Scale],
-        default=Scale.PAPER.value,
-        help="experiment scale (default: paper)",
+    for name, info in ARTIFACTS.items():
+        sub = subparsers.add_parser(
+            name,
+            help=info.help,
+            description=f"{info.help} ({info.paper_ref}).",
+        )
+        sub.add_argument(
+            "--scale",
+            choices=[s.value for s in Scale],
+            default=Scale.PAPER.value,
+            help="experiment scale (default: paper)",
+        )
+        if name in PER_APP_ARTIFACTS:
+            sub.add_argument(
+                "--app",
+                choices=sorted(APP_SPECS),
+                default="swaptions",
+                help="benchmark application (default: swaptions)",
+            )
+        if name == "datacenter":
+            sub.add_argument(
+                "--backend",
+                choices=list(ENGINE_BACKENDS),
+                default="serial",
+                help="datacenter engine backend (default: serial)",
+            )
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="worker processes for the sharded backend "
+                "(default: usable CPU count)",
+            )
+            sub.add_argument(
+                "--bill",
+                action="store_true",
+                help="emit per-tenant JSON bills (energy, QoS loss, "
+                "rejections) instead of the SLA comparison table",
+            )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    print(
+        _run(
+            args.artifact,
+            getattr(args, "app", "swaptions"),
+            Scale(args.scale),
+            getattr(args, "backend", "serial"),
+            getattr(args, "workers", None),
+            getattr(args, "bill", False),
+        )
     )
-    parser.add_argument(
-        "--backend",
-        choices=list(ENGINE_BACKENDS),
-        default="serial",
-        help="datacenter engine backend (datacenter artifact only; "
-        "default: serial)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="worker processes for the sharded backend (datacenter "
-        "artifact only; default: usable CPU count)",
-    )
-    args = parser.parse_args(argv)
-    if args.artifact != "datacenter" and (
-        args.backend != "serial" or args.workers is not None
-    ):
-        parser.error("--backend/--workers apply to the datacenter artifact only")
-    scale = Scale(args.scale)
-    print(_run(args.artifact, args.app, scale, args.backend, args.workers))
     return 0
 
 

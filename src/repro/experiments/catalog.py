@@ -1,0 +1,114 @@
+"""The single source of truth for the experiment CLI's subcommands.
+
+Each :class:`Artifact` entry names one ``python -m repro.experiments``
+subcommand, its one-line help string, and the paper artifact it
+reproduces.  The CLI driver builds its subparsers from this table, and
+``docs/SCENARIOS.md`` quotes the same help lines recipe by recipe — a
+drift test (``tests/test_docs.py``) asserts every entry appears in the
+cookbook verbatim, so the CLI and the docs cannot disagree about what a
+subcommand does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Artifact", "ARTIFACTS", "PER_APP_ARTIFACTS"]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One experiment CLI subcommand.
+
+    Attributes:
+        name: Subcommand name (``python -m repro.experiments <name>``).
+        help: One-line description shown in ``--help`` and quoted by
+            ``docs/SCENARIOS.md``.
+        paper_ref: The paper table/figure/section it reproduces (or the
+            repo extension it exercises).
+        per_app: Whether the subcommand takes ``--app``.
+    """
+
+    name: str
+    help: str
+    paper_ref: str
+    per_app: bool = False
+
+
+_ENTRIES = (
+    Artifact(
+        "table1",
+        "summarize the benchmark applications, inputs, and knobs",
+        "Table 1",
+    ),
+    Artifact(
+        "table2",
+        "speedup/QoS trade-off statistics across all four benchmarks",
+        "Table 2",
+    ),
+    Artifact(
+        "fig34",
+        "analytic energy models for idle and consolidation savings",
+        "Figures 3-4 (Equations 12-19)",
+    ),
+    Artifact(
+        "fig5",
+        "the calibrated speedup vs QoS-loss trade-off space of one app",
+        "Figure 5",
+        per_app=True,
+    ),
+    Artifact(
+        "fig6",
+        "system power and QoS across P-states with and without knobs",
+        "Figure 6",
+        per_app=True,
+    ),
+    Artifact(
+        "fig7",
+        "the dynamic response timeline to a power cap and its removal",
+        "Figure 7",
+        per_app=True,
+    ),
+    Artifact(
+        "fig8",
+        "server-consolidation energy savings at constant capacity",
+        "Figure 8",
+        per_app=True,
+    ),
+    Artifact(
+        "overhead",
+        "runtime overhead of the control loop on each benchmark",
+        "Section 5.2",
+    ),
+    Artifact(
+        "sla",
+        "latency-SLA attainment with and without dynamic knobs",
+        "Section 5.4 extension",
+        per_app=True,
+    ),
+    Artifact(
+        "ablation-controllers",
+        "the paper's integral controller against alternative policies",
+        "controller ablation",
+        per_app=True,
+    ),
+    Artifact(
+        "ablation-quantum",
+        "sensitivity of control quality to the quantum length",
+        "quantum ablation",
+        per_app=True,
+    ),
+    Artifact(
+        "datacenter",
+        "multi-tenant serving under one arbitrated facility power budget",
+        "Sections 5.4-5.5 extension",
+    ),
+)
+
+ARTIFACTS: dict[str, Artifact] = {entry.name: entry for entry in _ENTRIES}
+"""Every CLI subcommand, keyed by name, in help-listing order."""
+
+PER_APP_ARTIFACTS = frozenset(
+    entry.name for entry in _ENTRIES if entry.per_app
+)
+"""Subcommands that accept ``--app``."""

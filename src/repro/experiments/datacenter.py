@@ -23,7 +23,9 @@ signal alone.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.powerdial import measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
@@ -51,6 +53,8 @@ __all__ = [
     "build_engine",
     "run_datacenter",
     "format_datacenter",
+    "billing_payload",
+    "format_datacenter_bills",
 ]
 
 DEFAULT_BUDGET_WATTS = 420.0
@@ -246,6 +250,41 @@ def run_datacenter(
         static=static,
         arbitrated=arbitrated,
     )
+
+
+def _policy_billing(result: DatacenterResult) -> dict[str, Any]:
+    """One policy's bills plus the energy-conservation accounting."""
+    return {
+        "bills": [bill.to_dict() for bill in result.bills],
+        "idle_energy_joules_per_machine": list(result.idle_energy_joules),
+        "energy_conservation": result.energy_conservation(),
+    }
+
+
+def billing_payload(experiment: DatacenterExperiment) -> dict[str, Any]:
+    """The ``--bill`` JSON document: per-tenant bills for both policies.
+
+    Floats are emitted untouched, so two runs of the same scenario on
+    different backends (serial vs sharded) serialize to byte-identical
+    JSON — the cross-backend billing contract, testable end to end from
+    the CLI.
+    """
+    return {
+        "artifact": "datacenter-billing",
+        "budget_watts": experiment.budget_watts,
+        "machines": experiment.machines,
+        "horizon_seconds": experiment.horizon,
+        "tenants": [tenant.name for tenant in experiment.tenants],
+        "policies": {
+            "static-equal": _policy_billing(experiment.static),
+            "sla-aware": _policy_billing(experiment.arbitrated),
+        },
+    }
+
+
+def format_datacenter_bills(experiment: DatacenterExperiment) -> str:
+    """Render :func:`billing_payload` as deterministic, indented JSON."""
+    return json.dumps(billing_payload(experiment), indent=2, sort_keys=True)
 
 
 def format_datacenter(experiment: DatacenterExperiment) -> str:

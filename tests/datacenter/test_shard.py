@@ -92,6 +92,8 @@ def build_scenario(backend, workers=None, arbitrated=True):
 def assert_identical(left, right):
     """Byte-identical result comparison (dataclass equality is exact)."""
     assert left.tenant_reports == right.tenant_reports
+    assert left.bills == right.bills
+    assert left.idle_energy_joules == right.idle_energy_joules
     assert left.machine_mean_power == right.machine_mean_power
     assert left.total_energy_joules == right.total_energy_joules
     assert left.makespan == right.makespan

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "controller_shootout.py",
     "race_to_idle.py",
     "datacenter_arbiter.py",
+    "datacenter_billing.py",
 ]
 
 

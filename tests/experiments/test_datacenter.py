@@ -1,10 +1,17 @@
 """Tests for the datacenter experiment and its CLI entry (tiny scale)."""
 
+import json
+
 import pytest
 
+from repro.datacenter import CONSERVATION_TOLERANCE, fork_available
 from repro.experiments import Scale, format_datacenter, run_datacenter
 from repro.experiments.__main__ import main
-from repro.experiments.datacenter import default_tenant_mix
+from repro.experiments.datacenter import (
+    billing_payload,
+    default_tenant_mix,
+    format_datacenter_bills,
+)
 
 
 @pytest.fixture(scope="module")
@@ -59,3 +66,46 @@ class TestFormat:
         out = capsys.readouterr().out
         assert "Datacenter arbitration" in out
         assert "sla-aware" in out
+
+    def test_cli_rejects_backend_on_other_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--backend", "sharded"])
+        with pytest.raises(SystemExit):
+            main(["fig34", "--bill"])
+
+
+class TestBilling:
+    def test_billing_payload_conserves_energy(self, experiment):
+        payload = billing_payload(experiment)
+        assert set(payload["policies"]) == {"static-equal", "sla-aware"}
+        for policy in payload["policies"].values():
+            conservation = policy["energy_conservation"]
+            assert conservation["rel_error"] <= CONSERVATION_TOLERANCE
+            billed = sum(b["energy_joules"] for b in policy["bills"])
+            assert billed == conservation["billed_energy_joules"]
+        names = {b["tenant"] for b in payload["policies"]["sla-aware"]["bills"]}
+        assert names == {t.name for t in experiment.tenants}
+
+    def test_format_is_valid_deterministic_json(self, experiment):
+        text = format_datacenter_bills(experiment)
+        parsed = json.loads(text)
+        assert parsed["artifact"] == "datacenter-billing"
+        assert text == format_datacenter_bills(experiment)
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_cli_bill_json_identical_across_backends(self, capsys):
+        """The acceptance contract: serial and sharded emit the same bill."""
+        assert main(["datacenter", "--scale", "tiny", "--bill"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            ["datacenter", "--scale", "tiny", "--bill", "--backend", "sharded",
+             "--workers", "2"]
+        ) == 0
+        sharded_out = capsys.readouterr().out
+        assert serial_out == sharded_out
+        document = json.loads(serial_out)
+        for policy in document["policies"].values():
+            assert (
+                policy["energy_conservation"]["rel_error"]
+                <= CONSERVATION_TOLERANCE
+            )
