@@ -27,7 +27,6 @@ Run:
 import json
 
 from repro.datacenter import CONSERVATION_TOLERANCE, fork_available
-from repro.datacenter.arbiter import ArbiterPolicy
 from repro.experiments.datacenter import build_engine, default_tenant_mix
 
 HORIZON = 40.0  # seconds of virtual time (the tiny-scale horizon)
@@ -44,7 +43,7 @@ def run_once(backend, workers=None):
         machines_count=2,
         horizon=HORIZON,
         budget_watts=BUDGET_WATTS,
-        policy=ArbiterPolicy.SLA_AWARE,
+        policy="sla-aware",
         backend=backend,
         workers=workers,
     )

@@ -108,6 +108,18 @@ def bench_datacenter(
             machines=max(pool_sizes), horizon=horizon, rate=rate, arbitrated=True
         )
     )
+    # One budget-shock scenario exercises the control plane's SetBudget
+    # path (drop at horizon/3, recover at 2/3) — the conservation audit
+    # in _time_backend must hold across the mid-run budget changes.
+    scenarios.append(
+        PoolScenario(
+            machines=min(pool_sizes),
+            horizon=horizon,
+            rate=rate,
+            arbitrated=True,
+            budget_shock=True,
+        )
+    )
     results = []
     for scenario in scenarios:
         events = count_events(scenario)

@@ -8,6 +8,17 @@ event regardless of idleness), and one-tenant-per-machine keeps the
 virtual workload identical across pool sizes so wall-clock differences
 measure the engine, not the workload.
 
+Three scenario kinds:
+
+* ``open`` — no control policy, pure event scheduling;
+* ``arbitrated`` — an SLA-aware cap policy at every barrier (tracks
+  barrier cost);
+* ``budget_shock`` — arbitrated plus a fleet-wide budget drop at a
+  third of the horizon and recovery at two-thirds (the §5.4 cap event
+  fleet-wide, via the control plane's ``SetBudget`` path); every timed
+  run still has to pass the billing conservation audit, so this
+  scenario keeps the invariant honest under mid-run budget changes.
+
 Scenarios are fully seeded: the same :class:`PoolScenario` always
 builds the same traces, requests, and calibration, so timings across
 PRs compare like for like.
@@ -20,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.core.powerdial import measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
-from repro.datacenter.arbiter import PowerArbiter
+from repro.datacenter.controlplane import BudgetSchedule, build_policy
 from repro.datacenter.engine import DatacenterEngine, InstanceBinding
 from repro.datacenter.service import (
     ServiceApp,
@@ -37,6 +48,10 @@ __all__ = ["PoolScenario", "build_pool_engine", "count_events"]
 BUDGET_WATTS_PER_MACHINE = 200.0
 """Arbitrated-scenario budget per machine (floor ~183 W, ceiling 220 W)."""
 
+SHOCK_FRACTION = 0.94
+"""Budget-shock level as a fraction of the base budget (stays above the
+pool's cap floor at :data:`BUDGET_WATTS_PER_MACHINE`)."""
+
 
 @dataclass(frozen=True)
 class PoolScenario:
@@ -46,25 +61,48 @@ class PoolScenario:
         machines: Pool size (one tenant per machine).
         horizon: Trace duration in virtual seconds.
         rate: Per-tenant Poisson arrival rate (requests/second).
-        arbitrated: Whether a power arbiter runs (adds barrier ticks).
-        arbiter_period: Seconds between arbitrations when arbitrated.
+        arbitrated: Whether a cap policy runs (adds barrier ticks).
+        control_period: Seconds between control barriers when a policy
+            runs.
+        budget_shock: Whether the global budget drops to
+            :data:`SHOCK_FRACTION` of its base at ``horizon/3`` and
+            recovers at ``2*horizon/3`` (implies a policy runs).
     """
 
     machines: int
     horizon: float = 30.0
     rate: float = 0.4
     arbitrated: bool = False
-    arbiter_period: float = 10.0
+    control_period: float = 10.0
+    budget_shock: bool = False
 
     @property
     def label(self) -> str:
         """Stable scenario name used in the bench JSON."""
+        if self.budget_shock:
+            return f"budget_shock-{self.machines}m"
         kind = "arbitrated" if self.arbitrated else "open"
         return f"{kind}-{self.machines}m"
+
+    @property
+    def budget_watts(self) -> float:
+        """Base fleet budget when a policy runs."""
+        return BUDGET_WATTS_PER_MACHINE * self.machines
 
     def tenant_trace(self, index: int):
         """The (seeded) arrival trace of tenant ``index``."""
         return poisson_trace(self.rate, self.horizon, seed=index, name="bench")
+
+    def budget_schedule(self) -> BudgetSchedule | None:
+        """The shock schedule (drop then recover), or None."""
+        if not self.budget_shock:
+            return None
+        return BudgetSchedule(
+            (
+                (self.horizon / 3.0, SHOCK_FRACTION * self.budget_watts),
+                (2.0 * self.horizon / 3.0, self.budget_watts),
+            )
+        )
 
 
 def build_pool_engine(
@@ -78,14 +116,17 @@ def build_pool_engine(
     target = measure_baseline_rate(
         ServiceApp, service_training_jobs()[0], machines[0]
     )
-    bindings = []
-    for index in range(scenario.machines):
-        runtime = PowerDialRuntime(
+
+    def make_runtime(machine):
+        return PowerDialRuntime(
             app=ServiceApp(),
             table=system.table,
-            machine=machines[index],
+            machine=machine,
             target_rate=target,
         )
+
+    bindings = []
+    for index in range(scenario.machines):
         spec = TenantSpec(
             name=f"tenant-{index}",
             trace=scenario.tenant_trace(index),
@@ -93,33 +134,51 @@ def build_pool_engine(
             job_factory=request_stream(seed=1000 + index),
         )
         bindings.append(
-            InstanceBinding(tenant=spec, runtime=runtime, machine_index=index)
+            InstanceBinding(
+                tenant=spec,
+                runtime=make_runtime(machines[index]),
+                machine_index=index,
+                runtime_factory=make_runtime,
+            )
         )
-    arbiter = None
-    if scenario.arbitrated:
-        arbiter = PowerArbiter(
-            BUDGET_WATTS_PER_MACHINE * scenario.machines, machines
+    policy = None
+    if scenario.arbitrated or scenario.budget_shock:
+        policy = build_policy(
+            "sla-aware",
+            scenario.budget_watts,
+            machines,
+            schedule=scenario.budget_schedule(),
         )
     return DatacenterEngine(
         machines,
         bindings,
-        arbiter=arbiter,
-        arbiter_period=scenario.arbiter_period,
+        policy=policy,
+        control_period=scenario.control_period,
         backend=backend,
         workers=workers,
     )
 
 
 def count_events(scenario: PoolScenario) -> int:
-    """Global events (arrivals + arbiter ticks) a scenario will process.
+    """Global events (arrivals + control barriers) a scenario processes.
 
     Computed from the traces alone — no engine (with its runtimes and
-    calibration) is built just to count.
+    calibration) is built just to count.  Mirrors the engine's barrier
+    merge: periodic ticks plus the budget schedule's change instants,
+    deduplicated.
     """
     arrivals = sum(
         scenario.tenant_trace(index).count for index in range(scenario.machines)
     )
-    ticks = 0
-    if scenario.arbitrated:
-        ticks = int(math.floor(scenario.horizon / scenario.arbiter_period))
-    return arrivals + ticks
+    ticks: set[float] = set()
+    if scenario.arbitrated or scenario.budget_shock:
+        periods = int(math.floor(scenario.horizon / scenario.control_period))
+        ticks.update(
+            k * scenario.control_period for k in range(1, periods + 1)
+        )
+        schedule = scenario.budget_schedule()
+        if schedule is not None:
+            ticks.update(
+                t for t in schedule.times if 0.0 < t <= scenario.horizon
+            )
+    return arrivals + len(ticks)

@@ -84,10 +84,11 @@ class StepStatus(enum.Enum):
 
 @dataclass(frozen=True)
 class _PendingJob:
-    """A queued job and the completion callback of its submitter."""
+    """A queued job, its submitter's completion callback, and its tag."""
 
     job: Any
     on_complete: Callable[[float], None] | None = None
+    tag: Any = None
 
 
 @dataclass(frozen=True)
@@ -314,18 +315,38 @@ class PowerDialRuntime:
         self,
         job: Any,
         on_complete: Callable[[float], None] | None = None,
+        tag: Any = None,
     ) -> None:
         """Queue one more job on a live run.
 
         ``on_complete`` (if given) is called with the machine's virtual
         time when the job's last item has been processed — the completion
         hook request-driven hosts use to measure per-job latency.
+        ``tag`` is opaque host data returned by :meth:`extract_pending`
+        so a host relocating the instance can reconstruct per-job
+        context (callbacks are closures and cannot move; tags can).
         """
         if self._stepper is None:
             raise RuntimeError("begin() must be called before feed()")
         if self._input_closed:
             raise RuntimeError("cannot feed jobs after close_input()")
-        self._job_queue.append(_PendingJob(job, on_complete))
+        self._job_queue.append(_PendingJob(job, on_complete, tag))
+
+    def extract_pending(self) -> list[tuple[Any, Any]]:
+        """Remove and return queued-but-unstarted jobs as (job, tag).
+
+        The job in service (if any) is not affected — after extraction
+        the host can ``close_input()`` and drain ``step()`` to finish
+        in-flight work, then re-feed the extracted jobs elsewhere.  The
+        completion callbacks are dropped (they are closures over
+        host-side state); the host rebuilds them from the tags it
+        supplied to :meth:`feed`.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before extract_pending()")
+        extracted = [(pending.job, pending.tag) for pending in self._job_queue]
+        self._job_queue.clear()
+        return extracted
 
     def close_input(self) -> None:
         """Declare the job stream complete; step() drains what remains."""

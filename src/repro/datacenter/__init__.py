@@ -9,17 +9,24 @@ single facility power budget.
 
 Module map:
 
-* :mod:`~repro.datacenter.engine` — the discrete-event core: a lazily
-  merged global event stream (arrivals, arbiter ticks) interleaving
-  per-machine virtual clocks; cooperative round-robin scheduling of
-  instances via the runtime's resumable ``step()`` API; per-request
-  latency accounting.  Idle machines are skipped per event and settled
-  in O(1) when they next matter, so cost scales with events, not
-  events × machines.
+* :mod:`~repro.datacenter.engine` — the discrete-event core: an
+  incrementally merged global event stream (arrivals, control
+  barriers) interleaving per-machine virtual clocks; cooperative
+  round-robin scheduling of instances via the runtime's resumable
+  ``step()`` API; per-request latency accounting.  Idle machines are
+  skipped per event and settled in O(1) when they next matter, so cost
+  scales with events, not events × machines.
+* :mod:`~repro.datacenter.controlplane` — the pluggable control plane:
+  a :class:`~repro.datacenter.controlplane.actions.ControlPolicy`
+  receives an immutable cluster view at every barrier and returns
+  typed actions (``SetCaps``, ``SetBudget``, ``Migrate``) that every
+  backend validates and applies through one shared applier — budget
+  schedules (demand-response traces, §5.4-style fleet-wide cap
+  shocks) and instance migration live here.
 * :mod:`~repro.datacenter.shard` — the multiprocess backend: machines
   partitioned across forked workers that run independently between
-  arbiter barriers and exchange only violation scores / power caps,
-  with results identical to the serial scheduler.
+  control barriers and exchange only tenant views, validated plans,
+  and migrant states, with results identical to the serial scheduler.
 * :mod:`~repro.datacenter.billing` — the per-tenant metering layer:
   ledgers the engine charges per dispatched ``step()``, end-of-run
   :class:`~repro.datacenter.billing.TenantBill` composition (energy,
@@ -31,10 +38,13 @@ Module map:
   :class:`~repro.cluster.workload.LoadProfile`.
 * :mod:`~repro.datacenter.tenants` — tenant specs, latency SLAs,
   admission control limits, and attainment accounting.
+* :mod:`~repro.datacenter.caps` — power-cap physics: enforceable cap
+  floors/ceilings per machine and the cap -> P-state mapping.
 * :mod:`~repro.datacenter.arbiter` — the hierarchical power arbiter:
   global budget -> per-machine DVFS caps -> each instance's existing
   heartbeat controller, with periodic reallocation toward SLA-violating
-  tenants.
+  tenants; now a thin :class:`~repro.datacenter.controlplane.actions.
+  ControlPolicy` adapter over the water-filling math.
 * :mod:`~repro.datacenter.service` — a lightweight knobbed service
   application whose calibrated trade-off space is exactly predictable,
   so datacenter sweeps stay fast.
@@ -47,6 +57,26 @@ from repro.datacenter.arbiter import (
     frequency_for_cap,
     machine_cap_ceiling,
     machine_cap_floor,
+    water_fill,
+)
+from repro.datacenter.controlplane import (
+    POLICY_NAMES,
+    BudgetSchedule,
+    BudgetTraceError,
+    ClusterView,
+    ControlError,
+    ControlPolicy,
+    MachineView,
+    MigratingPolicy,
+    Migrate,
+    MigrationRecord,
+    ScheduledBudgetPolicy,
+    SetBudget,
+    SetCaps,
+    TenantView,
+    build_policy,
+    load_budget_trace,
+    parse_budget_trace,
 )
 from repro.datacenter.billing import (
     CONSERVATION_TOLERANCE,
@@ -94,6 +124,24 @@ __all__ = [
     "frequency_for_cap",
     "machine_cap_ceiling",
     "machine_cap_floor",
+    "water_fill",
+    "POLICY_NAMES",
+    "BudgetSchedule",
+    "BudgetTraceError",
+    "ClusterView",
+    "ControlError",
+    "ControlPolicy",
+    "MachineView",
+    "MigratingPolicy",
+    "Migrate",
+    "MigrationRecord",
+    "ScheduledBudgetPolicy",
+    "SetBudget",
+    "SetCaps",
+    "TenantView",
+    "build_policy",
+    "load_budget_trace",
+    "parse_budget_trace",
     "BillingError",
     "CONSERVATION_TOLERANCE",
     "TenantBill",

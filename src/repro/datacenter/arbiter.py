@@ -2,9 +2,10 @@
 
 The top of the three-level hierarchy the datacenter subsystem runs:
 
-1. **Global budget** — a facility power budget in watts, fixed for the
-   run (a circuit limit, or a demand-response commitment).
-2. **Per-machine caps** — every arbitration period the arbiter divides
+1. **Global budget** — a facility power budget in watts (a circuit
+   limit, or a demand-response commitment; time-varying when driven by
+   a :class:`~repro.datacenter.controlplane.budget.BudgetSchedule`).
+2. **Per-machine caps** — every control barrier the arbiter divides
    the budget into per-machine caps and enforces each cap with DVFS,
    exactly the mechanism of the paper's §5.4 power-capping study: a cap
    maps to the fastest P-state whose full-load system power stays under
@@ -21,14 +22,33 @@ baseline a shared cluster without runtime knowledge would use.  Under
 shortfall of its resident tenants, shifting watts toward violating
 tenants at the expense of machines with headroom (whose tenants fall
 back on their knobs).
+
+Since the control-plane refactor the arbiter is *one policy among
+several*: :class:`PowerArbiter` implements the
+:class:`~repro.datacenter.controlplane.actions.ControlPolicy` protocol
+— :meth:`PowerArbiter.decide` maps a
+:class:`~repro.datacenter.controlplane.actions.ClusterView` to a single
+``SetCaps`` action — and the engine applies it through the shared
+control-plane applier like any other policy.  The water-filling math
+itself lives in module functions, so ``decide`` is a thin adapter.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Sequence
 
+from repro.datacenter.caps import (
+    ArbiterError,
+    frequency_for_cap,
+    machine_cap_ceiling,
+    machine_cap_floor,
+)
+from repro.datacenter.controlplane.actions import (
+    Action,
+    ClusterView,
+    SetCaps,
+)
 from repro.hardware.machine import Machine
 
 __all__ = [
@@ -37,12 +57,9 @@ __all__ = [
     "machine_cap_floor",
     "machine_cap_ceiling",
     "frequency_for_cap",
+    "water_fill",
     "PowerArbiter",
 ]
-
-
-class ArbiterError(ValueError):
-    """Raised for invalid arbitration configuration."""
 
 
 class ArbiterPolicy(enum.Enum):
@@ -52,47 +69,47 @@ class ArbiterPolicy(enum.Enum):
     SLA_AWARE = "sla-aware"
 
 
-def machine_cap_floor(machine: Machine) -> float:
-    """Lowest enforceable cap: full-load power in the slowest P-state.
+def water_fill(
+    weights: Sequence[float],
+    floors: Sequence[float],
+    ceilings: Sequence[float],
+    budget_watts: float,
+) -> list[float]:
+    """Divide a budget into caps by weighted water-filling.
 
-    Machines stay powered on (the paper's testbed never powers servers
-    off), so no DVFS setting can guarantee less than this under load.
+    Every machine is guaranteed its floor; the surplus is divided in
+    proportion to ``weights``, and shares beyond a machine's ceiling
+    cascade back to the machines still below theirs.  Pure function of
+    its arguments — the arbiter's :meth:`PowerArbiter.allocate` and
+    :meth:`PowerArbiter.decide` are both thin wrappers over it, so caps
+    cannot depend on which code path (legacy or control-plane) asked.
+    If no open machine holds any weight (all remaining bids are zero),
+    the rest of the surplus goes undistributed and every machine keeps
+    its floor — nobody bid for the watts.
     """
-    slowest = machine.processor.pstates[-1]
-    return machine.power_model.power(
-        1.0,
-        slowest,
-        machine.processor.max_frequency_ghz,
-        machine.processor.pstates[0].voltage,
-    )
-
-
-def machine_cap_ceiling(machine: Machine) -> float:
-    """Full-load power in the fastest P-state; caps above this are slack."""
-    fastest = machine.processor.pstates[0]
-    return machine.power_model.power(
-        1.0,
-        fastest,
-        machine.processor.max_frequency_ghz,
-        machine.processor.pstates[0].voltage,
-    )
-
-
-def frequency_for_cap(machine: Machine, cap_watts: float) -> float:
-    """The fastest frequency whose full-load power respects ``cap_watts``.
-
-    Falls back to the slowest P-state when the cap is below the floor
-    (the machine cannot do better while staying on).
-    """
-    processor = machine.processor
-    v_max = processor.pstates[0].voltage
-    for pstate in processor.pstates:  # ordered fastest first
-        watts = machine.power_model.power(
-            1.0, pstate, processor.max_frequency_ghz, v_max
-        )
-        if watts <= cap_watts + 1e-9:
-            return pstate.frequency_ghz
-    return processor.pstates[-1].frequency_ghz
+    caps = list(floors)
+    surplus = budget_watts - sum(floors)
+    open_set = set(range(len(caps)))
+    # Water-fill: machines that hit their ceiling return the excess.
+    while surplus > 1e-9 and open_set:
+        total_weight = sum(weights[i] for i in open_set)
+        if total_weight <= 0.0:
+            break
+        granted = 0.0
+        saturated = []
+        for i in open_set:
+            share = surplus * weights[i] / total_weight
+            headroom = ceilings[i] - caps[i]
+            take = min(share, headroom)
+            caps[i] += take
+            granted += take
+            if headroom - take <= 1e-9:
+                saturated.append(i)
+        open_set.difference_update(saturated)
+        surplus -= granted
+        if granted <= 1e-9:
+            break
+    return caps
 
 
 class PowerArbiter:
@@ -133,7 +150,19 @@ class PowerArbiter:
             )
         self.budget_watts = float(budget_watts)
 
-    def allocate(self, violation_scores: Sequence[float]) -> list[float]:
+    def _weights(self, violation_scores: Sequence[float]) -> list[float]:
+        """Per-machine bidding weights under the configured policy."""
+        if any(score < 0 for score in violation_scores):
+            raise ArbiterError("violation scores must be >= 0")
+        if self.policy is ArbiterPolicy.STATIC_EQUAL:
+            return [1.0] * len(violation_scores)
+        return [1.0 + self.gain * score for score in violation_scores]
+
+    def allocate(
+        self,
+        violation_scores: Sequence[float],
+        budget_watts: float | None = None,
+    ) -> list[float]:
         """Compute per-machine caps summing to at most the budget.
 
         ``violation_scores`` gives each machine's aggregate SLA shortfall
@@ -141,40 +170,23 @@ class PowerArbiter:
         machine is guaranteed its floor; the surplus is divided equally
         (STATIC_EQUAL) or by violation-weighted bidding (SLA_AWARE), and
         shares beyond a machine's ceiling cascade to the others.
+        ``budget_watts`` overrides the construction-time budget (the
+        control plane passes the currently scheduled level).
         """
         if len(violation_scores) != len(self.machines):
             raise ArbiterError(
                 f"expected {len(self.machines)} scores, got "
                 f"{len(violation_scores)!r}"
             )
-        if any(score < 0 for score in violation_scores):
-            raise ArbiterError("violation scores must be >= 0")
-        if self.policy is ArbiterPolicy.STATIC_EQUAL:
-            weights = [1.0] * len(self.machines)
-        else:
-            weights = [1.0 + self.gain * score for score in violation_scores]
-
-        caps = list(self.floors)
-        surplus = self.budget_watts - sum(self.floors)
-        open_set = set(range(len(self.machines)))
-        # Water-fill: machines that hit their ceiling return the excess.
-        while surplus > 1e-9 and open_set:
-            total_weight = sum(weights[i] for i in open_set)
-            granted = 0.0
-            saturated = []
-            for i in open_set:
-                share = surplus * weights[i] / total_weight
-                headroom = self.ceilings[i] - caps[i]
-                take = min(share, headroom)
-                caps[i] += take
-                granted += take
-                if headroom - take <= 1e-9:
-                    saturated.append(i)
-            open_set.difference_update(saturated)
-            surplus -= granted
-            if granted <= 1e-9:
-                break
-        return caps
+        budget = self.budget_watts if budget_watts is None else budget_watts
+        if budget < sum(self.floors) - 1e-9:
+            raise ArbiterError(
+                f"budget {budget!r} W is below the pool's floor "
+                f"{sum(self.floors):.1f} W"
+            )
+        return water_fill(
+            self._weights(violation_scores), self.floors, self.ceilings, budget
+        )
 
     def apply(self, violation_scores: Sequence[float]) -> list[float]:
         """Allocate and enforce caps via DVFS; returns the caps."""
@@ -182,3 +194,43 @@ class PowerArbiter:
         for machine, cap in zip(self.machines, caps):
             machine.set_frequency(frequency_for_cap(machine, cap))
         return caps
+
+    # ------------------------------------------------------------------
+    # ControlPolicy adapter: the arbiter as one policy among several
+    # ------------------------------------------------------------------
+    def initial_budget_watts(self) -> float | None:
+        """The construction-time budget governs from time zero."""
+        return self.budget_watts
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """The arbiter needs no barriers beyond the periodic ticks."""
+        return ()
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """One ``SetCaps`` from water-filling the view's machines.
+
+        A pure adapter: weighted shortfalls come from
+        :meth:`~repro.datacenter.controlplane.actions.ClusterView.
+        machine_shortfalls`, floors/ceilings from the view's machine
+        entries, and the budget from the view (falling back to the
+        construction-time budget on uncapped views) — so the caps are
+        float-identical to :meth:`allocate` on the same pool.
+        """
+        scores = view.machine_shortfalls()
+        if len(view.machines) != len(self.machines):
+            raise ArbiterError(
+                f"arbiter configured for {len(self.machines)} machines got a "
+                f"view of {len(view.machines)}"
+            )
+        budget = (
+            view.budget_watts
+            if view.budget_watts is not None
+            else self.budget_watts
+        )
+        caps = water_fill(
+            self._weights(scores),
+            [m.cap_floor for m in view.machines],
+            [m.cap_ceiling for m in view.machines],
+            budget,
+        )
+        return [SetCaps(tuple(caps))]

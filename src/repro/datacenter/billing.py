@@ -182,19 +182,35 @@ def compose_bill(
     machine_index: int,
     report: TenantReport,
     ledger: TenantLedger,
-    run: RunResult,
+    run: RunResult | Sequence[RunResult],
 ) -> TenantBill:
     """Assemble one tenant's :class:`TenantBill` from the run artifacts.
+
+    ``run`` is a single :class:`RunResult` or, for a tenant the control
+    plane migrated, its per-host run segments: QoS loss integrates and
+    heartbeat spans sum *per segment*, so the clock discontinuity of a
+    migration (machines keep independent virtual clocks) is never
+    weighted by a knob setting.  ``machine_index`` is the tenant's
+    final placement.
 
     Pure function of its inputs: the serial backend calls it in
     ``_collect_result`` and the sharded parent calls it on the
     reassembled worker payloads, so identical inputs yield bit-identical
     bills on both backends.
     """
-    loss_seconds = qos_loss_seconds(run)
+    segments: Sequence[RunResult]
+    if isinstance(run, RunResult):
+        segments = (run,)
+    else:
+        segments = tuple(run)
+        if not segments:
+            raise BillingError("cannot bill an empty run-segment list")
+    loss_seconds = 0.0
     span = 0.0
-    if len(run.samples) >= 2:
-        span = run.samples[-1].time - run.samples[0].time
+    for segment in segments:
+        loss_seconds += qos_loss_seconds(segment)
+        if len(segment.samples) >= 2:
+            span += segment.samples[-1].time - segment.samples[0].time
     return TenantBill(
         tenant=report.name,
         machine_index=machine_index,

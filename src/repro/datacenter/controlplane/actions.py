@@ -1,0 +1,233 @@
+"""The control plane's shared vocabulary: views in, actions out.
+
+A :class:`ControlPolicy` never touches engine internals.  At every
+control barrier it receives an immutable :class:`ClusterView` — the
+machines (with their enforceable cap range and current cap), the
+resident tenants (placement, SLA shortfall, queue depth, billing-ledger
+snapshot), the current global budget, and the barrier time — and
+returns a list of typed actions:
+
+* :class:`SetCaps` — per-machine power caps (today's arbiter, now just
+  one policy among several);
+* :class:`SetBudget` — change the fleet-wide budget mid-run (the §5.4
+  cap event fleet-wide: demand-response traces, circuit shocks);
+* :class:`Migrate` — move a tenant's instance to another machine when
+  moving watts alone cannot help (reallocation hit the cap ceiling).
+
+Every backend (serial, eager, sharded) validates and applies these
+actions through the shared applier (:mod:`~repro.datacenter.
+controlplane.applier`), which is what keeps results byte-identical
+across backends: the *decision* is data, and the *application* is one
+code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, Union, runtime_checkable
+
+__all__ = [
+    "ControlError",
+    "MachineView",
+    "TenantView",
+    "ClusterView",
+    "SetCaps",
+    "SetBudget",
+    "Migrate",
+    "Action",
+    "MigrationRecord",
+    "ControlPolicy",
+]
+
+
+class ControlError(ValueError):
+    """Raised for malformed control-plane views, actions, or plans."""
+
+
+@dataclass(frozen=True)
+class MachineView:
+    """One machine as the control plane sees it.
+
+    Attributes:
+        index: Position in the engine's machine pool.
+        cap_floor: Lowest enforceable cap (full-load power in the
+            slowest P-state; machines are never powered off).
+        cap_ceiling: Full-load power in the fastest P-state; caps above
+            this are slack.
+        cap_watts: The currently enforced cap, or ``None`` before the
+            first :class:`SetCaps` of the run.
+    """
+
+    index: int
+    cap_floor: float
+    cap_ceiling: float
+    cap_watts: float | None
+
+
+@dataclass(frozen=True)
+class TenantView:
+    """One tenant's control-relevant state at a barrier.
+
+    Attributes:
+        name: Tenant identifier.
+        machine_index: Current placement (migrations move this).
+        weight: Arbitration priority from the tenant's spec.
+        sla_shortfall: ``max(0, attainment_target - recent attainment)``
+            over the engine's attainment window; a silent-but-backlogged
+            tenant counts as fully violating.
+        pending_jobs: Requests queued but not yet started.
+        finished: Whether the instance has drained (policies must not
+            migrate finished tenants).
+        energy_joules: Ledger snapshot — watt-seconds billed so far.
+        busy_seconds: Ledger snapshot — machine seconds billed so far.
+        steps: Ledger snapshot — ``step()`` dispatches charged so far.
+    """
+
+    name: str
+    machine_index: int
+    weight: float
+    sla_shortfall: float
+    pending_jobs: int
+    finished: bool
+    energy_joules: float
+    busy_seconds: float
+    steps: int
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """Immutable cluster snapshot handed to policies at every barrier.
+
+    Attributes:
+        time: The barrier's facility time.
+        budget_watts: Current global budget (None when the run is
+            uncapped).
+        machines: Per-machine cap state, in pool order.
+        tenants: Per-tenant state, in engine binding order — policies
+            that aggregate over tenants in this order produce the same
+            floats on every backend.
+    """
+
+    time: float
+    budget_watts: float | None
+    machines: tuple[MachineView, ...]
+    tenants: tuple[TenantView, ...]
+
+    def machine_shortfalls(self) -> list[float]:
+        """Aggregate weighted SLA shortfall per machine.
+
+        Sums ``weight * sla_shortfall`` over tenants in view order —
+        float-for-float the signal the pre-controlplane engine fed the
+        arbiter, so cap allocations are unchanged by the refactor.
+        """
+        scores = [0.0] * len(self.machines)
+        for tenant in self.tenants:
+            scores[tenant.machine_index] += tenant.weight * tenant.sla_shortfall
+        return scores
+
+    def tenants_on(self, machine_index: int) -> tuple[TenantView, ...]:
+        """The tenants currently placed on one machine, in view order."""
+        return tuple(
+            t for t in self.tenants if t.machine_index == machine_index
+        )
+
+
+@dataclass(frozen=True)
+class SetCaps:
+    """Enforce per-machine power caps (via DVFS), one per machine.
+
+    Attributes:
+        caps: Cap in watts for every machine, in pool order.  The
+            applier validates each cap against the machine's
+            ``[cap_floor, cap_ceiling]`` range and the sum against the
+            current budget before anything is enforced.
+    """
+
+    caps: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SetBudget:
+    """Change the fleet-wide power budget from this barrier onward.
+
+    Attributes:
+        budget_watts: The new global budget.  Must cover the pool's
+            aggregate cap floor (machines cannot be pushed below their
+            slowest P-state's full-load power).
+    """
+
+    budget_watts: float
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """Move one tenant's instance to another machine.
+
+    Migration is *cold*: the source host finishes the request in
+    flight (metered to the tenant as usual), queued-but-unstarted
+    requests move with the tenant, and a fresh runtime starts on the
+    destination — warm controller state is deliberately lost, and
+    ``cost_seconds`` is charged to the moving tenant's billing ledger.
+
+    Attributes:
+        tenant: Name of the tenant to move.
+        dest_machine_index: Target machine in the engine's pool.
+        cost_seconds: Machine-seconds billed to the tenant's ledger for
+            the move (energy is conserved: migration charges time, not
+            watt-seconds).
+    """
+
+    tenant: str
+    dest_machine_index: int
+    cost_seconds: float = 0.0
+
+
+Action = Union[SetCaps, SetBudget, Migrate]
+"""Everything a policy may return from :meth:`ControlPolicy.decide`."""
+
+
+@dataclass(frozen=True)
+class MigrationRecord:
+    """One applied migration, as recorded in the run result.
+
+    Attributes:
+        time: Barrier time the migration was applied at.
+        tenant: The tenant that moved.
+        source_machine_index: Machine the instance left.
+        dest_machine_index: Machine the instance restarted on.
+        cost_seconds: Ledger seconds charged for the move.
+    """
+
+    time: float
+    tenant: str
+    source_machine_index: int
+    dest_machine_index: int
+    cost_seconds: float
+
+
+@runtime_checkable
+class ControlPolicy(Protocol):
+    """What the engine requires of a pluggable control policy.
+
+    Structural protocol — any object with these three methods plugs
+    into ``DatacenterEngine(policy=...)``.  Policies are free to keep
+    state (cooldowns, schedules); on the sharded backend the policy
+    runs only in the coordinating parent, so state never needs to
+    cross process boundaries.
+    """
+
+    def initial_budget_watts(self) -> float | None:
+        """The budget in force at time zero (None for uncapped runs)."""
+        ...
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Extra barrier times (beyond the periodic ticks) to schedule.
+
+        Lets time-triggered policies (budget traces) fire exactly at
+        their timestamps instead of waiting for the next periodic tick.
+        """
+        ...
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Map a cluster snapshot to the actions to apply at a barrier."""
+        ...

@@ -1,0 +1,378 @@
+"""The one place control actions are validated and applied.
+
+Policies return data (:mod:`~repro.datacenter.controlplane.actions`);
+this module turns that data into engine state, identically on every
+backend:
+
+* :func:`plan_actions` — central validation.  Whatever a policy emits
+  is checked here before anything is enforced: budgets must cover the
+  fleet's cap floor, caps must be within every machine's
+  ``[cap_floor, cap_ceiling]`` range and sum within the budget (errors
+  name the offending machine), migrations must reference live tenants
+  and real destinations.  The serial/eager engines and the sharded
+  coordinator all plan through this function.
+* :func:`enforce_caps` — cap -> DVFS application (the §5.4 mechanism).
+* :func:`emigrate` / :func:`absorb` — the two halves of a cold
+  migration.  Serial runs them back to back in process; the sharded
+  backend runs :func:`emigrate` in the source worker, ships the
+  returned :class:`MigrantState` through the coordinator, and runs
+  :func:`absorb` in the destination worker.  Because both backends
+  execute the same functions on identically-settled machine state, the
+  results — ledgers, stats, run segments — are byte-identical.
+* :func:`merge_run_results` — stitches a migrated tenant's per-host
+  run segments into the single :class:`~repro.core.runtime.RunResult`
+  exposed by ``DatacenterResult.run_results``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.runtime import RunResult, StepStatus
+from repro.datacenter.caps import (
+    ArbiterError,
+    frequency_for_cap,
+    machine_cap_ceiling,
+    machine_cap_floor,
+)
+from repro.datacenter.controlplane.actions import (
+    Action,
+    ClusterView,
+    ControlError,
+    Migrate,
+    MigrationRecord,
+    SetBudget,
+    SetCaps,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.datacenter.engine import DatacenterEngine, InstanceBinding
+
+__all__ = [
+    "ControlPlan",
+    "MigrantState",
+    "machine_limits",
+    "plan_actions",
+    "enforce_caps",
+    "emigrate",
+    "absorb",
+    "migrate_instance",
+    "merge_run_results",
+]
+
+_CAP_TOLERANCE = 1e-6
+"""Float slack for cap-range and budget-sum validation (watts)."""
+
+
+def machine_limits(machines: Sequence[Any]) -> tuple[list[float], list[float]]:
+    """Per-machine enforceable cap floors and ceilings, in pool order."""
+    floors = [machine_cap_floor(machine) for machine in machines]
+    ceilings = [machine_cap_ceiling(machine) for machine in machines]
+    return floors, ceilings
+
+
+@dataclass(frozen=True)
+class ControlPlan:
+    """A validated, canonically ordered batch of control actions.
+
+    Application order is always budget -> caps -> migrations,
+    regardless of the order the policy emitted them: a new budget must
+    govern the cap check, and caps must be enforced before migration
+    drains run on the source machines.
+
+    Attributes:
+        budget_watts: New global budget, or None if unchanged.
+        caps: Validated per-machine caps, or None if this barrier
+            leaves caps alone.
+        migrations: Migrations to perform, in policy order.
+    """
+
+    budget_watts: float | None
+    caps: tuple[float, ...] | None
+    migrations: tuple[Migrate, ...]
+
+
+def plan_actions(
+    actions: Sequence[Action],
+    view: ClusterView,
+    floors: Sequence[float],
+    ceilings: Sequence[float],
+    budget_watts: float | None,
+) -> ControlPlan:
+    """Validate a policy's actions against the cluster's hard limits.
+
+    This is the control plane's single trust boundary: every backend
+    plans through it, so no policy — built-in or user-supplied — can
+    push a machine outside ``[cap_floor, cap_ceiling]``, overspend the
+    budget, or migrate a tenant that does not exist.  Violations raise
+    :class:`~repro.datacenter.arbiter.ArbiterError` (cap/budget limits,
+    naming the offending machine) or :class:`ControlError` (malformed
+    action batches).
+    """
+    new_budget: float | None = None
+    caps: tuple[float, ...] | None = None
+    migrations: list[Migrate] = []
+    tenants = {tenant.name: tenant for tenant in view.tenants}
+
+    for action in actions:
+        if isinstance(action, SetBudget):
+            if new_budget is not None:
+                raise ControlError(
+                    "policy emitted more than one SetBudget in a single "
+                    "decision"
+                )
+            if action.budget_watts < sum(floors) - _CAP_TOLERANCE:
+                raise ArbiterError(
+                    f"budget {action.budget_watts!r} W is below the pool's "
+                    f"floor {sum(floors):.1f} W ({len(floors)} machines "
+                    "pinned to their slowest P-state)"
+                )
+            new_budget = float(action.budget_watts)
+        elif isinstance(action, SetCaps):
+            if caps is not None:
+                raise ControlError(
+                    "policy emitted more than one SetCaps in a single "
+                    "decision"
+                )
+            caps = tuple(float(cap) for cap in action.caps)
+        elif isinstance(action, Migrate):
+            tenant = tenants.get(action.tenant)
+            if tenant is None:
+                raise ControlError(
+                    f"cannot migrate unknown tenant {action.tenant!r}"
+                )
+            if tenant.finished:
+                raise ControlError(
+                    f"cannot migrate finished tenant {action.tenant!r}"
+                )
+            if not 0 <= action.dest_machine_index < len(view.machines):
+                raise ControlError(
+                    f"migration destination {action.dest_machine_index!r} "
+                    f"out of range for {len(view.machines)} machines"
+                )
+            if action.dest_machine_index == tenant.machine_index:
+                raise ControlError(
+                    f"tenant {action.tenant!r} is already on machine "
+                    f"{tenant.machine_index}"
+                )
+            if action.cost_seconds < 0.0:
+                raise ControlError(
+                    f"migration cost must be >= 0, got {action.cost_seconds!r}"
+                )
+            if any(m.tenant == action.tenant for m in migrations):
+                raise ControlError(
+                    f"tenant {action.tenant!r} migrated twice in one decision"
+                )
+            migrations.append(action)
+        else:
+            raise ControlError(f"unknown control action {action!r}")
+
+    if caps is not None:
+        effective_budget = new_budget if new_budget is not None else budget_watts
+        if len(caps) != len(floors):
+            raise ArbiterError(
+                f"expected {len(floors)} caps, got {len(caps)}"
+            )
+        for index, (cap, floor, ceiling) in enumerate(
+            zip(caps, floors, ceilings)
+        ):
+            if cap < floor - _CAP_TOLERANCE:
+                raise ArbiterError(
+                    f"machine {index}: cap {cap:.3f} W below its floor "
+                    f"{floor:.3f} W"
+                )
+            if cap > ceiling + _CAP_TOLERANCE:
+                raise ArbiterError(
+                    f"machine {index}: cap {cap:.3f} W above its ceiling "
+                    f"{ceiling:.3f} W"
+                )
+        if (
+            effective_budget is not None
+            and sum(caps) > effective_budget + _CAP_TOLERANCE
+        ):
+            raise ArbiterError(
+                f"caps sum to {sum(caps):.3f} W, exceeding the "
+                f"{effective_budget:.3f} W budget"
+            )
+    return ControlPlan(
+        budget_watts=new_budget, caps=caps, migrations=tuple(migrations)
+    )
+
+
+def enforce_caps(machines: Sequence[Any], caps: Sequence[float]) -> None:
+    """Apply validated caps as DVFS settings, one machine at a time."""
+    for machine, cap in zip(machines, caps):
+        machine.set_frequency(frequency_for_cap(machine, cap))
+
+
+@dataclass(frozen=True)
+class MigrantState:
+    """Everything that moves with a tenant in a cold migration.
+
+    Plain data (picklable) so the sharded backend can ship it between
+    the source and destination workers through the coordinator.
+
+    Attributes:
+        tenant: The moving tenant's name.
+        source_machine_index: Machine the instance left.
+        pending: ``(job, tag)`` pairs extracted from the source
+            runtime's queue — requests admitted but not yet started.
+        stats: The tenant's SLA/admission accounting (moves by value).
+        ledger: The tenant's billing ledger (moves by value).
+        run_segments: Completed :class:`RunResult` segments, one per
+            host the instance has run on so far.
+        next_request: The tenant's next request index.
+        trace_pos: How many of the tenant's trace arrivals have been
+            dispatched — the destination resumes its arrival cursor
+            here.
+    """
+
+    tenant: str
+    source_machine_index: int
+    pending: tuple[tuple[Any, Any], ...]
+    stats: Any
+    ledger: Any
+    run_segments: tuple[RunResult, ...]
+    next_request: int
+    trace_pos: int
+
+
+def emigrate(
+    engine: "DatacenterEngine", binding: "InstanceBinding", trace_pos: int
+) -> MigrantState:
+    """Run the source half of a cold migration; returns the migrant.
+
+    Queued-but-unstarted requests are extracted to move with the
+    tenant; the request in flight (if any) is then drained to
+    completion on the source host — every drain ``step()`` metered to
+    the tenant exactly like scheduled steps — before the runtime is
+    finished and its segment banked.
+    """
+    host = engine.hosts[binding.machine_index]
+    runtime = binding.runtime
+    pending = tuple(runtime.extract_pending())
+    runtime.close_input()
+    while not binding.finished:
+        if engine._metered_step(host, binding) is StepStatus.FINISHED:
+            binding.finished = True
+    segment = runtime.finish()
+    host.instances.remove(binding)
+    return MigrantState(
+        tenant=binding.tenant.name,
+        source_machine_index=binding.machine_index,
+        pending=pending,
+        stats=binding.stats,
+        ledger=binding.ledger,
+        run_segments=tuple(binding.run_segments) + (segment,),
+        next_request=binding.next_request,
+        trace_pos=trace_pos,
+    )
+
+
+def absorb(
+    engine: "DatacenterEngine",
+    binding: "InstanceBinding",
+    migrant: MigrantState,
+    dest_machine_index: int,
+    cost_seconds: float,
+) -> None:
+    """Run the destination half of a cold migration.
+
+    Rebuilds the tenant's runtime on the destination machine via the
+    binding's ``runtime_factory``, restores the shipped stats/ledger/
+    segments, re-feeds the moved pending requests (completion hooks
+    re-attached to the shipped stats), and charges ``cost_seconds`` to
+    the tenant's ledger (time only — migration conserves energy).
+    """
+    if binding.runtime_factory is None:
+        raise ControlError(
+            f"tenant {binding.tenant.name!r} has no runtime_factory; "
+            "migration requires one to rebuild the instance on the "
+            "destination machine"
+        )
+    machine = engine.machines[dest_machine_index]
+    runtime = binding.runtime_factory(machine)
+    if runtime.machine is not machine:
+        raise ControlError(
+            f"runtime_factory for tenant {binding.tenant.name!r} returned a "
+            "runtime bound to the wrong machine"
+        )
+    binding.runtime = runtime
+    binding.machine_index = dest_machine_index
+    binding.stats = migrant.stats
+    binding.ledger = migrant.ledger
+    binding.run_segments = list(migrant.run_segments)
+    binding.next_request = migrant.next_request
+    binding.finished = False
+    binding.starved = False
+    runtime.begin()
+    stats = binding.stats
+    for job, tag in migrant.pending:
+        _, arrival = tag
+        runtime.feed(
+            job,
+            on_complete=lambda completion, arrival=arrival: (
+                stats.record_completion(arrival, completion)
+            ),
+            tag=tag,
+        )
+    engine.hosts[dest_machine_index].instances.append(binding)
+    binding.ledger.charge(0.0, cost_seconds)
+
+
+def migrate_instance(
+    engine: "DatacenterEngine",
+    migration: Migrate,
+    now: float,
+) -> MigrationRecord:
+    """In-process migration: emigrate and absorb back to back.
+
+    The serial and eager backends use this directly; the sharded
+    backend runs the same :func:`emigrate`/:func:`absorb` pair split
+    across its source and destination workers.  In process the
+    tenant's arrival stream stays where it is (dispatch re-routes
+    through the binding's updated ``machine_index``), so the
+    ``trace_pos`` recorded in the intermediate migrant state is unused
+    and reported as 0 — only shard workers, where the arrival cursor
+    really changes hands, track it.
+    """
+    binding = next(
+        b for b in engine.bindings if b.tenant.name == migration.tenant
+    )
+    source = binding.machine_index
+    migrant = emigrate(engine, binding, trace_pos=0)
+    absorb(
+        engine, binding, migrant, migration.dest_machine_index,
+        migration.cost_seconds,
+    )
+    return MigrationRecord(
+        time=now,
+        tenant=migration.tenant,
+        source_machine_index=source,
+        dest_machine_index=migration.dest_machine_index,
+        cost_seconds=migration.cost_seconds,
+    )
+
+
+def merge_run_results(segments: Sequence[RunResult]) -> RunResult:
+    """Stitch per-host run segments into one tenant-facing result.
+
+    A never-migrated tenant has one segment, returned untouched.  For
+    migrated tenants, samples/outputs/settings concatenate in execution
+    order, energy and elapsed sum, and ``mean_power`` is ``None`` —
+    a mean across different machines' meters has no single referent
+    (use ``DatacenterResult.bills`` for attributed energy instead).
+    """
+    if not segments:
+        raise ControlError("cannot merge an empty run-segment list")
+    if len(segments) == 1:
+        return segments[0]
+    return RunResult(
+        samples=[s for segment in segments for s in segment.samples],
+        outputs_by_job=[o for segment in segments for o in segment.outputs_by_job],
+        settings_used=[s for segment in segments for s in segment.settings_used],
+        mean_power=None,
+        energy_joules=sum(segment.energy_joules for segment in segments),
+        elapsed=sum(segment.elapsed for segment in segments),
+    )

@@ -1,0 +1,236 @@
+"""Composable control policies beyond plain cap arbitration.
+
+:class:`~repro.datacenter.arbiter.PowerArbiter` (static-equal or
+SLA-aware water-filling) is the base cap policy; this module layers the
+behaviours the paper's fixed-budget, fixed-placement study could not
+express:
+
+* :class:`ScheduledBudgetPolicy` — drives the fleet budget from a
+  :class:`~repro.datacenter.controlplane.budget.BudgetSchedule`,
+  emitting :class:`SetBudget` exactly at the scheduled instants
+  (schedule times become control barriers) and handing the inner
+  policy a view with the new budget already in force.
+* :class:`MigratingPolicy` — watches for the regime where moving watts
+  stops working: a machine pinned at its cap ceiling whose tenants
+  still miss their SLAs.  Watt reallocation cannot help (the §5.4
+  mechanism is saturated), so the policy moves the worst-off tenant to
+  the machine with the most cap headroom instead, with a per-tenant
+  cooldown to prevent thrashing.
+
+:func:`build_policy` maps the CLI's ``--policy`` names to assembled
+policy stacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from repro.datacenter.controlplane.actions import (
+    Action,
+    ClusterView,
+    ControlError,
+    ControlPolicy,
+    Migrate,
+    SetBudget,
+    SetCaps,
+)
+from repro.datacenter.controlplane.budget import BudgetSchedule
+
+__all__ = [
+    "POLICY_NAMES",
+    "MigratingPolicy",
+    "ScheduledBudgetPolicy",
+    "build_policy",
+]
+
+POLICY_NAMES = ("static-equal", "sla-aware", "migrating")
+"""Policy names accepted by :func:`build_policy` and the CLI."""
+
+
+class ScheduledBudgetPolicy:
+    """Wrap a policy with a time-varying budget schedule.
+
+    Args:
+        inner: The policy deciding caps/migrations under the budget.
+        schedule: Timestamped budget levels; each change is emitted as
+            a :class:`SetBudget` at its scheduled instant and the inner
+            policy decides against the updated budget in the same
+            barrier.
+    """
+
+    def __init__(self, inner: ControlPolicy, schedule: BudgetSchedule) -> None:
+        self.inner = inner
+        self.schedule = schedule
+
+    def initial_budget_watts(self) -> float | None:
+        """The inner policy's base budget (schedule changes come later)."""
+        return self.inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Inner barriers plus every scheduled budget-change instant."""
+        return tuple(self.inner.barrier_times(horizon)) + self.schedule.times
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Emit the scheduled budget change, then delegate under it."""
+        target = self.schedule.budget_at(view.time, default=view.budget_watts)
+        actions: list[Action] = []
+        if target is not None and target != view.budget_watts:
+            actions.append(SetBudget(target))
+            view = replace(view, budget_watts=target)
+        actions.extend(self.inner.decide(view))
+        return actions
+
+
+class MigratingPolicy:
+    """Migrate tenants off machines where watt reallocation saturated.
+
+    Args:
+        inner: The cap policy whose allocations are inspected (usually
+            an SLA-aware :class:`~repro.datacenter.arbiter.PowerArbiter`).
+        cost_seconds: Machine-seconds charged to a moving tenant's
+            billing ledger per migration.
+        cooldown_seconds: Minimum barrier time between two migrations
+            of the same tenant (hysteresis against thrashing).
+        min_shortfall: Weighted per-machine SLA shortfall below which a
+            saturated machine is left alone.
+
+    At most one migration is emitted per barrier: the highest-shortfall
+    tenant on the most-violating ceiling-saturated machine moves to the
+    machine with the most cap headroom (deterministic tie-breaks by
+    machine/tenant order, so every backend decides identically).
+    """
+
+    def __init__(
+        self,
+        inner: ControlPolicy,
+        cost_seconds: float = 2.0,
+        cooldown_seconds: float = 30.0,
+        min_shortfall: float = 0.02,
+    ) -> None:
+        if cost_seconds < 0.0:
+            raise ControlError(
+                f"migration cost must be >= 0, got {cost_seconds!r}"
+            )
+        if cooldown_seconds < 0.0:
+            raise ControlError(
+                f"cooldown must be >= 0, got {cooldown_seconds!r}"
+            )
+        self.inner = inner
+        self.cost_seconds = cost_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self.min_shortfall = min_shortfall
+        self._last_move: dict[str, float] = {}
+
+    def initial_budget_watts(self) -> float | None:
+        """Delegates to the inner cap policy."""
+        return self.inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Delegates to the inner cap policy."""
+        return self.inner.barrier_times(horizon)
+
+    def _pick_migration(
+        self, view: ClusterView, caps: Sequence[float]
+    ) -> Migrate | None:
+        """The single best migration under the just-decided caps, if any."""
+        shortfalls = view.machine_shortfalls()
+        source = None
+        for machine in view.machines:
+            saturated = caps[machine.index] >= machine.cap_ceiling - 1e-6
+            if not saturated or shortfalls[machine.index] <= self.min_shortfall:
+                continue
+            if source is None or shortfalls[machine.index] > shortfalls[source]:
+                source = machine.index
+        if source is None:
+            return None
+        dest = None
+        best_headroom = 1e-6
+        for machine in view.machines:
+            if machine.index == source:
+                continue
+            headroom = machine.cap_ceiling - caps[machine.index]
+            if headroom > best_headroom:
+                dest = machine.index
+                best_headroom = headroom
+        if dest is None:
+            return None
+        mover = None
+        mover_key = 0.0
+        for tenant in view.tenants_on(source):
+            if tenant.finished:
+                continue
+            last = self._last_move.get(tenant.name)
+            if last is not None and view.time - last < self.cooldown_seconds:
+                continue
+            key = tenant.weight * tenant.sla_shortfall
+            if key > mover_key:
+                mover = tenant
+                mover_key = key
+        if mover is None:
+            return None
+        return Migrate(mover.name, dest, self.cost_seconds)
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Inner caps first; append a migration if the caps saturated."""
+        actions = list(self.inner.decide(view))
+        caps = None
+        for action in actions:
+            if isinstance(action, SetCaps):
+                caps = action.caps
+        if caps is None:
+            return actions
+        migration = self._pick_migration(view, caps)
+        if migration is not None:
+            self._last_move[migration.tenant] = view.time
+            actions.append(migration)
+        return actions
+
+
+def build_policy(
+    name: str,
+    budget_watts: float,
+    machines: Sequence,
+    gain: float = 8.0,
+    schedule: BudgetSchedule | None = None,
+    migration_cost_seconds: float = 2.0,
+) -> ControlPolicy:
+    """Assemble a named policy stack for a machine pool.
+
+    ``name`` is one of :data:`POLICY_NAMES`: ``static-equal`` (even
+    split), ``sla-aware`` (violation-weighted water-fill), or
+    ``migrating`` (SLA-aware caps plus ceiling-saturation migration).
+    A ``schedule`` wraps the stack in a :class:`ScheduledBudgetPolicy`
+    after checking every level against the pool's cap floor.
+    """
+    # Imported here, not at module top: the arbiter module itself
+    # imports controlplane.actions, so a module-level import would be
+    # circular when loading starts from repro.datacenter.arbiter.
+    from repro.datacenter.arbiter import ArbiterPolicy, PowerArbiter
+
+    if name == "static-equal":
+        policy: ControlPolicy = PowerArbiter(
+            budget_watts, machines, policy=ArbiterPolicy.STATIC_EQUAL, gain=gain
+        )
+    elif name == "sla-aware":
+        policy = PowerArbiter(
+            budget_watts, machines, policy=ArbiterPolicy.SLA_AWARE, gain=gain
+        )
+    elif name == "migrating":
+        policy = MigratingPolicy(
+            PowerArbiter(
+                budget_watts, machines, policy=ArbiterPolicy.SLA_AWARE, gain=gain
+            ),
+            cost_seconds=migration_cost_seconds,
+        )
+    else:
+        raise ControlError(
+            f"unknown policy {name!r}; expected one of {POLICY_NAMES}"
+        )
+    if schedule is not None:
+        from repro.datacenter.controlplane.applier import machine_limits
+
+        floors, _ = machine_limits(machines)
+        schedule.check_floor(sum(floors))
+        policy = ScheduledBudgetPolicy(policy, schedule)
+    return policy

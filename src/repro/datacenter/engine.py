@@ -4,7 +4,7 @@ The engine hosts N controlled application instances on M simulated
 machines and drives them with open-loop request arrivals.  It is a
 discrete-event simulation in *two* layers of virtual time:
 
-* a global event stream (arrivals, arbiter ticks) in facility time;
+* a global event stream (arrivals, control barriers) in facility time;
 * each machine's own :class:`~repro.hardware.clock.VirtualClock`, which
   advances as its resident instances execute work.
 
@@ -20,19 +20,30 @@ mechanism, now under interleaved, bursty, multi-tenant traffic.
 
 Completion times are measured on the machine clock against global
 arrival times, giving end-to-end request latencies for the tenant SLA
-accounting; the :class:`~repro.datacenter.arbiter.PowerArbiter` (when
-present) reallocates the facility power budget every period toward
-machines whose tenants are missing their SLAs.
+accounting.
+
+**Control plane.**  The engine itself makes no cluster-level decisions.
+When constructed with a ``policy`` (any
+:class:`~repro.datacenter.controlplane.actions.ControlPolicy`), it
+schedules control barriers — every ``control_period`` seconds plus any
+policy-requested instants (e.g. budget-trace timestamps) — settles
+every machine to the barrier, hands the policy an immutable
+:class:`~repro.datacenter.controlplane.actions.ClusterView`, and
+applies the returned actions (``SetCaps``, ``SetBudget``, ``Migrate``)
+through the shared control-plane applier, which validates them against
+the pool's hard limits first.  The legacy power arbiter is now just one
+such policy (:meth:`repro.datacenter.arbiter.PowerArbiter.decide`).
 
 Scheduling is *lazy*: an event only advances the machine it concerns
-(arrivals touch one host; arbiter ticks synchronize the pool, since
-they change DVFS states and read every tenant's SLA signal).  A machine
-with nothing to do is not visited per event — its idle time is settled
-in a single O(1) ``idle_until`` when it next matters — so the cost of a
-run scales with the number of events, not events × machines.  Arrival
-streams are consumed through a lazy sorted merge of the per-tenant
-traces (each already sorted) instead of heapifying one entry per
-request.
+(arrivals touch one host; control barriers synchronize the pool, since
+they may change DVFS states, the budget, or placement, and read every
+tenant's SLA signal).  A machine with nothing to do is not visited per
+event — its idle time is settled in a single O(1) ``idle_until`` when
+it next matters — so the cost of a run scales with the number of
+events, not events × machines.  Arrival streams are consumed through an
+incremental merge of the per-tenant traces (each already sorted) whose
+membership can change at barriers — which is how a migrated tenant's
+arrival cursor moves with it, including across shard workers.
 
 Every dispatched ``step()`` is metered for billing: the machine meter's
 energy delta and the clock delta across the step are charged to the
@@ -40,13 +51,14 @@ stepping tenant's :class:`~repro.datacenter.billing.TenantLedger`,
 while lazily settled idle gaps accumulate per machine as unattributed
 idle energy — so :attr:`DatacenterResult.bills` attributes every
 watt-second of pool energy to a tenant or to the idle floor (the
-conservation invariant the billing tests pin).
+conservation invariant the billing tests pin, which survives both
+migrations and mid-run budget changes).
 
 Three execution backends share these semantics:
 
 * ``"serial"`` — the lazy single-process scheduler (default);
 * ``"sharded"`` — machines partitioned across ``workers`` forked
-  processes which run independently between arbiter barriers (see
+  processes which run independently between control barriers (see
   :mod:`repro.datacenter.shard`); identical results to ``"serial"``;
 * ``"eager"`` — the original advance-every-host-per-event loop, kept as
   the reference baseline for the :mod:`repro.bench` perf trajectory.
@@ -60,12 +72,26 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
-from repro.datacenter.arbiter import PowerArbiter
 from repro.datacenter.billing import (
     TenantBill,
     TenantLedger,
     compose_bill,
     conservation_summary,
+)
+from repro.datacenter.controlplane.actions import (
+    ClusterView,
+    ControlPolicy,
+    MachineView,
+    MigrationRecord,
+    TenantView,
+)
+from repro.datacenter.controlplane.applier import (
+    ControlPlan,
+    enforce_caps,
+    machine_limits,
+    merge_run_results,
+    migrate_instance,
+    plan_actions,
 )
 from repro.datacenter.tenants import TenantReport, TenantSpec, TenantStats
 from repro.hardware.machine import Machine
@@ -79,7 +105,7 @@ __all__ = [
 ]
 
 _ARRIVAL = 0
-_ARBITER = 1
+_BARRIER = 1
 
 ENGINE_BACKENDS = ("serial", "sharded", "eager")
 """Recognized ``DatacenterEngine`` backends."""
@@ -96,11 +122,17 @@ class InstanceBinding:
     Attributes:
         tenant: The tenant being served.
         runtime: Its PowerDial runtime, bound to the host machine.
-        machine_index: Index of that machine in the engine's pool.
+        machine_index: Index of that machine in the engine's pool
+            (updated when the control plane migrates the instance).
         stats: Mutable SLA/admission accounting the engine fills in.
         ledger: Mutable billing meter (energy + machine time) charged
             per dispatched ``step()``; see
             :class:`~repro.datacenter.billing.TenantLedger`.
+        runtime_factory: Rebuilds the tenant's runtime on a given
+            machine — required for migration (a cold move restarts the
+            instance on the destination), optional otherwise.
+        run_segments: Completed :class:`RunResult` segments from
+            machines this instance ran on before its latest migration.
     """
 
     tenant: TenantSpec
@@ -108,9 +140,11 @@ class InstanceBinding:
     machine_index: int
     stats: TenantStats = field(default_factory=TenantStats)
     ledger: TenantLedger = field(default_factory=TenantLedger)
+    runtime_factory: Callable[[Machine], PowerDialRuntime] | None = None
     starved: bool = False
     finished: bool = False
     next_request: int = 0
+    run_segments: list[RunResult] = field(default_factory=list)
 
 
 @dataclass
@@ -125,7 +159,8 @@ class DatacenterResult:
             tenants all report the whole machine's draw; for pool
             accounting use ``machine_mean_power``/
             ``total_energy_joules``, and for per-tenant attribution use
-            ``bills``.
+            ``bills``.  A migrated tenant's result is its per-host
+            segments stitched together (``mean_power`` is then None).
         bills: Per-tenant :class:`~repro.datacenter.billing.TenantBill`
             (energy, QoS-loss, admission attribution), in binding
             order; byte-identical across backends.
@@ -135,8 +170,12 @@ class DatacenterResult:
         machine_mean_power: Mean measured watts per machine.
         total_energy_joules: Integrated energy across the pool.
         makespan: Latest machine virtual time at the end of the run.
-        budget_watts: The arbitrated global budget (None when uncapped).
-        cap_history: ``(time, per-machine caps)`` per arbitration.
+        budget_watts: The global budget in force at the end of the run
+            (None when uncapped).
+        cap_history: ``(time, per-machine caps)`` per ``SetCaps``.
+        budget_history: ``(time, watts)`` — the initial budget plus
+            every applied ``SetBudget`` (budget shocks land here).
+        migrations: Applied migrations, in application order.
     """
 
     tenant_reports: list[TenantReport]
@@ -148,6 +187,8 @@ class DatacenterResult:
     makespan: float
     budget_watts: float | None
     cap_history: list[tuple[float, tuple[float, ...]]]
+    budget_history: list[tuple[float, float]] = field(default_factory=list)
+    migrations: list[MigrationRecord] = field(default_factory=list)
 
     @property
     def total_mean_power(self) -> float:
@@ -216,6 +257,91 @@ class _Host:
         return None
 
 
+class _EventPump:
+    """Incremental merge of per-tenant arrival streams.
+
+    Replaces a one-shot ``heapq.merge`` so that stream *membership* can
+    change at control barriers: a migrated tenant's cursor is
+    ``remove``d from the pump that loses it and ``add``ed (at the same
+    trace position) to the pump that gains it — the mechanism by which
+    arrivals follow an instance across sharded workers.  The heap holds
+    one live entry per tenant (its next arrival); ties order by the
+    tenant's global binding index then trace position, reproducing the
+    original merged-stream dispatch order exactly.
+
+    A cursor is a mutable ``[order, arrivals, pos, binding]`` list;
+    ``remove`` invalidates the cursor object itself (``binding = None``)
+    so stale heap entries skip in O(1), and the hot loop advances live
+    cursors with a single ``heapreplace``.
+    """
+
+    def __init__(
+        self, engine: "DatacenterEngine", bindings: Sequence[InstanceBinding]
+    ) -> None:
+        self._engine = engine
+        self._order = {id(b): i for i, b in enumerate(engine.bindings)}
+        self._heap: list[tuple[float, int, int, int, list]] = []
+        self._cursors: dict[int, list] = {}
+        self._seq = 0
+        for binding in bindings:
+            self.add(binding, 0)
+
+    def add(self, binding: InstanceBinding, pos: int) -> None:
+        """Start pumping ``binding``'s arrivals from trace index ``pos``."""
+        arrivals = binding.tenant.trace.arrivals
+        cursor = [self._order[id(binding)], arrivals, pos, binding]
+        self._cursors[id(binding)] = cursor
+        if pos < len(arrivals):
+            self._seq += 1
+            heapq.heappush(
+                self._heap, (arrivals[pos], cursor[0], pos, self._seq, cursor)
+            )
+
+    def remove(self, binding: InstanceBinding) -> int:
+        """Stop pumping ``binding``; returns its resume position."""
+        cursor = self._cursors.pop(id(binding))
+        cursor[3] = None  # invalidate: its heap entry is now stale
+        return cursor[2]
+
+    def run_until(self, barrier: float | None) -> None:
+        """Dispatch arrivals up to and including ``barrier`` (None: all).
+
+        Each arrival advances only its own host before dispatch —
+        arrivals at exactly the barrier instant dispatch *before* the
+        barrier, matching the original event ordering (arrivals sorted
+        ahead of ticks at equal times).
+        """
+        engine = self._engine
+        heap = self._heap
+        hosts = engine.hosts
+        advance = engine._advance
+        dispatch = engine._dispatch_arrival
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        while heap:
+            entry = heap[0]
+            time = entry[0]
+            if barrier is not None and time > barrier:
+                return
+            cursor = entry[4]
+            binding = cursor[3]
+            if binding is None:
+                heappop(heap)  # stale entry from a removed cursor
+                continue
+            pos = entry[2] + 1
+            cursor[2] = pos
+            arrivals = cursor[1]
+            if pos < len(arrivals):
+                self._seq += 1
+                heapreplace(
+                    heap, (arrivals[pos], cursor[0], pos, self._seq, cursor)
+                )
+            else:
+                heappop(heap)
+            advance(hosts[binding.machine_index], time)
+            dispatch(binding, time)
+
+
 class DatacenterEngine:
     """Runs a multi-tenant, multi-machine scenario to completion.
 
@@ -223,11 +349,15 @@ class DatacenterEngine:
         machines: The machine pool (each with its own clock and meter).
         bindings: Tenant instances placed on those machines; every
             binding's runtime must execute on ``machines[machine_index]``.
-        arbiter: Optional power arbiter over the same pool.  Applied at
-            time zero and then every ``arbiter_period`` seconds.
-        arbiter_period: Seconds between budget reallocations.
-        attainment_window: Lookback horizon for the per-tick SLA
-            attainment signal fed to the arbiter.
+        policy: Optional control policy (any
+            :class:`~repro.datacenter.controlplane.actions.ControlPolicy`,
+            e.g. a :class:`~repro.datacenter.arbiter.PowerArbiter`).
+            Consulted at time zero and then at every control barrier;
+            its actions are validated and applied through the shared
+            control-plane applier.
+        control_period: Seconds between periodic control barriers.
+        attainment_window: Lookback horizon for the per-barrier SLA
+            attainment signal summarized in the policy's view.
         backend: ``"serial"`` (lazy single-process, default),
             ``"sharded"`` (multiprocess; identical results), or
             ``"eager"`` (the original advance-all loop, kept as the
@@ -241,8 +371,8 @@ class DatacenterEngine:
         self,
         machines: Sequence[Machine],
         bindings: Sequence[InstanceBinding],
-        arbiter: PowerArbiter | None = None,
-        arbiter_period: float = 10.0,
+        policy: ControlPolicy | None = None,
+        control_period: float = 10.0,
         attainment_window: float = 20.0,
         backend: str = "serial",
         workers: int | None = None,
@@ -251,8 +381,8 @@ class DatacenterEngine:
             raise EngineError("engine needs at least one machine")
         if not bindings:
             raise EngineError("engine needs at least one tenant instance")
-        if arbiter_period <= 0 or attainment_window <= 0:
-            raise EngineError("arbiter period and window must be positive")
+        if control_period <= 0 or attainment_window <= 0:
+            raise EngineError("control period and window must be positive")
         if backend not in ENGINE_BACKENDS:
             raise EngineError(
                 f"unknown backend {backend!r}; expected one of {ENGINE_BACKENDS}"
@@ -272,12 +402,17 @@ class DatacenterEngine:
                     f"tenant {binding.tenant.name!r}'s runtime is not bound "
                     f"to machine {binding.machine_index}"
                 )
-        if arbiter is not None and list(arbiter.machines) != list(machines):
-            raise EngineError("arbiter must manage the engine's machine pool")
+        if policy is not None:
+            for required in ("decide", "initial_budget_watts", "barrier_times"):
+                if not callable(getattr(policy, required, None)):
+                    raise EngineError(
+                        f"policy {policy!r} does not implement ControlPolicy "
+                        f"(missing {required}())"
+                    )
         self.machines = list(machines)
         self.bindings = list(bindings)
-        self.arbiter = arbiter
-        self.arbiter_period = arbiter_period
+        self.policy = policy
+        self.control_period = control_period
         self.attainment_window = attainment_window
         self.backend = backend
         self.workers = workers
@@ -285,6 +420,16 @@ class DatacenterEngine:
             _Host(i, machine, [b for b in self.bindings if b.machine_index == i])
             for i, machine in enumerate(self.machines)
         ]
+        # Enforceable cap range per machine, for central action validation.
+        self._cap_floors, self._cap_ceilings = machine_limits(self.machines)
+        self._budget: float | None = (
+            policy.initial_budget_watts() if policy is not None else None
+        )
+        self._caps: tuple[float, ...] | None = None
+        # (time, watts) per budget level, starting with the initial one.
+        self.budget_history: list[tuple[float, float]] = []
+        # Applied migrations, in application order.
+        self.migration_history: list[MigrationRecord] = []
         # Watt-seconds per machine that no tenant was running for; the
         # billing conservation invariant is
         #   sum(binding.ledger.energy_joules) + sum(idle_energy_joules)
@@ -296,15 +441,26 @@ class DatacenterEngine:
         self._ran = False
 
     # ------------------------------------------------------------------
-    # Event plumbing shared by all backends
+    # Control-plane plumbing shared by all backends
     # ------------------------------------------------------------------
     def _tick_times(self) -> list[float]:
-        """Arbiter barrier times over the scenario horizon."""
-        if self.arbiter is None:
+        """Control-barrier times over the scenario horizon.
+
+        Periodic barriers every ``control_period`` plus any instants the
+        policy requests (e.g. budget-trace timestamps), deduplicated and
+        sorted — the same list on every backend.
+        """
+        if self.policy is None:
             return []
         horizon = max(b.tenant.trace.duration for b in self.bindings)
-        ticks = int(math.floor(horizon / self.arbiter_period))
-        return [k * self.arbiter_period for k in range(1, ticks + 1)]
+        ticks = {
+            k * self.control_period
+            for k in range(1, int(math.floor(horizon / self.control_period)) + 1)
+        }
+        ticks.update(
+            t for t in self.policy.barrier_times(horizon) if 0.0 < t <= horizon
+        )
+        return sorted(ticks)
 
     def _final_event_time(self, tick_times: Sequence[float]) -> float:
         """Time of the last global event (all hosts settle to it)."""
@@ -315,19 +471,128 @@ class DatacenterEngine:
                 last = max(last, arrivals[-1])
         return last
 
+    def _tenant_shortfall(self, binding: InstanceBinding, now: float) -> float:
+        """One tenant's SLA shortfall over the attainment window.
+
+        ``max(0, target - recent attainment)``; a tenant with nothing
+        completed counts as fully violating if work is backed up,
+        otherwise as quiet.
+        """
+        sla = binding.tenant.sla
+        attainment = binding.stats.recent_attainment(
+            sla.latency_bound, now - self.attainment_window, now
+        )
+        if attainment is None:
+            backlogged = binding.runtime.pending_jobs > 0
+            return sla.attainment_target if backlogged else 0.0
+        return max(0.0, sla.attainment_target - attainment)
+
+    def _tenant_view(self, binding: InstanceBinding, now: float) -> TenantView:
+        """Snapshot one tenant for the policy's cluster view.
+
+        Shared verbatim by the serial engine and the shard workers, so
+        the floats a policy sees are backend-independent.
+        """
+        return TenantView(
+            name=binding.tenant.name,
+            machine_index=binding.machine_index,
+            weight=binding.tenant.weight,
+            sla_shortfall=self._tenant_shortfall(binding, now),
+            pending_jobs=binding.runtime.pending_jobs,
+            finished=binding.finished,
+            energy_joules=binding.ledger.energy_joules,
+            busy_seconds=binding.ledger.busy_seconds,
+            steps=binding.ledger.steps,
+        )
+
+    def _control_view(
+        self, now: float, tenants: tuple[TenantView, ...] | None = None
+    ) -> ClusterView:
+        """Assemble the immutable snapshot handed to the policy.
+
+        ``tenants`` overrides the in-process snapshot (the sharded
+        coordinator passes tenant views gathered from its workers,
+        reassembled in binding order).
+        """
+        if tenants is None:
+            tenants = tuple(self._tenant_view(b, now) for b in self.bindings)
+        machines = tuple(
+            MachineView(
+                index=index,
+                cap_floor=self._cap_floors[index],
+                cap_ceiling=self._cap_ceilings[index],
+                cap_watts=self._caps[index] if self._caps is not None else None,
+            )
+            for index in range(len(self.machines))
+        )
+        return ClusterView(
+            time=now, budget_watts=self._budget, machines=machines,
+            tenants=tenants,
+        )
+
+    def _decide_plan(self, view: ClusterView) -> ControlPlan:
+        """Ask the policy for actions and validate them centrally."""
+        if self.policy is None:
+            raise EngineError("control barrier scheduled without a policy")
+        actions = self.policy.decide(view)
+        return plan_actions(
+            actions, view, self._cap_floors, self._cap_ceilings, self._budget
+        )
+
+    def _record_plan(
+        self,
+        plan: ControlPlan,
+        now: float,
+        cap_history: list[tuple[float, tuple[float, ...]]],
+    ) -> None:
+        """Book-keep a validated plan (budget level, cap history)."""
+        if plan.budget_watts is not None:
+            self._budget = plan.budget_watts
+            self.budget_history.append((now, plan.budget_watts))
+        if plan.caps is not None:
+            self._caps = plan.caps
+            cap_history.append((now, plan.caps))
+
+    def _control_tick(
+        self,
+        now: float,
+        cap_history: list[tuple[float, tuple[float, ...]]],
+    ) -> None:
+        """Run one in-process control barrier: view -> plan -> apply.
+
+        Application order is canonical — budget, then caps, then
+        migrations — so a migration's source-host drain always runs
+        under the freshly enforced caps, on every backend.
+        """
+        plan = self._decide_plan(self._control_view(now))
+        self._record_plan(plan, now, cap_history)
+        if plan.caps is not None:
+            enforce_caps(self.machines, plan.caps)
+        for migration in plan.migrations:
+            self.migration_history.append(
+                migrate_instance(self, migration, now)
+            )
+
+    # ------------------------------------------------------------------
+    # Event plumbing for the single-process backends
+    # ------------------------------------------------------------------
     def _event_stream(
         self,
         bindings: Sequence[InstanceBinding],
         tick_times: Sequence[float],
     ) -> Iterator[tuple[float, int, int, int, InstanceBinding | None]]:
-        """Lazily merge pre-sorted per-tenant arrival streams and ticks.
+        """Lazily merge pre-sorted per-tenant arrival streams and barriers.
 
         Events are ``(time, kind, binding_index, seq, binding)`` tuples
-        ordered by time; arrivals sort before an arbiter tick at the same
-        instant (matching the original engine's dispatch order), and
-        simultaneous arrivals dispatch in binding order.  ``heapq.merge``
-        keeps this O(log k) per event over k already-sorted streams —
-        no per-request heap entries are materialized.
+        ordered by time; arrivals sort before a control barrier at the
+        same instant, and simultaneous arrivals dispatch in binding
+        order.  ``heapq.merge`` keeps this O(log k) per event over k
+        already-sorted streams — no per-request heap entries are
+        materialized.  Stream membership is fixed, which is fine for the
+        serial backend: an in-process migration keeps the binding in
+        this same stream and simply re-routes dispatch through its
+        updated ``machine_index`` (shard workers, where a migrated
+        tenant really leaves or joins, use :class:`_EventPump` instead).
         """
         index_of = {id(b): i for i, b in enumerate(self.bindings)}
 
@@ -340,14 +605,14 @@ class DatacenterEngine:
 
         def ticks() -> Iterable[tuple[float, int, int, int, InstanceBinding | None]]:
             for seq, at in enumerate(tick_times):
-                yield (at, _ARBITER, -1, seq, None)
+                yield (at, _BARRIER, -1, seq, None)
 
         streams = [arrivals(binding) for binding in bindings]
         if tick_times:
             streams.append(ticks())
         return heapq.merge(*streams)
 
-    def _pump(
+    def _pump_stream(
         self,
         events: Iterator[tuple[float, int, int, int, InstanceBinding | None]],
         hosts: Sequence[_Host],
@@ -358,11 +623,12 @@ class DatacenterEngine:
 
         An arrival advances only its own host (idle neighbours are left
         alone — their gap is settled in one ``idle_until`` when they next
-        matter); an arbiter tick settles every host in ``hosts`` to the
-        tick time, because DVFS states and SLA signals are about to
-        change.  After the last event, every host settles to
-        ``final_time`` so pool-level accounting (makespan, idle energy)
-        is independent of per-host event density.
+        matter); a control barrier settles every host in ``hosts`` to
+        the barrier time, because DVFS states, the budget, or placement
+        are about to change and every tenant's SLA signal is read.
+        After the last event, every host settles to ``final_time`` so
+        pool-level accounting (makespan, idle energy) is independent of
+        per-host event density.
         """
         for time, kind, _, _, binding in events:
             if kind == _ARRIVAL:
@@ -407,9 +673,9 @@ class DatacenterEngine:
         """Dispatch one ``step()`` and charge its deltas to the tenant.
 
         The single choke point for billing attribution: every backend
-        and every phase (event pumping and post-input drain) must route
-        step dispatch through here, or the conservation invariant
-        breaks.
+        and every phase (event pumping, migration drains, and the
+        post-input drain) must route step dispatch through here, or the
+        conservation invariant breaks.
         """
         machine = host.machine
         meter = machine.meter
@@ -431,33 +697,8 @@ class DatacenterEngine:
                 if self._metered_step(host, instance) is StepStatus.FINISHED:
                     instance.finished = True
 
-    def _violation_scores(
-        self, now: float, bindings: Sequence[InstanceBinding] | None = None
-    ) -> list[float]:
-        """Aggregate per-machine SLA shortfall for the arbiter.
-
-        ``bindings`` restricts the aggregation to a subset (the sharded
-        backend scores only a worker's resident tenants); machines with
-        no scored tenants stay at 0.
-        """
-        scores = [0.0] * len(self.machines)
-        since = now - self.attainment_window
-        for binding in self.bindings if bindings is None else bindings:
-            sla = binding.tenant.sla
-            attainment = binding.stats.recent_attainment(
-                sla.latency_bound, since, now
-            )
-            if attainment is None:
-                # Nothing completed: fully violating if work is backed
-                # up, otherwise simply quiet.
-                backlogged = binding.runtime.pending_jobs > 0
-                shortfall = sla.attainment_target if backlogged else 0.0
-            else:
-                shortfall = max(0.0, sla.attainment_target - attainment)
-            scores[binding.machine_index] += binding.tenant.weight * shortfall
-        return scores
-
     def _dispatch_arrival(self, binding: InstanceBinding, now: float) -> None:
+        """Offer one arrival to its tenant: admission control + feed."""
         binding.stats.record_offer()
         if binding.runtime.pending_jobs >= binding.tenant.max_queue_depth:
             binding.stats.record_rejection()
@@ -470,6 +711,7 @@ class DatacenterEngine:
             on_complete=lambda completion, arrival=now: stats.record_completion(
                 arrival, completion
             ),
+            tag=(index, now),
         )
         binding.starved = False
 
@@ -477,7 +719,7 @@ class DatacenterEngine:
     # Run orchestration
     # ------------------------------------------------------------------
     def _begin_run(self) -> list[tuple[float, tuple[float, ...]]]:
-        """Arm every runtime and enforce the budget from time zero."""
+        """Arm every runtime and run the time-zero control barrier."""
         for index, machine in enumerate(self.machines):
             # Energy already on a meter (a machine reused after e.g. a
             # calibration run) predates every tenant: fold it into the
@@ -487,10 +729,11 @@ class DatacenterEngine:
         for binding in self.bindings:
             binding.runtime.begin()
         cap_history: list[tuple[float, tuple[float, ...]]] = []
-        if self.arbiter is not None:
+        if self.policy is not None:
+            if self._budget is not None:
+                self.budget_history.append((0.0, self._budget))
             # Enforce the budget from time zero (no SLA signal yet).
-            caps = self.arbiter.apply([0.0] * len(self.machines))
-            cap_history.append((0.0, tuple(caps)))
+            self._control_tick(0.0, cap_history)
         return cap_history
 
     def _finalize(self) -> None:
@@ -504,9 +747,15 @@ class DatacenterEngine:
         self, cap_history: list[tuple[float, tuple[float, ...]]]
     ) -> DatacenterResult:
         """Assemble the :class:`DatacenterResult` from engine state."""
-        run_results = {
-            binding.tenant.name: binding.runtime.finish()
+        segments = {
+            binding.tenant.name: (
+                *binding.run_segments,
+                binding.runtime.finish(),
+            )
             for binding in self.bindings
+        }
+        run_results = {
+            name: merge_run_results(parts) for name, parts in segments.items()
         }
         reports = [
             binding.stats.report(binding.tenant.name, binding.tenant.sla)
@@ -517,7 +766,7 @@ class DatacenterEngine:
                 binding.machine_index,
                 report,
                 binding.ledger,
-                run_results[binding.tenant.name],
+                segments[binding.tenant.name],
             )
             for binding, report in zip(self.bindings, reports)
         ]
@@ -537,10 +786,10 @@ class DatacenterEngine:
                 machine.meter.energy_joules for machine in self.machines
             ),
             makespan=max(machine.now for machine in self.machines),
-            budget_watts=(
-                self.arbiter.budget_watts if self.arbiter is not None else None
-            ),
+            budget_watts=self._budget,
             cap_history=cap_history,
+            budget_history=list(self.budget_history),
+            migrations=list(self.migration_history),
         )
 
     def run(self) -> DatacenterResult:
@@ -562,12 +811,11 @@ class DatacenterEngine:
         tick_times = self._tick_times()
 
         def on_tick(now: float) -> None:
-            if self.arbiter is None:
-                raise EngineError("arbiter tick scheduled without an arbiter")
-            caps = self.arbiter.apply(self._violation_scores(now))
-            cap_history.append((now, tuple(caps)))
+            # No pump: in-process migrations keep the binding in the
+            # one merged stream (see _event_stream).
+            self._control_tick(now, cap_history)
 
-        self._pump(
+        self._pump_stream(
             self._event_stream(self.bindings, tick_times),
             self.hosts,
             self._final_event_time(tick_times),
@@ -579,23 +827,20 @@ class DatacenterEngine:
     def _run_eager(self) -> DatacenterResult:
         """The original PR 1 loop: advance *every* host at *every* event.
 
-        O(events × machines); kept verbatim (modulo the assert->raise
-        hardening) as the baseline the :mod:`repro.bench` harness measures
-        the lazy scheduler against.
+        O(events × machines); kept (modulo routing control decisions
+        through the shared control plane) as the baseline the
+        :mod:`repro.bench` harness measures the lazy scheduler against.
         """
         cap_history = self._begin_run()
-        horizon = max(binding.tenant.trace.duration for binding in self.bindings)
         heap: list[tuple[float, int, int, InstanceBinding | None]] = []
         seq = 0
         for binding in self.bindings:
             for arrival in binding.tenant.trace.arrivals:
                 heap.append((arrival, seq, _ARRIVAL, binding))
                 seq += 1
-        if self.arbiter is not None:
-            ticks = int(math.floor(horizon / self.arbiter_period))
-            for k in range(1, ticks + 1):
-                heap.append((k * self.arbiter_period, seq, _ARBITER, None))
-                seq += 1
+        for tick in self._tick_times():
+            heap.append((tick, seq, _BARRIER, None))
+            seq += 1
         heapq.heapify(heap)
 
         while heap:
@@ -609,12 +854,7 @@ class DatacenterEngine:
                         raise EngineError("arrival event lost its tenant binding")
                     self._dispatch_arrival(binding, now)
                 else:
-                    if self.arbiter is None:
-                        raise EngineError(
-                            "arbiter tick scheduled without an arbiter"
-                        )
-                    caps = self.arbiter.apply(self._violation_scores(now))
-                    cap_history.append((now, tuple(caps)))
+                    self._control_tick(now, cap_history)
 
         self._finalize()
         return self._collect_result(cap_history)

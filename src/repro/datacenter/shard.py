@@ -1,31 +1,48 @@
 """Sharded multiprocess backend for the datacenter engine.
 
-Between arbiter barriers, machines are completely independent: an
+Between control barriers, machines are completely independent: an
 arrival only touches its own host, and co-residency contention is
 confined to one machine's clock.  The sharded backend exploits this by
 partitioning the machine pool (with the tenants resident on each
 machine) across forked worker processes.  Each worker advances its
-shard through the same lazy event loop the serial backend runs; the
-only cross-shard traffic is at the arbiter barriers, where workers
-report per-machine SLA violation scores and receive the freshly
-allocated power caps — a few floats per machine per tick.
+shard through the same lazy event pump the serial backend runs; the
+only cross-shard traffic is at the control barriers.
+
+The barrier protocol mirrors the control plane's view/action split:
+
+1. every worker sends the :class:`~repro.datacenter.controlplane.
+   actions.TenantView` snapshots of its resident tenants;
+2. the parent — the only process that runs the
+   :class:`~repro.datacenter.controlplane.actions.ControlPolicy` —
+   assembles the :class:`ClusterView` in binding order, decides,
+   validates the actions through the shared
+   :func:`~repro.datacenter.controlplane.applier.plan_actions`, and
+   scatters the validated plan (caps for the worker's machines, plus
+   any tenants emigrating from it);
+3. if the plan migrates anyone, source workers run
+   :func:`~repro.datacenter.controlplane.applier.emigrate` and return
+   the picklable :class:`MigrantState`s, which the parent routes to
+   the destination workers to :func:`~repro.datacenter.controlplane.
+   applier.absorb` — machines never change shards, tenants do.
 
 Determinism: every worker replays exactly the event subsequence the
 serial scheduler would have applied to its machines, settles its hosts
-at the same barrier instants, and the parent runs the same arbiter
-allocation on the same assembled score vector, so a sharded run yields
-*identical* per-tenant reports, billing ledgers/bills, cap history,
-and pool energy to a serial run of the same scenario (asserted by the
-parity tests).  At the "done" barrier each worker additionally returns
-its tenants' billing ledgers and its machines' unattributed idle
-energy; the parent composes the bills from those reassembled pieces
-exactly as the serial collector would.
+at the same barrier instants, and the parent runs the same policy on
+the same assembled view, so a sharded run yields *identical*
+per-tenant reports, billing ledgers/bills, cap/budget/migration
+history, and pool energy to a serial run of the same scenario —
+including scenarios with cross-shard migrations and mid-run budget
+shocks (asserted by the parity tests).  At the "done" barrier each
+worker returns its tenants' stats, ledgers, and per-host run segments
+plus its machines' unattributed idle energy; the parent composes the
+bills from those reassembled pieces exactly as the serial collector
+would.
 
 The backend requires the ``fork`` start method (workers inherit the
 armed engine — closures, generators and all — without pickling); the
 engine raises :class:`~repro.datacenter.engine.EngineError` on
-platforms without it.  Only results cross process boundaries, and those
-are plain dataclasses.
+platforms without it.  Only plain-data results and migrant states
+cross process boundaries.
 """
 
 from __future__ import annotations
@@ -37,7 +54,13 @@ import time
 import traceback
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.datacenter.arbiter import frequency_for_cap
+from repro.datacenter.controlplane.actions import MigrationRecord
+from repro.datacenter.controlplane.applier import (
+    absorb,
+    emigrate,
+    enforce_caps,
+    merge_run_results,
+)
 from repro.datacenter.billing import compose_bill
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,7 +111,9 @@ def _worker_main(
     final_time: float,
     conn,
 ) -> None:
-    """Advance one shard to completion, exchanging scores/caps at barriers."""
+    """Advance one shard to completion, exchanging views/plans at barriers."""
+    from repro.datacenter.engine import _EventPump
+
     try:
         # Workers are short-lived batch processes: everything they
         # allocate dies with them, so cyclic GC is pure overhead here.
@@ -99,24 +124,51 @@ def _worker_main(
         started = time.process_time()
         owned = set(machine_indices)
         hosts = [engine.hosts[i] for i in machine_indices]
-        bindings = [b for b in engine.bindings if b.machine_index in owned]
+        resident = [b for b in engine.bindings if b.machine_index in owned]
+        by_name = {b.tenant.name: b for b in engine.bindings}
+        pump = _EventPump(engine, resident)
 
-        def on_tick(now: float) -> None:
-            scores = engine._violation_scores(now, bindings)
-            conn.send(("scores", [scores[i] for i in machine_indices]))
+        for now in tick_times:
+            pump.run_until(now)
+            for host in hosts:
+                engine._advance(host, now)
+            conn.send(
+                ("views", [engine._tenant_view(b, now) for b in resident])
+            )
             message = conn.recv()
-            if message[0] != "caps":  # pragma: no cover - protocol guard
-                raise RuntimeError(f"expected caps at barrier, got {message[0]!r}")
-            for host, cap in zip(hosts, message[1]):
-                host.machine.set_frequency(frequency_for_cap(host.machine, cap))
+            if message[0] != "plan":  # pragma: no cover - protocol guard
+                raise RuntimeError(
+                    f"expected plan at barrier, got {message[0]!r}"
+                )
+            _, caps, emigrations, any_migrations = message
+            if caps is not None:
+                enforce_caps(
+                    [engine.machines[i] for i in machine_indices],
+                    [caps[i] for i in machine_indices],
+                )
+            if any_migrations:
+                migrants = []
+                for migration in emigrations:
+                    binding = by_name[migration.tenant]
+                    trace_pos = pump.remove(binding)
+                    migrants.append(emigrate(engine, binding, trace_pos))
+                    resident.remove(binding)
+                conn.send(("migrants", migrants))
+                message = conn.recv()
+                if message[0] != "absorb":  # pragma: no cover - protocol guard
+                    raise RuntimeError(
+                        f"expected absorb at barrier, got {message[0]!r}"
+                    )
+                for migrant, dest_index, cost_seconds in message[1]:
+                    binding = by_name[migrant.tenant]
+                    absorb(engine, binding, migrant, dest_index, cost_seconds)
+                    pump.add(binding, migrant.trace_pos)
+                    resident.append(binding)
 
-        engine._pump(
-            engine._event_stream(bindings, tick_times),
-            hosts,
-            final_time,
-            on_tick,
-        )
-        for binding in bindings:
+        pump.run_until(None)
+        for host in hosts:
+            engine._advance(host, final_time)
+        for binding in resident:
             binding.runtime.close_input()
         for host in hosts:
             engine._drain(host)
@@ -137,12 +189,13 @@ def _worker_main(
         payload: dict[str, Any] = {
             "reports": {
                 b.tenant.name: b.stats.report(b.tenant.name, b.tenant.sla)
-                for b in bindings
+                for b in resident
             },
-            "stats": {b.tenant.name: b.stats for b in bindings},
-            "ledgers": {b.tenant.name: b.ledger for b in bindings},
-            "run_results": {
-                b.tenant.name: b.runtime.finish() for b in bindings
+            "stats": {b.tenant.name: b.stats for b in resident},
+            "ledgers": {b.tenant.name: b.ledger for b in resident},
+            "run_segments": {
+                b.tenant.name: (*b.run_segments, b.runtime.finish())
+                for b in resident
             },
             "machine_power": machine_power,
             "machine_energy": machine_energy,
@@ -166,12 +219,13 @@ def _worker_main(
 def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     """Execute ``engine``'s scenario across forked shard workers.
 
-    The parent arms the runtimes and applies the time-zero caps *before*
-    forking (workers inherit that state), then acts purely as the
-    barrier coordinator: gather violation scores, run the arbiter's
-    allocation, scatter the new caps.  Results are reassembled in
-    binding/machine order so every float is summed in the same order the
-    serial backend uses.
+    The parent arms the runtimes and runs the time-zero control barrier
+    *before* forking (workers inherit that state), then acts purely as
+    the control-plane coordinator: gather tenant views, run the policy
+    and central validation, scatter validated caps, and route migrant
+    states between workers.  Results are reassembled in binding/machine
+    order so every float is summed in the same order the serial backend
+    uses.
     """
     from repro.datacenter.engine import DatacenterResult, EngineError
 
@@ -183,6 +237,12 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     context = multiprocessing.get_context("fork")
     requested = engine.workers or usable_cpu_count()
     shards = partition_machines(len(engine.machines), requested)
+    shard_of_machine = {
+        machine_index: worker_index
+        for worker_index, shard in enumerate(shards)
+        for machine_index in shard
+    }
+    parent_bindings = {b.tenant.name: b for b in engine.bindings}
 
     cap_history = engine._begin_run()
     tick_times = engine._tick_times()
@@ -221,17 +281,56 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             return message[1]
 
         for now in tick_times:
-            scores = [0.0] * len(engine.machines)
-            for conn, process, shard in zip(connections, processes, shards):
-                shard_scores = receive(conn, process, "scores")
-                for index, score in zip(shard, shard_scores):
-                    scores[index] = score
-            if engine.arbiter is None:
-                raise EngineError("arbiter tick scheduled without an arbiter")
-            caps = engine.arbiter.allocate(scores)
-            cap_history.append((now, tuple(caps)))
-            for conn, shard in zip(connections, shards):
-                conn.send(("caps", [caps[i] for i in shard]))
+            views_by_name: dict[str, Any] = {}
+            for conn, process in zip(connections, processes):
+                for view in receive(conn, process, "views"):
+                    views_by_name[view.name] = view
+            tenants = tuple(
+                views_by_name[b.tenant.name] for b in engine.bindings
+            )
+            plan = engine._decide_plan(engine._control_view(now, tenants))
+            engine._record_plan(plan, now, cap_history)
+            emigrations_by_worker: list[list[Any]] = [[] for _ in shards]
+            for migration in plan.migrations:
+                source = parent_bindings[migration.tenant].machine_index
+                emigrations_by_worker[shard_of_machine[source]].append(
+                    migration
+                )
+            any_migrations = bool(plan.migrations)
+            for worker_index, conn in enumerate(connections):
+                conn.send(
+                    (
+                        "plan",
+                        plan.caps,
+                        emigrations_by_worker[worker_index],
+                        any_migrations,
+                    )
+                )
+            if any_migrations:
+                migrants_by_tenant: dict[str, Any] = {}
+                for conn, process in zip(connections, processes):
+                    for migrant in receive(conn, process, "migrants"):
+                        migrants_by_tenant[migrant.tenant] = migrant
+                absorb_by_worker: list[list[Any]] = [[] for _ in shards]
+                for migration in plan.migrations:
+                    migrant = migrants_by_tenant[migration.tenant]
+                    dest = migration.dest_machine_index
+                    absorb_by_worker[shard_of_machine[dest]].append(
+                        (migrant, dest, migration.cost_seconds)
+                    )
+                    binding = parent_bindings[migration.tenant]
+                    engine.migration_history.append(
+                        MigrationRecord(
+                            time=now,
+                            tenant=migration.tenant,
+                            source_machine_index=binding.machine_index,
+                            dest_machine_index=dest,
+                            cost_seconds=migration.cost_seconds,
+                        )
+                    )
+                    binding.machine_index = dest
+                for worker_index, conn in enumerate(connections):
+                    conn.send(("absorb", absorb_by_worker[worker_index]))
 
         payloads = [
             receive(conn, process, "done")
@@ -249,7 +348,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     reports_by_name: dict[str, Any] = {}
     stats_by_name: dict[str, Any] = {}
     ledgers_by_name: dict[str, Any] = {}
-    run_results_by_name: dict[str, Any] = {}
+    segments_by_name: dict[str, Any] = {}
     machine_power: dict[int, float] = {}
     machine_energy: dict[int, float] = {}
     machine_idle: dict[int, float] = {}
@@ -258,7 +357,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         reports_by_name.update(payload["reports"])
         stats_by_name.update(payload["stats"])
         ledgers_by_name.update(payload["ledgers"])
-        run_results_by_name.update(payload["run_results"])
+        segments_by_name.update(payload["run_segments"])
         machine_power.update(payload["machine_power"])
         machine_energy.update(payload["machine_energy"])
         machine_idle.update(payload["machine_idle"])
@@ -276,7 +375,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     for index, idle in machine_idle.items():
         engine.idle_energy_joules[index] = idle
 
-    # Bills are composed from the same (report, ledger, run-result)
+    # Bills are composed from the same (report, ledger, run-segments)
     # triples a serial run would pass, in the same binding order, so
     # every float matches the serial backend bit for bit.
     bills = [
@@ -284,7 +383,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             binding.machine_index,
             reports_by_name[binding.tenant.name],
             binding.ledger,
-            run_results_by_name[binding.tenant.name],
+            segments_by_name[binding.tenant.name],
         )
         for binding in engine.bindings
     ]
@@ -294,7 +393,9 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             reports_by_name[b.tenant.name] for b in engine.bindings
         ],
         run_results={
-            b.tenant.name: run_results_by_name[b.tenant.name]
+            b.tenant.name: merge_run_results(
+                segments_by_name[b.tenant.name]
+            )
             for b in engine.bindings
         },
         bills=bills,
@@ -306,8 +407,8 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             machine_energy[i] for i in range(len(engine.machines))
         ),
         makespan=max(machine_now[i] for i in range(len(engine.machines))),
-        budget_watts=(
-            engine.arbiter.budget_watts if engine.arbiter is not None else None
-        ),
+        budget_watts=engine._budget,
         cap_history=cap_history,
+        budget_history=list(engine.budget_history),
+        migrations=list(engine.migration_history),
     )

@@ -15,6 +15,8 @@ descriptions ``docs/SCENARIOS.md`` documents recipe by recipe)::
     python -m repro.experiments datacenter
     python -m repro.experiments datacenter --backend sharded --workers 4
     python -m repro.experiments datacenter --bill
+    python -m repro.experiments datacenter --policy migrating
+    python -m repro.experiments datacenter --budget-trace shock.trace
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
 """
@@ -24,6 +26,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.datacenter.controlplane import (
+    POLICY_NAMES,
+    BudgetSchedule,
+    BudgetTraceError,
+    load_budget_trace,
+)
 from repro.datacenter.engine import ENGINE_BACKENDS
 from repro.experiments import (
     APP_SPECS,
@@ -63,6 +71,8 @@ def _run(
     backend: str = "serial",
     workers: int | None = None,
     bill: bool = False,
+    policy: str = "sla-aware",
+    budget_trace: BudgetSchedule | None = None,
 ) -> str:
     """Execute one artifact subcommand and return its rendered output."""
     if artifact == "table1":
@@ -88,7 +98,13 @@ def _run(
     if artifact == "sla":
         return format_sla(run_sla(app, scale))
     if artifact == "datacenter":
-        experiment = run_datacenter(scale, backend=backend, workers=workers)
+        experiment = run_datacenter(
+            scale,
+            backend=backend,
+            workers=workers,
+            policy=policy,
+            budget_trace=budget_trace,
+        )
         if bill:
             return format_datacenter_bills(experiment)
         return format_datacenter(experiment)
@@ -149,22 +165,52 @@ def build_parser() -> argparse.ArgumentParser:
                 help="emit per-tenant JSON bills (energy, QoS loss, "
                 "rejections) instead of the SLA comparison table",
             )
+            sub.add_argument(
+                "--policy",
+                choices=list(POLICY_NAMES),
+                default="sla-aware",
+                help="control policy compared against static-equal "
+                "(default: sla-aware; 'migrating' also moves instances "
+                "off cap-saturated machines)",
+            )
+            sub.add_argument(
+                "--budget-trace",
+                metavar="FILE",
+                default=None,
+                help="drive the global budget from a trace file of "
+                "'<seconds> <watts>' lines (fleet-wide budget shocks)",
+            )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI driver; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    print(
-        _run(
+    budget_trace = None
+    trace_path = getattr(args, "budget_trace", None)
+    if trace_path is not None:
+        try:
+            budget_trace = load_budget_trace(trace_path)
+        except BudgetTraceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        text = _run(
             args.artifact,
             getattr(args, "app", "swaptions"),
             Scale(args.scale),
             getattr(args, "backend", "serial"),
             getattr(args, "workers", None),
             getattr(args, "bill", False),
+            getattr(args, "policy", "sla-aware"),
+            budget_trace,
         )
-    )
+    except BudgetTraceError as error:
+        # E.g. a trace level below the pool's enforceable cap floor,
+        # detectable only once the machine pool is known.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(text)
     return 0
 
 

@@ -8,8 +8,14 @@ twice through the event-driven engine:
 
 * **static-equal** — the budget split evenly across machines, the
   baseline of a cluster without runtime knowledge;
-* **sla-aware** — the hierarchical arbiter reallocating watts each
-  period toward machines whose tenants are missing their latency SLAs.
+* the chosen ``--policy`` — **sla-aware** (the hierarchical arbiter
+  reallocating watts each period toward machines whose tenants are
+  missing their latency SLAs; the default) or **migrating** (SLA-aware
+  caps plus instance migration off cap-ceiling-saturated machines).
+
+Either side can additionally run under a ``--budget-trace`` — a
+timestamped schedule of fleet-wide budget levels (the §5.4 cap event
+fleet-wide), applied identically to both runs.
 
 The default mix stresses the interesting asymmetry: machine 0 hosts two
 light, accuracy-tolerant tenants (a diurnal search front-end and a
@@ -29,7 +35,7 @@ from typing import Any
 
 from repro.core.powerdial import measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
-from repro.datacenter.arbiter import ArbiterPolicy, PowerArbiter
+from repro.datacenter.controlplane import BudgetSchedule, build_policy
 from repro.datacenter.engine import (
     DatacenterEngine,
     DatacenterResult,
@@ -128,13 +134,21 @@ def build_engine(
     machines_count: int,
     horizon: float,
     budget_watts: float | None,
-    policy: ArbiterPolicy,
-    arbiter_period: float = 10.0,
+    policy: str,
+    control_period: float = 10.0,
     attainment_window: float = 20.0,
     backend: str = "serial",
     workers: int | None = None,
+    budget_trace: BudgetSchedule | None = None,
 ) -> DatacenterEngine:
-    """Assemble machines, instances, and arbiter for one scenario run."""
+    """Assemble machines, instances, and control policy for one run.
+
+    ``policy`` is a :data:`~repro.datacenter.controlplane.policy.
+    POLICY_NAMES` name; ``budget_trace`` (if given) drives the global
+    budget through the scheduled watt levels.  Every binding carries a
+    ``runtime_factory`` so the ``migrating`` policy can rebuild
+    instances on their destination machines.
+    """
     system = built_service_system()
     machines = [experiment_machine() for _ in range(machines_count)]
     target = measure_baseline_rate(
@@ -147,12 +161,15 @@ def build_engine(
             if tenant.qos_cap is None
             else system.table.with_qos_cap(tenant.qos_cap)
         )
-        runtime = PowerDialRuntime(
-            app=ServiceApp(),
-            table=table,
-            machine=machines[tenant.machine_index],
-            target_rate=target,
-        )
+
+        def make_runtime(machine, table=table):
+            return PowerDialRuntime(
+                app=ServiceApp(),
+                table=table,
+                machine=machine,
+                target_rate=target,
+            )
+
         spec = TenantSpec(
             name=tenant.name,
             trace=tenant.trace(horizon),
@@ -164,18 +181,21 @@ def build_engine(
         bindings.append(
             InstanceBinding(
                 tenant=spec,
-                runtime=runtime,
+                runtime=make_runtime(machines[tenant.machine_index]),
                 machine_index=tenant.machine_index,
+                runtime_factory=make_runtime,
             )
         )
-    arbiter = None
+    control_policy = None
     if budget_watts is not None:
-        arbiter = PowerArbiter(budget_watts, machines, policy=policy)
+        control_policy = build_policy(
+            policy, budget_watts, machines, schedule=budget_trace
+        )
     return DatacenterEngine(
         machines,
         bindings,
-        arbiter=arbiter,
-        arbiter_period=arbiter_period,
+        policy=control_policy,
+        control_period=control_period,
         attainment_window=attainment_window,
         backend=backend,
         workers=workers,
@@ -184,7 +204,12 @@ def build_engine(
 
 @dataclass
 class DatacenterExperiment:
-    """Static-vs-arbitrated comparison on one tenant mix."""
+    """Static-vs-arbitrated comparison on one tenant mix.
+
+    ``policy`` names the control policy of the arbitrated side
+    (``static-equal`` is always the baseline side); ``budget_trace``
+    (when set) drove both runs' budgets through the same schedule.
+    """
 
     tenants: tuple[TenantScenario, ...]
     machines: int
@@ -192,6 +217,8 @@ class DatacenterExperiment:
     horizon: float
     static: DatacenterResult
     arbitrated: DatacenterResult
+    policy: str = "sla-aware"
+    budget_trace: BudgetSchedule | None = None
 
     def attainment_delta(self, name: str) -> float:
         """Arbitrated minus static SLA attainment for one tenant."""
@@ -215,12 +242,16 @@ def run_datacenter(
     machines: int = 2,
     backend: str = "serial",
     workers: int | None = None,
+    policy: str = "sla-aware",
+    budget_trace: BudgetSchedule | None = None,
 ) -> DatacenterExperiment:
-    """Run the tenant mix under both arbitration policies.
+    """Run the tenant mix under static-equal and the chosen policy.
 
     ``backend``/``workers`` select the engine execution backend (the
     sharded backend produces identical results to serial, so the
-    comparison is backend-invariant).
+    comparison is backend-invariant).  ``policy`` picks the arbitrated
+    side (``sla-aware`` or ``migrating``); ``budget_trace`` applies
+    the same budget schedule to both sides.
     """
     tenants = tenants if tenants is not None else default_tenant_mix()
     horizon = 40.0 if scale is Scale.TINY else 120.0
@@ -229,18 +260,20 @@ def run_datacenter(
         machines,
         horizon,
         budget_watts,
-        ArbiterPolicy.STATIC_EQUAL,
+        "static-equal",
         backend=backend,
         workers=workers,
+        budget_trace=budget_trace,
     ).run()
     arbitrated = build_engine(
         tenants,
         machines,
         horizon,
         budget_watts,
-        ArbiterPolicy.SLA_AWARE,
+        policy,
         backend=backend,
         workers=workers,
+        budget_trace=budget_trace,
     ).run()
     return DatacenterExperiment(
         tenants=tenants,
@@ -249,6 +282,8 @@ def run_datacenter(
         horizon=horizon,
         static=static,
         arbitrated=arbitrated,
+        policy=policy,
+        budget_trace=budget_trace,
     )
 
 
@@ -269,6 +304,11 @@ def billing_payload(experiment: DatacenterExperiment) -> dict[str, Any]:
     JSON — the cross-backend billing contract, testable end to end from
     the CLI.
     """
+    # `--policy static-equal` would collide with the baseline's key;
+    # suffix the compared run so both sides stay in the document.
+    compared = experiment.policy
+    if compared == "static-equal":
+        compared = "static-equal-rerun"
     return {
         "artifact": "datacenter-billing",
         "budget_watts": experiment.budget_watts,
@@ -277,7 +317,7 @@ def billing_payload(experiment: DatacenterExperiment) -> dict[str, Any]:
         "tenants": [tenant.name for tenant in experiment.tenants],
         "policies": {
             "static-equal": _policy_billing(experiment.static),
-            "sla-aware": _policy_billing(experiment.arbitrated),
+            compared: _policy_billing(experiment.arbitrated),
         },
     }
 
@@ -308,22 +348,36 @@ def format_datacenter(experiment: DatacenterExperiment) -> str:
             ]
         )
     name, delta = experiment.best_improvement()
+    policy = experiment.policy
     header = (
         f"Datacenter arbitration: {len(experiment.tenants)} tenants on "
         f"{experiment.machines} machines, {experiment.budget_watts:.0f} W "
         f"budget, {experiment.horizon:.0f} s horizon\n"
         f"  mean pool power: static-equal "
-        f"{experiment.static.total_mean_power:.1f} W, sla-aware "
+        f"{experiment.static.total_mean_power:.1f} W, {policy} "
         f"{experiment.arbitrated.total_mean_power:.1f} W "
         f"(budget {experiment.budget_watts:.0f} W)\n"
         f"  SLAs met: static-equal {experiment.static.slas_met()}/"
-        f"{len(experiment.tenants)}, sla-aware "
+        f"{len(experiment.tenants)}, {policy} "
         f"{experiment.arbitrated.slas_met()}/{len(experiment.tenants)}\n"
         f"  largest arbiter gain: {name} "
         f"{experiment.static.report_for(name).attainment:.3f} -> "
         f"{experiment.arbitrated.report_for(name).attainment:.3f} "
         f"({delta:+.3f} attainment)"
     )
+    if len(experiment.arbitrated.budget_history) > 1:
+        levels = " -> ".join(
+            f"{watts:.0f} W@{at:.0f}s"
+            for at, watts in experiment.arbitrated.budget_history
+        )
+        header += f"\n  budget trace: {levels}"
+    if experiment.arbitrated.migrations:
+        moves = ", ".join(
+            f"{m.tenant} m{m.source_machine_index}->m{m.dest_machine_index}"
+            f"@{m.time:.0f}s"
+            for m in experiment.arbitrated.migrations
+        )
+        header += f"\n  migrations ({policy}): {moves}"
     return f"{header}\n" + format_table(
         [
             "tenant",
@@ -334,7 +388,7 @@ def format_datacenter(experiment: DatacenterExperiment) -> str:
             "rej s/a",
             "p95 s/a",
             "att static",
-            "att sla-aware",
+            f"att {policy}",
             "SLA met",
         ],
         rows,

@@ -83,6 +83,14 @@ class TestAllocation:
         for cap, floor in zip(caps, arbiter.floors):
             assert cap >= floor - 1e-9
 
+    def test_all_zero_weights_leave_floors(self, machines):
+        """No bids: the surplus goes undistributed instead of dividing
+        by a zero total weight."""
+        from repro.datacenter.arbiter import water_fill
+
+        caps = water_fill([0.0, 0.0], [100.0, 100.0], [200.0, 200.0], 250.0)
+        assert caps == [100.0, 100.0]
+
     def test_score_count_must_match(self, machines):
         arbiter = PowerArbiter(420.0, machines)
         with pytest.raises(ArbiterError):

@@ -86,12 +86,12 @@ def build_scenario(backend, workers=None):
         bindings.append(
             InstanceBinding(tenant=spec, runtime=runtime, machine_index=machine_index)
         )
-    arbiter = PowerArbiter(570.0, machines, gain=10.0)
+    policy = PowerArbiter(570.0, machines, gain=10.0)
     return DatacenterEngine(
         machines,
         bindings,
-        arbiter=arbiter,
-        arbiter_period=4.0,
+        policy=policy,
+        control_period=4.0,
         backend=backend,
         workers=workers,
     )

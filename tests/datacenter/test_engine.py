@@ -5,6 +5,7 @@ import pytest
 from repro.core.powerdial import build_powerdial, measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
 from repro.datacenter import (
+    ArbiterError,
     ArbiterPolicy,
     DatacenterEngine,
     EngineError,
@@ -179,7 +180,7 @@ class TestArbitratedRuns:
             ),
         ]
         arbiter = PowerArbiter(400.0, machines, policy=ArbiterPolicy.SLA_AWARE)
-        result = DatacenterEngine(machines, bindings, arbiter=arbiter).run()
+        result = DatacenterEngine(machines, bindings, policy=arbiter).run()
         assert result.budget_watts == pytest.approx(400.0)
         assert result.total_mean_power <= 400.0 + 1e-6
         for (_, caps) in result.cap_history:
@@ -196,7 +197,7 @@ class TestArbitratedRuns:
             ),
         ]
         arbiter = PowerArbiter(380.0, machines, policy=ArbiterPolicy.STATIC_EQUAL)
-        DatacenterEngine(machines, bindings, arbiter=arbiter).run()
+        DatacenterEngine(machines, bindings, policy=arbiter).run()
         # 380/2 = 190 W per machine: must run below the top frequency.
         for machine in machines:
             assert machine.processor.frequency_ghz < 2.4
@@ -224,14 +225,26 @@ class TestValidation:
         with pytest.raises(EngineError):
             DatacenterEngine(machines, bindings)
 
-    def test_arbiter_pool_must_match(self, system):
+    def test_arbiter_pool_size_mismatch_rejected(self, system):
+        """A policy sized for a different pool fails at the first barrier."""
         machines = [experiment_machine()]
-        other = [experiment_machine()]
+        other = [experiment_machine(), experiment_machine()]
         bindings = [
             make_binding(
                 system, machines[0], 0, "a", poisson_trace(1.0, 5.0, seed=18)
             )
         ]
-        arbiter = PowerArbiter(200.0, other)
+        arbiter = PowerArbiter(400.0, other)
+        with pytest.raises(ArbiterError):
+            DatacenterEngine(machines, bindings, policy=arbiter).run()
+
+    def test_non_policy_rejected(self, system):
+        """Objects without the ControlPolicy surface are rejected early."""
+        machines = [experiment_machine()]
+        bindings = [
+            make_binding(
+                system, machines[0], 0, "a", poisson_trace(1.0, 5.0, seed=19)
+            )
+        ]
         with pytest.raises(EngineError):
-            DatacenterEngine(machines, bindings, arbiter=arbiter)
+            DatacenterEngine(machines, bindings, policy=object())

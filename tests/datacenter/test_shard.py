@@ -76,14 +76,14 @@ def build_scenario(backend, workers=None, arbitrated=True):
         bindings.append(
             InstanceBinding(tenant=spec, runtime=runtime, machine_index=machine_index)
         )
-    arbiter = (
+    policy = (
         PowerArbiter(780.0, machines, gain=8.0) if arbitrated else None
     )
     return DatacenterEngine(
         machines,
         bindings,
-        arbiter=arbiter,
-        arbiter_period=5.0,
+        policy=policy,
+        control_period=5.0,
         backend=backend,
         workers=workers,
     )

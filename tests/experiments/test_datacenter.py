@@ -72,6 +72,57 @@ class TestFormat:
             main(["table1", "--backend", "sharded"])
         with pytest.raises(SystemExit):
             main(["fig34", "--bill"])
+        with pytest.raises(SystemExit):
+            main(["table2", "--policy", "migrating"])
+        with pytest.raises(SystemExit):
+            main(["fig34", "--budget-trace", "x.trace"])
+
+    def test_cli_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["datacenter", "--policy", "round-robin"])
+
+
+class TestControlPlaneCli:
+    def test_static_equal_policy_keeps_both_billing_sides(self):
+        from repro.experiments.datacenter import billing_payload
+
+        experiment = run_datacenter(Scale.TINY, policy="static-equal")
+        payload = billing_payload(experiment)
+        assert set(payload["policies"]) == {
+            "static-equal",
+            "static-equal-rerun",
+        }
+
+    def test_cli_policy_migrating_runs(self, capsys):
+        assert main(["datacenter", "--scale", "tiny", "--policy", "migrating"]) == 0
+        out = capsys.readouterr().out
+        assert "att migrating" in out
+
+    def test_cli_budget_trace_drives_the_budget(self, capsys, tmp_path):
+        trace = tmp_path / "shock.trace"
+        # Two machines: floor ~366 W, so both levels are enforceable.
+        trace.write_text("0 420\n15 390\n30 420\n")
+        assert main(
+            ["datacenter", "--scale", "tiny", "--budget-trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "budget trace: 420 W@0s -> 390 W@15s -> 420 W@30s" in out
+
+    def test_cli_budget_trace_parse_error_is_actionable(self, capsys, tmp_path):
+        trace = tmp_path / "bad.trace"
+        trace.write_text("0 420\n0 390\n")
+        assert main(["datacenter", "--budget-trace", str(trace)]) == 2
+        err = capsys.readouterr().err
+        assert "line 2" in err and "does not increase" in err
+
+    def test_cli_budget_trace_floor_error_is_actionable(self, capsys, tmp_path):
+        trace = tmp_path / "low.trace"
+        trace.write_text("0 100\n")
+        assert main(
+            ["datacenter", "--scale", "tiny", "--budget-trace", str(trace)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "below the fleet-wide cap floor" in err
 
 
 class TestBilling:

@@ -1,7 +1,8 @@
 """Public-API docstring coverage gate for the documented packages.
 
-``repro.datacenter`` and ``repro.bench`` ship with a documented public
-API (module, class, and public-method/function level); CI runs this
+``repro.datacenter`` (including the ``controlplane`` subpackage) and
+``repro.bench`` ship with a documented public API (module, class, and
+public-method/function level); CI runs this
 walker so a PR cannot silently regress that coverage.  The walker uses
 ``inspect.getdoc``, so overriding a *documented* base-class method
 without restating its docstring still counts as documented
@@ -15,7 +16,11 @@ import pkgutil
 
 import pytest
 
-DOCUMENTED_PACKAGES = ("repro.datacenter", "repro.bench")
+DOCUMENTED_PACKAGES = (
+    "repro.datacenter",
+    "repro.datacenter.controlplane",
+    "repro.bench",
+)
 
 
 def _iter_modules(package_name):
