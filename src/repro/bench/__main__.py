@@ -90,8 +90,11 @@ def main(argv: list[str] | None = None) -> int:
     workers = args.workers or ((2,) if args.smoke else (4,))
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 2)
     # Long enough that per-run fixed costs (fork, result transfer) do
-    # not swamp the engine time being measured.
-    horizon = 10.0 if args.smoke else 120.0
+    # not swamp the engine time being measured.  The smoke horizon also
+    # feeds the bench-trajectory gate's per-event costs, which need a
+    # few hundred events per scenario to sit within the gate's
+    # tolerance of the committed full-horizon baselines.
+    horizon = 60.0 if args.smoke else 120.0
 
     datacenter_payload = bench_datacenter(
         pool_sizes=pools,

@@ -1,0 +1,57 @@
+"""Host-speed calibration for cross-host bench comparison.
+
+Absolute bench seconds measured on different hosts are different
+instruments: a laptop, a CI container, and a workstation disagree by
+integer factors before the engine changes at all.  The trajectory gate
+(:mod:`repro.bench.trajectory`) therefore normalizes every timing by a
+*calibration score* — the throughput of a fixed pure-Python arithmetic
+loop measured on the same host, in the same process, as the bench run
+it is stamped into (see
+:func:`repro.bench.report.environment_header`).  Dividing a measured
+cost by the host's score yields a unit that transfers across hosts to
+first order: "how many calibration ops the host could have executed in
+the time this scenario event took".
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["host_speed_score"]
+
+
+def _spin(iterations: int) -> float:
+    """The fixed arithmetic kernel: pure-Python integer/float mixing."""
+    acc = 0.0
+    for i in range(iterations):
+        acc += (i & 7) * 0.5 - (i & 3) * 0.25
+    return acc
+
+
+def host_speed_score(
+    target_seconds: float = 0.2, chunk: int = 200_000
+) -> float:
+    """Measure this host's speed, in calibration ops per second.
+
+    Runs the fixed kernel in ``chunk``-sized batches for at least
+    ``target_seconds`` of wall clock (after one warm-up batch) and
+    returns the achieved iteration rate.  The kernel is deliberately
+    interpreter-bound — no numpy, no allocation — because the engine's
+    hot paths are too, so interpreter-speed differences between hosts
+    (and Python versions) cancel out of normalized comparisons.
+    """
+    if target_seconds <= 0.0:
+        raise ValueError(
+            f"target_seconds must be positive, got {target_seconds!r}"
+        )
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk!r}")
+    _spin(chunk)  # warm-up: bytecode caches, branch history
+    ops = 0
+    start = time.perf_counter()
+    while True:
+        _spin(chunk)
+        ops += chunk
+        elapsed = time.perf_counter() - start
+        if elapsed >= target_seconds:
+            return ops / elapsed

@@ -120,6 +120,20 @@ def bench_datacenter(
             budget_shock=True,
         )
     )
+    # One consolidation scenario times multi-step warm placement: a
+    # diurnal trough packs tenants onto fewer machines (live
+    # migrations, parked machines at their cap floor) and the mid-run
+    # peak spreads them back.  Ten barriers across the horizon so the
+    # pack/spread loop gets enough decisions even at smoke scale.
+    scenarios.append(
+        PoolScenario(
+            machines=min(pool_sizes),
+            horizon=horizon,
+            rate=rate,
+            consolidation=True,
+            control_period=horizon / 10.0,
+        )
+    )
     results = []
     for scenario in scenarios:
         events = count_events(scenario)

@@ -15,22 +15,30 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.bench.calibration import host_speed_score
 from repro.datacenter.shard import usable_cpu_count
 from repro.experiments.common import format_table
 
 __all__ = ["environment_header", "format_backend_table", "write_bench_json"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def environment_header() -> dict[str, Any]:
-    """Provenance recorded alongside every bench payload."""
+    """Provenance recorded alongside every bench payload.
+
+    Since schema version 2 the header also carries
+    ``calibration_ops_per_sec`` — the host-speed score measured right
+    before the payload's numbers (:mod:`repro.bench.calibration`) —
+    which is what lets the trajectory gate compare runs across hosts.
+    """
     return {
         "schema_version": SCHEMA_VERSION,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
         "cpu_count": usable_cpu_count(),
+        "calibration_ops_per_sec": host_speed_score(),
     }
 
 

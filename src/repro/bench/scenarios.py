@@ -8,7 +8,7 @@ event regardless of idleness), and one-tenant-per-machine keeps the
 virtual workload identical across pool sizes so wall-clock differences
 measure the engine, not the workload.
 
-Three scenario kinds:
+Four scenario kinds:
 
 * ``open`` — no control policy, pure event scheduling;
 * ``arbitrated`` — an SLA-aware cap policy at every barrier (tracks
@@ -17,7 +17,13 @@ Three scenario kinds:
   third of the horizon and recovery at two-thirds (the §5.4 cap event
   fleet-wide, via the control plane's ``SetBudget`` path); every timed
   run still has to pass the billing conservation audit, so this
-  scenario keeps the invariant honest under mid-run budget changes.
+  scenario keeps the invariant honest under mid-run budget changes;
+* ``consolidation`` — diurnal traffic (trough at both ends of the
+  horizon, peak mid-run) under the ``consolidating`` policy: tenants
+  get packed onto fewer machines with warm migrations in the troughs,
+  parked machines sit at their cap floor, and the peak spreads them
+  back out — so the timed run exercises multi-step warm placement and
+  the conservation audit across it.
 
 Scenarios are fully seeded: the same :class:`PoolScenario` always
 builds the same traces, requests, and calibration, so timings across
@@ -39,7 +45,7 @@ from repro.datacenter.service import (
     service_training_jobs,
 )
 from repro.datacenter.tenants import LatencySLA, TenantSpec
-from repro.datacenter.traffic import poisson_trace
+from repro.datacenter.traffic import diurnal_trace, poisson_trace
 from repro.experiments.common import experiment_machine
 from repro.experiments.registry import built_service_system
 
@@ -51,6 +57,11 @@ BUDGET_WATTS_PER_MACHINE = 200.0
 SHOCK_FRACTION = 0.94
 """Budget-shock level as a fraction of the base budget (stays above the
 pool's cap floor at :data:`BUDGET_WATTS_PER_MACHINE`)."""
+
+CONSOLIDATION_PEAK_FACTOR = 2.5
+"""Diurnal peak rate of the consolidation scenario, as a multiple of the
+scenario's base ``rate`` (the trough sits at a tenth of the peak, so the
+quiet ends of the horizon trigger packing and the peak spreads back)."""
 
 
 @dataclass(frozen=True)
@@ -67,6 +78,10 @@ class PoolScenario:
         budget_shock: Whether the global budget drops to
             :data:`SHOCK_FRACTION` of its base at ``horizon/3`` and
             recovers at ``2*horizon/3`` (implies a policy runs).
+        consolidation: Whether tenants ride a diurnal trough (peak
+            :data:`CONSOLIDATION_PEAK_FACTOR` × ``rate`` mid-horizon)
+            under the ``consolidating`` warm-migration policy instead
+            of steady Poisson traffic (implies a policy runs).
     """
 
     machines: int
@@ -75,10 +90,13 @@ class PoolScenario:
     arbitrated: bool = False
     control_period: float = 10.0
     budget_shock: bool = False
+    consolidation: bool = False
 
     @property
     def label(self) -> str:
         """Stable scenario name used in the bench JSON."""
+        if self.consolidation:
+            return f"consolidation-{self.machines}m"
         if self.budget_shock:
             return f"budget_shock-{self.machines}m"
         kind = "arbitrated" if self.arbitrated else "open"
@@ -91,6 +109,17 @@ class PoolScenario:
 
     def tenant_trace(self, index: int):
         """The (seeded) arrival trace of tenant ``index``."""
+        if self.consolidation:
+            # One full quiet-busy-quiet cycle: troughs at both ends of
+            # the horizon (pack), peak mid-run (spread).
+            return diurnal_trace(
+                CONSOLIDATION_PEAK_FACTOR * self.rate,
+                self.horizon,
+                period=self.horizon,
+                trough_fraction=0.1,
+                seed=index,
+                name="bench-diurnal",
+            )
         return poisson_trace(self.rate, self.horizon, seed=index, name="bench")
 
     def budget_schedule(self) -> BudgetSchedule | None:
@@ -142,7 +171,14 @@ def build_pool_engine(
             )
         )
     policy = None
-    if scenario.arbitrated or scenario.budget_shock:
+    if scenario.consolidation:
+        policy = build_policy(
+            "consolidating",
+            scenario.budget_watts,
+            machines,
+            schedule=scenario.budget_schedule(),
+        )
+    elif scenario.arbitrated or scenario.budget_shock:
         policy = build_policy(
             "sla-aware",
             scenario.budget_watts,
@@ -171,7 +207,7 @@ def count_events(scenario: PoolScenario) -> int:
         scenario.tenant_trace(index).count for index in range(scenario.machines)
     )
     ticks: set[float] = set()
-    if scenario.arbitrated or scenario.budget_shock:
+    if scenario.arbitrated or scenario.budget_shock or scenario.consolidation:
         periods = int(math.floor(scenario.horizon / scenario.control_period))
         ticks.update(
             k * scenario.control_period for k in range(1, periods + 1)

@@ -123,6 +123,30 @@ class HeartRateController:
         self._speedup = max(1.0, self._min_speedup)
         self._last_error = 0.0
 
+    def export_state(self) -> tuple[float, float]:
+        """The integrator state ``(s(t), e(t))`` for a warm handoff.
+
+        Together with :meth:`restore_state` this is what lets a live
+        migration move the controller's learned operating point instead
+        of restarting the integrator from the baseline.
+        """
+        return (self._speedup, self._last_error)
+
+    def restore_state(self, state: tuple[float, float]) -> None:
+        """Adopt another controller's ``(s(t), e(t))`` integrator state.
+
+        The restored speedup is clamped to this controller's
+        ``[min_speedup, max_speedup]`` range, so a snapshot can only be
+        replayed into an operating point this controller could itself
+        have reached.
+        """
+        speedup, last_error = state
+        speedup = max(self._min_speedup, float(speedup))
+        if self._max_speedup is not None:
+            speedup = min(self._max_speedup, speedup)
+        self._speedup = speedup
+        self._last_error = float(last_error)
+
 
 @dataclass(frozen=True)
 class ClosedLoopAnalysis:

@@ -37,7 +37,7 @@ from repro.apps.base import Application, WorkTracker
 from repro.core.actuator import ActuationPolicy, Actuator, ActuationPlan
 from repro.core.controller import HeartRateController
 from repro.core.knobs import KnobSetting, KnobTable
-from repro.heartbeats.api import HeartbeatMonitor
+from repro.heartbeats.api import HeartbeatMonitor, HeartbeatWindowState
 from repro.hardware.machine import Machine
 from repro.tracing.variables import AddressSpace
 
@@ -45,6 +45,7 @@ __all__ = [
     "RuntimeEvent",
     "RuntimeSample",
     "RunResult",
+    "RuntimeSnapshot",
     "StepStatus",
     "PowerDialRuntime",
 ]
@@ -162,6 +163,41 @@ class RunResult:
         return sum(values) / len(values)
 
 
+@dataclass(frozen=True)
+class RuntimeSnapshot:
+    """A runtime's warm control state, detached for live migration.
+
+    Captured with :meth:`PowerDialRuntime.snapshot` and replayed into a
+    freshly armed runtime with :meth:`PowerDialRuntime.restore`: the
+    controller's integrator, the actuation-plan cache key, the
+    heartbeat rate window, and the position inside the current control
+    quantum.  Pending jobs, emitted samples, and machine state are
+    deliberately *not* here — hosts move jobs explicitly and samples
+    stay with the host that produced them.  Plain data (floats, tuples)
+    so it pickles across process boundaries.
+
+    Attributes:
+        controller_state: Opaque payload from the controller's
+            ``export_state()`` (for the paper's integral controller:
+            ``(s(t), e(t))``).
+        plan_speedup: Key of the cached actuation plan (the last
+            commanded speedup), or None if no plan was ever built.
+        window: The heartbeat monitor's sliding-window state.
+        beats_in_quantum: Beats emitted inside the current quantum.
+        quantum_start: Source-clock time the current quantum started.
+        taken_at: Source-clock time the snapshot was taken, so
+            :meth:`PowerDialRuntime.restore` can re-anchor
+            ``quantum_start`` on a clock at a different reading.
+    """
+
+    controller_state: Any
+    plan_speedup: float | None
+    window: HeartbeatWindowState
+    beats_in_quantum: int
+    quantum_start: float
+    taken_at: float
+
+
 class PowerDialRuntime:
     """Runs an application under PowerDial control on a simulated machine.
 
@@ -239,6 +275,11 @@ class PowerDialRuntime:
         self._input_closed = False
         self._stepper: Any = None
         self._result: RunResult | None = None
+        # (beats_in_quantum, quantum_start): the run loop's position in
+        # the current control quantum, mirrored here at every yield so
+        # snapshot() can read it while the generator is suspended.
+        self._phase: tuple[int, float] = (0, machine.now)
+        self._restored_phase: tuple[int, float] | None = None
 
     # ------------------------------------------------------------------
     def _apply_setting(self, setting: KnobSetting) -> None:
@@ -307,6 +348,8 @@ class PowerDialRuntime:
         self._event_seq = 0
         self._input_closed = False
         self._result = None
+        self._phase = (0, self.machine.now)
+        self._restored_phase = None
         self._stepper = self._stepping()
         for event in events:
             self.inject(event)
@@ -398,6 +441,79 @@ class PowerDialRuntime:
             )
         return self._result
 
+    # ------------------------------------------------------------------
+    # Warm handoff (live migration)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RuntimeSnapshot:
+        """Capture the warm control state of a begun (or finished) run.
+
+        Callable between ``step()`` calls or after the run drained:
+        returns the controller's integrator state, the actuation-plan
+        cache key, the heartbeat window, and the quantum phase as a
+        plain-data :class:`RuntimeSnapshot`.  A host migrating this
+        instance ships the snapshot (with the extracted pending jobs)
+        and replays it into the destination runtime via
+        :meth:`restore`, so the destination resumes at the learned
+        operating point instead of re-converging from the baseline.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before snapshot()")
+        export = getattr(self.controller, "export_state", None)
+        if export is None:
+            raise RuntimeError(
+                f"controller {self.controller!r} does not support warm "
+                "snapshots (missing export_state())"
+            )
+        beats_in_quantum, quantum_start = self._phase
+        cached = self._plan_cache
+        return RuntimeSnapshot(
+            controller_state=export(),
+            plan_speedup=None if cached is None else cached[0],
+            window=self.monitor.export_window(),
+            beats_in_quantum=beats_in_quantum,
+            quantum_start=quantum_start,
+            taken_at=self.machine.now,
+        )
+
+    def restore(self, snapshot: RuntimeSnapshot) -> None:
+        """Replay a :class:`RuntimeSnapshot` into a freshly begun run.
+
+        Must be called after :meth:`begin` and before the first beat:
+        the controller integrator is restored, the actuation-plan cache
+        is pre-warmed, the heartbeat window resumes where the source
+        left off, and the run loop continues the source's control
+        quantum in place (``quantum_start`` is re-anchored when this
+        machine's clock reads differently from the snapshot's source).
+        The next control decision therefore starts from the source's
+        operating point — no cold-start transient.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before restore()")
+        if self.monitor.count:
+            raise RuntimeError(
+                "restore() requires a fresh run (beats already emitted)"
+            )
+        restore_state = getattr(self.controller, "restore_state", None)
+        if restore_state is None:
+            raise RuntimeError(
+                f"controller {self.controller!r} does not support warm "
+                "snapshots (missing restore_state())"
+            )
+        restore_state(snapshot.controller_state)
+        if snapshot.plan_speedup is not None:
+            self._plan_for(snapshot.plan_speedup)
+        self.monitor.restore_window(snapshot.window)
+        now = self.machine.now
+        if now == snapshot.taken_at:
+            quantum_start = snapshot.quantum_start
+        else:
+            quantum_start = now - (snapshot.taken_at - snapshot.quantum_start)
+        self._restored_phase = (snapshot.beats_in_quantum, quantum_start)
+        # Mirror immediately: a snapshot() taken before the first step
+        # (an instant re-migration) must ship the carried phase, not
+        # the fresh-run zero that begin() left behind.
+        self._phase = self._restored_phase
+
     def _stepping(self):
         """The run loop as a generator, yielding at quantum boundaries."""
         app, machine, monitor = self.app, self.machine, self.monitor
@@ -408,6 +524,11 @@ class PowerDialRuntime:
         plan = self._plan_for(self.controller.speedup)
         quantum_start = machine.now
         beats_in_quantum = 0
+        if self._restored_phase is not None:
+            # Warm handoff: continue the source runtime's quantum in
+            # place instead of opening a fresh one (see restore()).
+            beats_in_quantum, quantum_start = self._restored_phase
+            self._restored_phase = None
 
         tracker = WorkTracker()
         samples: list[RuntimeSample] = []
@@ -421,6 +542,7 @@ class PowerDialRuntime:
                 if self._input_closed:
                     break
                 stalled_at = machine.now
+                self._phase = (beats_in_quantum, quantum_start)
                 yield StepStatus.STARVED
                 if machine.now > stalled_at:
                     # The host idled the machine (or ran co-tenants) while
@@ -446,6 +568,7 @@ class PowerDialRuntime:
                     )
                     quantum_start = machine.now
                     beats_in_quantum = 0
+                    self._phase = (beats_in_quantum, quantum_start)
                     yield StepStatus.RAN
 
                 # Locate ourselves inside the quantum and pick the setting.
@@ -460,6 +583,7 @@ class PowerDialRuntime:
                     )
                     quantum_start = machine.now
                     beats_in_quantum = 0
+                    self._phase = (beats_in_quantum, quantum_start)
                     yield StepStatus.RAN
                     setting = plan.setting_at(0.0)
                     if setting is None:  # pragma: no cover - plans run first
@@ -497,6 +621,7 @@ class PowerDialRuntime:
             if pending_job.on_complete is not None:
                 pending_job.on_complete(machine.now)
 
+        self._phase = (beats_in_quantum, quantum_start)
         elapsed = 0.0
         if first_beat_time is not None:
             elapsed = machine.now - first_beat_time

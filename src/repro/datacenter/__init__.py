@@ -64,6 +64,7 @@ from repro.datacenter.controlplane import (
     BudgetSchedule,
     BudgetTraceError,
     ClusterView,
+    ConsolidatingPolicy,
     ControlError,
     ControlPolicy,
     MachineView,
@@ -129,6 +130,7 @@ __all__ = [
     "BudgetSchedule",
     "BudgetTraceError",
     "ClusterView",
+    "ConsolidatingPolicy",
     "ControlError",
     "ControlPolicy",
     "MachineView",

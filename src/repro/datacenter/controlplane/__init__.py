@@ -57,6 +57,7 @@ from repro.datacenter.controlplane.budget import (
 )
 from repro.datacenter.controlplane.policy import (
     POLICY_NAMES,
+    ConsolidatingPolicy,
     MigratingPolicy,
     ScheduledBudgetPolicy,
     build_policy,
@@ -87,6 +88,7 @@ __all__ = [
     "load_budget_trace",
     "parse_budget_trace",
     "POLICY_NAMES",
+    "ConsolidatingPolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",

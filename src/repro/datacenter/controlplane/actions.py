@@ -163,11 +163,17 @@ class SetBudget:
 class Migrate:
     """Move one tenant's instance to another machine.
 
-    Migration is *cold*: the source host finishes the request in
-    flight (metered to the tenant as usual), queued-but-unstarted
-    requests move with the tenant, and a fresh runtime starts on the
-    destination — warm controller state is deliberately lost, and
-    ``cost_seconds`` is charged to the moving tenant's billing ledger.
+    Either way the source host finishes the request in flight (metered
+    to the tenant as usual), queued-but-unstarted requests move with
+    the tenant, and ``cost_seconds`` is charged to the moving tenant's
+    billing ledger.  A *cold* move (the default) then starts a fresh
+    runtime on the destination — warm controller state is deliberately
+    lost.  A *warm* move additionally ships the runtime's full control
+    state (controller integrator, actuation-plan cache, heartbeat
+    window, quantum phase) as a
+    :class:`~repro.core.runtime.RuntimeSnapshot`, so the destination
+    resumes at the source's learned power/performance operating point
+    instead of re-converging from the baseline.
 
     Attributes:
         tenant: Name of the tenant to move.
@@ -175,11 +181,14 @@ class Migrate:
         cost_seconds: Machine-seconds billed to the tenant's ledger for
             the move (energy is conserved: migration charges time, not
             watt-seconds).
+        warm: Whether to carry the runtime's warm control state to the
+            destination (live migration) instead of restarting cold.
     """
 
     tenant: str
     dest_machine_index: int
     cost_seconds: float = 0.0
+    warm: bool = False
 
 
 Action = Union[SetCaps, SetBudget, Migrate]
@@ -196,6 +205,8 @@ class MigrationRecord:
         source_machine_index: Machine the instance left.
         dest_machine_index: Machine the instance restarted on.
         cost_seconds: Ledger seconds charged for the move.
+        warm: Whether the move carried warm control state (live
+            migration) or restarted the instance cold.
     """
 
     time: float
@@ -203,6 +214,7 @@ class MigrationRecord:
     source_machine_index: int
     dest_machine_index: int
     cost_seconds: float
+    warm: bool = False
 
 
 @runtime_checkable

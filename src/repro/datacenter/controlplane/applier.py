@@ -12,13 +12,17 @@ backend:
   and real destinations.  The serial/eager engines and the sharded
   coordinator all plan through this function.
 * :func:`enforce_caps` — cap -> DVFS application (the §5.4 mechanism).
-* :func:`emigrate` / :func:`absorb` — the two halves of a cold
-  migration.  Serial runs them back to back in process; the sharded
+* :func:`emigrate` / :func:`absorb` — the two halves of a migration,
+  cold or warm.  Serial runs them back to back in process; the sharded
   backend runs :func:`emigrate` in the source worker, ships the
   returned :class:`MigrantState` through the coordinator, and runs
-  :func:`absorb` in the destination worker.  Because both backends
-  execute the same functions on identically-settled machine state, the
-  results — ledgers, stats, run segments — are byte-identical.
+  :func:`absorb` in the destination worker.  A warm move additionally
+  carries the source runtime's
+  :class:`~repro.core.runtime.RuntimeSnapshot` inside the migrant
+  state and replays it into the destination runtime.  Because both
+  backends execute the same functions on identically-settled machine
+  state, the results — ledgers, stats, run segments — are
+  byte-identical.
 * :func:`merge_run_results` — stitches a migrated tenant's per-host
   run segments into the single :class:`~repro.core.runtime.RunResult`
   exposed by ``DatacenterResult.run_results``.
@@ -208,7 +212,7 @@ def enforce_caps(machines: Sequence[Any], caps: Sequence[float]) -> None:
 
 @dataclass(frozen=True)
 class MigrantState:
-    """Everything that moves with a tenant in a cold migration.
+    """Everything that moves with a tenant in a migration.
 
     Plain data (picklable) so the sharded backend can ship it between
     the source and destination workers through the coordinator.
@@ -226,6 +230,9 @@ class MigrantState:
         trace_pos: How many of the tenant's trace arrivals have been
             dispatched — the destination resumes its arrival cursor
             here.
+        snapshot: The source runtime's warm control state
+            (:class:`~repro.core.runtime.RuntimeSnapshot`) for a warm
+            move, or None for a cold restart.
     """
 
     tenant: str
@@ -236,18 +243,26 @@ class MigrantState:
     run_segments: tuple[RunResult, ...]
     next_request: int
     trace_pos: int
+    snapshot: Any | None = None
 
 
 def emigrate(
-    engine: "DatacenterEngine", binding: "InstanceBinding", trace_pos: int
+    engine: "DatacenterEngine",
+    binding: "InstanceBinding",
+    trace_pos: int,
+    warm: bool = False,
 ) -> MigrantState:
-    """Run the source half of a cold migration; returns the migrant.
+    """Run the source half of a migration; returns the migrant.
 
     Queued-but-unstarted requests are extracted to move with the
     tenant; the request in flight (if any) is then drained to
     completion on the source host — every drain ``step()`` metered to
     the tenant exactly like scheduled steps — before the runtime is
-    finished and its segment banked.
+    finished and its segment banked.  For a warm move the drained
+    runtime's control state (controller integrator, plan cache,
+    heartbeat window, quantum phase) is captured *after* the drain, so
+    the destination resumes from the last operating point the source
+    actually ran at.
     """
     host = engine.hosts[binding.machine_index]
     runtime = binding.runtime
@@ -267,6 +282,7 @@ def emigrate(
         run_segments=tuple(binding.run_segments) + (segment,),
         next_request=binding.next_request,
         trace_pos=trace_pos,
+        snapshot=runtime.snapshot() if warm else None,
     )
 
 
@@ -277,13 +293,16 @@ def absorb(
     dest_machine_index: int,
     cost_seconds: float,
 ) -> None:
-    """Run the destination half of a cold migration.
+    """Run the destination half of a migration.
 
     Rebuilds the tenant's runtime on the destination machine via the
     binding's ``runtime_factory``, restores the shipped stats/ledger/
     segments, re-feeds the moved pending requests (completion hooks
     re-attached to the shipped stats), and charges ``cost_seconds`` to
-    the tenant's ledger (time only — migration conserves energy).
+    the tenant's ledger (time only — migration conserves energy).  When
+    the migrant carries a warm snapshot, it is replayed into the fresh
+    runtime before any request runs, so the destination's first control
+    period continues from the source's last instead of the baseline.
     """
     if binding.runtime_factory is None:
         raise ControlError(
@@ -307,6 +326,8 @@ def absorb(
     binding.finished = False
     binding.starved = False
     runtime.begin()
+    if migrant.snapshot is not None:
+        runtime.restore(migrant.snapshot)
     stats = binding.stats
     for job, tag in migrant.pending:
         _, arrival = tag
@@ -341,7 +362,7 @@ def migrate_instance(
         b for b in engine.bindings if b.tenant.name == migration.tenant
     )
     source = binding.machine_index
-    migrant = emigrate(engine, binding, trace_pos=0)
+    migrant = emigrate(engine, binding, trace_pos=0, warm=migration.warm)
     absorb(
         engine, binding, migrant, migration.dest_machine_index,
         migration.cost_seconds,
@@ -352,6 +373,7 @@ def migrate_instance(
         source_machine_index=source,
         dest_machine_index=migration.dest_machine_index,
         cost_seconds=migration.cost_seconds,
+        warm=migration.warm,
     )
 
 

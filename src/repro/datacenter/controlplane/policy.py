@@ -16,6 +16,13 @@ express:
   mechanism is saturated), so the policy moves the worst-off tenant to
   the machine with the most cap headroom instead, with a per-tenant
   cooldown to prevent thrashing.
+* :class:`ConsolidatingPolicy` — the §5.5 consolidation story as a
+  closed loop: during demand troughs it *packs* tenants onto fewer
+  machines with warm (live) migrations and parks the emptied machines
+  at their cap floor, handing the freed watts to the machines still
+  serving; when SLA shortfall reappears it *spreads* tenants back onto
+  the parked machines.  One move per barrier — multi-step placements
+  emerge across consecutive barriers.
 
 :func:`build_policy` maps the CLI's ``--policy`` names to assembled
 policy stacks.
@@ -39,12 +46,13 @@ from repro.datacenter.controlplane.budget import BudgetSchedule
 
 __all__ = [
     "POLICY_NAMES",
+    "ConsolidatingPolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",
 ]
 
-POLICY_NAMES = ("static-equal", "sla-aware", "migrating")
+POLICY_NAMES = ("static-equal", "sla-aware", "migrating", "consolidating")
 """Policy names accepted by :func:`build_policy` and the CLI."""
 
 
@@ -94,6 +102,8 @@ class MigratingPolicy:
             of the same tenant (hysteresis against thrashing).
         min_shortfall: Weighted per-machine SLA shortfall below which a
             saturated machine is left alone.
+        warm: Whether emitted migrations carry warm control state
+            (live migration) instead of restarting the mover cold.
 
     At most one migration is emitted per barrier: the highest-shortfall
     tenant on the most-violating ceiling-saturated machine moves to the
@@ -107,6 +117,7 @@ class MigratingPolicy:
         cost_seconds: float = 2.0,
         cooldown_seconds: float = 30.0,
         min_shortfall: float = 0.02,
+        warm: bool = False,
     ) -> None:
         if cost_seconds < 0.0:
             raise ControlError(
@@ -120,6 +131,7 @@ class MigratingPolicy:
         self.cost_seconds = cost_seconds
         self.cooldown_seconds = cooldown_seconds
         self.min_shortfall = min_shortfall
+        self.warm = warm
         self._last_move: dict[str, float] = {}
 
     def initial_budget_watts(self) -> float | None:
@@ -169,7 +181,7 @@ class MigratingPolicy:
                 mover_key = key
         if mover is None:
             return None
-        return Migrate(mover.name, dest, self.cost_seconds)
+        return Migrate(mover.name, dest, self.cost_seconds, warm=self.warm)
 
     def decide(self, view: ClusterView) -> Sequence[Action]:
         """Inner caps first; append a migration if the caps saturated."""
@@ -187,6 +199,228 @@ class MigratingPolicy:
         return actions
 
 
+class ConsolidatingPolicy:
+    """Pack tenants onto fewer machines in troughs; spread back on demand.
+
+    The §5.5 consolidation mechanism run as a closed loop on the live
+    SLA signal instead of a precomputed utilization profile.  Each
+    barrier the policy takes the inner cap policy's allocation, then:
+
+    1. **Parks** every machine with no unfinished tenants at its cap
+       floor and hands the freed watts to the machines still serving
+       (by headroom, in machine order) — an emptied machine costs the
+       fleet only its floor power.
+    2. **Spreads** when demand is back: if some machine's weighted SLA
+       shortfall exceeds ``spread_shortfall`` and a parked machine
+       exists, the worst-off tenant moves onto the lowest-index parked
+       machine.
+    3. **Packs** when demand is low: if every machine's weighted
+       shortfall is at most ``pack_shortfall``, the occupied machine
+       with the fewest residents donates its cheapest-to-move tenant
+       (fewest queued requests) to the occupied machine with the most
+       residents below ``max_residents``.
+
+    All moves are *warm* (live migration): the mover's controller
+    state travels with it, so packing and spreading do not re-pay the
+    control loop's convergence transient.  At most one move per
+    barrier — multi-step placements (empty a machine tenant by tenant,
+    then park it) emerge across consecutive barriers.  Every choice is
+    deterministic: donor ties prefer the *higher* machine index and
+    recipient/destination ties the *lower*, so fleets drain toward
+    low-index machines and all backends decide identically.
+
+    Args:
+        inner: The cap policy whose allocation is reshaped (usually an
+            SLA-aware :class:`~repro.datacenter.arbiter.PowerArbiter`).
+        cost_seconds: Machine-seconds charged to a mover's ledger.
+        cooldown_seconds: Minimum barrier time between two moves of
+            the same tenant (hysteresis against pack/spread thrash).
+        pack_shortfall: Fleet-quiet threshold — packing only happens
+            while every machine's weighted shortfall is at or below it.
+        spread_shortfall: Per-machine weighted shortfall above which a
+            parked machine is brought back into service.
+        max_residents: Co-residency bound packing will not exceed.
+    """
+
+    def __init__(
+        self,
+        inner: ControlPolicy,
+        cost_seconds: float = 2.0,
+        cooldown_seconds: float = 20.0,
+        pack_shortfall: float = 0.01,
+        spread_shortfall: float = 0.05,
+        max_residents: int = 4,
+    ) -> None:
+        if cost_seconds < 0.0:
+            raise ControlError(
+                f"migration cost must be >= 0, got {cost_seconds!r}"
+            )
+        if cooldown_seconds < 0.0:
+            raise ControlError(
+                f"cooldown must be >= 0, got {cooldown_seconds!r}"
+            )
+        if max_residents < 1:
+            raise ControlError(
+                f"max_residents must be >= 1, got {max_residents!r}"
+            )
+        if spread_shortfall <= pack_shortfall:
+            raise ControlError(
+                f"spread_shortfall {spread_shortfall!r} must exceed "
+                f"pack_shortfall {pack_shortfall!r} (hysteresis band)"
+            )
+        self.inner = inner
+        self.cost_seconds = cost_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self.pack_shortfall = pack_shortfall
+        self.spread_shortfall = spread_shortfall
+        self.max_residents = max_residents
+        self._last_move: dict[str, float] = {}
+
+    def initial_budget_watts(self) -> float | None:
+        """Delegates to the inner cap policy."""
+        return self.inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Delegates to the inner cap policy."""
+        return self.inner.barrier_times(horizon)
+
+    def _occupancy(self, view: ClusterView) -> list[int]:
+        """Unfinished residents per machine, in pool order."""
+        counts = [0] * len(view.machines)
+        for tenant in view.tenants:
+            if not tenant.finished:
+                counts[tenant.machine_index] += 1
+        return counts
+
+    def _movable(self, view: ClusterView, machine_index: int):
+        """The machine's unfinished tenants off cooldown, in view order."""
+        movable = []
+        for tenant in view.tenants_on(machine_index):
+            if tenant.finished:
+                continue
+            last = self._last_move.get(tenant.name)
+            if last is not None and view.time - last < self.cooldown_seconds:
+                continue
+            movable.append(tenant)
+        return movable
+
+    def _pick_spread(
+        self, view: ClusterView, occupancy: Sequence[int]
+    ) -> Migrate | None:
+        """Move the worst-off tenant onto a parked machine, if demand is back."""
+        parked = [m.index for m in view.machines if occupancy[m.index] == 0]
+        if not parked:
+            return None
+        shortfalls = view.machine_shortfalls()
+        source = None
+        for machine in view.machines:
+            if occupancy[machine.index] < 2:
+                # Spreading a machine's only tenant just relocates the
+                # problem; contention relief needs >= 2 residents.
+                continue
+            if shortfalls[machine.index] <= self.spread_shortfall:
+                continue
+            if source is None or shortfalls[machine.index] > shortfalls[source]:
+                source = machine.index
+        if source is None:
+            return None
+        mover = None
+        mover_key = 0.0
+        for tenant in self._movable(view, source):
+            key = tenant.weight * tenant.sla_shortfall
+            if key > mover_key:
+                mover = tenant
+                mover_key = key
+        if mover is None:
+            return None
+        return Migrate(mover.name, parked[0], self.cost_seconds, warm=True)
+
+    def _pick_pack(
+        self, view: ClusterView, occupancy: Sequence[int]
+    ) -> Migrate | None:
+        """Empty the lightest occupied machine into the fullest, if quiet."""
+        if any(s > self.pack_shortfall for s in view.machine_shortfalls()):
+            return None
+        occupied = [m.index for m in view.machines if occupancy[m.index] > 0]
+        if len(occupied) < 2:
+            return None
+        donor = max(occupied, key=lambda i: (-occupancy[i], i))
+        recipient = None
+        for index in occupied:
+            if index == donor or occupancy[index] >= self.max_residents:
+                continue
+            if recipient is None or occupancy[index] > occupancy[recipient]:
+                recipient = index
+        if recipient is None:
+            return None
+        movable = self._movable(view, donor)
+        if not movable:
+            return None
+        mover = min(movable, key=lambda t: t.pending_jobs)
+        return Migrate(mover.name, recipient, self.cost_seconds, warm=True)
+
+    def _reshaped_caps(
+        self,
+        view: ClusterView,
+        caps: Sequence[float],
+        arriving: int | None = None,
+    ) -> tuple[float, ...]:
+        """Park empty machines at their floor; give freed watts to the rest.
+
+        ``arriving`` names a machine about to receive this barrier's
+        migrant (caps are enforced before migrations apply): it counts
+        as occupied, so a spread destination is never parked at its
+        floor in the very barrier meant to relieve load onto it.
+        """
+        occupancy = self._occupancy(view)
+        if arriving is not None:
+            occupancy[arriving] += 1
+        new_caps = list(caps)
+        freed = 0.0
+        for machine in view.machines:
+            if occupancy[machine.index] == 0:
+                freed += max(0.0, new_caps[machine.index] - machine.cap_floor)
+                new_caps[machine.index] = machine.cap_floor
+        if freed > 0.0:
+            for machine in view.machines:
+                if occupancy[machine.index] == 0:
+                    continue
+                headroom = machine.cap_ceiling - new_caps[machine.index]
+                give = min(headroom, freed)
+                if give > 0.0:
+                    new_caps[machine.index] += give
+                    freed -= give
+                if freed <= 0.0:
+                    break
+        return tuple(new_caps)
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Inner caps reshaped around parked machines, plus one move.
+
+        The time-zero barrier never migrates: before any request has
+        arrived every tenant *looks* quiet, but that is absence of
+        signal, not a trough — packing there would front-load moves a
+        single busy period immediately undoes.
+        """
+        actions = list(self.inner.decide(view))
+        occupancy = self._occupancy(view)
+        migration = None
+        if view.time > 0.0:
+            migration = self._pick_spread(view, occupancy) or self._pick_pack(
+                view, occupancy
+            )
+        arriving = migration.dest_machine_index if migration else None
+        for index, action in enumerate(actions):
+            if isinstance(action, SetCaps):
+                actions[index] = SetCaps(
+                    self._reshaped_caps(view, action.caps, arriving)
+                )
+        if migration is not None:
+            self._last_move[migration.tenant] = view.time
+            actions.append(migration)
+        return actions
+
+
 def build_policy(
     name: str,
     budget_watts: float,
@@ -198,10 +432,12 @@ def build_policy(
     """Assemble a named policy stack for a machine pool.
 
     ``name`` is one of :data:`POLICY_NAMES`: ``static-equal`` (even
-    split), ``sla-aware`` (violation-weighted water-fill), or
-    ``migrating`` (SLA-aware caps plus ceiling-saturation migration).
-    A ``schedule`` wraps the stack in a :class:`ScheduledBudgetPolicy`
-    after checking every level against the pool's cap floor.
+    split), ``sla-aware`` (violation-weighted water-fill),
+    ``migrating`` (SLA-aware caps plus cold ceiling-saturation
+    migration), or ``consolidating`` (SLA-aware caps plus warm
+    pack/spread placement with cap-floor parking).  A ``schedule``
+    wraps the stack in a :class:`ScheduledBudgetPolicy` after checking
+    every level against the pool's cap floor.
     """
     # Imported here, not at module top: the arbiter module itself
     # imports controlplane.actions, so a module-level import would be
@@ -218,6 +454,13 @@ def build_policy(
         )
     elif name == "migrating":
         policy = MigratingPolicy(
+            PowerArbiter(
+                budget_watts, machines, policy=ArbiterPolicy.SLA_AWARE, gain=gain
+            ),
+            cost_seconds=migration_cost_seconds,
+        )
+    elif name == "consolidating":
+        policy = ConsolidatingPolicy(
             PowerArbiter(
                 budget_watts, machines, policy=ArbiterPolicy.SLA_AWARE, gain=gain
             ),

@@ -151,7 +151,9 @@ def _worker_main(
                 for migration in emigrations:
                     binding = by_name[migration.tenant]
                     trace_pos = pump.remove(binding)
-                    migrants.append(emigrate(engine, binding, trace_pos))
+                    migrants.append(
+                        emigrate(engine, binding, trace_pos, warm=migration.warm)
+                    )
                     resident.remove(binding)
                 conn.send(("migrants", migrants))
                 message = conn.recv()
@@ -326,6 +328,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                             source_machine_index=binding.machine_index,
                             dest_machine_index=dest,
                             cost_seconds=migration.cost_seconds,
+                            warm=migration.warm,
                         )
                     )
                     binding.machine_index = dest

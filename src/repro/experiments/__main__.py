@@ -16,6 +16,7 @@ descriptions ``docs/SCENARIOS.md`` documents recipe by recipe)::
     python -m repro.experiments datacenter --backend sharded --workers 4
     python -m repro.experiments datacenter --bill
     python -m repro.experiments datacenter --policy migrating
+    python -m repro.experiments datacenter --policy consolidating
     python -m repro.experiments datacenter --budget-trace shock.trace
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
@@ -170,8 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=list(POLICY_NAMES),
                 default="sla-aware",
                 help="control policy compared against static-equal "
-                "(default: sla-aware; 'migrating' also moves instances "
-                "off cap-saturated machines)",
+                "(default: sla-aware; 'migrating' also cold-moves "
+                "instances off cap-saturated machines; 'consolidating' "
+                "warm-packs tenants onto fewer machines in demand "
+                "troughs and spreads them back under load)",
             )
             sub.add_argument(
                 "--budget-trace",

@@ -10,8 +10,12 @@ twice through the event-driven engine:
   baseline of a cluster without runtime knowledge;
 * the chosen ``--policy`` — **sla-aware** (the hierarchical arbiter
   reallocating watts each period toward machines whose tenants are
-  missing their latency SLAs; the default) or **migrating** (SLA-aware
-  caps plus instance migration off cap-ceiling-saturated machines).
+  missing their latency SLAs; the default), **migrating** (SLA-aware
+  caps plus cold instance migration off cap-ceiling-saturated
+  machines), or **consolidating** (SLA-aware caps plus warm
+  pack/spread placement: demand troughs pack tenants onto fewer
+  machines with live migrations and park the emptied machines at
+  their cap floor; returning load spreads them back out).
 
 Either side can additionally run under a ``--budget-trace`` — a
 timestamped schedule of fleet-wide budget levels (the §5.4 cap event
@@ -250,8 +254,8 @@ def run_datacenter(
     ``backend``/``workers`` select the engine execution backend (the
     sharded backend produces identical results to serial, so the
     comparison is backend-invariant).  ``policy`` picks the arbitrated
-    side (``sla-aware`` or ``migrating``); ``budget_trace`` applies
-    the same budget schedule to both sides.
+    side (``sla-aware``, ``migrating``, or ``consolidating``);
+    ``budget_trace`` applies the same budget schedule to both sides.
     """
     tenants = tenants if tenants is not None else default_tenant_mix()
     horizon = 40.0 if scale is Scale.TINY else 120.0

@@ -18,7 +18,12 @@ from dataclasses import dataclass
 
 from repro.hardware.clock import VirtualClock
 
-__all__ = ["HeartbeatRecord", "HeartbeatMonitor", "HeartbeatError"]
+__all__ = [
+    "HeartbeatRecord",
+    "HeartbeatMonitor",
+    "HeartbeatError",
+    "HeartbeatWindowState",
+]
 
 
 class HeartbeatError(RuntimeError):
@@ -38,6 +43,34 @@ class HeartbeatRecord:
     sequence: int
     timestamp: float
     tag: object | None = None
+
+
+@dataclass(frozen=True)
+class HeartbeatWindowState:
+    """A monitor's rate-window state, detached for warm handoff.
+
+    Everything a *new* monitor needs to continue another monitor's
+    sliding-window statistics without a cold restart: the live
+    migration path (:meth:`~repro.core.runtime.PowerDialRuntime.
+    snapshot`) ships this between hosts.  Plain floats and tuples, so
+    it pickles across process boundaries.
+
+    Attributes:
+        count: Beats the source monitor had emitted.
+        last_timestamp: Timestamp of the source's last beat (None when
+            it never beat) — lets the first beat after a restore close
+            its interval, provided the destination clock has reached
+            that instant.
+        intervals: The sliding window's beat intervals, oldest first.
+        window_sum: The source's *running* interval sum — carried
+            verbatim (not recomputed) so restored rate queries
+            reproduce the source's floats exactly.
+    """
+
+    count: int
+    last_timestamp: float | None
+    intervals: tuple[float, ...]
+    window_sum: float
 
 
 class HeartbeatMonitor:
@@ -67,6 +100,10 @@ class HeartbeatMonitor:
         self._clock = clock
         self._window_size = window_size
         self._records: list[HeartbeatRecord] = []
+        # Sequence offset of the first locally emitted beat: 0 normally,
+        # the carried-over beat count after restore_window(), so beat
+        # numbering continues across a warm handoff.
+        self._base = 0
         self._intervals: deque[float] = deque(maxlen=window_size)
         # Running sum of the window's intervals, maintained incrementally
         # so the per-beat rate queries are O(1) instead of O(window).
@@ -122,7 +159,7 @@ class HeartbeatMonitor:
     def heartbeat(self, tag: object | None = None) -> HeartbeatRecord:
         """Emit one heartbeat at the current virtual time."""
         now = self._clock.now
-        record = HeartbeatRecord(len(self._records), now, tag)
+        record = HeartbeatRecord(self._base + len(self._records), now, tag)
         if self._records:
             interval = now - self._records[-1].timestamp
             if interval < 0:
@@ -139,8 +176,8 @@ class HeartbeatMonitor:
     # ------------------------------------------------------------------
     @property
     def count(self) -> int:
-        """Total number of beats emitted."""
-        return len(self._records)
+        """Total number of beats emitted (carried-over beats included)."""
+        return self._base + len(self._records)
 
     @property
     def records(self) -> list[HeartbeatRecord]:
@@ -198,7 +235,66 @@ class HeartbeatMonitor:
         return self._window_sum / len(self._intervals)
 
     def reset(self) -> None:
-        """Forget all beats (targets are preserved)."""
+        """Forget all beats, carried-over ones included (targets are
+        preserved)."""
         self._records.clear()
+        self._base = 0
         self._intervals.clear()
         self._window_sum = 0.0
+
+    # ------------------------------------------------------------------
+    # Warm handoff
+    # ------------------------------------------------------------------
+    def export_window(self) -> HeartbeatWindowState:
+        """Detach the rate-window state for a warm handoff.
+
+        The returned :class:`HeartbeatWindowState` carries the beat
+        count, the last beat's timestamp, and the sliding window with
+        its *running* sum, so a monitor restored from it continues the
+        windowed statistics float-for-float.
+        """
+        return HeartbeatWindowState(
+            count=self.count,
+            last_timestamp=(
+                self._records[-1].timestamp if self._records else None
+            ),
+            intervals=tuple(self._intervals),
+            window_sum=self._window_sum,
+        )
+
+    def restore_window(self, state: HeartbeatWindowState) -> None:
+        """Continue another monitor's window on this (fresh) monitor.
+
+        Beat numbering resumes at ``state.count``; the sliding window
+        and its running sum are adopted verbatim.  When the carried
+        last-beat timestamp is not in this clock's future, it is
+        replayed as the previous beat so the first local beat closes
+        its interval exactly as an unmigrated run would; otherwise
+        (the source ran ahead of this clock, e.g. a migration drain)
+        the first local beat starts a fresh interval.  Only valid on a
+        monitor that has not yet beaten; targets are untouched.
+        """
+        if self._records or self._base:
+            raise HeartbeatError(
+                "restore_window requires a fresh monitor (beats already "
+                "emitted)"
+            )
+        if len(state.intervals) > self._window_size:
+            raise HeartbeatError(
+                f"carried window of {len(state.intervals)} intervals does "
+                f"not fit a window_size={self._window_size} monitor"
+            )
+        if state.count <= 0:
+            return
+        if (
+            state.last_timestamp is not None
+            and state.last_timestamp <= self._clock.now
+        ):
+            self._base = state.count - 1
+            self._records.append(
+                HeartbeatRecord(state.count - 1, state.last_timestamp)
+            )
+        else:
+            self._base = state.count
+        self._intervals = deque(state.intervals, maxlen=self._window_size)
+        self._window_sum = state.window_sum

@@ -1,0 +1,196 @@
+"""Trajectory-gate tests: normalization, regression detection, CLI.
+
+The gate's promise to CI: identical-or-faster runs pass, a slower host
+is forgiven via the calibration score, a genuine 2x slowdown fails with
+the regressed scenario named, and brand-new scenario kinds wait (with a
+note) until the committed baseline knows about them.
+"""
+
+import json
+
+from repro.bench.trajectory import (
+    DEFAULT_TOLERANCE,
+    compare_datacenter,
+    compare_runtime,
+    format_markdown,
+    main,
+    scenario_kind,
+)
+
+
+def dc_payload(calibration=1_000_000.0, scenarios=None):
+    scenarios = scenarios if scenarios is not None else {
+        "open-8m": (0.050, 400),
+        "arbitrated-8m": (0.060, 440),
+    }
+    return {
+        "calibration_ops_per_sec": calibration,
+        "scenarios": [
+            {
+                "scenario": label,
+                "events": events,
+                "backends": {"serial": {"seconds": seconds}},
+            }
+            for label, (seconds, events) in scenarios.items()
+        ],
+    }
+
+
+def rt_payload(calibration=1_000_000.0, items=40_000.0, beats=400_000.0,
+               cached_us=0.1):
+    return {
+        "calibration_ops_per_sec": calibration,
+        "probes": {
+            "step_path": {"items_per_sec": items},
+            "heartbeat_window": {"beats_per_sec": beats},
+            "actuation_plan": {"cached_us_per_call": cached_us},
+        },
+    }
+
+
+class TestScenarioKind:
+    def test_kind_strips_pool_suffix(self):
+        assert scenario_kind("open-128m") == "open"
+        assert scenario_kind("budget_shock-4m") == "budget_shock"
+        assert scenario_kind("consolidation-8m") == "consolidation"
+
+
+class TestCompareDatacenter:
+    def test_identical_payloads_pass(self):
+        checks = compare_datacenter(dc_payload(), dc_payload())
+        assert len(checks) == 2
+        assert not any(check.regressed for check in checks)
+        assert all(check.ratio == 1.0 for check in checks)
+
+    def test_twice_as_slow_fails_and_names_the_scenario(self):
+        fresh = dc_payload(
+            scenarios={"open-8m": (0.100, 400), "arbitrated-8m": (0.060, 440)}
+        )
+        checks = compare_datacenter(dc_payload(), fresh)
+        regressed = [check for check in checks if check.regressed]
+        assert [check.name for check in regressed] == ["open-8m"]
+        assert "open-8m" in regressed[0].message
+        assert "REGRESSED" in regressed[0].message
+
+    def test_slower_host_is_normalized_away(self):
+        """Half-speed host: seconds double but so does the calibrated
+        cost unit — no regression."""
+        fresh = dc_payload(
+            calibration=500_000.0,
+            scenarios={"open-8m": (0.100, 400), "arbitrated-8m": (0.120, 440)},
+        )
+        checks = compare_datacenter(dc_payload(), fresh)
+        assert not any(check.regressed for check in checks)
+
+    def test_smaller_pool_compares_against_kind_mean(self):
+        fresh = dc_payload(scenarios={"open-4m": (0.025, 200)})
+        (check,) = compare_datacenter(dc_payload(), fresh)
+        assert check.name == "open-4m"
+        assert check.kind == "open"
+        assert check.ratio == 1.0
+
+    def test_unknown_kind_is_skipped_with_note(self):
+        fresh = dc_payload(scenarios={"consolidation-4m": (0.030, 300)})
+        notes = []
+        checks = compare_datacenter(dc_payload(), fresh, notes=notes)
+        assert checks == []
+        assert any("consolidation" in note for note in notes)
+
+    def test_missing_calibration_falls_back_to_raw_costs(self):
+        baseline = dc_payload()
+        del baseline["calibration_ops_per_sec"]
+        notes = []
+        checks = compare_datacenter(baseline, dc_payload(), notes=notes)
+        assert not any(check.regressed for check in checks)
+        assert any("calibration" in note for note in notes)
+
+    def test_injected_slowdown_fails_the_gate(self):
+        checks = compare_datacenter(dc_payload(), dc_payload(), slowdown=2.0)
+        assert all(check.regressed for check in checks)
+        assert all(check.ratio > DEFAULT_TOLERANCE for check in checks)
+
+
+class TestCompareRuntime:
+    def test_identical_probes_pass(self):
+        checks = compare_runtime(rt_payload(), rt_payload())
+        assert {check.name for check in checks} == {
+            "step_path",
+            "heartbeat_window",
+            "actuation_plan(cached)",
+        }
+        assert not any(check.regressed for check in checks)
+
+    def test_slow_probe_regresses(self):
+        fresh = rt_payload(items=10_000.0)  # 4x slower step path
+        checks = compare_runtime(rt_payload(), fresh)
+        regressed = [check.name for check in checks if check.regressed]
+        assert regressed == ["step_path"]
+
+
+class TestMarkdownAndCli:
+    def write_dirs(self, tmp_path, fresh_dc=None, fresh_rt=None):
+        baseline = tmp_path / "baseline"
+        fresh = tmp_path / "fresh"
+        baseline.mkdir()
+        fresh.mkdir()
+        (baseline / "BENCH_datacenter.json").write_text(
+            json.dumps(dc_payload())
+        )
+        (baseline / "BENCH_runtime.json").write_text(json.dumps(rt_payload()))
+        (fresh / "BENCH_datacenter.json").write_text(
+            json.dumps(fresh_dc or dc_payload())
+        )
+        (fresh / "BENCH_runtime.json").write_text(
+            json.dumps(fresh_rt or rt_payload())
+        )
+        return baseline, fresh
+
+    def test_markdown_lists_every_check(self):
+        checks = compare_datacenter(dc_payload(), dc_payload())
+        text = format_markdown(checks, ["a note"], DEFAULT_TOLERANCE)
+        assert "open-8m" in text and "arbitrated-8m" in text
+        assert "a note" in text
+        assert "within tolerance" in text
+
+    def test_cli_passes_and_writes_summary(self, tmp_path, capsys):
+        baseline, fresh = self.write_dirs(tmp_path)
+        out = tmp_path / "TRAJECTORY.md"
+        code = main(
+            [
+                "--baseline-dir", str(baseline),
+                "--fresh-dir", str(fresh),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "bench-trajectory OK" in capsys.readouterr().out
+        assert "within tolerance" in out.read_text()
+
+    def test_cli_injected_slowdown_fails_naming_a_scenario(
+        self, tmp_path, capsys
+    ):
+        baseline, fresh = self.write_dirs(tmp_path)
+        out = tmp_path / "TRAJECTORY.md"
+        code = main(
+            [
+                "--baseline-dir", str(baseline),
+                "--fresh-dir", str(fresh),
+                "--inject-slowdown", "2.0",
+                "--out", str(out),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "bench-trajectory FAILED" in captured.err
+        assert "2.00x" in captured.err
+        assert "REGRESSED" in out.read_text()
+
+    def test_cli_missing_artifact_is_a_readable_error(self, tmp_path):
+        baseline, fresh = self.write_dirs(tmp_path)
+        (fresh / "BENCH_runtime.json").unlink()
+        try:
+            main(["--baseline-dir", str(baseline), "--fresh-dir", str(fresh)])
+        except SystemExit as error:
+            assert "BENCH_runtime.json" in str(error)
+        else:  # pragma: no cover - the exit is the contract
+            raise AssertionError("missing artifact did not exit")

@@ -1,0 +1,242 @@
+"""Warm-handoff tests: snapshot()/restore() round-trips a live runtime.
+
+The live-migration contract: a run split at an arbitrary step boundary
+— pending jobs extracted, in-flight work drained, warm state captured
+with ``snapshot()`` and replayed with ``restore()`` into a fresh
+runtime on a clock-synchronized machine — produces *exactly* the
+samples, outputs, and settings of the same run left unsplit.  That is
+what makes a warm migration invisible to the control loop: the
+destination's first control period continues the source's last.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import RuntimeSnapshot, StepStatus
+from repro.hardware.machine import Machine
+from tests.core.toyapp import ToyApp, toy_jobs
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def fresh_runtime(system, frequency_ghz=None):
+    machine = Machine()
+    # Target measured at the default frequency; a cap applied *after*
+    # leaves the controller a deficit to work off (speedup > 1).
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    if frequency_ghz is not None:
+        machine.set_frequency(frequency_ghz)
+    return system.runtime(machine, target_rate=target)
+
+
+def drain(runtime):
+    while runtime.step() is not StepStatus.FINISHED:
+        pass
+    return runtime.finish()
+
+
+def handoff(source, system, capped=False):
+    """Extract + drain + snapshot the source; restore into a fresh twin."""
+    pending = source.extract_pending()
+    source.close_input()
+    first_segment = drain(source)
+    snap = source.snapshot()
+
+    dest = fresh_runtime(system)
+    if capped:
+        dest.machine.set_frequency(1.6)
+    dest.machine.idle_until(source.machine.now)
+    dest.begin()
+    dest.restore(snap)
+    for job, tag in pending:
+        dest.feed(job, tag=tag)
+    dest.close_input()
+    return first_segment, drain(dest)
+
+
+class TestRoundTrip:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        items=st.lists(st.integers(20, 60), min_size=2, max_size=4),
+        split_steps=st.integers(1, 5),
+        seed=st.integers(0, 10_000),
+    )
+    def test_split_run_equals_unsplit_run(
+        self, system, items, split_steps, seed
+    ):
+        """Property: restore(snapshot()) is exact at any step boundary."""
+        jobs = [
+            job[:count]
+            for job, count in zip(toy_jobs(len(items), max(items), seed), items)
+        ]
+        reference = fresh_runtime(system).run(jobs)
+
+        source = fresh_runtime(system)
+        source.begin()
+        for job in jobs:
+            source.feed(job)
+        for _ in range(split_steps):
+            source.step()
+        first, second = handoff(source, system)
+
+        assert first.samples + second.samples == reference.samples
+        assert (
+            first.outputs_by_job + second.outputs_by_job
+            == reference.outputs_by_job
+        )
+        assert (
+            first.settings_used + second.settings_used
+            == reference.settings_used
+        )
+        # Energy is deliberately not compared: RunResult.energy_joules
+        # reads the whole machine meter (calibration + idle included);
+        # per-tenant energy attribution is the billing layer's contract.
+
+    def test_round_trip_exact_under_power_cap(self, system):
+        """The handoff also round-trips a capped (speedup > 1) regime."""
+        jobs = toy_jobs(count=3, items=60, seed=11)
+
+        capped_reference = fresh_runtime(system, frequency_ghz=1.6)
+        reference = capped_reference.run(jobs)
+        assert reference.samples[-1].commanded_speedup > 1.0
+
+        source = fresh_runtime(system, frequency_ghz=1.6)
+        source.begin()
+        for job in jobs:
+            source.feed(job)
+        source.step()
+        source.step()
+        first, second = handoff(source, system, capped=True)
+        assert first.samples + second.samples == reference.samples
+
+
+class TestWarmState:
+    def test_snapshot_carries_elevated_operating_point(self, system):
+        """A capped source's learned speedup survives the handoff."""
+        source = fresh_runtime(system, frequency_ghz=1.6)
+        source.begin()
+        for job in toy_jobs(count=3, items=80, seed=5):
+            source.feed(job)
+        for _ in range(4):
+            source.step()
+        assert source.controller.speedup > 1.0
+        snap = source.snapshot()
+        assert snap.controller_state == (
+            source.controller.speedup,
+            source.controller.last_error,
+        )
+
+        dest = fresh_runtime(system)
+        dest.machine.idle_until(source.machine.now)
+        dest.begin()
+        assert dest.controller.speedup == 1.0
+        dest.restore(snap)
+        assert dest.controller.speedup == source.controller.speedup
+        assert dest.monitor.count == source.monitor.count
+
+    def test_resnapshot_before_first_step_carries_the_restored_phase(
+        self, system
+    ):
+        """An instant re-migration (restore, then snapshot with no step
+        in between) must ship the carried quantum phase, not a fresh
+        one."""
+        source = fresh_runtime(system)
+        source.begin()
+        for job in toy_jobs(count=2, items=60, seed=21):
+            source.feed(job)
+        source.step()
+        source.close_input()
+        drain(source)
+        snap = source.snapshot()
+        assert snap.beats_in_quantum > 0 or snap.quantum_start > 0.0
+
+        relay = fresh_runtime(system)
+        relay.machine.idle_until(source.machine.now)
+        relay.begin()
+        relay.restore(snap)
+        relayed = relay.snapshot()
+        assert relayed.beats_in_quantum == snap.beats_in_quantum
+        assert relayed.quantum_start == snap.quantum_start
+
+    def test_snapshot_is_plain_picklable_data(self, system):
+        """Snapshots ship across shard-worker pipes, so they must pickle."""
+        source = fresh_runtime(system)
+        source.begin()
+        source.feed(toy_jobs()[0])
+        source.step()
+        snap = source.snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+        assert isinstance(clone, RuntimeSnapshot)
+
+    def test_restore_skips_stale_last_beat_on_a_lagging_clock(self, system):
+        """A destination clock behind the source (migration drains run
+        past the barrier) must not see time run backwards."""
+        source = fresh_runtime(system)
+        source.begin()
+        source.feed(toy_jobs()[0])
+        source.step()
+        snap = source.snapshot()
+
+        dest = fresh_runtime(system)  # clock at 0, far behind the source
+        dest.begin()
+        dest.restore(snap)
+        dest.feed(toy_jobs()[1])
+        dest.close_input()
+        segment = drain(dest)
+        # Beat numbering continues from the source count.
+        assert segment.samples[0].beat == snap.window.count
+
+
+class TestApiGuards:
+    def test_snapshot_before_begin_rejected(self, system):
+        runtime = fresh_runtime(system)
+        with pytest.raises(RuntimeError, match="begin"):
+            runtime.snapshot()
+
+    def test_restore_before_begin_rejected(self, system):
+        source = fresh_runtime(system)
+        source.begin()
+        snap = source.snapshot()
+        runtime = fresh_runtime(system)
+        with pytest.raises(RuntimeError, match="begin"):
+            runtime.restore(snap)
+
+    def test_restore_after_beats_rejected(self, system):
+        source = fresh_runtime(system)
+        source.begin()
+        source.feed(toy_jobs()[0])
+        source.step()
+        snap = source.snapshot()
+        runtime = fresh_runtime(system)
+        runtime.begin()
+        runtime.feed(toy_jobs()[0])
+        runtime.step()
+        with pytest.raises(RuntimeError, match="fresh"):
+            runtime.restore(snap)
+
+    def test_controller_without_state_support_rejected(self, system):
+        class OpaqueController:
+            speedup = 1.0
+
+            def update(self, rate):
+                return 1.0
+
+            def reset(self):
+                pass
+
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = system.runtime(
+            machine, target_rate=target, controller=OpaqueController()
+        )
+        runtime.begin()
+        with pytest.raises(RuntimeError, match="export_state"):
+            runtime.snapshot()

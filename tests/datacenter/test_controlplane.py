@@ -30,6 +30,7 @@ from repro.datacenter import (
     BudgetSchedule,
     BudgetTraceError,
     ClusterView,
+    ConsolidatingPolicy,
     ControlError,
     DatacenterEngine,
     InstanceBinding,
@@ -45,6 +46,7 @@ from repro.datacenter import (
     TenantSpec,
     TenantView,
     build_policy,
+    diurnal_trace,
     fork_available,
     machine_cap_ceiling,
     machine_cap_floor,
@@ -409,6 +411,10 @@ class TestPolicies:
         assert isinstance(
             build_policy("migrating", 420.0, machines), MigratingPolicy
         )
+        assert isinstance(
+            build_policy("consolidating", 420.0, machines),
+            ConsolidatingPolicy,
+        )
         schedule = BudgetSchedule(((10.0, 400.0),))
         wrapped = build_policy(
             "static-equal", 420.0, machines, schedule=schedule
@@ -416,6 +422,143 @@ class TestPolicies:
         assert isinstance(wrapped, ScheduledBudgetPolicy)
         with pytest.raises(ControlError, match="unknown policy"):
             build_policy("round-robin", 420.0, machines)
+
+    def test_migrating_policy_warm_flag_propagates(self):
+        policy = MigratingPolicy(
+            self.saturating_inner([CEILING, 190.0, 190.0]), warm=True
+        )
+        view = make_view(tenants=(tenant_view("hot", 0, shortfall=0.5),))
+        migration = policy.decide(view)[-1]
+        assert isinstance(migration, Migrate)
+        assert migration.warm
+
+
+class TestConsolidatingPolicy:
+    def inner(self, caps):
+        class Inner:
+            def initial_budget_watts(self):
+                return BUDGET
+
+            def barrier_times(self, horizon):
+                return ()
+
+            def decide(self, view):
+                return [SetCaps(tuple(caps))]
+
+        return Inner()
+
+    def policy(self, caps=(200.0, 200.0, 200.0), **kwargs):
+        return ConsolidatingPolicy(self.inner(list(caps)), **kwargs)
+
+    def test_quiet_fleet_packs_lightest_machine_into_fullest(self):
+        policy = self.policy(cost_seconds=1.0)
+        view = make_view(
+            tenants=(
+                tenant_view("a", 0),
+                tenant_view("b", 0),
+                tenant_view("c", 2, pending_jobs=1),
+            )
+        )
+        migration = policy.decide(view)[-1]
+        assert isinstance(migration, Migrate)
+        # Machine 2 (one resident) donates into machine 0 (two), warm.
+        assert migration.tenant == "c"
+        assert migration.dest_machine_index == 0
+        assert migration.warm
+        assert migration.cost_seconds == 1.0
+
+    def test_parked_machines_capped_at_floor_watts_recycled(self):
+        policy = self.policy(caps=(200.0, 195.0, 190.0))
+        view = make_view(
+            tenants=(tenant_view("a", 0), tenant_view("b", 0))
+        )
+        actions = policy.decide(view)
+        assert len(actions) == 1  # everyone already packed: no move
+        (caps_action,) = actions
+        assert isinstance(caps_action, SetCaps)
+        # Machines 1 and 2 are empty: parked at the floor; machine 0
+        # absorbs the freed (195-183) + (190-183) = 19 W, within its
+        # ceiling.
+        assert caps_action.caps[1] == FLOOR
+        assert caps_action.caps[2] == FLOOR
+        assert caps_action.caps[0] == 219.0
+        assert sum(caps_action.caps) <= sum((200.0, 195.0, 190.0)) + 1e-9
+
+    def test_demand_spreads_back_onto_parked_machine(self):
+        policy = self.policy()
+        view = make_view(
+            tenants=(
+                tenant_view("calm", 0, shortfall=0.0),
+                tenant_view("hot", 0, shortfall=0.4, weight=2.0),
+            )
+        )
+        migration = policy.decide(view)[-1]
+        assert isinstance(migration, Migrate)
+        assert migration.tenant == "hot"
+        assert migration.dest_machine_index == 1  # lowest-index parked
+        assert migration.warm
+
+    def test_spread_destination_is_not_parked_in_the_same_barrier(self):
+        """Caps apply before migrations: the machine chosen to relieve
+        load must not have its watts given away in the same plan."""
+        policy = self.policy(caps=(200.0, 195.0, 190.0))
+        view = make_view(
+            tenants=(
+                tenant_view("calm", 0, shortfall=0.0),
+                tenant_view("hot", 0, shortfall=0.4, weight=2.0),
+            )
+        )
+        caps_action, migration = policy.decide(view)
+        assert isinstance(migration, Migrate)
+        assert migration.dest_machine_index == 1
+        # Machine 1 is about to receive the migrant: it keeps its inner
+        # cap; only machine 2 (still empty after the move) is parked.
+        assert caps_action.caps[1] == 195.0
+        assert caps_action.caps[2] == FLOOR
+
+    def test_lone_tenant_is_not_spread(self):
+        """Relocating a machine's only tenant cannot relieve contention."""
+        policy = self.policy()
+        view = make_view(tenants=(tenant_view("hot", 0, shortfall=0.4),))
+        assert not any(
+            isinstance(a, Migrate) for a in policy.decide(view)
+        )
+
+    def test_shortfall_blocks_packing(self):
+        policy = self.policy()
+        view = make_view(
+            tenants=(
+                tenant_view("a", 0, shortfall=0.2),
+                tenant_view("b", 2),
+            )
+        )
+        assert not any(isinstance(a, Migrate) for a in policy.decide(view))
+
+    def test_max_residents_bounds_packing(self):
+        policy = self.policy(max_residents=2)
+        view = make_view(
+            tenants=(
+                tenant_view("a", 0),
+                tenant_view("b", 0),
+                tenant_view("c", 2),
+            )
+        )
+        assert not any(isinstance(a, Migrate) for a in policy.decide(view))
+
+    def test_cooldown_blocks_immediate_re_move(self):
+        policy = self.policy(cooldown_seconds=30.0)
+        tenants = (tenant_view("a", 0), tenant_view("b", 2))
+        first = policy.decide(make_view(tenants=tenants, time=10.0))
+        assert any(isinstance(a, Migrate) for a in first)
+        moved = next(a for a in first if isinstance(a, Migrate)).tenant
+        again = policy.decide(make_view(tenants=tenants, time=20.0))
+        assert not any(
+            isinstance(a, Migrate) and a.tenant == moved for a in again
+        )
+
+    def test_hysteresis_band_required(self):
+        with pytest.raises(ControlError, match="hysteresis"):
+            self.policy(pack_shortfall=0.1, spread_shortfall=0.1)
 
 
 class _FakeSample:
@@ -569,6 +712,230 @@ class TestMigrationAndShockSerial:
         run = result.run_results[mover]
         assert run.mean_power is None  # merged across machines
         assert len(run.samples) == len(run.settings_used)
+
+
+def build_warmth_scenario(warm):
+    """One knobbed tenant on a floor-capped machine; scripted move at 12 s.
+
+    The cap pins machine 0 at its slowest P-state, so the tenant's
+    controller integrates up an elevated speedup (dynamic knobs absorb
+    the DVFS slowdown).  The scripted policy then moves the tenant to
+    the uncapped machine 1 — warm or cold — which is exactly the
+    operating-point-preservation question: does the destination's
+    first control period continue the source's last?
+    """
+    system = built_service_system()
+    machines = [experiment_machine(), experiment_machine()]
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machines[0]
+    )
+    floor0 = machine_cap_floor(machines[0])
+    ceiling1 = machine_cap_ceiling(machines[1])
+
+    class ScriptedMove:
+        def __init__(self):
+            self.moved = False
+
+        def initial_budget_watts(self):
+            return floor0 + ceiling1
+
+        def barrier_times(self, horizon):
+            return ()
+
+        def decide(self, view):
+            actions = [SetCaps((floor0, ceiling1))]
+            if view.time >= 12.0 and not self.moved:
+                self.moved = True
+                actions.append(Migrate("mover", 1, 1.0, warm=warm))
+            return actions
+
+    def make_runtime(machine):
+        return PowerDialRuntime(
+            app=ServiceApp(),
+            table=system.table,
+            machine=machine,
+            target_rate=target,
+        )
+
+    spec = TenantSpec(
+        name="mover",
+        trace=poisson_trace(2.5, 20.0, seed=9),
+        sla=LatencySLA(1.0, 0.9),
+        job_factory=request_stream(seed=90),
+    )
+    binding = InstanceBinding(
+        tenant=spec,
+        runtime=make_runtime(machines[0]),
+        machine_index=0,
+        runtime_factory=make_runtime,
+    )
+    return DatacenterEngine(
+        machines, [binding], policy=ScriptedMove(), control_period=4.0
+    )
+
+
+class TestWarmVersusColdMigration:
+    def handoff_speedups(self, warm):
+        engine = build_warmth_scenario(warm)
+        result = engine.run()
+        assert len(result.migrations) == 1
+        assert result.migrations[0].warm is warm
+        binding = engine.bindings[0]
+        source_segment = binding.run_segments[-1]
+        dest_segment = binding.runtime.finish()
+        assert source_segment.samples and dest_segment.samples
+        return (
+            source_segment.samples[-1].commanded_speedup,
+            dest_segment.samples[0].commanded_speedup,
+        )
+
+    def test_warm_migration_preserves_operating_point(self):
+        source_last, dest_first = self.handoff_speedups(warm=True)
+        assert source_last > 1.0  # the cap actually elevated the point
+        assert dest_first == source_last  # float-exact continuation
+
+    def test_cold_migration_loses_operating_point(self):
+        source_last, dest_first = self.handoff_speedups(warm=False)
+        assert source_last > 1.0
+        assert dest_first == 1.0  # restarted at the baseline
+
+
+CONSOLIDATION_HORIZON = 30.0
+CONSOLIDATION_BUDGET = 800.0
+
+
+def build_consolidation_scenario(backend, workers=None):
+    """4 one-tenant machines, diurnal trough traffic, shocked budget.
+
+    The `--policy consolidating` stack as the CLI would assemble it: the
+    quiet ends of the horizon pack tenants onto fewer machines with
+    warm migrations (crossing shard boundaries on the sharded backend),
+    the mid-run peak spreads them back, and the budget schedule drops
+    the fleet budget mid-run and restores it.
+    """
+    system = built_service_system()
+    machines = [experiment_machine() for _ in range(4)]
+    target = measure_baseline_rate(
+        ServiceApp, service_training_jobs()[0], machines[0]
+    )
+
+    def make_runtime(machine):
+        return PowerDialRuntime(
+            app=ServiceApp(),
+            table=system.table,
+            machine=machine,
+            target_rate=target,
+        )
+
+    bindings = []
+    for index in range(4):
+        spec = TenantSpec(
+            name=f"t{index}",
+            trace=diurnal_trace(
+                1.0,
+                CONSOLIDATION_HORIZON,
+                period=CONSOLIDATION_HORIZON,
+                trough_fraction=0.1,
+                seed=40 + index,
+            ),
+            sla=LatencySLA(1.0, 0.9),
+            job_factory=request_stream(seed=400 + index),
+            max_queue_depth=8,
+        )
+        bindings.append(
+            InstanceBinding(
+                tenant=spec,
+                runtime=make_runtime(machines[index]),
+                machine_index=index,
+                runtime_factory=make_runtime,
+            )
+        )
+    policy = build_policy(
+        "consolidating",
+        CONSOLIDATION_BUDGET,
+        machines,
+        schedule=BudgetSchedule(
+            ((10.0, 0.94 * CONSOLIDATION_BUDGET), (20.0, CONSOLIDATION_BUDGET))
+        ),
+    )
+    return DatacenterEngine(
+        machines,
+        bindings,
+        policy=policy,
+        control_period=3.0,
+        backend=backend,
+        workers=workers,
+    )
+
+
+class TestConsolidationSerial:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_consolidation_scenario("serial").run()
+
+    def test_scenario_packs_warm(self, result):
+        assert result.migrations, "trough must trigger packing"
+        assert all(move.warm for move in result.migrations)
+        # Packing actually reduced the occupied-machine count at some
+        # point: some machine both lost and never regained a tenant
+        # before another move happened.
+        assert len(result.migrations) >= 2
+
+    def test_budget_shock_applied(self, result):
+        assert result.budget_history == [
+            (0.0, CONSOLIDATION_BUDGET),
+            (10.0, 0.94 * CONSOLIDATION_BUDGET),
+            (20.0, CONSOLIDATION_BUDGET),
+        ]
+
+    def test_parked_machines_sit_at_their_floor(self, result):
+        """After the first pack, some cap equals the machine floor."""
+        floors = [183.0] * 4  # experiment_machine floor, within 1 W
+        parked_caps = [
+            caps
+            for at, caps in result.cap_history
+            if at > 0.0 and any(cap < floors[0] + 1.0 for cap in caps)
+        ]
+        assert parked_caps, "no barrier ever parked a machine at its floor"
+
+    def test_no_request_lost_across_warm_moves(self, result):
+        for report in result.tenant_reports:
+            assert report.offered == report.admitted + report.rejected
+            assert report.completed == report.admitted
+
+    def test_conservation_survives_warm_migration(self, result):
+        assert result.energy_conservation_rel_error() <= 1e-9
+
+
+class TestConsolidationParity:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return build_consolidation_scenario("serial").run()
+
+    @needs_fork
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_sharded_byte_identical(self, serial_result, workers):
+        sharded = build_consolidation_scenario("sharded", workers=workers).run()
+        assert sharded.bills == serial_result.bills
+        assert sharded.tenant_reports == serial_result.tenant_reports
+        assert sharded.cap_history == serial_result.cap_history
+        assert sharded.budget_history == serial_result.budget_history
+        assert sharded.migrations == serial_result.migrations
+        assert sharded.idle_energy_joules == serial_result.idle_energy_joules
+        assert sharded.total_energy_joules == serial_result.total_energy_joules
+        assert sharded.makespan == serial_result.makespan
+        for name, run in serial_result.run_results.items():
+            other = sharded.run_results[name]
+            assert run.samples == other.samples
+            assert run.outputs_by_job == other.outputs_by_job
+            assert run.energy_joules == other.energy_joules
+
+    def test_eager_matches_serial(self, serial_result):
+        eager = build_consolidation_scenario("eager").run()
+        assert eager.tenant_reports == serial_result.tenant_reports
+        assert eager.migrations == serial_result.migrations
+        assert eager.budget_history == serial_result.budget_history
+        assert eager.energy_conservation_rel_error() <= 1e-9
 
 
 class TestMigrationAndShockParity:
