@@ -134,6 +134,20 @@ def bench_datacenter(
             control_period=horizon / 10.0,
         )
     )
+    # One chaos scenario times crash recovery: a seeded mid-run machine
+    # kill fail-stops a victim and rebuilds its tenants on survivors
+    # from barrier checkpoints — so checkpoint capture (paid at every
+    # barrier when failures are possible) and the re-placement path are
+    # on the perf trajectory, and the conservation audit must survive a
+    # failure.
+    scenarios.append(
+        PoolScenario(
+            machines=min(pool_sizes),
+            horizon=horizon,
+            rate=rate,
+            chaos_kills=1,
+        )
+    )
     results = []
     for scenario in scenarios:
         events = count_events(scenario)

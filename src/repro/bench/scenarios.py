@@ -23,7 +23,14 @@ Four scenario kinds:
   get packed onto fewer machines with warm migrations in the troughs,
   parked machines sit at their cap floor, and the peak spreads them
   back out — so the timed run exercises multi-step warm placement and
-  the conservation audit across it.
+  the conservation audit across it;
+* ``chaos`` — arbitrated plus seeded mid-run machine kills
+  (:class:`~repro.datacenter.controlplane.policy.ChaosPolicy`): a
+  victim machine fail-stops at each kill barrier and its tenants are
+  rebuilt on survivors from that barrier's checkpoints, so the timed
+  run covers checkpoint capture, fail-stop teardown, and crash
+  re-placement — with the billing conservation audit still enforced
+  across the failures.
 
 Scenarios are fully seeded: the same :class:`PoolScenario` always
 builds the same traces, requests, and calibration, so timings across
@@ -37,7 +44,12 @@ from dataclasses import dataclass
 
 from repro.core.powerdial import measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
-from repro.datacenter.controlplane import BudgetSchedule, build_policy
+from repro.datacenter.controlplane import (
+    BudgetSchedule,
+    ChaosPolicy,
+    build_policy,
+    chaos_kill_times,
+)
 from repro.datacenter.engine import DatacenterEngine, InstanceBinding
 from repro.datacenter.service import (
     ServiceApp,
@@ -82,6 +94,10 @@ class PoolScenario:
             :data:`CONSOLIDATION_PEAK_FACTOR` × ``rate`` mid-horizon)
             under the ``consolidating`` warm-migration policy instead
             of steady Poisson traffic (implies a policy runs).
+        chaos_kills: How many machines fail-stop mid-run at seeded
+            instants, their tenants rebuilt on survivors from barrier
+            checkpoints (implies a policy runs; 0 disables).
+        chaos_seed: Seed for the kill schedule and victim choice.
     """
 
     machines: int
@@ -91,10 +107,14 @@ class PoolScenario:
     control_period: float = 10.0
     budget_shock: bool = False
     consolidation: bool = False
+    chaos_kills: int = 0
+    chaos_seed: int = 7
 
     @property
     def label(self) -> str:
         """Stable scenario name used in the bench JSON."""
+        if self.chaos_kills:
+            return f"chaos-{self.machines}m"
         if self.consolidation:
             return f"consolidation-{self.machines}m"
         if self.budget_shock:
@@ -178,12 +198,16 @@ def build_pool_engine(
             machines,
             schedule=scenario.budget_schedule(),
         )
-    elif scenario.arbitrated or scenario.budget_shock:
+    elif scenario.arbitrated or scenario.budget_shock or scenario.chaos_kills:
         policy = build_policy(
             "sla-aware",
             scenario.budget_watts,
             machines,
             schedule=scenario.budget_schedule(),
+        )
+    if scenario.chaos_kills:
+        policy = ChaosPolicy(
+            policy, kills=scenario.chaos_kills, seed=scenario.chaos_seed
         )
     return DatacenterEngine(
         machines,
@@ -207,7 +231,12 @@ def count_events(scenario: PoolScenario) -> int:
         scenario.tenant_trace(index).count for index in range(scenario.machines)
     )
     ticks: set[float] = set()
-    if scenario.arbitrated or scenario.budget_shock or scenario.consolidation:
+    if (
+        scenario.arbitrated
+        or scenario.budget_shock
+        or scenario.consolidation
+        or scenario.chaos_kills
+    ):
         periods = int(math.floor(scenario.horizon / scenario.control_period))
         ticks.update(
             k * scenario.control_period for k in range(1, periods + 1)
@@ -216,5 +245,11 @@ def count_events(scenario: PoolScenario) -> int:
         if schedule is not None:
             ticks.update(
                 t for t in schedule.times if 0.0 < t <= scenario.horizon
+            )
+        if scenario.chaos_kills:
+            ticks.update(
+                chaos_kill_times(
+                    scenario.horizon, scenario.chaos_kills, scenario.chaos_seed
+                )
             )
     return arrivals + len(ticks)

@@ -391,6 +391,18 @@ class PowerDialRuntime:
         self._job_queue.clear()
         return extracted
 
+    def peek_pending(self) -> list[tuple[Any, Any]]:
+        """Return queued-but-unstarted jobs as (job, tag), without removal.
+
+        The observational sibling of :meth:`extract_pending`: hosts that
+        checkpoint a live instance (the datacenter's crash-recovery
+        journal) record the tags so the queue can be rebuilt elsewhere,
+        while this runtime keeps serving undisturbed.
+        """
+        if self._stepper is None:
+            raise RuntimeError("begin() must be called before peek_pending()")
+        return [(pending.job, pending.tag) for pending in self._job_queue]
+
     def close_input(self) -> None:
         """Declare the job stream complete; step() drains what remains."""
         self._input_closed = True

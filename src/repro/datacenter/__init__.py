@@ -59,14 +59,21 @@ from repro.datacenter.arbiter import (
     machine_cap_floor,
     water_fill,
 )
+from repro.datacenter.checkpoint import (
+    MachineCheckpoint,
+    TenantCheckpoint,
+)
 from repro.datacenter.controlplane import (
     POLICY_NAMES,
     BudgetSchedule,
     BudgetTraceError,
+    ChaosPolicy,
     ClusterView,
     ConsolidatingPolicy,
     ControlError,
     ControlPolicy,
+    FailMachine,
+    FailureRecord,
     MachineView,
     MigratingPolicy,
     Migrate,
@@ -76,6 +83,7 @@ from repro.datacenter.controlplane import (
     SetCaps,
     TenantView,
     build_policy,
+    chaos_kill_times,
     load_budget_trace,
     parse_budget_trace,
 )
@@ -129,10 +137,14 @@ __all__ = [
     "POLICY_NAMES",
     "BudgetSchedule",
     "BudgetTraceError",
+    "ChaosPolicy",
     "ClusterView",
     "ConsolidatingPolicy",
     "ControlError",
     "ControlPolicy",
+    "FailMachine",
+    "FailureRecord",
+    "MachineCheckpoint",
     "MachineView",
     "MigratingPolicy",
     "Migrate",
@@ -140,8 +152,10 @@ __all__ = [
     "ScheduledBudgetPolicy",
     "SetBudget",
     "SetCaps",
+    "TenantCheckpoint",
     "TenantView",
     "build_policy",
+    "chaos_kill_times",
     "load_budget_trace",
     "parse_budget_trace",
     "BillingError",

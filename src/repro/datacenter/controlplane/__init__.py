@@ -31,6 +31,8 @@ from repro.datacenter.controlplane.actions import (
     ClusterView,
     ControlError,
     ControlPolicy,
+    FailMachine,
+    FailureRecord,
     MachineView,
     Migrate,
     MigrationRecord,
@@ -42,12 +44,14 @@ from repro.datacenter.controlplane.applier import (
     ControlPlan,
     MigrantState,
     absorb,
+    apply_failures,
     emigrate,
     enforce_caps,
     machine_limits,
     merge_run_results,
     migrate_instance,
     plan_actions,
+    plan_failures,
 )
 from repro.datacenter.controlplane.budget import (
     BudgetSchedule,
@@ -57,10 +61,12 @@ from repro.datacenter.controlplane.budget import (
 )
 from repro.datacenter.controlplane.policy import (
     POLICY_NAMES,
+    ChaosPolicy,
     ConsolidatingPolicy,
     MigratingPolicy,
     ScheduledBudgetPolicy,
     build_policy,
+    chaos_kill_times,
 )
 
 __all__ = [
@@ -68,6 +74,8 @@ __all__ = [
     "ClusterView",
     "ControlError",
     "ControlPolicy",
+    "FailMachine",
+    "FailureRecord",
     "MachineView",
     "Migrate",
     "MigrationRecord",
@@ -77,19 +85,23 @@ __all__ = [
     "ControlPlan",
     "MigrantState",
     "absorb",
+    "apply_failures",
     "emigrate",
     "enforce_caps",
     "machine_limits",
     "merge_run_results",
     "migrate_instance",
     "plan_actions",
+    "plan_failures",
     "BudgetSchedule",
     "BudgetTraceError",
     "load_budget_trace",
     "parse_budget_trace",
     "POLICY_NAMES",
+    "ChaosPolicy",
     "ConsolidatingPolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",
+    "chaos_kill_times",
 ]

@@ -12,7 +12,10 @@ returns a list of typed actions:
 * :class:`SetBudget` — change the fleet-wide budget mid-run (the §5.4
   cap event fleet-wide: demand-response traces, circuit shocks);
 * :class:`Migrate` — move a tenant's instance to another machine when
-  moving watts alone cannot help (reallocation hit the cap ceiling).
+  moving watts alone cannot help (reallocation hit the cap ceiling);
+* :class:`FailMachine` — fault injection: fail-stop one machine at this
+  barrier and re-place its tenants from their journaled checkpoints
+  (the chaos scenario family).
 
 Every backend (serial, eager, sharded) validates and applies these
 actions through the shared applier (:mod:`~repro.datacenter.
@@ -34,8 +37,10 @@ __all__ = [
     "SetCaps",
     "SetBudget",
     "Migrate",
+    "FailMachine",
     "Action",
     "MigrationRecord",
+    "FailureRecord",
     "ControlPolicy",
 ]
 
@@ -56,12 +61,16 @@ class MachineView:
             this are slack.
         cap_watts: The currently enforced cap, or ``None`` before the
             first :class:`SetCaps` of the run.
+        alive: False once the machine has fail-stopped (chaos
+            injection); policies must not migrate tenants onto — or
+            expect capacity from — a dead machine.
     """
 
     index: int
     cap_floor: float
     cap_ceiling: float
     cap_watts: float | None
+    alive: bool = True
 
 
 @dataclass(frozen=True)
@@ -191,7 +200,29 @@ class Migrate:
     warm: bool = False
 
 
-Action = Union[SetCaps, SetBudget, Migrate]
+@dataclass(frozen=True)
+class FailMachine:
+    """Fail-stop one machine at this barrier (fault injection).
+
+    The machine's meter and clock freeze at the barrier instant (the
+    barrier settles every host first, so its books are exact), its cap
+    is no longer enforced, and every resident tenant is re-placed onto
+    a surviving machine from the checkpoint captured at this same
+    barrier — the in-flight request (if any) is lost, queued requests
+    and the arrival cursor are rebuilt, and the warm
+    :class:`~repro.core.runtime.RuntimeSnapshot` restores the control
+    state.  Requires an engine running with barrier checkpoints (a
+    journal, or a policy declaring ``may_fail_machines``).
+
+    Attributes:
+        machine_index: The machine to kill.  Must currently be alive,
+            and at least one machine must survive the barrier.
+    """
+
+    machine_index: int
+
+
+Action = Union[SetCaps, SetBudget, Migrate, FailMachine]
 """Everything a policy may return from :meth:`ControlPolicy.decide`."""
 
 
@@ -215,6 +246,25 @@ class MigrationRecord:
     dest_machine_index: int
     cost_seconds: float
     warm: bool = False
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One applied machine failure, as recorded in the run result.
+
+    Attributes:
+        time: Barrier time the failure was injected at.
+        machine_index: The machine that fail-stopped.
+        replacements: One :class:`MigrationRecord` per re-placed victim
+            tenant (``warm=True``, ``cost_seconds=0.0``; the source is
+            the dead machine), in engine binding order.  Kept separate
+            from ``DatacenterResult.migrations``, which records policy
+            migrations only.
+    """
+
+    time: float
+    machine_index: int
+    replacements: tuple[MigrationRecord, ...] = ()
 
 
 @runtime_checkable

@@ -44,6 +44,8 @@ from repro.datacenter.controlplane.actions import (
     Action,
     ClusterView,
     ControlError,
+    FailMachine,
+    FailureRecord,
     Migrate,
     MigrationRecord,
     SetBudget,
@@ -62,6 +64,8 @@ __all__ = [
     "emigrate",
     "absorb",
     "migrate_instance",
+    "plan_failures",
+    "apply_failures",
     "merge_run_results",
 ]
 
@@ -80,21 +84,25 @@ def machine_limits(machines: Sequence[Any]) -> tuple[list[float], list[float]]:
 class ControlPlan:
     """A validated, canonically ordered batch of control actions.
 
-    Application order is always budget -> caps -> migrations,
-    regardless of the order the policy emitted them: a new budget must
-    govern the cap check, and caps must be enforced before migration
-    drains run on the source machines.
+    Application order is always budget -> caps -> failures ->
+    migrations, regardless of the order the policy emitted them: a new
+    budget must govern the cap check, caps must be enforced before any
+    placement changes, and failures must land before migrations so a
+    migration never races a machine that died at the same barrier (the
+    validator rejects such plans outright).
 
     Attributes:
         budget_watts: New global budget, or None if unchanged.
         caps: Validated per-machine caps, or None if this barrier
             leaves caps alone.
+        failures: Machines to fail-stop, in policy order.
         migrations: Migrations to perform, in policy order.
     """
 
     budget_watts: float | None
     caps: tuple[float, ...] | None
     migrations: tuple[Migrate, ...]
+    failures: tuple[FailMachine, ...] = ()
 
 
 def plan_actions(
@@ -117,6 +125,7 @@ def plan_actions(
     new_budget: float | None = None
     caps: tuple[float, ...] | None = None
     migrations: list[Migrate] = []
+    failures: list[FailMachine] = []
     tenants = {tenant.name: tenant for tenant in view.tenants}
 
     for action in actions:
@@ -169,8 +178,50 @@ def plan_actions(
                     f"tenant {action.tenant!r} migrated twice in one decision"
                 )
             migrations.append(action)
+        elif isinstance(action, FailMachine):
+            if not 0 <= action.machine_index < len(view.machines):
+                raise ControlError(
+                    f"cannot fail machine {action.machine_index!r}: out of "
+                    f"range for {len(view.machines)} machines"
+                )
+            if not view.machines[action.machine_index].alive:
+                raise ControlError(
+                    f"machine {action.machine_index} is already dead"
+                )
+            if any(f.machine_index == action.machine_index for f in failures):
+                raise ControlError(
+                    f"machine {action.machine_index} failed twice in one "
+                    "decision"
+                )
+            failures.append(action)
         else:
             raise ControlError(f"unknown control action {action!r}")
+
+    if failures:
+        dying = {failure.machine_index for failure in failures}
+        survivors = [
+            m for m in view.machines if m.alive and m.index not in dying
+        ]
+        if not survivors:
+            raise ControlError(
+                "plan fails every remaining machine; at least one must "
+                "survive to host the victims' tenants"
+            )
+    else:
+        dying = set()
+    for migration in migrations:
+        dest = view.machines[migration.dest_machine_index]
+        if not dest.alive or migration.dest_machine_index in dying:
+            raise ControlError(
+                f"cannot migrate tenant {migration.tenant!r} to dead "
+                f"machine {migration.dest_machine_index}"
+            )
+        if tenants[migration.tenant].machine_index in dying:
+            raise ControlError(
+                f"cannot migrate tenant {migration.tenant!r} off machine "
+                f"{tenants[migration.tenant].machine_index}, which fails "
+                "at this same barrier (failure recovery re-places it)"
+            )
 
     if caps is not None:
         effective_budget = new_budget if new_budget is not None else budget_watts
@@ -200,7 +251,10 @@ def plan_actions(
                 f"{effective_budget:.3f} W budget"
             )
     return ControlPlan(
-        budget_watts=new_budget, caps=caps, migrations=tuple(migrations)
+        budget_watts=new_budget,
+        caps=caps,
+        migrations=tuple(migrations),
+        failures=tuple(failures),
     )
 
 
@@ -375,6 +429,105 @@ def migrate_instance(
         cost_seconds=migration.cost_seconds,
         warm=migration.warm,
     )
+
+
+def plan_failures(
+    placements: Sequence[tuple[str, int]],
+    machine_count: int,
+    dead: set[int],
+    failed: Sequence[int],
+) -> list[tuple[int, list[tuple[str, int]]]]:
+    """Deterministically re-place the victims of this barrier's failures.
+
+    Pure placement math shared by the serial applier and the sharded
+    coordinator, so both compute identical destinations.  ``placements``
+    is ``(tenant, machine_index)`` in engine binding order; the victims
+    of each failed machine are re-placed, in that order, onto the
+    surviving machine with the fewest resident tenants (ties break to
+    the lowest index), counting victims as they land.  Returns
+    ``(failed_machine_index, [(tenant, dest_machine_index), ...])`` per
+    failure, in ``failed`` order.
+    """
+    dead_after = dead | set(failed)
+    survivors = [i for i in range(machine_count) if i not in dead_after]
+    if not survivors:
+        raise ControlError("no machine survives to host the victims")
+    occupancy = {index: 0 for index in survivors}
+    victims: dict[int, list[str]] = {index: [] for index in failed}
+    for tenant, placement in placements:
+        if placement in occupancy:
+            occupancy[placement] += 1
+        elif placement in victims:
+            victims[placement].append(tenant)
+    moves = []
+    for index in failed:
+        machine_moves = []
+        for tenant in victims[index]:
+            dest = min(occupancy, key=lambda i: (occupancy[i], i))
+            occupancy[dest] += 1
+            machine_moves.append((tenant, dest))
+        moves.append((index, machine_moves))
+    return moves
+
+
+def apply_failures(
+    engine: "DatacenterEngine",
+    failed: Sequence[int],
+    now: float,
+) -> list[FailureRecord]:
+    """Fail-stop machines in process and re-place their tenants.
+
+    The serial and eager backends use this directly (the sharded
+    coordinator runs the same :func:`plan_failures` math and ships the
+    checkpoints to destination workers instead).  All failing machines
+    are marked dead first — their meters and clocks freeze at the
+    already-settled barrier instant — then each victim is rebuilt on
+    its surviving destination from the checkpoint captured at this
+    barrier via
+    :func:`~repro.datacenter.checkpoint.restore_from_checkpoint`.
+    """
+    from repro.datacenter.checkpoint import restore_from_checkpoint
+
+    checkpoints = engine._last_checkpoints
+    if checkpoints is None:
+        raise ControlError(
+            "FailMachine requires barrier checkpoints: run with a journal "
+            "attached or a policy declaring may_fail_machines (e.g. "
+            "ChaosPolicy)"
+        )
+    placements = [
+        (binding.tenant.name, binding.machine_index)
+        for binding in engine.bindings
+    ]
+    moves = plan_failures(
+        placements, len(engine.machines), set(engine.dead_machines), failed
+    )
+    engine.dead_machines.update(failed)
+    by_name = {binding.tenant.name: binding for binding in engine.bindings}
+    records = []
+    for index, machine_moves in moves:
+        engine.hosts[index].instances.clear()
+        replacements = []
+        for tenant, dest in machine_moves:
+            restore_from_checkpoint(
+                engine, by_name[tenant], checkpoints[tenant], dest
+            )
+            replacements.append(
+                MigrationRecord(
+                    time=now,
+                    tenant=tenant,
+                    source_machine_index=index,
+                    dest_machine_index=dest,
+                    cost_seconds=0.0,
+                    warm=True,
+                )
+            )
+        records.append(
+            FailureRecord(
+                time=now, machine_index=index, replacements=tuple(replacements)
+            )
+        )
+    return records
 
 
 def merge_run_results(segments: Sequence[RunResult]) -> RunResult:

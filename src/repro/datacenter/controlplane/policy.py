@@ -24,12 +24,19 @@ express:
   the parked machines.  One move per barrier — multi-step placements
   emerge across consecutive barriers.
 
+* :class:`ChaosPolicy` — fault injection: wraps any policy stack and
+  fail-stops machines at seeded, deterministic instants mid-run
+  (each kill instant becomes a control barrier, so the failure lands
+  exactly when scheduled).  Victims' tenants are re-placed from the
+  barrier's checkpoints; billing conservation holds across the kill.
+
 :func:`build_policy` maps the CLI's ``--policy`` names to assembled
 policy stacks.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import replace
 from typing import Sequence
 
@@ -38,6 +45,7 @@ from repro.datacenter.controlplane.actions import (
     ClusterView,
     ControlError,
     ControlPolicy,
+    FailMachine,
     Migrate,
     SetBudget,
     SetCaps,
@@ -46,10 +54,12 @@ from repro.datacenter.controlplane.budget import BudgetSchedule
 
 __all__ = [
     "POLICY_NAMES",
+    "ChaosPolicy",
     "ConsolidatingPolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",
+    "chaos_kill_times",
 ]
 
 POLICY_NAMES = ("static-equal", "sla-aware", "migrating", "consolidating")
@@ -159,7 +169,7 @@ class MigratingPolicy:
         dest = None
         best_headroom = 1e-6
         for machine in view.machines:
-            if machine.index == source:
+            if machine.index == source or not machine.alive:
                 continue
             headroom = machine.cap_ceiling - caps[machine.index]
             if headroom > best_headroom:
@@ -308,7 +318,11 @@ class ConsolidatingPolicy:
         self, view: ClusterView, occupancy: Sequence[int]
     ) -> Migrate | None:
         """Move the worst-off tenant onto a parked machine, if demand is back."""
-        parked = [m.index for m in view.machines if occupancy[m.index] == 0]
+        parked = [
+            m.index
+            for m in view.machines
+            if m.alive and occupancy[m.index] == 0
+        ]
         if not parked:
             return None
         shortfalls = view.machine_shortfalls()
@@ -418,6 +432,167 @@ class ConsolidatingPolicy:
         if migration is not None:
             self._last_move[migration.tenant] = view.time
             actions.append(migration)
+        return actions
+
+
+def chaos_kill_times(
+    horizon: float,
+    kills: int,
+    seed: int,
+    start_fraction: float = 0.3,
+    end_fraction: float = 0.8,
+) -> tuple[float, ...]:
+    """The seeded, sorted machine-kill instants for a chaos run.
+
+    A pure function of ``(horizon, kills, seed)`` so every consumer —
+    :class:`ChaosPolicy`, a resumed run re-deriving its schedule, and
+    the bench harness's event counter — computes identical floats.
+    Kills land in the ``[start_fraction, end_fraction]`` span of the
+    horizon: late enough that tenants have warm state worth losing,
+    early enough that the recovered run still serves traffic.
+    """
+    if kills < 0:
+        raise ControlError(f"kills must be >= 0, got {kills!r}")
+    if not 0.0 < start_fraction < end_fraction <= 1.0:
+        raise ControlError(
+            f"kill span [{start_fraction!r}, {end_fraction!r}] must satisfy "
+            "0 < start < end <= 1"
+        )
+    rng = random.Random(seed)
+    span = (end_fraction - start_fraction) * horizon
+    return tuple(
+        sorted(
+            start_fraction * horizon + rng.random() * span
+            for _ in range(kills)
+        )
+    )
+
+
+class ChaosPolicy:
+    """Fault injection: fail-stop machines at seeded instants mid-run.
+
+    Wraps any policy stack.  :func:`chaos_kill_times` schedules the
+    kill instants (each becomes a control barrier, so the failure
+    lands exactly when scheduled, not at the next periodic tick); at
+    each one the policy picks a seeded victim among the machines still
+    alive — preferring machines that actually host unfinished tenants,
+    and never killing the last survivor — and emits
+    :class:`~repro.datacenter.controlplane.actions.FailMachine` after
+    the inner policy's actions.  Inner migrations that touch a machine
+    dying at the same barrier are dropped (the failure re-places those
+    tenants anyway).
+
+    Setting the class attribute ``may_fail_machines`` tells the engine
+    to capture cluster checkpoints at every barrier, which is what the
+    failure recovery restores from.  Deterministic by construction:
+    the kill schedule and victim choices are pure functions of the
+    seed and the observed views, so replaying or resuming a chaos run
+    reproduces the same failures.
+
+    The cap arbiter still allocates dead machines their floor watts
+    (they cannot be powered off, merely frozen); the consolidating
+    policy's parking logic treats them as permanently parked.
+
+    Args:
+        inner: The policy stack deciding caps/budget/migrations.
+        kills: Number of machines to kill over the run.
+        seed: Seed for the kill schedule and victim choices.
+        start_fraction: Earliest kill, as a fraction of the horizon.
+        end_fraction: Latest kill, as a fraction of the horizon.
+    """
+
+    may_fail_machines = True
+
+    def __init__(
+        self,
+        inner: ControlPolicy,
+        kills: int = 1,
+        seed: int = 0,
+        start_fraction: float = 0.3,
+        end_fraction: float = 0.8,
+    ) -> None:
+        # Validate eagerly (barrier_times may be a while away).
+        chaos_kill_times(1.0, kills, seed, start_fraction, end_fraction)
+        self.inner = inner
+        self.kills = kills
+        self.seed = seed
+        self.start_fraction = start_fraction
+        self.end_fraction = end_fraction
+        self._due: list[float] | None = None
+        self._victim_rng = random.Random(seed + 1)
+
+    def initial_budget_watts(self) -> float | None:
+        """Delegates to the inner policy."""
+        return self.inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Inner barriers plus the seeded kill instants."""
+        schedule = chaos_kill_times(
+            horizon,
+            self.kills,
+            self.seed,
+            self.start_fraction,
+            self.end_fraction,
+        )
+        self._due = list(schedule)
+        return tuple(self.inner.barrier_times(horizon)) + schedule
+
+    def _pick_victim(
+        self, view: ClusterView, dying: Sequence[int]
+    ) -> int | None:
+        """A seeded victim among the alive machines, or None to skip.
+
+        Prefers machines hosting unfinished tenants (killing an empty
+        machine exercises nothing) and never kills the last survivor.
+        """
+        alive = [
+            m.index
+            for m in view.machines
+            if m.alive and m.index not in dying
+        ]
+        if len(alive) < 2:
+            return None
+        occupied = [
+            index
+            for index in alive
+            if any(
+                t.machine_index == index and not t.finished
+                for t in view.tenants
+            )
+        ]
+        pool = occupied or alive
+        return pool[self._victim_rng.randrange(len(pool))]
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Inner actions, plus this barrier's scheduled kills (if due)."""
+        actions = list(self.inner.decide(view))
+        if self._due is None:
+            raise ControlError(
+                "ChaosPolicy.decide called before barrier_times scheduled "
+                "the kills"
+            )
+        dying: list[int] = []
+        while self._due and view.time >= self._due[0] - 1e-9:
+            self._due.pop(0)
+            victim = self._pick_victim(view, dying)
+            if victim is not None:
+                dying.append(victim)
+        if not dying:
+            return actions
+        placement = {t.name: t.machine_index for t in view.tenants}
+        doomed = set(dying)
+        actions = [
+            action
+            for action in actions
+            if not (
+                isinstance(action, Migrate)
+                and (
+                    action.dest_machine_index in doomed
+                    or placement.get(action.tenant) in doomed
+                )
+            )
+        ]
+        actions.extend(FailMachine(index) for index in dying)
         return actions
 
 

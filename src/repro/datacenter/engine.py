@@ -78,15 +78,24 @@ from repro.datacenter.billing import (
     compose_bill,
     conservation_summary,
 )
+from repro.datacenter.checkpoint import (
+    MachineCheckpoint,
+    TenantCheckpoint,
+    capture_machine_checkpoint,
+    capture_tenant_checkpoint,
+)
 from repro.datacenter.controlplane.actions import (
+    Action,
     ClusterView,
     ControlPolicy,
+    FailureRecord,
     MachineView,
     MigrationRecord,
     TenantView,
 )
 from repro.datacenter.controlplane.applier import (
     ControlPlan,
+    apply_failures,
     enforce_caps,
     machine_limits,
     merge_run_results,
@@ -176,6 +185,8 @@ class DatacenterResult:
         budget_history: ``(time, watts)`` — the initial budget plus
             every applied ``SetBudget`` (budget shocks land here).
         migrations: Applied migrations, in application order.
+        failures: Applied machine failures (chaos injection), each with
+            its victim re-placements, in application order.
     """
 
     tenant_reports: list[TenantReport]
@@ -189,6 +200,7 @@ class DatacenterResult:
     cap_history: list[tuple[float, tuple[float, ...]]]
     budget_history: list[tuple[float, float]] = field(default_factory=list)
     migrations: list[MigrationRecord] = field(default_factory=list)
+    failures: list[FailureRecord] = field(default_factory=list)
 
     @property
     def total_mean_power(self) -> float:
@@ -365,6 +377,13 @@ class DatacenterEngine:
         workers: Worker-process count for the sharded backend (clamped
             to the machine count; default: the host's CPU count).
             Ignored by the other backends.
+        journal: Optional run journal (anything with a ``write_record``
+            method, normally a
+            :class:`~repro.datacenter.journal.writer.JournalWriter`).
+            When set, every control barrier appends one record — the
+            policy's raw actions, the applied budget/caps/migrations/
+            failures, and a full cluster checkpoint — making the run
+            replayable and crash-resumable from the journal alone.
     """
 
     def __init__(
@@ -376,6 +395,7 @@ class DatacenterEngine:
         attainment_window: float = 20.0,
         backend: str = "serial",
         workers: int | None = None,
+        journal=None,
     ) -> None:
         if not machines:
             raise EngineError("engine needs at least one machine")
@@ -430,6 +450,24 @@ class DatacenterEngine:
         self.budget_history: list[tuple[float, float]] = []
         # Applied migrations, in application order.
         self.migration_history: list[MigrationRecord] = []
+        # Applied machine failures (chaos injection), in order.
+        self.failure_history: list[FailureRecord] = []
+        # Machines that have fail-stopped: clock and meter frozen at the
+        # death barrier, never advanced or capped again.
+        self.dead_machines: set[int] = set()
+        self.journal = journal
+        # Per-barrier cluster checkpoints are captured only when someone
+        # needs them (a journal, or a policy that may kill machines) so
+        # ordinary runs pay zero checkpoint overhead.
+        self._checkpointing = journal is not None or bool(
+            getattr(policy, "may_fail_machines", False)
+        )
+        self._last_checkpoints: dict[str, TenantCheckpoint] | None = None
+        self._last_machine_checkpoints: list[MachineCheckpoint] | None = None
+        # The previous journaled barrier's tenant checkpoints, so each
+        # barrier record stores completions as an append-only delta.
+        self._journaled_checkpoints: dict[str, TenantCheckpoint] = {}
+        self._barrier_index = 0
         # Watt-seconds per machine that no tenant was running for; the
         # billing conservation invariant is
         #   sum(binding.ledger.energy_joules) + sum(idle_energy_joules)
@@ -522,6 +560,7 @@ class DatacenterEngine:
                 cap_floor=self._cap_floors[index],
                 cap_ceiling=self._cap_ceilings[index],
                 cap_watts=self._caps[index] if self._caps is not None else None,
+                alive=index not in self.dead_machines,
             )
             for index in range(len(self.machines))
         )
@@ -530,14 +569,108 @@ class DatacenterEngine:
             tenants=tenants,
         )
 
-    def _decide_plan(self, view: ClusterView) -> ControlPlan:
-        """Ask the policy for actions and validate them centrally."""
+    def _decide_plan(
+        self, view: ClusterView
+    ) -> tuple[list[Action], ControlPlan]:
+        """Ask the policy for actions and validate them centrally.
+
+        Returns both the policy's raw actions (journaled verbatim, so a
+        replay can re-issue exactly what the policy said) and the
+        validated :class:`ControlPlan` the engine applies.
+        """
         if self.policy is None:
             raise EngineError("control barrier scheduled without a policy")
-        actions = self.policy.decide(view)
-        return plan_actions(
+        actions = list(self.policy.decide(view))
+        plan = plan_actions(
             actions, view, self._cap_floors, self._cap_ceilings, self._budget
         )
+        return actions, plan
+
+    def _capture_checkpoints(self) -> None:
+        """Checkpoint every tenant and machine at a settled barrier.
+
+        Called before the policy decides, so the captured state is
+        exactly what the policy's view summarizes — and exactly what a
+        failure at this barrier restores from.
+        """
+        self._last_checkpoints = {
+            binding.tenant.name: capture_tenant_checkpoint(binding)
+            for binding in self.bindings
+        }
+        self._last_machine_checkpoints = [
+            capture_machine_checkpoint(self, index)
+            for index in range(len(self.machines))
+        ]
+
+    def _enforce_live_caps(
+        self, caps: tuple[float, ...], dying: frozenset[int] | set[int] = frozenset()
+    ) -> None:
+        """Apply validated caps, skipping dead and dying machines.
+
+        A machine failing at this same barrier keeps its pre-barrier
+        frequency — it will never run again, and skipping it keeps the
+        frozen DVFS state identical across backends (the sharded
+        coordinator marks deaths before its workers enforce caps).
+        """
+        alive = [
+            index
+            for index in range(len(self.machines))
+            if index not in self.dead_machines and index not in dying
+        ]
+        enforce_caps(
+            [self.machines[index] for index in alive],
+            [caps[index] for index in alive],
+        )
+
+    def _journal_barrier(
+        self,
+        now: float,
+        actions: Sequence[Action],
+        migrations: Sequence[MigrationRecord],
+        failures: Sequence[FailureRecord],
+    ) -> None:
+        """Append one barrier record to the run journal (if attached).
+
+        Written *after* the barrier's actions applied — a crash inside
+        a barrier therefore leaves a journal ending at the previous
+        complete barrier, which is the resume point.
+        """
+        if self.journal is None:
+            return
+        # Imported lazily: the journal package's replay module imports
+        # this engine, so a module-level import would be circular.
+        from repro.datacenter.journal import codec
+
+        checkpoints = self._last_checkpoints or {}
+        record = {
+            "kind": "barrier",
+            "index": self._barrier_index,
+            "time": now,
+            "actions": [codec.encode_action(action) for action in actions],
+            "budget_watts": self._budget,
+            "caps": list(self._caps) if self._caps is not None else None,
+            "tenants": [
+                codec.encode_tenant_checkpoint(
+                    checkpoints[binding.tenant.name],
+                    self._journaled_checkpoints.get(binding.tenant.name),
+                )
+                for binding in self.bindings
+            ],
+            "machines": [
+                codec.encode_machine_checkpoint(checkpoint)
+                for checkpoint in self._last_machine_checkpoints or []
+            ],
+            "migrations": [
+                codec.encode_migration_record(record)
+                for record in migrations
+            ],
+            "failures": [
+                codec.encode_failure_record(record) for record in failures
+            ],
+        }
+        self.journal.write_record(record)
+        self._journaled_checkpoints = dict(checkpoints)
+        self._barrier_index += 1
 
     def _record_plan(
         self,
@@ -561,17 +694,33 @@ class DatacenterEngine:
         """Run one in-process control barrier: view -> plan -> apply.
 
         Application order is canonical — budget, then caps, then
-        migrations — so a migration's source-host drain always runs
-        under the freshly enforced caps, on every backend.
+        failures, then migrations — so a migration's source-host drain
+        always runs under the freshly enforced caps and never races a
+        machine dying at the same barrier, on every backend.  When
+        checkpointing is on, the cluster checkpoint is captured before
+        the policy decides; the journal record (actions, applied
+        effects, checkpoint) is written after everything applied.
         """
-        plan = self._decide_plan(self._control_view(now))
+        if self._checkpointing:
+            self._capture_checkpoints()
+        actions, plan = self._decide_plan(self._control_view(now))
         self._record_plan(plan, now, cap_history)
         if plan.caps is not None:
-            enforce_caps(self.machines, plan.caps)
-        for migration in plan.migrations:
-            self.migration_history.append(
-                migrate_instance(self, migration, now)
+            self._enforce_live_caps(
+                plan.caps, {f.machine_index for f in plan.failures}
             )
+        failures: list[FailureRecord] = []
+        if plan.failures:
+            failures = apply_failures(
+                self, [f.machine_index for f in plan.failures], now
+            )
+            self.failure_history.extend(failures)
+        migrations: list[MigrationRecord] = []
+        for migration in plan.migrations:
+            record = migrate_instance(self, migration, now)
+            self.migration_history.append(record)
+            migrations.append(record)
+        self._journal_barrier(now, actions, migrations, failures)
 
     # ------------------------------------------------------------------
     # Event plumbing for the single-process backends
@@ -651,8 +800,14 @@ class DatacenterEngine:
         machine meter's integrated energy and of the machine clock
         across the step is charged to the stepping tenant's ledger.  The
         closing ``idle_until`` settlement belongs to no tenant and
-        accumulates as the machine's unattributed idle energy.
+        accumulates as the machine's unattributed idle energy.  A
+        fail-stopped machine is never advanced: its clock and meter
+        stay frozen at the death barrier (fail-stop semantics — the
+        billing conservation invariant is unaffected because a frozen
+        meter accrues nothing).
         """
+        if host.index in self.dead_machines:
+            return
         machine = host.machine
         while machine.now < until - 1e-12:
             instance = host.next_runnable()
@@ -790,6 +945,7 @@ class DatacenterEngine:
             cap_history=cap_history,
             budget_history=list(self.budget_history),
             migrations=list(self.migration_history),
+            failures=list(self.failure_history),
         )
 
     def run(self) -> DatacenterResult:
@@ -807,8 +963,11 @@ class DatacenterEngine:
 
     def _run_serial(self) -> DatacenterResult:
         """The lazy single-process scheduler (see module docstring)."""
-        cap_history = self._begin_run()
+        # Barrier times first: a policy may derive per-run state (e.g.
+        # a chaos kill schedule) in barrier_times(), which the time-zero
+        # decide inside _begin_run() already relies on.
         tick_times = self._tick_times()
+        cap_history = self._begin_run()
 
         def on_tick(now: float) -> None:
             # No pump: in-process migrations keep the binding in the
@@ -831,6 +990,7 @@ class DatacenterEngine:
         through the shared control plane) as the baseline the
         :mod:`repro.bench` harness measures the lazy scheduler against.
         """
+        tick_times = self._tick_times()
         cap_history = self._begin_run()
         heap: list[tuple[float, int, int, InstanceBinding | None]] = []
         seq = 0
@@ -838,7 +998,7 @@ class DatacenterEngine:
             for arrival in binding.tenant.trace.arrivals:
                 heap.append((arrival, seq, _ARRIVAL, binding))
                 seq += 1
-        for tick in self._tick_times():
+        for tick in tick_times:
             heap.append((tick, seq, _BARRIER, None))
             seq += 1
         heapq.heapify(heap)

@@ -1,0 +1,437 @@
+"""Re-execute, resume, and verify runs from their journals.
+
+Three consumers of :func:`~repro.datacenter.journal.reader.read_journal`
+live here:
+
+* :func:`replay` — rebuild the engine from the journal header's
+  scenario config (zero other inputs), re-issue the journaled actions
+  at every barrier, and assert the fresh
+  :class:`~repro.datacenter.engine.DatacenterResult` matches the
+  journaled one byte for byte (invariant 7: every run is a pure
+  function of its journal).
+* :func:`resume` — finish a run whose journal ends mid-run (a crash
+  left no ``result`` record).  The scenario re-executes under the
+  *live* policy with every journaled barrier attested: the re-decided
+  actions must match the journal's raw actions, and at the last
+  journaled barrier the freshly captured cluster checkpoint — warm
+  :class:`~repro.core.runtime.RuntimeSnapshot`\\ s included — must
+  match the journaled one, proving the run passed through exactly the
+  state the crash interrupted.
+* :func:`journaled_run` — the recording half: attach a writer, run,
+  and append the canonical result record that :func:`replay` verifies
+  against.
+
+Scenario configs name a *builder* registered via
+:func:`register_scenario_builder`; the header also records the
+builder's defining module so a fresh process can import it on demand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+from dataclasses import asdict
+from typing import Any, Callable, Mapping
+
+from repro.datacenter.engine import DatacenterEngine, DatacenterResult
+from repro.datacenter.journal.codec import (
+    JournalError,
+    canonical_json,
+    encode_action,
+    encode_bill,
+    encode_failure_record,
+    encode_migration_record,
+    encode_tenant_checkpoint,
+)
+from repro.datacenter.journal.reader import Journal, read_journal
+from repro.datacenter.journal.writer import JournalWriter
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "register_scenario_builder",
+    "build_engine_from_header",
+    "ReplayPolicy",
+    "result_payload",
+    "journaled_run",
+    "replay",
+    "resume",
+]
+
+SCENARIO_BUILDERS: dict[str, Callable[..., DatacenterEngine]] = {}
+"""Registered scenario builders, by the name journal headers record."""
+
+
+def register_scenario_builder(
+    name: str, builder: Callable[..., DatacenterEngine]
+) -> None:
+    """Register a scenario builder for journal replay.
+
+    ``builder(config, backend=..., workers=..., journal=...)`` must
+    rebuild a fresh engine from the plain-data ``config`` the journal
+    header stores.  Registration is idempotent for the same callable;
+    re-registering a name with a *different* callable raises
+    :class:`~repro.datacenter.journal.codec.JournalError` (a silent
+    swap would make old journals replay the wrong scenario).
+    """
+    existing = SCENARIO_BUILDERS.get(name)
+    if existing is not None and existing is not builder:
+        raise JournalError(
+            f"scenario builder {name!r} is already registered to a "
+            "different callable"
+        )
+    SCENARIO_BUILDERS[name] = builder
+
+
+def build_engine_from_header(
+    header: Mapping[str, Any],
+    backend: str | None = None,
+    workers: int | None = None,
+    journal=None,
+) -> DatacenterEngine:
+    """Rebuild a journaled run's engine from its header alone.
+
+    Looks the header's scenario builder up in the registry, importing
+    the recorded defining module first if needed (modules register
+    their builders at import time).  ``backend``/``workers`` override
+    the recorded ones — replay is backend-independent by construction,
+    so any backend must reproduce the same result.
+    """
+    scenario = header.get("scenario")
+    if not isinstance(scenario, Mapping):
+        raise JournalError(
+            "journal header has no scenario section; cannot rebuild the run"
+        )
+    for key in ("builder", "module", "config"):
+        if key not in scenario:
+            raise JournalError(
+                f"journal header's scenario section is missing {key!r}"
+            )
+    name = scenario["builder"]
+    if name not in SCENARIO_BUILDERS:
+        try:
+            importlib.import_module(scenario["module"])
+        except ImportError as error:
+            raise JournalError(
+                f"cannot import scenario module {scenario['module']!r} "
+                f"for builder {name!r}: {error}"
+            ) from error
+    builder = SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise JournalError(
+            f"scenario builder {name!r} is not registered (module "
+            f"{scenario['module']!r} imported but did not register it)"
+        )
+    return builder(
+        scenario["config"],
+        backend=backend if backend is not None else "serial",
+        workers=workers,
+        journal=journal,
+    )
+
+
+class ReplayPolicy:
+    """A control policy that re-issues a journal's recorded actions.
+
+    Replaces the live policy during :func:`replay`: at every barrier it
+    returns exactly the raw actions the journal recorded, after
+    asserting the barrier arrived at the journaled instant.  Declares
+    ``may_fail_machines`` so the engine keeps checkpointing — replayed
+    ``FailMachine`` actions restore victims from the same-barrier
+    checkpoints just as the recorded run did.
+    """
+
+    may_fail_machines = True
+
+    def __init__(self, journal: Journal) -> None:
+        self._journal = journal
+        self._cursor = 0
+
+    def initial_budget_watts(self) -> float | None:
+        """The recorded initial budget."""
+        return self._journal.header.get("initial_budget_watts")
+
+    def barrier_times(self, horizon: float) -> tuple[float, ...]:
+        """Every journaled barrier instant (time zero is implicit)."""
+        return tuple(
+            barrier.time
+            for barrier in self._journal.barriers
+            if barrier.time > 0.0
+        )
+
+    def decide(self, view) -> list:
+        """Return the journaled actions for the next barrier."""
+        barriers = self._journal.barriers
+        if self._cursor >= len(barriers):
+            raise JournalError(
+                f"replay reached barrier {self._cursor} at t={view.time!r} "
+                f"but the journal records only {len(barriers)} barriers"
+            )
+        barrier = barriers[self._cursor]
+        if view.time != barrier.time:
+            raise JournalError(
+                f"replay barrier {self._cursor} arrived at t={view.time!r} "
+                f"but the journal records t={barrier.time!r}"
+            )
+        self._cursor += 1
+        return list(barrier.actions)
+
+
+def _hex(value: float | None) -> str:
+    """Lossless float token for the sample digest (None-safe)."""
+    return "none" if value is None else float(value).hex()
+
+
+def result_payload(result: DatacenterResult) -> dict[str, Any]:
+    """A :class:`DatacenterResult` as the canonical JSON result record.
+
+    Everything scalar is encoded through the shared codec; the
+    per-heartbeat run samples (thousands of floats per tenant) are
+    folded into a SHA-256 digest over their exact ``float.hex`` forms,
+    so the record stays small while still pinning every sample bit.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(result.run_results):
+        run = result.run_results[name]
+        digest.update(name.encode("utf-8"))
+        digest.update(
+            f"|{_hex(run.energy_joules)}|{_hex(run.elapsed)}\n".encode("utf-8")
+        )
+        for sample in run.samples:
+            digest.update(
+                "|".join(
+                    (
+                        str(sample.beat),
+                        _hex(sample.time),
+                        _hex(sample.window_rate),
+                        _hex(sample.normalized_performance),
+                        _hex(sample.knob_gain),
+                        _hex(sample.commanded_speedup),
+                        _hex(sample.frequency_ghz),
+                    )
+                ).encode("utf-8")
+                + b"\n"
+            )
+    return {
+        "bills": [encode_bill(bill) for bill in result.bills],
+        "tenant_reports": [asdict(report) for report in result.tenant_reports],
+        "cap_history": [
+            [time, list(caps)] for time, caps in result.cap_history
+        ],
+        "budget_history": [
+            [time, watts] for time, watts in result.budget_history
+        ],
+        "migrations": [
+            encode_migration_record(record) for record in result.migrations
+        ],
+        "failures": [
+            encode_failure_record(record) for record in result.failures
+        ],
+        "idle_energy_joules": list(result.idle_energy_joules),
+        "machine_mean_power": list(result.machine_mean_power),
+        "total_energy_joules": result.total_energy_joules,
+        "makespan": result.makespan,
+        "budget_watts": result.budget_watts,
+        "samples_digest": digest.hexdigest(),
+    }
+
+
+def journaled_run(engine: DatacenterEngine, writer: JournalWriter):
+    """Run ``engine`` with ``writer`` attached and record the result.
+
+    The recording half of the replay contract: barrier records stream
+    out as the run executes, and the closing ``result`` record pins the
+    canonical payload :func:`replay` verifies against.
+    """
+    engine.journal = writer
+    engine._checkpointing = True
+    result = engine.run()
+    writer.write_record({"kind": "result", "payload": result_payload(result)})
+    return result
+
+
+def _diff_payloads(
+    fresh: Mapping[str, Any], recorded: Mapping[str, Any]
+) -> str:
+    """Name the first result field whose canonical bytes differ."""
+    for key in sorted(set(fresh) | set(recorded)):
+        if canonical_json(fresh.get(key)) != canonical_json(recorded.get(key)):
+            return key
+    return "<none>"
+
+
+def replay(
+    path: str, backend: str | None = None, workers: int | None = None
+) -> DatacenterResult:
+    """Re-execute a journaled run and assert byte-exact reproduction.
+
+    The engine is rebuilt from the journal header's scenario config
+    (no other inputs), driven by a :class:`ReplayPolicy` that re-issues
+    the recorded actions, and the fresh result's canonical payload is
+    compared byte-for-byte against the journal's ``result`` record —
+    raising :class:`~repro.datacenter.journal.codec.JournalError`
+    naming the first differing field on any mismatch.  ``backend``
+    defaults to serial regardless of how the run was recorded; parity
+    across backends means any choice must reproduce the same bytes.
+    """
+    journal = read_journal(path)
+    if not journal.complete:
+        raise JournalError(
+            f"journal {path!r} records an interrupted run (no result "
+            "record); use resume() to finish it"
+        )
+    engine = build_engine_from_header(
+        journal.header, backend=backend, workers=workers
+    )
+    engine.policy = ReplayPolicy(journal)
+    engine._checkpointing = True
+    result = engine.run()
+    payload = result_payload(result)
+    if canonical_json(payload) != canonical_json(journal.result):
+        raise JournalError(
+            f"replay of {path!r} diverged from the journaled result: "
+            f"field {_diff_payloads(payload, journal.result)!r} differs"
+        )
+    return result
+
+
+class _AttestingPolicy:
+    """The live policy, with every journaled barrier cross-checked.
+
+    Used by :func:`resume`: barriers within the journaled prefix must
+    re-decide exactly the recorded raw actions (control decisions are
+    pure functions of the view, so any divergence means the scenario
+    config and the journal disagree), and at the last journaled barrier
+    the freshly captured tenant checkpoints must byte-match the
+    journaled ones — warm runtime snapshots included.
+    """
+
+    may_fail_machines = True
+
+    def __init__(self, inner, journal: Journal) -> None:
+        self._inner = inner
+        self._journal = journal
+        self._cursor = 0
+        self._engine: DatacenterEngine | None = None
+
+    def attach(self, engine: DatacenterEngine) -> None:
+        """Give the attestor the engine whose checkpoints it verifies."""
+        self._engine = engine
+
+    def initial_budget_watts(self) -> float | None:
+        """Delegates to the live policy."""
+        return self._inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float):
+        """Delegates to the live policy."""
+        return self._inner.barrier_times(horizon)
+
+    @property
+    def attested_barriers(self) -> int:
+        """How many journaled barriers have been verified so far."""
+        return min(self._cursor, len(self._journal.barriers))
+
+    def decide(self, view) -> list:
+        """Live decision, attested against the journal's prefix."""
+        actions = list(self._inner.decide(view))
+        barriers = self._journal.barriers
+        if self._cursor < len(barriers):
+            barrier = barriers[self._cursor]
+            if view.time != barrier.time:
+                raise JournalError(
+                    f"resume: live barrier {self._cursor} arrived at "
+                    f"t={view.time!r} but the journal records "
+                    f"t={barrier.time!r}"
+                )
+            live = [encode_action(action) for action in actions]
+            recorded = [encode_action(action) for action in barrier.actions]
+            if canonical_json(live) != canonical_json(recorded):
+                raise JournalError(
+                    f"resume: the live policy diverged from the journal at "
+                    f"barrier {self._cursor} (t={view.time!r}); the journal "
+                    "does not belong to this scenario config"
+                )
+            if self._cursor == len(barriers) - 1:
+                self._attest_checkpoints(barrier)
+        self._cursor += 1
+        return actions
+
+    def _attest_checkpoints(self, barrier) -> None:
+        """Byte-compare live cluster state against the crash barrier."""
+        engine = self._engine
+        if engine is None or engine._last_checkpoints is None:
+            raise JournalError(
+                "resume: no live checkpoints to attest against the journal "
+                "(engine not checkpointing?)"
+            )
+        for name, recorded in barrier.tenants.items():
+            fresh = engine._last_checkpoints.get(name)
+            if fresh is None:
+                raise JournalError(
+                    f"resume: journaled tenant {name!r} is missing from the "
+                    "live run"
+                )
+            if canonical_json(encode_tenant_checkpoint(fresh)) != (
+                canonical_json(encode_tenant_checkpoint(recorded))
+            ):
+                raise JournalError(
+                    f"resume: tenant {name!r}'s live state at the crash "
+                    f"barrier (t={barrier.time!r}) does not match the "
+                    "journaled checkpoint"
+                )
+
+
+def resume(
+    path: str,
+    backend: str | None = None,
+    workers: int | None = None,
+    journal_path: str | None = None,
+) -> DatacenterResult:
+    """Finish a crashed run from its journal, attesting the prefix.
+
+    The scenario re-executes deterministically under its *live* policy
+    (rebuilt from the journal header's config, chaos seeds included);
+    every barrier the journal recorded is attested — re-decided actions
+    must match the recorded ones, and the cluster checkpoint at the
+    last journaled barrier must byte-match the journal's, warm runtime
+    snapshots included — before the run continues past the crash point
+    to completion.  Because re-execution is exact, the resumed result's
+    bills are identical to what the uncrashed run would have produced,
+    and billing conservation holds to the usual tolerance.
+
+    ``journal_path`` optionally records a fresh, complete journal of
+    the resumed run (it may equal ``path`` only on filesystems where
+    the old journal has been fully read first — it has: reading happens
+    before the writer truncates).
+    """
+    journal = read_journal(path)
+    writer: JournalWriter | None = None
+    if journal_path is not None:
+        header = {
+            key: value
+            for key, value in journal.header.items()
+            if key not in ("kind", "journal_schema", "codec")
+        }
+        writer = JournalWriter(journal_path, header)
+    try:
+        engine = build_engine_from_header(
+            journal.header, backend=backend, workers=workers, journal=writer
+        )
+        attestor = _AttestingPolicy(engine.policy, journal)
+        attestor.attach(engine)
+        engine.policy = attestor
+        engine._checkpointing = True
+        result = engine.run()
+        if attestor.attested_barriers < len(journal.barriers):
+            raise JournalError(
+                f"resume: the live run held {attestor.attested_barriers} "
+                f"barriers but the journal records {len(journal.barriers)} "
+                "— the scenario config does not match the journal"
+            )
+        if writer is not None:
+            writer.write_record(
+                {"kind": "result", "payload": result_payload(result)}
+            )
+        return result
+    finally:
+        if writer is not None:
+            writer.close()

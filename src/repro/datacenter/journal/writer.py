@@ -1,0 +1,150 @@
+"""The append-only NDJSON journal writer.
+
+One line per record, flushed as written, so a crash mid-run leaves a
+valid journal ending at the last *complete* barrier (barrier records
+are written after their actions applied — a crash inside a barrier
+never leaves a half-applied record behind).  Record kinds:
+
+``header``
+    First line.  Schema and codec versions, the scenario builder and
+    its full config (seeds included), backend provenance, and the
+    initial budget — everything :func:`repro.datacenter.journal.
+    replay.replay` needs to rebuild the run with zero other inputs.
+``barrier``
+    One per control barrier, in time order: the barrier index and
+    time, the policy's raw actions, the applied budget/caps, the
+    cluster checkpoint (every tenant's warm state, cursor, and ledger
+    delta; every machine's metered state), and this barrier's applied
+    migration and failure records.
+``result``
+    Written once, after the run completes: the canonical
+    ``DatacenterResult`` payload replay verifies against.  A journal
+    without one is an interrupted run — :func:`~repro.datacenter.
+    journal.replay.resume` picks it up from the last barrier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping
+
+from repro.datacenter.journal.codec import (
+    CODEC_VERSION,
+    JournalError,
+    canonical_json,
+)
+
+__all__ = [
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalWriter",
+    "prepare_journal_path",
+]
+
+JOURNAL_SCHEMA_VERSION = 1
+"""Version of the journal's record layout (kinds and their fields)."""
+
+
+def prepare_journal_path(path: str) -> None:
+    """Validate a journal destination before any simulation time is spent.
+
+    Raises :class:`~repro.datacenter.journal.codec.JournalError` when
+    the path is unwritable (missing or read-only parent directory, or
+    the path is a directory) or names an existing journal with a
+    mismatched schema version — the CLI turns these into an exit code
+    of 2 instead of a mid-run traceback.  An existing journal with the
+    *current* schema version is allowed and will be overwritten.
+    """
+    parent = os.path.dirname(os.path.abspath(path))
+    if not os.path.isdir(parent):
+        raise JournalError(
+            f"cannot write journal {path!r}: directory {parent!r} does not "
+            "exist"
+        )
+    if os.path.isdir(path):
+        raise JournalError(f"cannot write journal {path!r}: is a directory")
+    if os.path.exists(path):
+        if not os.access(path, os.W_OK):
+            raise JournalError(f"cannot write journal {path!r}: not writable")
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        if first:
+            try:
+                header = json.loads(first)
+            except json.JSONDecodeError:
+                raise JournalError(
+                    f"refusing to overwrite {path!r}: existing file is not "
+                    "a run journal (first line is not JSON)"
+                ) from None
+            if (
+                not isinstance(header, dict)
+                or header.get("kind") != "header"
+            ):
+                raise JournalError(
+                    f"refusing to overwrite {path!r}: existing file is not "
+                    "a run journal (no header record)"
+                )
+            version = header.get("journal_schema")
+            if version != JOURNAL_SCHEMA_VERSION:
+                raise JournalError(
+                    f"journal {path!r} has schema version {version!r}; this "
+                    f"build writes version {JOURNAL_SCHEMA_VERSION} — "
+                    "replay it with a matching build or choose a new path"
+                )
+    elif not os.access(parent, os.W_OK):
+        raise JournalError(
+            f"cannot write journal {path!r}: directory {parent!r} is not "
+            "writable"
+        )
+
+
+class JournalWriter:
+    """Append-only, per-line-flushed NDJSON journal of one run.
+
+    Opened with the run's header payload (written immediately as the
+    first record, stamped with the schema and codec versions); the
+    engine then streams one ``barrier`` record per control barrier
+    through :meth:`write_record`, and the journal-aware run helper
+    appends the final ``result`` record.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str, header: Mapping[str, Any]) -> None:
+        prepare_journal_path(path)
+        self.path = path
+        try:
+            self._handle = open(path, "w", encoding="utf-8")
+        except OSError as error:
+            raise JournalError(
+                f"cannot write journal {path!r}: {error}"
+            ) from error
+        self.write_record(
+            {
+                "kind": "header",
+                "journal_schema": JOURNAL_SCHEMA_VERSION,
+                "codec": CODEC_VERSION,
+                **dict(header),
+            }
+        )
+
+    def write_record(self, record: Mapping[str, Any]) -> None:
+        """Append one record as a canonical JSON line and flush it."""
+        if self._handle is None:
+            raise JournalError(
+                f"journal {self.path!r} is closed; cannot append"
+            )
+        self._handle.write(canonical_json(dict(record)) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the journal file (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        """Context-manager entry: the open writer itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the journal."""
+        self.close()

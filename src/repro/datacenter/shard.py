@@ -25,6 +25,19 @@ The barrier protocol mirrors the control plane's view/action split:
    the destination workers to :func:`~repro.datacenter.controlplane.
    applier.absorb` — machines never change shards, tenants do.
 
+When the engine is checkpointing (a journal is attached, or the policy
+may fail machines), step 1 additionally ships each worker's tenant and
+machine checkpoints with its views; the parent merges them so the
+journal record and any failure recovery see exactly the worker-settled
+state.  A plan that fail-stops machines travels in the scatter of step
+2: the worker owning a dying machine freezes it and drops its
+residents, destination workers rebuild the victims from the shipped
+checkpoints (the same
+:func:`~repro.datacenter.checkpoint.restore_from_checkpoint` the
+serial backend runs), and a worker whose *entire* shard has died is
+told to ``die`` — it reports its frozen machine state and exits, and
+the coordinator excludes it from every later barrier.
+
 Determinism: every worker replays exactly the event subsequence the
 serial scheduler would have applied to its machines, settles its hosts
 at the same barrier instants, and the parent runs the same policy on
@@ -47,6 +60,7 @@ cross process boundaries.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import multiprocessing
 import os
@@ -54,12 +68,21 @@ import time
 import traceback
 from typing import TYPE_CHECKING, Any, Sequence
 
-from repro.datacenter.controlplane.actions import MigrationRecord
+from repro.datacenter.checkpoint import (
+    capture_machine_checkpoint,
+    capture_tenant_checkpoint,
+    restore_from_checkpoint,
+)
+from repro.datacenter.controlplane.actions import (
+    FailureRecord,
+    MigrationRecord,
+)
 from repro.datacenter.controlplane.applier import (
     absorb,
     emigrate,
     enforce_caps,
     merge_run_results,
+    plan_failures,
 )
 from repro.datacenter.billing import compose_bill
 
@@ -104,6 +127,55 @@ def partition_machines(machine_count: int, workers: int) -> list[list[int]]:
     return [list(range(start, machine_count, workers)) for start in range(workers)]
 
 
+def _final_payload(
+    engine: "DatacenterEngine",
+    machine_indices: Sequence[int],
+    resident: Sequence[Any],
+    started: float,
+) -> dict[str, Any]:
+    """A worker's closing report: tenants served, machines metered.
+
+    Shared by the normal ``done`` barrier and the ``dead`` reply of a
+    fully-failed shard (which reports no residents — its tenants were
+    rebuilt elsewhere — and whose machine meters are frozen at the
+    death barrier, so the values equal what the serial backend reads at
+    the end of the run).
+    """
+    machine_power: dict[int, float] = {}
+    machine_energy: dict[int, float] = {}
+    machine_idle: dict[int, float] = {}
+    machine_now: dict[int, float] = {}
+    for index in machine_indices:
+        machine = engine.machines[index]
+        try:
+            machine_power[index] = machine.meter.mean_power()
+        except Exception:
+            machine_power[index] = 0.0
+        machine_energy[index] = machine.meter.energy_joules
+        machine_idle[index] = engine.idle_energy_joules[index]
+        machine_now[index] = machine.now
+    return {
+        "reports": {
+            b.tenant.name: b.stats.report(b.tenant.name, b.tenant.sla)
+            for b in resident
+        },
+        "stats": {b.tenant.name: b.stats for b in resident},
+        "ledgers": {b.tenant.name: b.ledger for b in resident},
+        "run_segments": {
+            b.tenant.name: (*b.run_segments, b.runtime.finish())
+            for b in resident
+        },
+        "machine_power": machine_power,
+        "machine_energy": machine_energy,
+        "machine_idle": machine_idle,
+        "machine_now": machine_now,
+        # Shard CPU seconds (barrier waits excluded by construction)
+        # — the bench harness uses it to project multi-core
+        # wall-clock from single-core hosts.
+        "busy_seconds": time.process_time() - started,
+    }
+
+
 def _worker_main(
     engine: "DatacenterEngine",
     machine_indices: Sequence[int],
@@ -115,6 +187,9 @@ def _worker_main(
     from repro.datacenter.engine import _EventPump
 
     try:
+        # Workers never journal: the coordinator owns the journal (and
+        # the inherited file handle must not be double-written).
+        engine.journal = None
         # Workers are short-lived batch processes: everything they
         # allocate dies with them, so cyclic GC is pure overhead here.
         gc.disable()
@@ -132,20 +207,76 @@ def _worker_main(
             pump.run_until(now)
             for host in hosts:
                 engine._advance(host, now)
+            if engine._checkpointing:
+                checkpoints = (
+                    {
+                        b.tenant.name: capture_tenant_checkpoint(b)
+                        for b in resident
+                    },
+                    {
+                        i: capture_machine_checkpoint(engine, i)
+                        for i in machine_indices
+                    },
+                )
+            else:
+                checkpoints = None
             conn.send(
-                ("views", [engine._tenant_view(b, now) for b in resident])
+                (
+                    "views",
+                    (
+                        [engine._tenant_view(b, now) for b in resident],
+                        checkpoints,
+                    ),
+                )
             )
             message = conn.recv()
+            if message[0] == "die":
+                # Every machine in this shard fail-stopped at this
+                # barrier; its residents are being rebuilt in surviving
+                # workers.  Report the frozen machine state and exit.
+                conn.send(
+                    ("dead", _final_payload(engine, machine_indices, [], started))
+                )
+                return
             if message[0] != "plan":  # pragma: no cover - protocol guard
                 raise RuntimeError(
                     f"expected plan at barrier, got {message[0]!r}"
                 )
-            _, caps, emigrations, any_migrations = message
+            _, caps, emigrations, any_migrations, failure_moves, victim_cps = (
+                message
+            )
+            # Deaths first (mirroring the serial applier: a dying
+            # machine keeps its pre-barrier frequency), then caps on
+            # the shard's surviving machines, then victim restores.
+            for dead_index, _moves in failure_moves:
+                if dead_index in owned:
+                    engine.dead_machines.add(dead_index)
+                    dead_host = engine.hosts[dead_index]
+                    for binding in list(dead_host.instances):
+                        pump.remove(binding)
+                        resident.remove(binding)
+                    dead_host.instances.clear()
             if caps is not None:
+                live = [
+                    i for i in machine_indices
+                    if i not in engine.dead_machines
+                ]
                 enforce_caps(
-                    [engine.machines[i] for i in machine_indices],
-                    [caps[i] for i in machine_indices],
+                    [engine.machines[i] for i in live],
+                    [caps[i] for i in live],
                 )
+            for _dead_index, moves in failure_moves:
+                for tenant, dest in moves:
+                    binding = by_name[tenant]
+                    binding.machine_index = dest
+                    if dest in owned:
+                        checkpoint = victim_cps[tenant]
+                        restore_from_checkpoint(
+                            engine, binding, checkpoint, dest
+                        )
+                        # offered == the tenant's arrival-stream cursor.
+                        pump.add(binding, checkpoint.offered)
+                        resident.append(binding)
             if any_migrations:
                 migrants = []
                 for migration in emigrations:
@@ -174,41 +305,9 @@ def _worker_main(
             binding.runtime.close_input()
         for host in hosts:
             engine._drain(host)
-
-        machine_power: dict[int, float] = {}
-        machine_energy: dict[int, float] = {}
-        machine_idle: dict[int, float] = {}
-        machine_now: dict[int, float] = {}
-        for index in machine_indices:
-            machine = engine.machines[index]
-            try:
-                machine_power[index] = machine.meter.mean_power()
-            except Exception:
-                machine_power[index] = 0.0
-            machine_energy[index] = machine.meter.energy_joules
-            machine_idle[index] = engine.idle_energy_joules[index]
-            machine_now[index] = machine.now
-        payload: dict[str, Any] = {
-            "reports": {
-                b.tenant.name: b.stats.report(b.tenant.name, b.tenant.sla)
-                for b in resident
-            },
-            "stats": {b.tenant.name: b.stats for b in resident},
-            "ledgers": {b.tenant.name: b.ledger for b in resident},
-            "run_segments": {
-                b.tenant.name: (*b.run_segments, b.runtime.finish())
-                for b in resident
-            },
-            "machine_power": machine_power,
-            "machine_energy": machine_energy,
-            "machine_idle": machine_idle,
-            "machine_now": machine_now,
-            # Shard CPU seconds (barrier waits excluded by construction)
-            # — the bench harness uses it to project multi-core
-            # wall-clock from single-core hosts.
-            "busy_seconds": time.process_time() - started,
-        }
-        conn.send(("done", payload))
+        conn.send(
+            ("done", _final_payload(engine, machine_indices, resident, started))
+        )
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -246,8 +345,11 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     }
     parent_bindings = {b.tenant.name: b for b in engine.bindings}
 
-    cap_history = engine._begin_run()
+    # Barrier times before _begin_run: a policy may derive per-run
+    # state (e.g. a chaos kill schedule) in barrier_times(), which the
+    # time-zero decide inside _begin_run() already relies on.
     tick_times = engine._tick_times()
+    cap_history = engine._begin_run()
     final_time = engine._final_event_time(tick_times)
 
     connections = []
@@ -282,16 +384,105 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                 )
             return message[1]
 
+        alive_worker = [True] * len(shards)
+        payload_by_worker: dict[int, Any] = {}
+        # Death-barrier machine checkpoints of fully-failed shards, so
+        # later journal records still carry every machine's state.
+        frozen_machine_cps: dict[int, Any] = {}
+
+        def live_workers():
+            for worker_index, conn in enumerate(connections):
+                if alive_worker[worker_index]:
+                    yield worker_index, conn, processes[worker_index]
+
         for now in tick_times:
             views_by_name: dict[str, Any] = {}
-            for conn, process in zip(connections, processes):
-                for view in receive(conn, process, "views"):
+            tenant_cps: dict[str, Any] = {}
+            machine_cps: dict[int, Any] = dict(frozen_machine_cps)
+            for _worker_index, conn, process in live_workers():
+                views, checkpoints = receive(conn, process, "views")
+                for view in views:
                     views_by_name[view.name] = view
+                if checkpoints is not None:
+                    tenant_cps.update(checkpoints[0])
+                    machine_cps.update(checkpoints[1])
+            if engine._checkpointing:
+                engine._last_checkpoints = tenant_cps
+                engine._last_machine_checkpoints = [
+                    machine_cps[i] for i in range(len(engine.machines))
+                ]
             tenants = tuple(
                 views_by_name[b.tenant.name] for b in engine.bindings
             )
-            plan = engine._decide_plan(engine._control_view(now, tenants))
+            actions, plan = engine._decide_plan(
+                engine._control_view(now, tenants)
+            )
             engine._record_plan(plan, now, cap_history)
+
+            # Failures: the coordinator runs the same placement math as
+            # the serial applier, marks the deaths, and ships each
+            # victim's checkpoint to the worker owning its destination.
+            failure_moves: list[tuple[int, list[tuple[str, int]]]] = []
+            victim_cps: dict[str, Any] = {}
+            failure_records: list[FailureRecord] = []
+            if plan.failures:
+                if not engine._checkpointing:
+                    from repro.datacenter.controlplane.actions import (
+                        ControlError,
+                    )
+
+                    raise ControlError(
+                        "FailMachine requires barrier checkpoints: run with "
+                        "a journal attached or a policy declaring "
+                        "may_fail_machines (e.g. ChaosPolicy)"
+                    )
+                failed = [f.machine_index for f in plan.failures]
+                placements = [
+                    (b.tenant.name, b.machine_index) for b in engine.bindings
+                ]
+                failure_moves = plan_failures(
+                    placements,
+                    len(engine.machines),
+                    set(engine.dead_machines),
+                    failed,
+                )
+                engine.dead_machines.update(failed)
+                for dead_index, moves in failure_moves:
+                    replacements = []
+                    for tenant, dest in moves:
+                        victim_cps[tenant] = tenant_cps[tenant]
+                        parent_bindings[tenant].machine_index = dest
+                        replacements.append(
+                            MigrationRecord(
+                                time=now,
+                                tenant=tenant,
+                                source_machine_index=dead_index,
+                                dest_machine_index=dest,
+                                cost_seconds=0.0,
+                                warm=True,
+                            )
+                        )
+                    failure_records.append(
+                        FailureRecord(
+                            time=now,
+                            machine_index=dead_index,
+                            replacements=tuple(replacements),
+                        )
+                    )
+                engine.failure_history.extend(failure_records)
+
+            dying_workers = [
+                worker_index
+                for worker_index, shard in enumerate(shards)
+                if alive_worker[worker_index]
+                and all(i in engine.dead_machines for i in shard)
+            ]
+            for worker_index in dying_workers:
+                for machine_index in shards[worker_index]:
+                    frozen_machine_cps[machine_index] = dataclasses.replace(
+                        machine_cps[machine_index], alive=False
+                    )
+
             emigrations_by_worker: list[list[Any]] = [[] for _ in shards]
             for migration in plan.migrations:
                 source = parent_bindings[migration.tenant].machine_index
@@ -299,18 +490,32 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                     migration
                 )
             any_migrations = bool(plan.migrations)
-            for worker_index, conn in enumerate(connections):
-                conn.send(
-                    (
-                        "plan",
-                        plan.caps,
-                        emigrations_by_worker[worker_index],
-                        any_migrations,
+            for worker_index, conn, _process in live_workers():
+                if worker_index in dying_workers:
+                    conn.send(("die",))
+                else:
+                    conn.send(
+                        (
+                            "plan",
+                            plan.caps,
+                            emigrations_by_worker[worker_index],
+                            any_migrations,
+                            failure_moves,
+                            victim_cps,
+                        )
                     )
+            for worker_index in dying_workers:
+                payload_by_worker[worker_index] = receive(
+                    connections[worker_index],
+                    processes[worker_index],
+                    "dead",
                 )
+                alive_worker[worker_index] = False
+
+            migration_records: list[MigrationRecord] = []
             if any_migrations:
                 migrants_by_tenant: dict[str, Any] = {}
-                for conn, process in zip(connections, processes):
+                for _worker_index, conn, process in live_workers():
                     for migrant in receive(conn, process, "migrants"):
                         migrants_by_tenant[migrant.tenant] = migrant
                 absorb_by_worker: list[list[Any]] = [[] for _ in shards]
@@ -321,23 +526,27 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                         (migrant, dest, migration.cost_seconds)
                     )
                     binding = parent_bindings[migration.tenant]
-                    engine.migration_history.append(
-                        MigrationRecord(
-                            time=now,
-                            tenant=migration.tenant,
-                            source_machine_index=binding.machine_index,
-                            dest_machine_index=dest,
-                            cost_seconds=migration.cost_seconds,
-                            warm=migration.warm,
-                        )
+                    record = MigrationRecord(
+                        time=now,
+                        tenant=migration.tenant,
+                        source_machine_index=binding.machine_index,
+                        dest_machine_index=dest,
+                        cost_seconds=migration.cost_seconds,
+                        warm=migration.warm,
                     )
+                    engine.migration_history.append(record)
+                    migration_records.append(record)
                     binding.machine_index = dest
-                for worker_index, conn in enumerate(connections):
+                for worker_index, conn, _process in live_workers():
                     conn.send(("absorb", absorb_by_worker[worker_index]))
+            engine._journal_barrier(
+                now, actions, migration_records, failure_records
+            )
 
+        for worker_index, conn, process in live_workers():
+            payload_by_worker[worker_index] = receive(conn, process, "done")
         payloads = [
-            receive(conn, process, "done")
-            for conn, process in zip(connections, processes)
+            payload_by_worker[worker_index] for worker_index in range(len(shards))
         ]
     finally:
         for conn in connections:
@@ -414,4 +623,5 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         cap_history=cap_history,
         budget_history=list(engine.budget_history),
         migrations=list(engine.migration_history),
+        failures=list(engine.failure_history),
     )

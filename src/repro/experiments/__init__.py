@@ -25,6 +25,9 @@ from repro.experiments.datacenter import (
     default_tenant_mix,
     format_datacenter,
     format_datacenter_bills,
+    format_replay,
+    format_replay_bills,
+    replay_billing_payload,
     run_datacenter,
 )
 from repro.experiments.energy_models import (
@@ -102,7 +105,10 @@ __all__ = [
     "run_datacenter",
     "format_datacenter",
     "format_datacenter_bills",
+    "format_replay",
+    "format_replay_bills",
     "billing_payload",
+    "replay_billing_payload",
     "ARTIFACTS",
     "Artifact",
     "PER_APP_ARTIFACTS",

@@ -18,6 +18,10 @@ descriptions ``docs/SCENARIOS.md`` documents recipe by recipe)::
     python -m repro.experiments datacenter --policy migrating
     python -m repro.experiments datacenter --policy consolidating
     python -m repro.experiments datacenter --budget-trace shock.trace
+    python -m repro.experiments datacenter --journal run.ndjson
+    python -m repro.experiments datacenter --journal run.ndjson --chaos 1
+    python -m repro.experiments replay --journal run.ndjson
+    python -m repro.experiments replay --journal run.ndjson --resume
     python -m repro.experiments ablation-controllers --app bodytrack
     python -m repro.experiments ablation-quantum --app swaptions
 """
@@ -34,6 +38,12 @@ from repro.datacenter.controlplane import (
     load_budget_trace,
 )
 from repro.datacenter.engine import ENGINE_BACKENDS
+from repro.datacenter.journal import (
+    JournalError,
+    prepare_journal_path,
+)
+from repro.datacenter.journal import replay as journal_replay
+from repro.datacenter.journal import resume as journal_resume
 from repro.experiments import (
     APP_SPECS,
     Scale,
@@ -44,6 +54,8 @@ from repro.experiments import (
     format_controller_ablation,
     format_datacenter,
     format_datacenter_bills,
+    format_replay,
+    format_replay_bills,
     format_fig34,
     format_overhead,
     format_quantum_ablation,
@@ -74,6 +86,10 @@ def _run(
     bill: bool = False,
     policy: str = "sla-aware",
     budget_trace: BudgetSchedule | None = None,
+    journal: str | None = None,
+    chaos: int = 0,
+    chaos_seed: int = 0,
+    resume_run: bool = False,
 ) -> str:
     """Execute one artifact subcommand and return its rendered output."""
     if artifact == "table1":
@@ -105,10 +121,21 @@ def _run(
             workers=workers,
             policy=policy,
             budget_trace=budget_trace,
+            journal=journal,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
         )
         if bill:
             return format_datacenter_bills(experiment)
         return format_datacenter(experiment)
+    if artifact == "replay":
+        runner = journal_resume if resume_run else journal_replay
+        result = runner(journal, backend=backend, workers=workers)
+        if bill:
+            return format_replay_bills(result)
+        return format_replay(
+            result, verb="resumed" if resume_run else "replayed"
+        )
     if artifact == "overhead":
         return format_overhead(
             [run_overhead(name, Scale.TINY) for name in APP_SPECS]
@@ -146,7 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
                 default="swaptions",
                 help="benchmark application (default: swaptions)",
             )
-        if name == "datacenter":
+        if name in ("datacenter", "replay"):
             sub.add_argument(
                 "--backend",
                 choices=list(ENGINE_BACKENDS),
@@ -166,6 +193,22 @@ def build_parser() -> argparse.ArgumentParser:
                 help="emit per-tenant JSON bills (energy, QoS loss, "
                 "rejections) instead of the SLA comparison table",
             )
+        if name == "replay":
+            sub.add_argument(
+                "--journal",
+                metavar="FILE",
+                required=True,
+                help="the NDJSON run journal to re-execute",
+            )
+            sub.add_argument(
+                "--resume",
+                action="store_true",
+                help="finish an incomplete (crashed) journal instead of "
+                "replaying a complete one: the recorded prefix is "
+                "re-executed and attested barrier-by-barrier, then the "
+                "run continues to completion",
+            )
+        if name == "datacenter":
             sub.add_argument(
                 "--policy",
                 choices=list(POLICY_NAMES),
@@ -183,6 +226,31 @@ def build_parser() -> argparse.ArgumentParser:
                 help="drive the global budget from a trace file of "
                 "'<seconds> <watts>' lines (fleet-wide budget shocks)",
             )
+            sub.add_argument(
+                "--journal",
+                metavar="FILE",
+                default=None,
+                help="record the arbitrated run as a deterministic "
+                "NDJSON journal that the 'replay' subcommand "
+                "re-executes byte-exactly",
+            )
+            sub.add_argument(
+                "--chaos",
+                type=int,
+                default=0,
+                metavar="N",
+                help="kill N machines mid-run at seeded instants on the "
+                "arbitrated side, rebuilding their tenants on survivors "
+                "from barrier checkpoints (default: 0)",
+            )
+            sub.add_argument(
+                "--chaos-seed",
+                type=int,
+                default=0,
+                metavar="SEED",
+                help="seed for the chaos kill schedule and victim "
+                "choice (default: 0)",
+            )
     return parser
 
 
@@ -197,6 +265,15 @@ def main(argv: list[str] | None = None) -> int:
         except BudgetTraceError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    journal_path = getattr(args, "journal", None)
+    if args.artifact == "datacenter" and journal_path is not None:
+        # Fail fast — an unwritable destination or a schema-mismatched
+        # existing journal should abort before the run burns any time.
+        try:
+            prepare_journal_path(journal_path)
+        except JournalError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         text = _run(
             args.artifact,
@@ -207,10 +284,19 @@ def main(argv: list[str] | None = None) -> int:
             getattr(args, "bill", False),
             getattr(args, "policy", "sla-aware"),
             budget_trace,
+            journal_path,
+            getattr(args, "chaos", 0),
+            getattr(args, "chaos_seed", 0),
+            getattr(args, "resume", False),
         )
     except BudgetTraceError as error:
         # E.g. a trace level below the pool's enforceable cap floor,
         # detectable only once the machine pool is known.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except JournalError as error:
+        # E.g. a corrupt or truncated journal handed to `replay`, or a
+        # replay that failed its byte-exactness assertion.
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(text)

@@ -103,6 +103,11 @@ _ENTRIES = (
         "multi-tenant serving under one arbitrated facility power budget",
         "Sections 5.4-5.5 extension",
     ),
+    Artifact(
+        "replay",
+        "re-execute a journaled datacenter run byte-exactly from its journal",
+        "run-journal extension",
+    ),
 )
 
 ARTIFACTS: dict[str, Artifact] = {entry.name: entry for entry in _ENTRIES}

@@ -34,16 +34,28 @@ signal alone.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
 
 from repro.core.powerdial import measure_baseline_rate
 from repro.core.runtime import PowerDialRuntime
-from repro.datacenter.controlplane import BudgetSchedule, build_policy
+from repro.datacenter.controlplane import (
+    BudgetSchedule,
+    ChaosPolicy,
+    ControlError,
+    build_policy,
+)
 from repro.datacenter.engine import (
     DatacenterEngine,
     DatacenterResult,
     InstanceBinding,
+)
+from repro.datacenter.journal import (
+    CODEC_VERSION,
+    JournalWriter,
+    encode_bill,
+    journaled_run,
+    register_scenario_builder,
 )
 from repro.datacenter.service import ServiceApp, request_stream, service_training_jobs
 from repro.datacenter.tenants import LatencySLA, TenantSpec
@@ -61,10 +73,15 @@ __all__ = [
     "DatacenterExperiment",
     "default_tenant_mix",
     "build_engine",
+    "build_engine_from_config",
+    "scenario_config",
     "run_datacenter",
     "format_datacenter",
     "billing_payload",
     "format_datacenter_bills",
+    "replay_billing_payload",
+    "format_replay",
+    "format_replay_bills",
 ]
 
 DEFAULT_BUDGET_WATTS = 420.0
@@ -144,6 +161,9 @@ def build_engine(
     backend: str = "serial",
     workers: int | None = None,
     budget_trace: BudgetSchedule | None = None,
+    journal: JournalWriter | None = None,
+    chaos_kills: int = 0,
+    chaos_seed: int = 0,
 ) -> DatacenterEngine:
     """Assemble machines, instances, and control policy for one run.
 
@@ -151,7 +171,11 @@ def build_engine(
     POLICY_NAMES` name; ``budget_trace`` (if given) drives the global
     budget through the scheduled watt levels.  Every binding carries a
     ``runtime_factory`` so the ``migrating`` policy can rebuild
-    instances on their destination machines.
+    instances on their destination machines.  ``journal`` attaches a
+    :class:`~repro.datacenter.journal.writer.JournalWriter` to the
+    engine; ``chaos_kills`` > 0 wraps the policy in a
+    :class:`~repro.datacenter.controlplane.policy.ChaosPolicy` that
+    kills that many machines at ``chaos_seed``-derived barriers.
     """
     system = built_service_system()
     machines = [experiment_machine() for _ in range(machines_count)]
@@ -195,6 +219,15 @@ def build_engine(
         control_policy = build_policy(
             policy, budget_watts, machines, schedule=budget_trace
         )
+    if chaos_kills > 0:
+        if control_policy is None:
+            raise ControlError(
+                "chaos injection requires a control policy: "
+                "pass a budget so a policy exists to wrap"
+            )
+        control_policy = ChaosPolicy(
+            control_policy, kills=chaos_kills, seed=chaos_seed
+        )
     return DatacenterEngine(
         machines,
         bindings,
@@ -203,7 +236,88 @@ def build_engine(
         attainment_window=attainment_window,
         backend=backend,
         workers=workers,
+        journal=journal,
     )
+
+
+def scenario_config(
+    tenants: tuple[TenantScenario, ...],
+    machines: int,
+    horizon: float,
+    budget_watts: float,
+    policy: str,
+    control_period: float = 10.0,
+    attainment_window: float = 20.0,
+    budget_trace: BudgetSchedule | None = None,
+    chaos: Mapping[str, int] | None = None,
+) -> dict[str, Any]:
+    """The plain-JSON scenario description a journal header embeds.
+
+    Everything :func:`build_engine_from_config` needs to rebuild the
+    arbitrated engine of a :func:`run_datacenter` invocation — tenant
+    mix (seeds included), pool size, horizon, budget, policy name,
+    control cadence, budget schedule, and chaos parameters — as
+    JSON-native types only.
+    """
+    return {
+        "tenants": [asdict(tenant) for tenant in tenants],
+        "machines": machines,
+        "horizon": horizon,
+        "budget_watts": budget_watts,
+        "policy": policy,
+        "control_period": control_period,
+        "attainment_window": attainment_window,
+        "budget_trace": (
+            [[at, watts] for at, watts in budget_trace.entries]
+            if budget_trace is not None
+            else None
+        ),
+        "chaos": dict(chaos) if chaos else None,
+    }
+
+
+def build_engine_from_config(
+    config: Mapping[str, Any],
+    backend: str = "serial",
+    workers: int | None = None,
+    journal: JournalWriter | None = None,
+) -> DatacenterEngine:
+    """Rebuild an engine from a :func:`scenario_config` dict.
+
+    The registered ``datacenter-experiment`` scenario builder: journal
+    headers written by :func:`run_datacenter` point here so ``replay``
+    and ``resume`` can reconstruct the engine from the journal alone.
+    """
+    tenants = tuple(
+        TenantScenario(**tenant) for tenant in config["tenants"]
+    )
+    budget_trace = None
+    if config.get("budget_trace") is not None:
+        budget_trace = BudgetSchedule(
+            tuple(
+                (float(at), float(watts))
+                for at, watts in config["budget_trace"]
+            )
+        )
+    chaos = config.get("chaos") or {}
+    return build_engine(
+        tenants,
+        config["machines"],
+        config["horizon"],
+        config["budget_watts"],
+        config["policy"],
+        control_period=config.get("control_period", 10.0),
+        attainment_window=config.get("attainment_window", 20.0),
+        backend=backend,
+        workers=workers,
+        budget_trace=budget_trace,
+        journal=journal,
+        chaos_kills=int(chaos.get("kills", 0)),
+        chaos_seed=int(chaos.get("seed", 0)),
+    )
+
+
+register_scenario_builder("datacenter-experiment", build_engine_from_config)
 
 
 @dataclass
@@ -248,6 +362,9 @@ def run_datacenter(
     workers: int | None = None,
     policy: str = "sla-aware",
     budget_trace: BudgetSchedule | None = None,
+    journal: str | None = None,
+    chaos: int = 0,
+    chaos_seed: int = 0,
 ) -> DatacenterExperiment:
     """Run the tenant mix under static-equal and the chosen policy.
 
@@ -256,9 +373,42 @@ def run_datacenter(
     comparison is backend-invariant).  ``policy`` picks the arbitrated
     side (``sla-aware``, ``migrating``, or ``consolidating``);
     ``budget_trace`` applies the same budget schedule to both sides.
+
+    ``journal`` (a path) records the *arbitrated* run — the baseline
+    side is untouched — as a deterministic NDJSON journal that
+    :func:`repro.datacenter.journal.replay` re-executes byte-exactly.
+    ``chaos`` > 0 kills that many machines mid-run (seeded by
+    ``chaos_seed``) on the arbitrated side only, rebuilding the
+    victims' tenants on survivors from barrier checkpoints.
     """
     tenants = tenants if tenants is not None else default_tenant_mix()
     horizon = 40.0 if scale is Scale.TINY else 120.0
+    writer = None
+    if journal is not None:
+        config = scenario_config(
+            tenants,
+            machines,
+            horizon,
+            budget_watts,
+            policy,
+            budget_trace=budget_trace,
+            chaos=(
+                {"kills": chaos, "seed": chaos_seed} if chaos > 0 else None
+            ),
+        )
+        writer = JournalWriter(
+            journal,
+            {
+                "scenario": {
+                    "builder": "datacenter-experiment",
+                    "module": "repro.experiments.datacenter",
+                    "config": config,
+                },
+                "backend": backend,
+                "workers": workers,
+                "initial_budget_watts": budget_watts,
+            },
+        )
     static = build_engine(
         tenants,
         machines,
@@ -269,7 +419,7 @@ def run_datacenter(
         workers=workers,
         budget_trace=budget_trace,
     ).run()
-    arbitrated = build_engine(
+    arbitrated_engine = build_engine(
         tenants,
         machines,
         horizon,
@@ -278,7 +428,17 @@ def run_datacenter(
         backend=backend,
         workers=workers,
         budget_trace=budget_trace,
-    ).run()
+        journal=writer,
+        chaos_kills=chaos,
+        chaos_seed=chaos_seed,
+    )
+    if writer is not None:
+        try:
+            arbitrated = journaled_run(arbitrated_engine, writer)
+        finally:
+            writer.close()
+    else:
+        arbitrated = arbitrated_engine.run()
     return DatacenterExperiment(
         tenants=tenants,
         machines=machines,
@@ -292,9 +452,15 @@ def run_datacenter(
 
 
 def _policy_billing(result: DatacenterResult) -> dict[str, Any]:
-    """One policy's bills plus the energy-conservation accounting."""
+    """One policy's bills plus the energy-conservation accounting.
+
+    Bills go through the journal codec's :func:`~repro.datacenter.
+    journal.codec.encode_bill` — the one serialization shared with
+    journal result records, so ``--bill`` output and journaled bills
+    compare byte-for-byte.
+    """
     return {
-        "bills": [bill.to_dict() for bill in result.bills],
+        "bills": [encode_bill(bill) for bill in result.bills],
         "idle_energy_joules_per_machine": list(result.idle_energy_joules),
         "energy_conservation": result.energy_conservation(),
     }
@@ -315,6 +481,7 @@ def billing_payload(experiment: DatacenterExperiment) -> dict[str, Any]:
         compared = "static-equal-rerun"
     return {
         "artifact": "datacenter-billing",
+        "codec": CODEC_VERSION,
         "budget_watts": experiment.budget_watts,
         "machines": experiment.machines,
         "horizon_seconds": experiment.horizon,
@@ -329,6 +496,66 @@ def billing_payload(experiment: DatacenterExperiment) -> dict[str, Any]:
 def format_datacenter_bills(experiment: DatacenterExperiment) -> str:
     """Render :func:`billing_payload` as deterministic, indented JSON."""
     return json.dumps(billing_payload(experiment), indent=2, sort_keys=True)
+
+
+def replay_billing_payload(result: DatacenterResult) -> dict[str, Any]:
+    """The ``replay --bill`` JSON document: bills of the replayed run.
+
+    Deliberately free of backend, worker-count, and path provenance,
+    so replaying one journal on the serial and sharded backends emits
+    byte-identical documents — the CI replay-parity check diffs them
+    directly.
+    """
+    return {
+        "artifact": "datacenter-replay-billing",
+        "codec": CODEC_VERSION,
+        **_policy_billing(result),
+    }
+
+
+def format_replay_bills(result: DatacenterResult) -> str:
+    """Render :func:`replay_billing_payload` as deterministic JSON."""
+    return json.dumps(
+        replay_billing_payload(result), indent=2, sort_keys=True
+    )
+
+
+def format_replay(result: DatacenterResult, verb: str = "replayed") -> str:
+    """Render a replayed (or resumed) run's outcome as text."""
+    conservation = result.energy_conservation_rel_error()
+    header = (
+        f"Journal {verb}: {len(result.tenant_reports)} tenants, "
+        f"mean pool power {result.total_mean_power:.1f} W, "
+        f"billing conservation rel. error {conservation:.1e}"
+    )
+    if result.failures:
+        deaths = ", ".join(
+            f"m{f.machine_index}@{f.time:.0f}s"
+            for f in result.failures
+        )
+        header += f"\n  machine failures reproduced: {deaths}"
+    if result.migrations:
+        moves = ", ".join(
+            f"{m.tenant} m{m.source_machine_index}->m{m.dest_machine_index}"
+            f"@{m.time:.0f}s"
+            for m in result.migrations
+        )
+        header += f"\n  migrations reproduced: {moves}"
+    rows = [
+        [
+            report.name,
+            f"{report.offered}",
+            f"{report.rejected}",
+            f"{report.p95_latency:.2f}",
+            f"{report.attainment:.3f}",
+            "yes" if report.sla_met else "no",
+        ]
+        for report in result.tenant_reports
+    ]
+    return f"{header}\n" + format_table(
+        ["tenant", "offered", "rejected", "p95", "attainment", "SLA met"],
+        rows,
+    )
 
 
 def format_datacenter(experiment: DatacenterExperiment) -> str:
@@ -382,6 +609,13 @@ def format_datacenter(experiment: DatacenterExperiment) -> str:
             for m in experiment.arbitrated.migrations
         )
         header += f"\n  migrations ({policy}): {moves}"
+    if experiment.arbitrated.failures:
+        deaths = ", ".join(
+            f"m{f.machine_index}@{f.time:.0f}s"
+            f" ({len(f.replacements)} tenants re-placed)"
+            for f in experiment.arbitrated.failures
+        )
+        header += f"\n  machine failures (chaos): {deaths}"
     return f"{header}\n" + format_table(
         [
             "tenant",

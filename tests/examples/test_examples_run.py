@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "race_to_idle.py",
     "datacenter_arbiter.py",
     "datacenter_billing.py",
+    "datacenter_replay.py",
 ]
 
 

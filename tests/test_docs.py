@@ -58,6 +58,9 @@ class TestCliHelp:
             args = [name, "--scale", "tiny"]
             if name in PER_APP_ARTIFACTS:
                 args += ["--app", "x264"]
+            if name == "replay":
+                # --journal is required for replay; any path parses.
+                args += ["--journal", "run.ndjson"]
             parsed = parser.parse_args(args)
             assert parsed.artifact == name
 

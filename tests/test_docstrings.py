@@ -19,6 +19,7 @@ import pytest
 DOCUMENTED_PACKAGES = (
     "repro.datacenter",
     "repro.datacenter.controlplane",
+    "repro.datacenter.journal",
     "repro.bench",
 )
 
