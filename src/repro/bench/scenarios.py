@@ -8,7 +8,7 @@ event regardless of idleness), and one-tenant-per-machine keeps the
 virtual workload identical across pool sizes so wall-clock differences
 measure the engine, not the workload.
 
-Four scenario kinds:
+Six scenario kinds:
 
 * ``open`` — no control policy, pure event scheduling;
 * ``arbitrated`` — an SLA-aware cap policy at every barrier (tracks
@@ -30,7 +30,14 @@ Four scenario kinds:
   rebuilt on survivors from that barrier's checkpoints, so the timed
   run covers checkpoint capture, fail-stop teardown, and crash
   re-placement — with the billing conservation audit still enforced
-  across the failures.
+  across the failures;
+* ``grayfail`` — arbitrated plus a full seeded
+  :class:`~repro.datacenter.faults.FaultPlan`: sensor dropout windows,
+  actuator drop windows, a straggler, and one fail-stop kill, with the
+  policy stack wrapped in a :class:`~repro.datacenter.controlplane.
+  policy.DegradedModePolicy` — so the timed run exercises faulted
+  observation, applier retries with backoff, quarantine/reintegration,
+  and the conservation audit under all of it.
 
 Scenarios are fully seeded: the same :class:`PoolScenario` always
 builds the same traces, requests, and calibration, so timings across
@@ -47,10 +54,12 @@ from repro.core.runtime import PowerDialRuntime
 from repro.datacenter.controlplane import (
     BudgetSchedule,
     ChaosPolicy,
+    DegradedModePolicy,
     build_policy,
     chaos_kill_times,
 )
 from repro.datacenter.engine import DatacenterEngine, InstanceBinding
+from repro.datacenter.faults import FaultPlan
 from repro.datacenter.service import (
     ServiceApp,
     request_stream,
@@ -98,6 +107,10 @@ class PoolScenario:
             instants, their tenants rebuilt on survivors from barrier
             checkpoints (implies a policy runs; 0 disables).
         chaos_seed: Seed for the kill schedule and victim choice.
+        grayfail: Whether a full seeded gray-failure plan runs (sensor
+            dropouts, actuator drops, a straggler, one kill — see
+            :meth:`fault_plan`) under a degraded-mode policy wrapper
+            (implies a policy runs).
     """
 
     machines: int
@@ -109,10 +122,13 @@ class PoolScenario:
     consolidation: bool = False
     chaos_kills: int = 0
     chaos_seed: int = 7
+    grayfail: bool = False
 
     @property
     def label(self) -> str:
         """Stable scenario name used in the bench JSON."""
+        if self.grayfail:
+            return f"grayfail-{self.machines}m"
         if self.chaos_kills:
             return f"chaos-{self.machines}m"
         if self.consolidation:
@@ -151,6 +167,27 @@ class PoolScenario:
                 (self.horizon / 3.0, SHOCK_FRACTION * self.budget_watts),
                 (2.0 * self.horizon / 3.0, self.budget_watts),
             )
+        )
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The seeded gray-failure plan, or None unless ``grayfail``.
+
+        A pure function of the scenario (seeded by ``chaos_seed``), so
+        the same :class:`PoolScenario` always injects the same faults
+        and timings stay comparable across PRs.
+        """
+        if not self.grayfail:
+            return None
+        return FaultPlan.generate(
+            horizon=self.horizon,
+            machines=self.machines,
+            seed=self.chaos_seed,
+            kills=1,
+            sensor_dropouts=2,
+            actuator_drops=2,
+            stragglers=1,
+            unresponsive_after=4.0,
+            reintegrate=5.0,
         )
 
 
@@ -198,7 +235,12 @@ def build_pool_engine(
             machines,
             schedule=scenario.budget_schedule(),
         )
-    elif scenario.arbitrated or scenario.budget_shock or scenario.chaos_kills:
+    elif (
+        scenario.arbitrated
+        or scenario.budget_shock
+        or scenario.chaos_kills
+        or scenario.grayfail
+    ):
         policy = build_policy(
             "sla-aware",
             scenario.budget_watts,
@@ -209,6 +251,13 @@ def build_pool_engine(
         policy = ChaosPolicy(
             policy, kills=scenario.chaos_kills, seed=scenario.chaos_seed
         )
+    plan = scenario.fault_plan()
+    if plan is not None:
+        if plan.kills:
+            policy = ChaosPolicy(
+                policy, seed=plan.seed, kill_times=plan.kills
+            )
+        policy = DegradedModePolicy(policy)
     return DatacenterEngine(
         machines,
         bindings,
@@ -216,6 +265,7 @@ def build_pool_engine(
         control_period=scenario.control_period,
         backend=backend,
         workers=workers,
+        faults=plan,
     )
 
 
@@ -236,6 +286,7 @@ def count_events(scenario: PoolScenario) -> int:
         or scenario.budget_shock
         or scenario.consolidation
         or scenario.chaos_kills
+        or scenario.grayfail
     ):
         periods = int(math.floor(scenario.horizon / scenario.control_period))
         ticks.update(
@@ -252,4 +303,7 @@ def count_events(scenario: PoolScenario) -> int:
                     scenario.horizon, scenario.chaos_kills, scenario.chaos_seed
                 )
             )
+        plan = scenario.fault_plan()
+        if plan is not None:
+            ticks.update(plan.barrier_times(scenario.horizon))
     return arrivals + len(ticks)

@@ -23,6 +23,13 @@ Module map:
   backend validates and applies through one shared applier — budget
   schedules (demand-response traces, §5.4-style fleet-wide cap
   shocks) and instance migration live here.
+* :mod:`~repro.datacenter.faults` — seeded, declarative gray-failure
+  injection: a :class:`~repro.datacenter.faults.FaultPlan` schedules
+  sensor dropout/delay/noise windows, actuator drop/partial windows,
+  stragglers, and fail-stop kills as a pure function of (seed,
+  config); the engine observes through the plan, retries failed cap
+  applications with capped deterministic backoff, and journals every
+  fault and retry attempt.
 * :mod:`~repro.datacenter.shard` — the multiprocess backend: machines
   partitioned across forked workers that run independently between
   control barriers and exchange only tenant views, validated plans,
@@ -72,6 +79,7 @@ from repro.datacenter.controlplane import (
     ConsolidatingPolicy,
     ControlError,
     ControlPolicy,
+    DegradedModePolicy,
     FailMachine,
     FailureRecord,
     MachineView,
@@ -102,6 +110,20 @@ from repro.datacenter.engine import (
     DatacenterResult,
     EngineError,
     InstanceBinding,
+)
+from repro.datacenter.faults import (
+    ActuatorFault,
+    FaultError,
+    FaultPlan,
+    FaultPlanError,
+    FaultRecord,
+    KillFault,
+    RetryRecord,
+    SensorFault,
+    StragglerFault,
+    kill_schedule,
+    load_fault_plan,
+    parse_fault_plan,
 )
 from repro.datacenter.shard import fork_available, partition_machines
 from repro.datacenter.service import (
@@ -142,6 +164,7 @@ __all__ = [
     "ConsolidatingPolicy",
     "ControlError",
     "ControlPolicy",
+    "DegradedModePolicy",
     "FailMachine",
     "FailureRecord",
     "MachineCheckpoint",
@@ -170,6 +193,18 @@ __all__ = [
     "DatacenterResult",
     "EngineError",
     "InstanceBinding",
+    "ActuatorFault",
+    "FaultError",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRecord",
+    "KillFault",
+    "RetryRecord",
+    "SensorFault",
+    "StragglerFault",
+    "kill_schedule",
+    "load_fault_plan",
+    "parse_fault_plan",
     "fork_available",
     "partition_machines",
     "ServiceApp",

@@ -100,7 +100,10 @@ class MachineCheckpoint:
         index: Position in the engine's machine pool.
         now: The machine clock at the barrier (hosts are settled to the
             barrier instant before capture).
-        frequency_ghz: Current DVFS frequency.
+        frequency_ghz: Current DVFS frequency — the *applied* ground
+            truth, which under an actuator fault or straggler window
+            (:mod:`repro.datacenter.faults`) may lag the commanded cap
+            recorded in the barrier's ``caps``.
         energy_joules: Total metered energy so far.
         idle_energy_joules: Unattributed idle energy so far.
         mean_power: Meter mean power so far (0.0 before observations).

@@ -43,6 +43,7 @@ from repro.datacenter.controlplane.actions import (
 from repro.datacenter.controlplane.applier import (
     ControlPlan,
     MigrantState,
+    RetryState,
     absorb,
     apply_failures,
     emigrate,
@@ -52,6 +53,7 @@ from repro.datacenter.controlplane.applier import (
     migrate_instance,
     plan_actions,
     plan_failures,
+    retry_backoff_seconds,
 )
 from repro.datacenter.controlplane.budget import (
     BudgetSchedule,
@@ -63,6 +65,7 @@ from repro.datacenter.controlplane.policy import (
     POLICY_NAMES,
     ChaosPolicy,
     ConsolidatingPolicy,
+    DegradedModePolicy,
     MigratingPolicy,
     ScheduledBudgetPolicy,
     build_policy,
@@ -84,6 +87,7 @@ __all__ = [
     "TenantView",
     "ControlPlan",
     "MigrantState",
+    "RetryState",
     "absorb",
     "apply_failures",
     "emigrate",
@@ -93,6 +97,7 @@ __all__ = [
     "migrate_instance",
     "plan_actions",
     "plan_failures",
+    "retry_backoff_seconds",
     "BudgetSchedule",
     "BudgetTraceError",
     "load_budget_trace",
@@ -100,6 +105,7 @@ __all__ = [
     "POLICY_NAMES",
     "ChaosPolicy",
     "ConsolidatingPolicy",
+    "DegradedModePolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",

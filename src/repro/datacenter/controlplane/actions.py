@@ -64,6 +64,14 @@ class MachineView:
         alive: False once the machine has fail-stopped (chaos
             injection); policies must not migrate tenants onto — or
             expect capacity from — a dead machine.
+        health: Telemetry-trust state, one of
+            :data:`repro.heartbeats.health.MACHINE_HEALTH_STATES` —
+            ``fresh`` (telemetry current), ``stale`` (telemetry aging,
+            or the machine is inside its post-quarantine reintegration
+            hysteresis window: hold last-known state), ``unresponsive``
+            (telemetry past its deadline: quarantine the machine,
+            reallocate its watts), or ``dead`` (``alive`` is False).
+            Always ``fresh`` on runs without a fault plan.
     """
 
     index: int
@@ -71,6 +79,7 @@ class MachineView:
     cap_ceiling: float
     cap_watts: float | None
     alive: bool = True
+    health: str = "fresh"
 
 
 @dataclass(frozen=True)

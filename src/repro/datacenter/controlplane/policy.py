@@ -51,11 +51,23 @@ from repro.datacenter.controlplane.actions import (
     SetCaps,
 )
 from repro.datacenter.controlplane.budget import BudgetSchedule
+from repro.datacenter.faults import (
+    FaultPlan,
+    FaultPlanError,
+    KillFault,
+    kill_schedule,
+)
+from repro.heartbeats.health import (
+    HEALTH_FRESH,
+    HEALTH_STALE,
+    HEALTH_UNRESPONSIVE,
+)
 
 __all__ = [
     "POLICY_NAMES",
     "ChaosPolicy",
     "ConsolidatingPolicy",
+    "DegradedModePolicy",
     "MigratingPolicy",
     "ScheduledBudgetPolicy",
     "build_policy",
@@ -451,21 +463,14 @@ def chaos_kill_times(
     horizon: late enough that tenants have warm state worth losing,
     early enough that the recovered run still serves traffic.
     """
-    if kills < 0:
-        raise ControlError(f"kills must be >= 0, got {kills!r}")
-    if not 0.0 < start_fraction < end_fraction <= 1.0:
-        raise ControlError(
-            f"kill span [{start_fraction!r}, {end_fraction!r}] must satisfy "
-            "0 < start < end <= 1"
-        )
-    rng = random.Random(seed)
-    span = (end_fraction - start_fraction) * horizon
-    return tuple(
-        sorted(
-            start_fraction * horizon + rng.random() * span
-            for _ in range(kills)
-        )
-    )
+    # The schedule math lives in repro.datacenter.faults (shared with
+    # FaultPlan.generate, so --chaos and a kills-only fault plan compute
+    # byte-identical instants); this wrapper keeps the control plane's
+    # error type.
+    try:
+        return kill_schedule(horizon, kills, seed, start_fraction, end_fraction)
+    except FaultPlanError as error:
+        raise ControlError(str(error)) from None
 
 
 class ChaosPolicy:
@@ -493,12 +498,26 @@ class ChaosPolicy:
     (they cannot be powered off, merely frozen); the consolidating
     policy's parking logic treats them as permanently parked.
 
+    Since the gray-failure layer landed, the seeded schedule is just a
+    kills-only :class:`~repro.datacenter.faults.FaultPlan` — ``--chaos``
+    is sugar over ``--faults`` — and a plan's explicit
+    :class:`~repro.datacenter.faults.KillFault` entries (optionally
+    pinning victims) can be passed directly via ``kill_times``.
+
     Args:
         inner: The policy stack deciding caps/budget/migrations.
-        kills: Number of machines to kill over the run.
+        kills: Number of machines to kill over the run (ignored when
+            ``kill_times`` is given).
         seed: Seed for the kill schedule and victim choices.
         start_fraction: Earliest kill, as a fraction of the horizon.
         end_fraction: Latest kill, as a fraction of the horizon.
+        kill_times: Explicit kill schedule — an iterable of
+            :class:`~repro.datacenter.faults.KillFault` (or bare
+            times), e.g. ``FaultPlan.kills`` from a ``--faults`` file —
+            instead of the seeded schedule.  Entries with a pinned
+            ``machine_index`` kill exactly that machine (skipped if it
+            is already dead or the last survivor); unpinned entries use
+            the seeded victim choice.
     """
 
     may_fail_machines = True
@@ -510,15 +529,31 @@ class ChaosPolicy:
         seed: int = 0,
         start_fraction: float = 0.3,
         end_fraction: float = 0.8,
+        kill_times: Sequence[KillFault | float] | None = None,
     ) -> None:
         # Validate eagerly (barrier_times may be a while away).
         chaos_kill_times(1.0, kills, seed, start_fraction, end_fraction)
         self.inner = inner
-        self.kills = kills
         self.seed = seed
         self.start_fraction = start_fraction
         self.end_fraction = end_fraction
-        self._due: list[float] | None = None
+        if kill_times is not None:
+            self._scheduled: tuple[KillFault, ...] | None = tuple(
+                sorted(
+                    (
+                        kill
+                        if isinstance(kill, KillFault)
+                        else KillFault(float(kill))
+                        for kill in kill_times
+                    ),
+                    key=lambda kill: kill.time,
+                )
+            )
+            self.kills = len(self._scheduled)
+        else:
+            self._scheduled = None
+            self.kills = kills
+        self._due: list[KillFault] | None = None
         self._victim_rng = random.Random(seed + 1)
 
     def initial_budget_watts(self) -> float | None:
@@ -526,16 +561,21 @@ class ChaosPolicy:
         return self.inner.initial_budget_watts()
 
     def barrier_times(self, horizon: float) -> Sequence[float]:
-        """Inner barriers plus the seeded kill instants."""
-        schedule = chaos_kill_times(
-            horizon,
-            self.kills,
-            self.seed,
-            self.start_fraction,
-            self.end_fraction,
+        """Inner barriers plus the seeded (or explicit) kill instants."""
+        if self._scheduled is not None:
+            self._due = list(self._scheduled)
+        else:
+            plan = FaultPlan.generate(
+                horizon=horizon,
+                kills=self.kills,
+                seed=self.seed,
+                start_fraction=self.start_fraction,
+                end_fraction=self.end_fraction,
+            )
+            self._due = list(plan.kills)
+        return tuple(self.inner.barrier_times(horizon)) + tuple(
+            kill.time for kill in self._due
         )
-        self._due = list(schedule)
-        return tuple(self.inner.barrier_times(horizon)) + schedule
 
     def _pick_victim(
         self, view: ClusterView, dying: Sequence[int]
@@ -572,9 +612,21 @@ class ChaosPolicy:
                 "the kills"
             )
         dying: list[int] = []
-        while self._due and view.time >= self._due[0] - 1e-9:
-            self._due.pop(0)
-            victim = self._pick_victim(view, dying)
+        while self._due and view.time >= self._due[0].time - 1e-9:
+            kill = self._due.pop(0)
+            if kill.machine_index is not None:
+                alive = [
+                    m.index
+                    for m in view.machines
+                    if m.alive and m.index not in dying
+                ]
+                victim = (
+                    kill.machine_index
+                    if kill.machine_index in alive and len(alive) >= 2
+                    else None
+                )
+            else:
+                victim = self._pick_victim(view, dying)
             if victim is not None:
                 dying.append(victim)
         if not dying:
@@ -594,6 +646,142 @@ class ChaosPolicy:
         ]
         actions.extend(FailMachine(index) for index in dying)
         return actions
+
+
+class DegradedModePolicy:
+    """Graceful degradation under gray failures, for any policy stack.
+
+    Wraps any inner policy.  While every machine reads ``fresh`` (or
+    ``dead`` — fail-stop recovery is the arbiter's business), the inner
+    actions pass through untouched, so wrapping costs nothing on
+    healthy runs and a kills-only fault plan stays byte-identical to
+    plain chaos.  When the engine's health derivation reports
+    degradation, the wrapper transforms the inner actions
+    deterministically:
+
+    * **stale** machines hold their last-known caps — decisions based
+      on aging telemetry stop chasing it, and a machine coming back
+      from quarantine keeps its held allocation through the
+      reintegration hysteresis window (it reads ``stale`` until the
+      window elapses, then ``fresh`` again);
+    * **unresponsive** machines are quarantined at their cap floor and
+      their freed watts are redistributed to fresh machines by
+      headroom (the arbiter's allocation intent, re-expressed over the
+      machines that can actually be trusted to use it);
+    * migrations whose source or destination machine is not ``fresh``
+      are dropped — consolidation never packs tenants onto a machine
+      the control plane cannot see clearly;
+    * if holding stale caps would overflow the budget (it shrank since
+      the cap was learned), fresh machines shave toward their floors
+      first, then stale ones — all plain arithmetic, so serial and
+      sharded runs degrade byte-identically.
+
+    ``SetBudget`` and ``FailMachine`` actions pass through unchanged;
+    ``may_fail_machines`` is inherited from the inner stack so the
+    engine still checkpoints for an inner ``ChaosPolicy``.
+    """
+
+    def __init__(self, inner: ControlPolicy) -> None:
+        self.inner = inner
+
+    @property
+    def may_fail_machines(self) -> bool:
+        """Inherited from the inner stack (checkpointing trigger)."""
+        return bool(getattr(self.inner, "may_fail_machines", False))
+
+    def initial_budget_watts(self) -> float | None:
+        """Delegates to the inner policy."""
+        return self.inner.initial_budget_watts()
+
+    def barrier_times(self, horizon: float) -> Sequence[float]:
+        """Delegates to the inner policy."""
+        return self.inner.barrier_times(horizon)
+
+    def decide(self, view: ClusterView) -> Sequence[Action]:
+        """Inner actions, transformed for the cluster's health state."""
+        actions = list(self.inner.decide(view))
+        health = {machine.index: machine.health for machine in view.machines}
+        if not any(
+            state in (HEALTH_STALE, HEALTH_UNRESPONSIVE)
+            for state in health.values()
+        ):
+            return actions
+        budget = view.budget_watts
+        placement = {t.name: t.machine_index for t in view.tenants}
+        out: list[Action] = []
+        for action in actions:
+            if isinstance(action, SetBudget):
+                budget = action.budget_watts
+                out.append(action)
+            elif isinstance(action, Migrate):
+                if (
+                    health.get(action.dest_machine_index) != HEALTH_FRESH
+                    or health.get(placement.get(action.tenant)) != HEALTH_FRESH
+                ):
+                    continue
+                out.append(action)
+            elif isinstance(action, SetCaps):
+                out.append(
+                    SetCaps(caps=self._degrade_caps(view, action.caps, budget))
+                )
+            else:
+                out.append(action)
+        return out
+
+    def _degrade_caps(
+        self,
+        view: ClusterView,
+        caps: Sequence[float],
+        budget: float | None,
+    ) -> tuple[float, ...]:
+        """Hold stale, quarantine unresponsive, rebalance the watts."""
+        degraded = list(caps)
+        fresh: list[int] = []
+        held: list[int] = []
+        for machine in view.machines:
+            index = machine.index
+            if not machine.alive:
+                continue
+            if machine.health == HEALTH_UNRESPONSIVE:
+                degraded[index] = machine.cap_floor
+            elif machine.health == HEALTH_STALE:
+                if machine.cap_watts is not None:
+                    degraded[index] = machine.cap_watts
+                held.append(index)
+            else:
+                fresh.append(index)
+        if budget is None:
+            return tuple(degraded)
+        floors = {m.index: m.cap_floor for m in view.machines}
+        ceilings = {m.index: m.cap_ceiling for m in view.machines}
+        slack = budget - sum(degraded)
+        if slack > 0.0 and fresh:
+            # Water-fill the freed watts into fresh machines by
+            # headroom, never past a ceiling.
+            headroom = sum(ceilings[i] - degraded[i] for i in fresh)
+            if headroom > 0.0:
+                fraction = min(1.0, slack / headroom)
+                for index in fresh:
+                    degraded[index] += fraction * (
+                        ceilings[index] - degraded[index]
+                    )
+        elif slack < 0.0:
+            # Holding stale caps overflowed a shrunken budget: shave
+            # fresh machines toward their floors first, then the held
+            # ones, so the validator never sees an over-budget plan.
+            for group in (fresh, held):
+                give = sum(degraded[i] - floors[i] for i in group)
+                if give <= 0.0:
+                    continue
+                fraction = min(1.0, -slack / give)
+                for index in group:
+                    degraded[index] -= fraction * (
+                        degraded[index] - floors[index]
+                    )
+                slack = budget - sum(degraded)
+                if slack >= 0.0:
+                    break
+        return tuple(degraded)
 
 
 def build_policy(

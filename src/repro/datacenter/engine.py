@@ -68,7 +68,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
@@ -95,15 +95,25 @@ from repro.datacenter.controlplane.actions import (
 )
 from repro.datacenter.controlplane.applier import (
     ControlPlan,
+    RetryState,
     apply_failures,
     enforce_caps,
     machine_limits,
     merge_run_results,
     migrate_instance,
     plan_actions,
+    retry_backoff_seconds,
 )
+from repro.datacenter.faults import FaultPlan, FaultRecord, RetryRecord
 from repro.datacenter.tenants import TenantReport, TenantSpec, TenantStats
 from repro.hardware.machine import Machine
+from repro.heartbeats.health import (
+    HEALTH_DEAD,
+    HEALTH_FRESH,
+    HEALTH_STALE,
+    HEALTH_UNRESPONSIVE,
+    classify_heartbeat_age,
+)
 
 __all__ = [
     "EngineError",
@@ -187,6 +197,14 @@ class DatacenterResult:
         migrations: Applied migrations, in application order.
         failures: Applied machine failures (chaos injection), each with
             its victim re-placements, in application order.
+        faults: Injected gray faults (sensor windows, actuator
+            windows, straggler windows and recoveries), one
+            :class:`~repro.datacenter.faults.FaultRecord` per fault at
+            the barrier it first bit, in injection order.
+        retries: Every applier attempt against a faulted actuator, as
+            :class:`~repro.datacenter.faults.RetryRecord` entries in
+            attempt order (deadline-based retry with capped
+            deterministic backoff).
     """
 
     tenant_reports: list[TenantReport]
@@ -201,6 +219,8 @@ class DatacenterResult:
     budget_history: list[tuple[float, float]] = field(default_factory=list)
     migrations: list[MigrationRecord] = field(default_factory=list)
     failures: list[FailureRecord] = field(default_factory=list)
+    faults: list[FaultRecord] = field(default_factory=list)
+    retries: list[RetryRecord] = field(default_factory=list)
 
     @property
     def total_mean_power(self) -> float:
@@ -396,6 +416,7 @@ class DatacenterEngine:
         backend: str = "serial",
         workers: int | None = None,
         journal=None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if not machines:
             raise EngineError("engine needs at least one machine")
@@ -429,6 +450,18 @@ class DatacenterEngine:
                         f"policy {policy!r} does not implement ControlPolicy "
                         f"(missing {required}())"
                     )
+        if faults is not None:
+            if policy is None:
+                raise EngineError(
+                    "fault injection requires a control policy: faults bite "
+                    "at control barriers, and without a policy there are none"
+                )
+            if faults.max_machine_index() >= len(machines):
+                raise EngineError(
+                    f"fault plan references machine "
+                    f"{faults.max_machine_index()} but the pool has only "
+                    f"{len(machines)} machines"
+                )
         self.machines = list(machines)
         self.bindings = list(bindings)
         self.policy = policy
@@ -452,6 +485,36 @@ class DatacenterEngine:
         self.migration_history: list[MigrationRecord] = []
         # Applied machine failures (chaos injection), in order.
         self.failure_history: list[FailureRecord] = []
+        # Gray-failure injection (see repro.datacenter.faults): the
+        # plan drives per-barrier telemetry filtering and actuation
+        # faults; every injected fault and applier retry is recorded.
+        self.faults = faults
+        self.fault_history: list[FaultRecord] = []
+        self.retry_history: list[RetryRecord] = []
+        # Per-machine health as of the latest barrier (fresh / stale /
+        # unresponsive / dead), with recovery hysteresis deadlines.
+        self._health: list[str] = [HEALTH_FRESH] * len(self.machines)
+        self._last_fresh_time: list[float] = [0.0] * len(self.machines)
+        self._last_fresh_views: dict[str, TenantView] = {}
+        self._delayed_machines = (
+            faults.delayed_machines() if faults is not None else frozenset()
+        )
+        # Barrier-view history, kept only for delay-mode machines.
+        self._view_log: dict[int, list[tuple[float, dict[str, TenantView]]]] = {}
+        self._reintegrate_at: dict[int, float] = {}
+        # Applier retry loops per machine, plus targets it has given
+        # up on (until the fault clears or a new target arrives).
+        self._retries: dict[int, RetryState] = {}
+        self._abandoned: dict[int, float] = {}
+        # Last watts actually landed on each machine's actuator —
+        # distinct from self._caps (the *commanded* caps) while
+        # actuator faults or stragglers are active.
+        self._applied_watts: dict[int, float] = {}
+        self._straggling: set[int] = set()
+        # Fault windows already journaled (announced once, at the
+        # first barrier where they bite).
+        self._announced: set[tuple[str, int]] = set()
+        self._barrier_fault_records: list[FaultRecord] = []
         # Machines that have fail-stopped: clock and meter frozen at the
         # death barrier, never advanced or capped again.
         self.dead_machines: set[int] = set()
@@ -498,6 +561,14 @@ class DatacenterEngine:
         ticks.update(
             t for t in self.policy.barrier_times(horizon) if 0.0 < t <= horizon
         )
+        if self.faults is not None:
+            # Fault-window edges and kill instants are barriers too, so
+            # every fault bites (and clears) exactly when scheduled.
+            ticks.update(
+                t
+                for t in self.faults.barrier_times(horizon)
+                if 0.0 < t <= horizon
+            )
         return sorted(ticks)
 
     def _final_event_time(self, tick_times: Sequence[float]) -> float:
@@ -561,6 +632,11 @@ class DatacenterEngine:
                 cap_ceiling=self._cap_ceilings[index],
                 cap_watts=self._caps[index] if self._caps is not None else None,
                 alive=index not in self.dead_machines,
+                health=(
+                    HEALTH_DEAD
+                    if index in self.dead_machines
+                    else self._health[index]
+                ),
             )
             for index in range(len(self.machines))
         )
@@ -580,11 +656,371 @@ class DatacenterEngine:
         """
         if self.policy is None:
             raise EngineError("control barrier scheduled without a policy")
+        if self.faults is not None:
+            self._barrier_fault_records = []
+            view = self._observe_view(view)
         actions = list(self.policy.decide(view))
         plan = plan_actions(
             actions, view, self._cap_floors, self._cap_ceilings, self._budget
         )
         return actions, plan
+
+    def _announce_fault(
+        self, now: float, kind: str, machine_index: int, mode: str | None, key: tuple[str, int]
+    ) -> None:
+        """Journal a fault window once, at the first barrier it bites."""
+        if key in self._announced:
+            return
+        self._announced.add(key)
+        record = FaultRecord(
+            time=now, kind=kind, machine_index=machine_index, mode=mode
+        )
+        self._barrier_fault_records.append(record)
+        self.fault_history.append(record)
+
+    def _observe_view(self, view: ClusterView) -> ClusterView:
+        """Filter the true cluster view through the plan's sensor faults.
+
+        The control plane sees what the (possibly lying) telemetry
+        pipeline reports: dropout windows hold each resident tenant's
+        last fresh stats, delay windows serve stats from ``delay``
+        seconds ago, and noise windows deterministically perturb the
+        SLA-shortfall signal.  Placement facts (machine index, weight,
+        finished flag) stay current — only performance telemetry lies
+        — and the machines' true physics (and therefore billing) are
+        untouched.  Machine ``health`` is derived here from the age of
+        the last trusted sample via
+        :func:`repro.heartbeats.health.classify_heartbeat_age`, with
+        quarantine-recovery hysteresis: a machine that went
+        unresponsive stays ``stale`` for ``reintegrate_seconds`` after
+        its telemetry returns before being trusted as ``fresh`` again.
+        """
+        plan = self.faults
+        if plan is None:  # pragma: no cover - guarded by the caller
+            return view
+        now = view.time
+        by_machine: dict[int, list[TenantView]] = {}
+        for tenant in view.tenants:
+            by_machine.setdefault(tenant.machine_index, []).append(tenant)
+        for machine_index in self._delayed_machines:
+            snapshot = {t.name: t for t in by_machine.get(machine_index, [])}
+            self._view_log.setdefault(machine_index, []).append(
+                (now, snapshot)
+            )
+        observed: dict[str, TenantView] = {}
+        ages = [0.0] * len(self.machines)
+        for machine_index in range(len(self.machines)):
+            if machine_index in self.dead_machines:
+                continue
+            residents = by_machine.get(machine_index, [])
+            fault = plan.sensor_at(machine_index, now)
+            if fault is not None:
+                self._announce_fault(
+                    now,
+                    "sensor",
+                    machine_index,
+                    fault.mode,
+                    ("sensor", plan.sensors.index(fault)),
+                )
+            if fault is None or fault.mode == "noise":
+                # Telemetry flows (noise still counts as a heartbeat:
+                # the machine is talking, just not truthfully).
+                self._last_fresh_time[machine_index] = now
+                for tenant in residents:
+                    self._last_fresh_views[tenant.name] = tenant
+                if fault is not None:
+                    unit = plan.noise_unit(machine_index, now)
+                    for tenant in residents:
+                        observed[tenant.name] = replace(
+                            tenant,
+                            sla_shortfall=max(
+                                0.0,
+                                tenant.sla_shortfall
+                                * (1.0 + fault.amplitude * unit),
+                            ),
+                        )
+                continue
+            # Dropout, or delay: the freshest trusted sample is old.
+            source: dict[str, TenantView] = {}
+            age = now - self._last_fresh_time[machine_index]
+            if fault.mode == "delay":
+                for entry_time, snapshot in reversed(
+                    self._view_log.get(machine_index, [])
+                ):
+                    if entry_time <= now - fault.delay + 1e-9:
+                        source = snapshot
+                        age = now - entry_time
+                        break
+            for tenant in residents:
+                cached = source.get(tenant.name)
+                if cached is None:
+                    cached = self._last_fresh_views.get(tenant.name)
+                if cached is None:
+                    # No trusted sample yet (window opened at the run's
+                    # start): the true view is all there is.
+                    observed[tenant.name] = tenant
+                    continue
+                observed[tenant.name] = replace(
+                    cached,
+                    machine_index=tenant.machine_index,
+                    weight=tenant.weight,
+                    finished=tenant.finished,
+                )
+            ages[machine_index] = age
+        for machine_index in range(len(self.machines)):
+            if machine_index in self.dead_machines:
+                self._health[machine_index] = HEALTH_DEAD
+                self._reintegrate_at.pop(machine_index, None)
+                continue
+            prior = self._health[machine_index]
+            base = classify_heartbeat_age(
+                ages[machine_index],
+                plan.stale_after_seconds,
+                plan.unresponsive_after_seconds,
+            )
+            if base == HEALTH_UNRESPONSIVE:
+                health = HEALTH_UNRESPONSIVE
+                self._reintegrate_at.pop(machine_index, None)
+            elif base == HEALTH_STALE:
+                health = HEALTH_STALE
+            elif prior == HEALTH_UNRESPONSIVE:
+                # Telemetry is back, but a quarantined machine earns
+                # trust slowly: stale until the hysteresis deadline.
+                self._reintegrate_at[machine_index] = (
+                    now + plan.reintegrate_seconds
+                )
+                health = HEALTH_STALE
+            elif machine_index in self._reintegrate_at:
+                if now + 1e-9 >= self._reintegrate_at[machine_index]:
+                    del self._reintegrate_at[machine_index]
+                    health = HEALTH_FRESH
+                else:
+                    health = HEALTH_STALE
+            else:
+                health = HEALTH_FRESH
+            self._health[machine_index] = health
+        machines = tuple(
+            replace(
+                machine,
+                health=(
+                    HEALTH_DEAD
+                    if not machine.alive
+                    else self._health[machine.index]
+                ),
+            )
+            for machine in view.machines
+        )
+        tenants = tuple(
+            observed.get(tenant.name, tenant) for tenant in view.tenants
+        )
+        return ClusterView(
+            time=now,
+            budget_watts=view.budget_watts,
+            machines=machines,
+            tenants=tenants,
+        )
+
+    def _actuate(
+        self, now: float, plan: ControlPlan
+    ) -> tuple[tuple[float | None, ...] | None, list[FaultRecord], list[RetryRecord]]:
+        """Push the validated caps through the (possibly faulty) actuators.
+
+        The single choke point between a plan's *commanded* caps and
+        the watts that actually land on machines, called exactly once
+        per barrier by every backend.  Without a fault plan it returns
+        ``plan.caps`` unchanged.  With one: actuator ``drop`` windows
+        lose the command outright, ``partial`` windows move only part
+        way, and the applier opens a deadline-based retry loop per
+        machine — retries land at later barriers after a capped
+        deterministic backoff, every attempt journaled as a
+        :class:`~repro.datacenter.faults.RetryRecord`.  Straggler
+        windows then pin their machine to its cap floor regardless of
+        any command, restoring the last landed watts when the window
+        ends.  The returned per-machine entries may be None (leave
+        that machine's DVFS state untouched this barrier).
+
+        Commanded caps still flow to ``self._caps``/``cap_history``
+        via :meth:`_record_plan` — the control plane believes its
+        commands landed, which is exactly the gray-failure illusion —
+        while ``self._applied_watts`` tracks ground truth.
+        """
+        if self.faults is None:
+            return plan.caps, [], []
+        fault_plan = self.faults
+        commanded = plan.caps
+        applied: list[float | None] = [None] * len(self.machines)
+        retries_out: list[RetryRecord] = []
+        dying = {f.machine_index for f in plan.failures}
+
+        def record_retry(
+            machine_index: int,
+            target: float,
+            landed: float | None,
+            attempt: int,
+            outcome: str,
+        ) -> None:
+            record = RetryRecord(
+                time=now,
+                machine_index=machine_index,
+                target_watts=target,
+                applied_watts=landed,
+                attempt=attempt,
+                outcome=outcome,
+            )
+            retries_out.append(record)
+            self.retry_history.append(record)
+
+        for machine_index in range(len(self.machines)):
+            if machine_index in self.dead_machines or machine_index in dying:
+                self._retries.pop(machine_index, None)
+                self._abandoned.pop(machine_index, None)
+                self._straggling.discard(machine_index)
+                continue
+            fault = fault_plan.actuator_at(machine_index, now)
+            if fault is not None:
+                self._announce_fault(
+                    now,
+                    "actuator",
+                    machine_index,
+                    fault.mode,
+                    ("actuator", fault_plan.actuators.index(fault)),
+                )
+            target = commanded[machine_index] if commanded is not None else None
+            pending = self._retries.get(machine_index)
+            attempt_target: float | None = None
+            attempt_number = 1
+            if pending is not None:
+                if (
+                    target is not None
+                    and abs(target - pending.target_watts) > 1e-12
+                ):
+                    # A new command supersedes the retry loop: fresh
+                    # target, fresh deadline, fresh backoff.
+                    self._retries.pop(machine_index)
+                    self._abandoned.pop(machine_index, None)
+                    pending = None
+                    attempt_target = target
+                elif now + 1e-9 >= pending.next_attempt_at:
+                    attempt_target = pending.target_watts
+                    attempt_number = pending.attempts + 1
+                # else: backing off — leave the actuator alone.
+            elif target is not None:
+                abandoned = self._abandoned.get(machine_index)
+                if (
+                    abandoned is not None
+                    and fault is not None
+                    and abs(target - abandoned) <= 1e-12
+                ):
+                    # Gave up on this exact target; don't bang on the
+                    # broken actuator until the fault clears or the
+                    # policy asks for something new.
+                    attempt_target = None
+                else:
+                    self._abandoned.pop(machine_index, None)
+                    attempt_target = target
+            if attempt_target is None:
+                continue
+            started = pending.commanded_at if pending is not None else now
+            if fault is None:
+                applied[machine_index] = attempt_target
+                self._applied_watts[machine_index] = attempt_target
+                if pending is not None:
+                    record_retry(
+                        machine_index,
+                        attempt_target,
+                        attempt_target,
+                        attempt_number,
+                        "succeeded",
+                    )
+                    self._retries.pop(machine_index)
+                continue
+            if fault.mode == "drop":
+                landed: float | None = None
+            else:  # partial
+                current = self._applied_watts.get(
+                    machine_index, self._cap_ceilings[machine_index]
+                )
+                landed = current + fault.fraction * (attempt_target - current)
+                landed = min(
+                    max(landed, self._cap_floors[machine_index]),
+                    self._cap_ceilings[machine_index],
+                )
+                applied[machine_index] = landed
+                self._applied_watts[machine_index] = landed
+            if landed is not None and abs(landed - attempt_target) <= 1e-9:
+                record_retry(
+                    machine_index,
+                    attempt_target,
+                    landed,
+                    attempt_number,
+                    "succeeded",
+                )
+                self._retries.pop(machine_index, None)
+            elif (
+                pending is not None
+                and now - started + 1e-9 >= fault_plan.retry_deadline_seconds
+            ):
+                record_retry(
+                    machine_index, attempt_target, landed, attempt_number,
+                    "abandoned",
+                )
+                self._retries.pop(machine_index, None)
+                self._abandoned[machine_index] = attempt_target
+            else:
+                record_retry(
+                    machine_index,
+                    attempt_target,
+                    landed,
+                    attempt_number,
+                    "failed" if landed is None else "partial",
+                )
+                backoff = retry_backoff_seconds(
+                    attempt_number,
+                    fault_plan.retry_base_seconds,
+                    fault_plan.retry_cap_seconds,
+                )
+                self._retries[machine_index] = RetryState(
+                    target_watts=attempt_target,
+                    commanded_at=started,
+                    attempts=attempt_number,
+                    next_attempt_at=now + backoff,
+                )
+        # Straggler overlay: the machine's clock runs slow no matter
+        # what the applier landed; recovery restores the landed watts.
+        for machine_index in range(len(self.machines)):
+            if machine_index in self.dead_machines or machine_index in dying:
+                continue
+            straggle = fault_plan.straggler_at(machine_index, now)
+            if straggle is not None:
+                if machine_index not in self._straggling:
+                    self._straggling.add(machine_index)
+                    self._announce_fault(
+                        now,
+                        "straggler",
+                        machine_index,
+                        None,
+                        ("straggler", fault_plan.stragglers.index(straggle)),
+                    )
+                applied[machine_index] = self._cap_floors[machine_index]
+            elif machine_index in self._straggling:
+                self._straggling.discard(machine_index)
+                record = FaultRecord(
+                    time=now,
+                    kind="recovered",
+                    machine_index=machine_index,
+                    mode=None,
+                )
+                self._barrier_fault_records.append(record)
+                self.fault_history.append(record)
+                if applied[machine_index] is None:
+                    restore = self._applied_watts.get(machine_index)
+                    if restore is not None:
+                        applied[machine_index] = restore
+        fault_records = list(self._barrier_fault_records)
+        self._barrier_fault_records = []
+        if all(entry is None for entry in applied):
+            return None, fault_records, retries_out
+        return tuple(applied), fault_records, retries_out
 
     def _capture_checkpoints(self) -> None:
         """Checkpoint every tenant and machine at a settled barrier.
@@ -603,7 +1039,9 @@ class DatacenterEngine:
         ]
 
     def _enforce_live_caps(
-        self, caps: tuple[float, ...], dying: frozenset[int] | set[int] = frozenset()
+        self,
+        caps: tuple[float | None, ...],
+        dying: frozenset[int] | set[int] = frozenset(),
     ) -> None:
         """Apply validated caps, skipping dead and dying machines.
 
@@ -611,11 +1049,16 @@ class DatacenterEngine:
         frequency — it will never run again, and skipping it keeps the
         frozen DVFS state identical across backends (the sharded
         coordinator marks deaths before its workers enforce caps).
+        A None entry (an actuator fault dropped the command, or the
+        applier is backing off before a retry) likewise leaves that
+        machine's DVFS state untouched.
         """
         alive = [
             index
             for index in range(len(self.machines))
-            if index not in self.dead_machines and index not in dying
+            if index not in self.dead_machines
+            and index not in dying
+            and caps[index] is not None
         ]
         enforce_caps(
             [self.machines[index] for index in alive],
@@ -628,6 +1071,8 @@ class DatacenterEngine:
         actions: Sequence[Action],
         migrations: Sequence[MigrationRecord],
         failures: Sequence[FailureRecord],
+        fault_records: Sequence[FaultRecord] = (),
+        retry_records: Sequence[RetryRecord] = (),
     ) -> None:
         """Append one barrier record to the run journal (if attached).
 
@@ -667,6 +1112,12 @@ class DatacenterEngine:
             "failures": [
                 codec.encode_failure_record(record) for record in failures
             ],
+            "faults": [
+                codec.encode_fault_record(record) for record in fault_records
+            ],
+            "retries": [
+                codec.encode_retry_record(record) for record in retry_records
+            ],
         }
         self.journal.write_record(record)
         self._journaled_checkpoints = dict(checkpoints)
@@ -705,9 +1156,10 @@ class DatacenterEngine:
             self._capture_checkpoints()
         actions, plan = self._decide_plan(self._control_view(now))
         self._record_plan(plan, now, cap_history)
-        if plan.caps is not None:
+        applied, fault_records, retry_records = self._actuate(now, plan)
+        if applied is not None:
             self._enforce_live_caps(
-                plan.caps, {f.machine_index for f in plan.failures}
+                applied, {f.machine_index for f in plan.failures}
             )
         failures: list[FailureRecord] = []
         if plan.failures:
@@ -720,7 +1172,9 @@ class DatacenterEngine:
             record = migrate_instance(self, migration, now)
             self.migration_history.append(record)
             migrations.append(record)
-        self._journal_barrier(now, actions, migrations, failures)
+        self._journal_barrier(
+            now, actions, migrations, failures, fault_records, retry_records
+        )
 
     # ------------------------------------------------------------------
     # Event plumbing for the single-process backends
@@ -946,6 +1400,8 @@ class DatacenterEngine:
             budget_history=list(self.budget_history),
             migrations=list(self.migration_history),
             failures=list(self.failure_history),
+            faults=list(self.fault_history),
+            retries=list(self.retry_history),
         )
 
     def run(self) -> DatacenterResult:

@@ -37,8 +37,12 @@ from repro.datacenter.journal.codec import (
     canonical_json,
     decode_action,
     decode_bill,
+    decode_fault_record,
+    decode_retry_record,
     encode_action,
     encode_bill,
+    encode_fault_record,
+    encode_retry_record,
 )
 from repro.datacenter.journal.reader import (
     BarrierRecord,
@@ -73,8 +77,12 @@ __all__ = [
     "canonical_json",
     "decode_action",
     "decode_bill",
+    "decode_fault_record",
+    "decode_retry_record",
     "encode_action",
     "encode_bill",
+    "encode_fault_record",
+    "encode_retry_record",
     "journaled_run",
     "prepare_journal_path",
     "read_journal",

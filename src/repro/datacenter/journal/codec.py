@@ -30,6 +30,7 @@ from repro.datacenter.controlplane.actions import (
     SetBudget,
     SetCaps,
 )
+from repro.datacenter.faults import FaultRecord, RetryRecord
 from repro.heartbeats.api import HeartbeatWindowState
 
 __all__ = [
@@ -43,6 +44,10 @@ __all__ = [
     "decode_migration_record",
     "encode_failure_record",
     "decode_failure_record",
+    "encode_fault_record",
+    "decode_fault_record",
+    "encode_retry_record",
+    "decode_retry_record",
     "encode_snapshot",
     "decode_snapshot",
     "encode_tenant_checkpoint",
@@ -178,6 +183,54 @@ def decode_failure_record(
             decode_migration_record(r, where)
             for r in _require(obj, "replacements", where)
         ),
+    )
+
+
+def encode_fault_record(record: FaultRecord) -> dict[str, Any]:
+    """One injected gray fault as a JSON object."""
+    return {
+        "time": record.time,
+        "kind": record.kind,
+        "machine_index": record.machine_index,
+        "mode": record.mode,
+    }
+
+
+def decode_fault_record(
+    obj: Mapping[str, Any], where: str = "fault record"
+) -> FaultRecord:
+    """The inverse of :func:`encode_fault_record`."""
+    return FaultRecord(
+        time=_require(obj, "time", where),
+        kind=_require(obj, "kind", where),
+        machine_index=_require(obj, "machine_index", where),
+        mode=_require(obj, "mode", where),
+    )
+
+
+def encode_retry_record(record: RetryRecord) -> dict[str, Any]:
+    """One applier retry attempt as a JSON object."""
+    return {
+        "time": record.time,
+        "machine_index": record.machine_index,
+        "target_watts": record.target_watts,
+        "applied_watts": record.applied_watts,
+        "attempt": record.attempt,
+        "outcome": record.outcome,
+    }
+
+
+def decode_retry_record(
+    obj: Mapping[str, Any], where: str = "retry record"
+) -> RetryRecord:
+    """The inverse of :func:`encode_retry_record`."""
+    return RetryRecord(
+        time=_require(obj, "time", where),
+        machine_index=_require(obj, "machine_index", where),
+        target_watts=_require(obj, "target_watts", where),
+        applied_watts=_require(obj, "applied_watts", where),
+        attempt=_require(obj, "attempt", where),
+        outcome=_require(obj, "outcome", where),
     )
 
 

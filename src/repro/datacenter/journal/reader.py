@@ -18,11 +18,14 @@ from repro.datacenter.controlplane.actions import (
     FailureRecord,
     MigrationRecord,
 )
+from repro.datacenter.faults import FaultRecord, RetryRecord
 from repro.datacenter.journal.codec import (
     JournalDecodeError,
     decode_action,
     decode_failure_record,
+    decode_fault_record,
     decode_migration_record,
+    decode_retry_record,
     decode_tenant_checkpoint,
     decode_machine_checkpoint,
 )
@@ -47,6 +50,9 @@ class BarrierRecord:
         machines: Machine checkpoints in pool order (pre-decision).
         migrations: Migrations applied at this barrier.
         failures: Machine failures applied at this barrier.
+        faults: Gray faults that first bit at this barrier (sensor /
+            actuator / straggler windows and straggler recoveries).
+        retries: Applier retry attempts made at this barrier.
     """
 
     index: int
@@ -58,6 +64,8 @@ class BarrierRecord:
     machines: tuple[MachineCheckpoint, ...]
     migrations: tuple[MigrationRecord, ...]
     failures: tuple[FailureRecord, ...]
+    faults: tuple[FaultRecord, ...] = ()
+    retries: tuple[RetryRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -165,6 +173,14 @@ def read_journal(path: str) -> Journal:
                     failures=tuple(
                         decode_failure_record(obj, where)
                         for obj in record["failures"]
+                    ),
+                    faults=tuple(
+                        decode_fault_record(obj, where)
+                        for obj in record["faults"]
+                    ),
+                    retries=tuple(
+                        decode_retry_record(obj, where)
+                        for obj in record["retries"]
                     ),
                 )
             except KeyError as error:

@@ -40,7 +40,9 @@ from repro.datacenter.journal.codec import (
     encode_action,
     encode_bill,
     encode_failure_record,
+    encode_fault_record,
     encode_migration_record,
+    encode_retry_record,
     encode_tenant_checkpoint,
 )
 from repro.datacenter.journal.reader import Journal, read_journal
@@ -225,6 +227,12 @@ def result_payload(result: DatacenterResult) -> dict[str, Any]:
         ],
         "failures": [
             encode_failure_record(record) for record in result.failures
+        ],
+        "faults": [
+            encode_fault_record(record) for record in result.faults
+        ],
+        "retries": [
+            encode_retry_record(record) for record in result.retries
         ],
         "idle_energy_joules": list(result.idle_energy_joules),
         "machine_mean_power": list(result.machine_mean_power),

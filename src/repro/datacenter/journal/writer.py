@@ -41,8 +41,14 @@ __all__ = [
     "prepare_journal_path",
 ]
 
-JOURNAL_SCHEMA_VERSION = 1
-"""Version of the journal's record layout (kinds and their fields)."""
+JOURNAL_SCHEMA_VERSION = 2
+"""Version of the journal's record layout (kinds and their fields).
+
+Version 2 (the gray-failure layer): barrier records and the result
+payload carry ``faults`` / ``retries`` arrays — every injected fault
+window and applier retry attempt — and scenario configs may embed a
+fault plan.  Version-1 journals are refused rather than replayed
+without their faults."""
 
 
 def prepare_journal_path(path: str) -> None:

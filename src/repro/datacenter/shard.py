@@ -96,6 +96,11 @@ __all__ = [
     "usable_cpu_count",
 ]
 
+_WORKER_BARRIER_TIMEOUT_SECONDS = 120.0
+"""How long the coordinator waits for a worker's barrier message
+before declaring it hung.  Generous — barriers are milliseconds apart
+in practice — and read at call time, so tests shrink it."""
+
 
 def fork_available() -> bool:
     """Whether the host supports the ``fork`` start method."""
@@ -257,9 +262,12 @@ def _worker_main(
                         resident.remove(binding)
                     dead_host.instances.clear()
             if caps is not None:
+                # A None entry means the coordinator's actuation step
+                # left that machine alone this barrier (dropped command
+                # or retry backoff under an injected actuator fault).
                 live = [
                     i for i in machine_indices
-                    if i not in engine.dead_machines
+                    if i not in engine.dead_machines and caps[i] is not None
                 ]
                 enforce_caps(
                     [engine.machines[i] for i in live],
@@ -367,22 +375,63 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             connections.append(parent_conn)
             processes.append(process)
 
-        def receive(conn, process, expected: str):
+        def receive(worker_index, conn, process, expected: str, barrier_time):
+            # Supervise at the barrier protocol level: a worker that
+            # fail-stops or wedges is detected here and named, instead
+            # of the coordinator blocking forever on a dead pipe.
+            where = (
+                f"shard worker {worker_index} "
+                f"(machines {list(shards[worker_index])}) "
+                f"at barrier t={barrier_time:g}"
+            )
+            deadline = time.monotonic() + _WORKER_BARRIER_TIMEOUT_SECONDS
+            while not conn.poll(min(1.0, _WORKER_BARRIER_TIMEOUT_SECONDS)):
+                if not process.is_alive():
+                    raise EngineError(
+                        f"{where} died without reporting "
+                        f"(exit code {process.exitcode!r})"
+                    )
+                if time.monotonic() >= deadline:
+                    raise EngineError(
+                        f"{where} hung: no {expected!r} message within "
+                        f"{_WORKER_BARRIER_TIMEOUT_SECONDS:g}s "
+                        f"(pid {process.pid})"
+                    )
             try:
                 message = conn.recv()
-            except EOFError:
+            except (EOFError, OSError):
+                # EOFError for a cleanly closed pipe; OSError (e.g.
+                # ECONNRESET) when the worker dies while the read is
+                # in flight — which of the two surfaces is a race.
+                process.join(timeout=1.0)
                 raise EngineError(
-                    f"shard worker died unexpectedly "
+                    f"{where} died mid-message "
                     f"(exit code {process.exitcode!r})"
                 ) from None
             if message[0] == "error":
-                raise EngineError(f"shard worker failed:\n{message[1]}")
+                raise EngineError(f"{where} failed:\n{message[1]}")
             if message[0] != expected:  # pragma: no cover - protocol guard
                 raise EngineError(
                     f"shard protocol error: expected {expected!r}, "
                     f"got {message[0]!r}"
                 )
             return message[1]
+
+        def dispatch(worker_index, conn, process, message, barrier_time):
+            # The send half of the supervisor: a worker that died since
+            # its last report surfaces here as a broken pipe, named the
+            # same way receive() names it.
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError):
+                process.join(timeout=1.0)
+                raise EngineError(
+                    f"shard worker {worker_index} "
+                    f"(machines {list(shards[worker_index])}) "
+                    f"at barrier t={barrier_time:g} died before accepting "
+                    f"a {message[0]!r} message "
+                    f"(exit code {process.exitcode!r})"
+                ) from None
 
         alive_worker = [True] * len(shards)
         payload_by_worker: dict[int, Any] = {}
@@ -399,8 +448,10 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             views_by_name: dict[str, Any] = {}
             tenant_cps: dict[str, Any] = {}
             machine_cps: dict[int, Any] = dict(frozen_machine_cps)
-            for _worker_index, conn, process in live_workers():
-                views, checkpoints = receive(conn, process, "views")
+            for worker_index, conn, process in live_workers():
+                views, checkpoints = receive(
+                    worker_index, conn, process, "views", now
+                )
                 for view in views:
                     views_by_name[view.name] = view
                 if checkpoints is not None:
@@ -418,6 +469,13 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                 engine._control_view(now, tenants)
             )
             engine._record_plan(plan, now, cap_history)
+            # Push the commanded caps through the (possibly faulty)
+            # actuators exactly as the serial backend does — the same
+            # choke point, run in the coordinator so retry state and
+            # journaled records are identical; workers only enforce.
+            applied_caps, fault_records, retry_records = engine._actuate(
+                now, plan
+            )
 
             # Failures: the coordinator runs the same placement math as
             # the serial applier, marks the deaths, and ships each
@@ -490,33 +548,41 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                     migration
                 )
             any_migrations = bool(plan.migrations)
-            for worker_index, conn, _process in live_workers():
+            for worker_index, conn, process in live_workers():
                 if worker_index in dying_workers:
-                    conn.send(("die",))
+                    dispatch(worker_index, conn, process, ("die",), now)
                 else:
-                    conn.send(
+                    dispatch(
+                        worker_index,
+                        conn,
+                        process,
                         (
                             "plan",
-                            plan.caps,
+                            applied_caps,
                             emigrations_by_worker[worker_index],
                             any_migrations,
                             failure_moves,
                             victim_cps,
-                        )
+                        ),
+                        now,
                     )
             for worker_index in dying_workers:
                 payload_by_worker[worker_index] = receive(
+                    worker_index,
                     connections[worker_index],
                     processes[worker_index],
                     "dead",
+                    now,
                 )
                 alive_worker[worker_index] = False
 
             migration_records: list[MigrationRecord] = []
             if any_migrations:
                 migrants_by_tenant: dict[str, Any] = {}
-                for _worker_index, conn, process in live_workers():
-                    for migrant in receive(conn, process, "migrants"):
+                for worker_index, conn, process in live_workers():
+                    for migrant in receive(
+                        worker_index, conn, process, "migrants", now
+                    ):
                         migrants_by_tenant[migrant.tenant] = migrant
                 absorb_by_worker: list[list[Any]] = [[] for _ in shards]
                 for migration in plan.migrations:
@@ -537,23 +603,41 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                     engine.migration_history.append(record)
                     migration_records.append(record)
                     binding.machine_index = dest
-                for worker_index, conn, _process in live_workers():
-                    conn.send(("absorb", absorb_by_worker[worker_index]))
+                for worker_index, conn, process in live_workers():
+                    dispatch(
+                        worker_index,
+                        conn,
+                        process,
+                        ("absorb", absorb_by_worker[worker_index]),
+                        now,
+                    )
             engine._journal_barrier(
-                now, actions, migration_records, failure_records
+                now,
+                actions,
+                migration_records,
+                failure_records,
+                fault_records,
+                retry_records,
             )
 
         for worker_index, conn, process in live_workers():
-            payload_by_worker[worker_index] = receive(conn, process, "done")
+            payload_by_worker[worker_index] = receive(
+                worker_index, conn, process, "done", final_time
+            )
         payloads = [
             payload_by_worker[worker_index] for worker_index in range(len(shards))
         ]
     finally:
+        # Teardown only: worker death/hang is detected and raised by
+        # receive() above, so this just reaps.  Closing the pipes first
+        # unblocks any worker still waiting at a barrier (its recv sees
+        # EOF and the process exits); terminate() is the last resort
+        # for a worker wedged outside the protocol.
         for conn in connections:
             conn.close()
         for process in processes:
-            process.join(timeout=30.0)
-            if process.is_alive():  # pragma: no cover - hung worker
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
                 process.terminate()
                 process.join()
 
@@ -624,4 +708,6 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         budget_history=list(engine.budget_history),
         migrations=list(engine.migration_history),
         failures=list(engine.failure_history),
+        faults=list(engine.fault_history),
+        retries=list(engine.retry_history),
     )

@@ -20,6 +20,7 @@ descriptions ``docs/SCENARIOS.md`` documents recipe by recipe)::
     python -m repro.experiments datacenter --budget-trace shock.trace
     python -m repro.experiments datacenter --journal run.ndjson
     python -m repro.experiments datacenter --journal run.ndjson --chaos 1
+    python -m repro.experiments datacenter --faults gray.faults
     python -m repro.experiments replay --journal run.ndjson
     python -m repro.experiments replay --journal run.ndjson --resume
     python -m repro.experiments ablation-controllers --app bodytrack
@@ -38,6 +39,11 @@ from repro.datacenter.controlplane import (
     load_budget_trace,
 )
 from repro.datacenter.engine import ENGINE_BACKENDS
+from repro.datacenter.faults import (
+    FaultPlan,
+    FaultPlanError,
+    load_fault_plan,
+)
 from repro.datacenter.journal import (
     JournalError,
     prepare_journal_path,
@@ -90,6 +96,7 @@ def _run(
     chaos: int = 0,
     chaos_seed: int = 0,
     resume_run: bool = False,
+    faults: FaultPlan | None = None,
 ) -> str:
     """Execute one artifact subcommand and return its rendered output."""
     if artifact == "table1":
@@ -124,6 +131,7 @@ def _run(
             journal=journal,
             chaos=chaos,
             chaos_seed=chaos_seed,
+            faults=faults,
         )
         if bill:
             return format_datacenter_bills(experiment)
@@ -251,6 +259,17 @@ def build_parser() -> argparse.ArgumentParser:
                 help="seed for the chaos kill schedule and victim "
                 "choice (default: 0)",
             )
+            sub.add_argument(
+                "--faults",
+                metavar="FILE",
+                default=None,
+                help="inject a declarative gray-failure plan on the "
+                "arbitrated side: a file of 'sensor|actuator|"
+                "straggler|kill|config key=value ...' lines "
+                "scheduling heartbeat dropout/delay/noise windows, "
+                "cap-application failures, slow-clock stragglers, "
+                "and fail-stop kills (see docs/SCENARIOS.md)",
+            )
     return parser
 
 
@@ -263,6 +282,14 @@ def main(argv: list[str] | None = None) -> int:
         try:
             budget_trace = load_budget_trace(trace_path)
         except BudgetTraceError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    faults = None
+    faults_path = getattr(args, "faults", None)
+    if faults_path is not None:
+        try:
+            faults = load_fault_plan(faults_path)
+        except FaultPlanError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
     journal_path = getattr(args, "journal", None)
@@ -288,6 +315,7 @@ def main(argv: list[str] | None = None) -> int:
             getattr(args, "chaos", 0),
             getattr(args, "chaos_seed", 0),
             getattr(args, "resume", False),
+            faults,
         )
     except BudgetTraceError as error:
         # E.g. a trace level below the pool's enforceable cap floor,

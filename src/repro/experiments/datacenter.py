@@ -43,6 +43,7 @@ from repro.datacenter.controlplane import (
     BudgetSchedule,
     ChaosPolicy,
     ControlError,
+    DegradedModePolicy,
     build_policy,
 )
 from repro.datacenter.engine import (
@@ -50,6 +51,7 @@ from repro.datacenter.engine import (
     DatacenterResult,
     InstanceBinding,
 )
+from repro.datacenter.faults import FaultPlan
 from repro.datacenter.journal import (
     CODEC_VERSION,
     JournalWriter,
@@ -164,6 +166,7 @@ def build_engine(
     journal: JournalWriter | None = None,
     chaos_kills: int = 0,
     chaos_seed: int = 0,
+    faults: FaultPlan | None = None,
 ) -> DatacenterEngine:
     """Assemble machines, instances, and control policy for one run.
 
@@ -176,6 +179,15 @@ def build_engine(
     engine; ``chaos_kills`` > 0 wraps the policy in a
     :class:`~repro.datacenter.controlplane.policy.ChaosPolicy` that
     kills that many machines at ``chaos_seed``-derived barriers.
+
+    ``faults`` attaches a :class:`~repro.datacenter.faults.FaultPlan`
+    to the engine (gray-failure injection): its kill schedule is
+    applied through a :class:`~repro.datacenter.controlplane.policy.
+    ChaosPolicy` wrapper, and the whole policy stack is wrapped in a
+    :class:`~repro.datacenter.controlplane.policy.DegradedModePolicy`
+    so control degrades gracefully (hold stale, quarantine
+    unresponsive, reintegrate with hysteresis) instead of acting on
+    faulted observations.
     """
     system = built_service_system()
     machines = [experiment_machine() for _ in range(machines_count)]
@@ -228,6 +240,19 @@ def build_engine(
         control_policy = ChaosPolicy(
             control_policy, kills=chaos_kills, seed=chaos_seed
         )
+    if faults is not None:
+        if control_policy is None:
+            raise ControlError(
+                "fault injection requires a control policy: "
+                "pass a budget so a policy exists to wrap"
+            )
+        if faults.kills:
+            control_policy = ChaosPolicy(
+                control_policy,
+                seed=faults.seed,
+                kill_times=faults.kills,
+            )
+        control_policy = DegradedModePolicy(control_policy)
     return DatacenterEngine(
         machines,
         bindings,
@@ -237,6 +262,7 @@ def build_engine(
         backend=backend,
         workers=workers,
         journal=journal,
+        faults=faults,
     )
 
 
@@ -250,14 +276,16 @@ def scenario_config(
     attainment_window: float = 20.0,
     budget_trace: BudgetSchedule | None = None,
     chaos: Mapping[str, int] | None = None,
+    faults: FaultPlan | None = None,
 ) -> dict[str, Any]:
     """The plain-JSON scenario description a journal header embeds.
 
     Everything :func:`build_engine_from_config` needs to rebuild the
     arbitrated engine of a :func:`run_datacenter` invocation — tenant
     mix (seeds included), pool size, horizon, budget, policy name,
-    control cadence, budget schedule, and chaos parameters — as
-    JSON-native types only.
+    control cadence, budget schedule, chaos parameters, and the full
+    fault plan (:meth:`~repro.datacenter.faults.FaultPlan.to_config`)
+    — as JSON-native types only.
     """
     return {
         "tenants": [asdict(tenant) for tenant in tenants],
@@ -273,6 +301,7 @@ def scenario_config(
             else None
         ),
         "chaos": dict(chaos) if chaos else None,
+        "faults": faults.to_config() if faults is not None else None,
     }
 
 
@@ -300,6 +329,9 @@ def build_engine_from_config(
             )
         )
     chaos = config.get("chaos") or {}
+    faults = None
+    if config.get("faults") is not None:
+        faults = FaultPlan.from_config(config["faults"])
     return build_engine(
         tenants,
         config["machines"],
@@ -314,6 +346,7 @@ def build_engine_from_config(
         journal=journal,
         chaos_kills=int(chaos.get("kills", 0)),
         chaos_seed=int(chaos.get("seed", 0)),
+        faults=faults,
     )
 
 
@@ -365,6 +398,7 @@ def run_datacenter(
     journal: str | None = None,
     chaos: int = 0,
     chaos_seed: int = 0,
+    faults: FaultPlan | None = None,
 ) -> DatacenterExperiment:
     """Run the tenant mix under static-equal and the chosen policy.
 
@@ -380,6 +414,10 @@ def run_datacenter(
     ``chaos`` > 0 kills that many machines mid-run (seeded by
     ``chaos_seed``) on the arbitrated side only, rebuilding the
     victims' tenants on survivors from barrier checkpoints.
+    ``faults`` injects a gray-failure plan (sensor, actuator,
+    straggler, and kill windows) on the arbitrated side only; the
+    plan is embedded in the journal header so replay reproduces the
+    faulted run byte-exactly.
     """
     tenants = tenants if tenants is not None else default_tenant_mix()
     horizon = 40.0 if scale is Scale.TINY else 120.0
@@ -395,6 +433,7 @@ def run_datacenter(
             chaos=(
                 {"kills": chaos, "seed": chaos_seed} if chaos > 0 else None
             ),
+            faults=faults,
         )
         writer = JournalWriter(
             journal,
@@ -431,6 +470,7 @@ def run_datacenter(
         journal=writer,
         chaos_kills=chaos,
         chaos_seed=chaos_seed,
+        faults=faults,
     )
     if writer is not None:
         try:
@@ -541,6 +581,11 @@ def format_replay(result: DatacenterResult, verb: str = "replayed") -> str:
             for m in result.migrations
         )
         header += f"\n  migrations reproduced: {moves}"
+    if result.faults:
+        header += (
+            f"\n  gray faults reproduced: {len(result.faults)} "
+            f"({len(result.retries)} applier retries)"
+        )
     rows = [
         [
             report.name,
@@ -616,6 +661,17 @@ def format_datacenter(experiment: DatacenterExperiment) -> str:
             for f in experiment.arbitrated.failures
         )
         header += f"\n  machine failures (chaos): {deaths}"
+    if experiment.arbitrated.faults:
+        kinds = {}
+        for fault in experiment.arbitrated.faults:
+            kinds[fault.kind] = kinds.get(fault.kind, 0) + 1
+        summary = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(kinds.items())
+        )
+        header += (
+            f"\n  gray faults injected ({policy}): {summary}; "
+            f"{len(experiment.arbitrated.retries)} applier retries"
+        )
     return f"{header}\n" + format_table(
         [
             "tenant",

@@ -6,6 +6,14 @@ control system observes instantaneous and sliding-window rates.
 """
 
 from repro.heartbeats.api import HeartbeatError, HeartbeatMonitor, HeartbeatRecord
+from repro.heartbeats.health import (
+    HEALTH_DEAD,
+    HEALTH_FRESH,
+    HEALTH_STALE,
+    HEALTH_UNRESPONSIVE,
+    MACHINE_HEALTH_STATES,
+    classify_heartbeat_age,
+)
 from repro.heartbeats.instrument import (
     InstrumentationError,
     LoopProfile,
@@ -23,6 +31,12 @@ __all__ = [
     "HeartbeatMonitor",
     "HeartbeatRecord",
     "HeartbeatError",
+    "HEALTH_FRESH",
+    "HEALTH_STALE",
+    "HEALTH_UNRESPONSIVE",
+    "HEALTH_DEAD",
+    "MACHINE_HEALTH_STATES",
+    "classify_heartbeat_age",
     "LoopProfile",
     "profile_sections",
     "choose_heartbeat_section",

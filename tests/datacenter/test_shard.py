@@ -8,6 +8,9 @@ scenario (co-resident tenants, mixed trace shapes) plus the degenerate
 worker counts (1 worker; more workers than machines).
 """
 
+import os
+import time
+
 import pytest
 
 from repro.core.powerdial import measure_baseline_rate
@@ -196,3 +199,83 @@ class TestBackendValidation:
             DatacenterEngine(machines, [binding], backend="threads")
         with pytest.raises(EngineError):
             DatacenterEngine(machines, [binding], backend="sharded", workers=0)
+
+
+@needs_fork
+class TestWorkerSupervision:
+    """The coordinator must detect dead and hung workers at barriers.
+
+    Both tests replace ``shard._worker_main`` before the engine forks
+    (the fork start method inherits the patched module), so the failure
+    happens inside a real worker process mid-protocol — and assert the
+    supervisor raises an :class:`EngineError` naming the worker, its
+    machines, and the barrier time instead of blocking on a dead pipe.
+    """
+
+    def test_worker_death_mid_run_is_named(self, monkeypatch):
+        from repro.datacenter import shard
+
+        real_worker = shard._worker_main
+
+        def dying_worker(engine, machine_indices, tick_times, final_time, conn):
+            if 1 not in machine_indices:
+                return real_worker(
+                    engine, machine_indices, tick_times, final_time, conn
+                )
+
+            class DieAfterSends:
+                """Forwarding conn that fail-stops after two sends."""
+
+                def __init__(self, inner):
+                    self._inner = inner
+                    self._sends = 0
+
+                def send(self, message):
+                    self._inner.send(message)
+                    self._sends += 1
+                    if self._sends >= 2:
+                        os._exit(3)
+
+                def __getattr__(self, name):
+                    return getattr(self._inner, name)
+
+            return real_worker(
+                engine,
+                machine_indices,
+                tick_times,
+                final_time,
+                DieAfterSends(conn),
+            )
+
+        monkeypatch.setattr(shard, "_worker_main", dying_worker)
+        engine = build_scenario("sharded", workers=2)
+        with pytest.raises(
+            EngineError,
+            match=r"shard worker \d+ \(machines \[.*\]\) at barrier "
+            r"t=\S+ died",
+        ):
+            engine.run()
+
+    def test_hung_worker_is_named_with_timeout(self, monkeypatch):
+        from repro.datacenter import shard
+
+        real_worker = shard._worker_main
+
+        def hanging_worker(
+            engine, machine_indices, tick_times, final_time, conn
+        ):
+            if 1 in machine_indices:
+                time.sleep(60.0)
+            return real_worker(
+                engine, machine_indices, tick_times, final_time, conn
+            )
+
+        monkeypatch.setattr(shard, "_worker_main", hanging_worker)
+        monkeypatch.setattr(shard, "_WORKER_BARRIER_TIMEOUT_SECONDS", 2.0)
+        engine = build_scenario("sharded", workers=2)
+        with pytest.raises(
+            EngineError,
+            match=r"shard worker \d+ \(machines \[.*\]\) at barrier "
+            r"t=\S+ hung: no 'views' message within 2s \(pid \d+\)",
+        ):
+            engine.run()

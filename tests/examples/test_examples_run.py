@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "datacenter_arbiter.py",
     "datacenter_billing.py",
     "datacenter_replay.py",
+    "datacenter_grayfail.py",
 ]
 
 

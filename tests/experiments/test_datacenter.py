@@ -125,6 +125,51 @@ class TestControlPlaneCli:
         assert "below the fleet-wide cap floor" in err
 
 
+class TestFaultsCli:
+    def test_cli_faults_runs_and_reports_injection(self, capsys, tmp_path):
+        plan = tmp_path / "gray.faults"
+        plan.write_text(
+            "config seed=11 unresponsive_after=4 reintegrate=5\n"
+            "sensor machine=0 start=8 end=16 mode=dropout\n"
+            "actuator machine=1 start=10 end=22 mode=drop\n"
+            "straggler machine=0 start=24 end=30\n"
+        )
+        assert main(
+            ["datacenter", "--scale", "tiny", "--faults", str(plan)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gray faults injected" in out
+        assert "applier retries" in out
+
+    def test_cli_faults_parse_error_names_path_line_and_field(
+        self, capsys, tmp_path
+    ):
+        plan = tmp_path / "bad.faults"
+        plan.write_text("sensor machine=0 start=2 end=6\nkill when=9\n")
+        assert main(["datacenter", "--faults", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert str(plan) in err
+        assert "line 2" in err and "'when'" in err
+
+    def test_cli_faults_bad_value_names_field(self, capsys, tmp_path):
+        plan = tmp_path / "bad.faults"
+        plan.write_text("straggler machine=0 start=later end=9\n")
+        assert main(["datacenter", "--faults", str(plan)]) == 2
+        err = capsys.readouterr().err
+        assert "line 1" in err and "'start'" in err
+
+    def test_cli_faults_missing_file_names_path(self, capsys, tmp_path):
+        missing = tmp_path / "nope.faults"
+        assert main(["datacenter", "--faults", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert str(missing) in err and "cannot read fault plan" in err
+
+    def test_cli_faults_rejected_on_other_artifacts(self):
+        with pytest.raises(SystemExit):
+            main(["fig34", "--faults", "x.faults"])
+
+
 class TestBilling:
     def test_billing_payload_conserves_energy(self, experiment):
         payload = billing_payload(experiment)
