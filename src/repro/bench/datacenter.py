@@ -35,8 +35,16 @@ __all__ = [
 DEFAULT_POOL_SIZES = (8, 32, 128)
 """Pool sizes of the full bench run (one tenant per machine)."""
 
-SMOKE_POOL_SIZES = (4, 8)
-"""Pool sizes of the CI smoke run."""
+SMOKE_POOL_SIZES = (8, 16)
+"""Pool sizes of the CI smoke run.
+
+The floor matches the full run's smallest pool so the trajectory
+gate's per-kind comparison is like for like: the special scenarios
+(budget shock, consolidation, chaos, gray failure) run at
+``min(pool_sizes)``, and at 4 machines their fixed per-run costs
+(fault-plan setup, barrier machinery) spread over too few events to
+transfer against the committed 8-machine baselines.
+"""
 
 
 def _time_backend(

@@ -1,11 +1,19 @@
 """Microbenchmarks of the PowerDial runtime's hot step path.
 
-Three probes, matching the optimizations this harness exists to keep
+Four probes, matching the optimizations this harness exists to keep
 honest:
 
 * ``step_path`` — a full :meth:`~repro.core.runtime.PowerDialRuntime`
   run over a stream of service jobs: items/second and heartbeats/second
   through the whole monitor -> controller -> actuator -> machine loop.
+* ``batched_step_path`` — the same loop through the vectorized kernel
+  (:mod:`repro.core.batched`): a pool of co-resident instances, each on
+  its own machine with a coarse 200-beat quantum (the regime the kernel
+  targets — chunk size is pinned at ``quantum_beats``), drained to
+  completion the way :class:`~repro.datacenter.engine.DatacenterEngine`
+  drains its hosts.  ``scalar_items_per_sec`` reports the identical
+  pool stepped through the scalar loop, so the probe carries its own
+  like-for-like speedup.
 * ``heartbeat_window`` — beats/second through
   :meth:`~repro.heartbeats.api.HeartbeatMonitor.heartbeat` plus a
   ``window_rate`` query per beat (O(1) running-sum path; the naive
@@ -13,15 +21,22 @@ honest:
 * ``actuation_plan`` — per-call cost of
   :meth:`~repro.core.actuator.Actuator.plan` versus the runtime's
   cached ``_plan_for`` on a repeated command (the steady-state case).
+
+Every probe reports ``repeats`` and its best-of-``repeats`` timing,
+with a ``gc.collect()`` drain before each timed run so collector debt
+from a previous repeat (or the calling harness) never lands inside a
+measurement.
 """
 
 from __future__ import annotations
 
+import gc
 import time
-from typing import Any
+from typing import Any, Callable
 
+from repro.core.batched import to_batched
 from repro.core.powerdial import measure_baseline_rate
-from repro.core.runtime import PowerDialRuntime
+from repro.core.runtime import PowerDialRuntime, StepStatus
 from repro.datacenter.service import ServiceApp, service_training_jobs
 from repro.experiments.common import experiment_machine
 from repro.experiments.registry import built_service_system
@@ -30,90 +45,204 @@ from repro.heartbeats.api import HeartbeatMonitor
 
 __all__ = ["bench_runtime"]
 
+# Quantum length for the batched probe: the kernel advances one chunk
+# per quantum, so a coarse quantum is what makes batching pay.
+BATCHED_QUANTUM_BEATS = 200
 
-def _bench_step_path(jobs: int, items_per_job: int) -> dict[str, Any]:
+
+def _best_of(
+    repeats: int, run_once: Callable[[], dict[str, Any]], key: str
+) -> dict[str, Any]:
+    """Run ``run_once`` ``repeats`` times; keep the lowest-``key`` run.
+
+    Collects garbage before every timed run so one repeat's debt never
+    pollutes the next measurement.
+    """
+    best: dict[str, Any] | None = None
+    for _ in range(repeats):
+        gc.collect()
+        payload = run_once()
+        if best is None or payload[key] < best[key]:
+            best = payload
+    assert best is not None
+    best["repeats"] = repeats
+    return best
+
+
+def _service_workload(jobs: int, items_per_job: int) -> list[list[float]]:
+    return [[float(1 + i % 7)] * items_per_job for i in range(jobs)]
+
+
+def _bench_step_path(
+    jobs: int, items_per_job: int, repeats: int
+) -> dict[str, Any]:
     system = built_service_system()
-    machine = experiment_machine()
-    target = measure_baseline_rate(
-        ServiceApp, service_training_jobs()[0], machine
-    )
-    runtime = PowerDialRuntime(
-        app=ServiceApp(),
-        table=system.table,
-        machine=machine,
-        target_rate=target,
-    )
-    workload = [[float(1 + i % 7)] * items_per_job for i in range(jobs)]
-    start = time.perf_counter()
-    result = runtime.run(workload)
-    elapsed = time.perf_counter() - start
-    beats = len(result.samples)
-    return {
-        "jobs": jobs,
-        "items": jobs * items_per_job,
-        "seconds": elapsed,
-        "items_per_sec": jobs * items_per_job / elapsed,
-        "beats_per_sec": beats / elapsed,
-    }
+
+    def run_once() -> dict[str, Any]:
+        machine = experiment_machine()
+        target = measure_baseline_rate(
+            ServiceApp, service_training_jobs()[0], machine
+        )
+        runtime = PowerDialRuntime(
+            app=ServiceApp(),
+            table=system.table,
+            machine=machine,
+            target_rate=target,
+        )
+        workload = _service_workload(jobs, items_per_job)
+        start = time.perf_counter()
+        result = runtime.run(workload)
+        elapsed = time.perf_counter() - start
+        beats = len(result.samples)
+        return {
+            "jobs": jobs,
+            "items": jobs * items_per_job,
+            "seconds": elapsed,
+            "items_per_sec": jobs * items_per_job / elapsed,
+            "beats_per_sec": beats / elapsed,
+        }
+
+    return _best_of(repeats, run_once, "seconds")
 
 
-def _bench_heartbeat_window(beats: int) -> dict[str, Any]:
-    clock = VirtualClock()
-    monitor = HeartbeatMonitor(clock, window_size=20)
-    start = time.perf_counter()
-    for _ in range(beats):
-        clock.advance(0.042)
-        monitor.heartbeat()
-        monitor.window_rate()
-    elapsed = time.perf_counter() - start
-    return {
-        "beats": beats,
-        "window_size": 20,
-        "seconds": elapsed,
-        "beats_per_sec": beats / elapsed,
-    }
+def _drain_pool(runtimes, workload) -> None:
+    """Feed and drain a pool the way the engine drains its hosts."""
+    for runtime in runtimes:
+        runtime.begin([list(job) for job in workload])
+        runtime.close_input()
+    for runtime in runtimes:
+        while runtime.step() is not StepStatus.FINISHED:
+            pass
+        runtime.finish()
 
 
-def _bench_actuation_plan(calls: int) -> dict[str, Any]:
+def _bench_batched_step_path(
+    instances: int, jobs: int, items_per_job: int, repeats: int
+) -> dict[str, Any]:
     system = built_service_system()
-    machine = experiment_machine()
-    runtime = PowerDialRuntime(
-        app=ServiceApp(),
-        table=system.table,
-        machine=machine,
-        target_rate=20.0,
-    )
-    # A blended command (between table settings) is the expensive case.
-    speedup = 0.5 * (1.0 + system.table.max_speedup)
-    start = time.perf_counter()
-    for _ in range(calls):
-        runtime.actuator.plan(speedup)
-    uncached = time.perf_counter() - start
-    start = time.perf_counter()
-    for _ in range(calls):
-        runtime._plan_for(speedup)
-    cached = time.perf_counter() - start
-    return {
-        "calls": calls,
-        "uncached_seconds": uncached,
-        "cached_seconds": cached,
-        "uncached_us_per_call": 1e6 * uncached / calls,
-        "cached_us_per_call": 1e6 * cached / calls,
-        "cache_speedup": uncached / cached if cached > 0 else float("inf"),
-    }
+    workload = _service_workload(jobs, items_per_job)
+    total_items = instances * jobs * items_per_job
+
+    def build_pool() -> list[PowerDialRuntime]:
+        pool = []
+        for _ in range(instances):
+            machine = experiment_machine()
+            target = measure_baseline_rate(
+                ServiceApp, service_training_jobs()[0], machine
+            )
+            pool.append(
+                PowerDialRuntime(
+                    app=ServiceApp(),
+                    table=system.table,
+                    machine=machine,
+                    target_rate=target,
+                    quantum_beats=BATCHED_QUANTUM_BEATS,
+                )
+            )
+        return pool
+
+    def run_once() -> dict[str, Any]:
+        batched = [to_batched(runtime) for runtime in build_pool()]
+        start = time.perf_counter()
+        _drain_pool(batched, workload)
+        batched_elapsed = time.perf_counter() - start
+
+        scalar = build_pool()
+        gc.collect()
+        start = time.perf_counter()
+        _drain_pool(scalar, workload)
+        scalar_elapsed = time.perf_counter() - start
+        return {
+            "instances": instances,
+            "jobs_per_instance": jobs,
+            "items": total_items,
+            "quantum_beats": BATCHED_QUANTUM_BEATS,
+            "seconds": batched_elapsed,
+            "items_per_sec": total_items / batched_elapsed,
+            "scalar_seconds": scalar_elapsed,
+            "scalar_items_per_sec": total_items / scalar_elapsed,
+            "speedup_vs_scalar": scalar_elapsed / batched_elapsed,
+        }
+
+    return _best_of(repeats, run_once, "seconds")
+
+
+def _bench_heartbeat_window(beats: int, repeats: int) -> dict[str, Any]:
+    def run_once() -> dict[str, Any]:
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=20)
+        start = time.perf_counter()
+        for _ in range(beats):
+            clock.advance(0.042)
+            monitor.heartbeat()
+            monitor.window_rate()
+        elapsed = time.perf_counter() - start
+        return {
+            "beats": beats,
+            "window_size": 20,
+            "seconds": elapsed,
+            "beats_per_sec": beats / elapsed,
+        }
+
+    return _best_of(repeats, run_once, "seconds")
+
+
+def _bench_actuation_plan(calls: int, repeats: int) -> dict[str, Any]:
+    system = built_service_system()
+
+    def run_once() -> dict[str, Any]:
+        machine = experiment_machine()
+        runtime = PowerDialRuntime(
+            app=ServiceApp(),
+            table=system.table,
+            machine=machine,
+            target_rate=20.0,
+        )
+        # A blended command (between table settings) is the expensive case.
+        speedup = 0.5 * (1.0 + system.table.max_speedup)
+        start = time.perf_counter()
+        for _ in range(calls):
+            runtime.actuator.plan(speedup)
+        uncached = time.perf_counter() - start
+        gc.collect()
+        start = time.perf_counter()
+        for _ in range(calls):
+            runtime._plan_for(speedup)
+        cached = time.perf_counter() - start
+        return {
+            "calls": calls,
+            "seconds": uncached + cached,
+            "uncached_seconds": uncached,
+            "cached_seconds": cached,
+            "uncached_us_per_call": 1e6 * uncached / calls,
+            "cached_us_per_call": 1e6 * cached / calls,
+            "cache_speedup": uncached / cached if cached > 0 else float("inf"),
+        }
+
+    return _best_of(repeats, run_once, "seconds")
 
 
 def bench_runtime(smoke: bool = False) -> dict[str, Any]:
-    """Run the three step-path microbenchmarks; return the JSON payload."""
+    """Run the four step-path microbenchmarks; return the JSON payload."""
     if smoke:
-        jobs, items, beats, calls = 40, 5, 20_000, 20_000
+        # Only the expensive probes shrink: heartbeat beats and plan
+        # calls stay at full count because they cost well under a
+        # second, and at smoke-sized counts the cached-plan timing
+        # (~0.1 us/call) drops below the noise floor of a shared host,
+        # making the trajectory gate flap on unchanged code.
+        jobs, items, beats, calls = 40, 5, 200_000, 100_000
+        instances, batched_jobs, repeats = 8, 40, 2
     else:
         jobs, items, beats, calls = 400, 5, 200_000, 100_000
+        instances, batched_jobs, repeats = 32, 200, 3
     return {
         "benchmark": "runtime-step-path",
         "probes": {
-            "step_path": _bench_step_path(jobs, items),
-            "heartbeat_window": _bench_heartbeat_window(beats),
-            "actuation_plan": _bench_actuation_plan(calls),
+            "step_path": _bench_step_path(jobs, items, repeats),
+            "batched_step_path": _bench_batched_step_path(
+                instances, batched_jobs, items, repeats
+            ),
+            "heartbeat_window": _bench_heartbeat_window(beats, repeats),
+            "actuation_plan": _bench_actuation_plan(calls, repeats),
         },
     }

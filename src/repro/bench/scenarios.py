@@ -195,6 +195,7 @@ def build_pool_engine(
     scenario: PoolScenario,
     backend: str = "serial",
     workers: int | None = None,
+    step_mode: str = "scalar",
 ) -> DatacenterEngine:
     """Materialize a fresh engine for ``scenario`` (engines are one-shot)."""
     system = built_service_system()
@@ -266,6 +267,7 @@ def build_pool_engine(
         backend=backend,
         workers=workers,
         faults=plan,
+        step_mode=step_mode,
     )
 
 

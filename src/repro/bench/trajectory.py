@@ -187,6 +187,7 @@ def compare_datacenter(
 
 _PROBE_COSTS = {
     "step_path": ("items_per_sec", "item"),
+    "batched_step_path": ("items_per_sec", "item"),
     "heartbeat_window": ("beats_per_sec", "beat"),
 }
 
@@ -200,8 +201,9 @@ def compare_runtime(
 ) -> list[TrajectoryCheck]:
     """Compare the runtime microbench probes against the committed run.
 
-    ``step_path`` and ``heartbeat_window`` compare calibrated per-item
-    / per-beat costs; ``actuation_plan`` compares the calibrated cost
+    ``step_path``, ``batched_step_path``, and ``heartbeat_window``
+    compare calibrated per-item / per-beat costs; ``actuation_plan``
+    compares the calibrated cost
     of a *cached* plan call (the steady-state path the cache exists
     for).  Same tolerance and injection semantics as
     :func:`compare_datacenter`.

@@ -71,6 +71,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.core.batched import to_batched
 from repro.core.runtime import PowerDialRuntime, RunResult, StepStatus
 from repro.datacenter.billing import (
     TenantBill,
@@ -121,6 +122,7 @@ __all__ = [
     "DatacenterResult",
     "DatacenterEngine",
     "ENGINE_BACKENDS",
+    "STEP_MODES",
 ]
 
 _ARRIVAL = 0
@@ -128,6 +130,28 @@ _BARRIER = 1
 
 ENGINE_BACKENDS = ("serial", "sharded", "eager")
 """Recognized ``DatacenterEngine`` backends."""
+
+STEP_MODES = ("scalar", "batched")
+"""Recognized step-path kernels (orthogonal to the backend choice)."""
+
+
+def _batched_factory(
+    factory: Callable[[Machine], PowerDialRuntime],
+) -> Callable[[Machine], PowerDialRuntime]:
+    """Wrap a runtime factory so rebuilt runtimes use the batched kernel.
+
+    Migrations and crash re-placements construct fresh runtimes through
+    the binding's ``runtime_factory``; under ``step_mode="batched"``
+    those rebuilds must come up batched too, or a migrated tenant would
+    silently fall back to the scalar step path.  The wrapper is a plain
+    closure: shard workers inherit it by fork (factories never cross
+    process boundaries by pickling).
+    """
+
+    def build(machine: Machine) -> PowerDialRuntime:
+        return to_batched(factory(machine))
+
+    return build
 
 
 class EngineError(ValueError):
@@ -404,6 +428,13 @@ class DatacenterEngine:
             policy's raw actions, the applied budget/caps/migrations/
             failures, and a full cluster checkpoint — making the run
             replayable and crash-resumable from the journal alone.
+        step_mode: ``"scalar"`` (the reference per-item step path,
+            default) or ``"batched"`` (each runtime advances whole
+            control quanta as vectorized numpy chunks; see
+            :mod:`repro.core.batched`).  Bit-exact by construction, so
+            bills, histories, and journal bytes are identical either
+            way; the choice is never serialized into journals or
+            checkpoints.
     """
 
     def __init__(
@@ -417,6 +448,7 @@ class DatacenterEngine:
         workers: int | None = None,
         journal=None,
         faults: FaultPlan | None = None,
+        step_mode: str = "scalar",
     ) -> None:
         if not machines:
             raise EngineError("engine needs at least one machine")
@@ -427,6 +459,10 @@ class DatacenterEngine:
         if backend not in ENGINE_BACKENDS:
             raise EngineError(
                 f"unknown backend {backend!r}; expected one of {ENGINE_BACKENDS}"
+            )
+        if step_mode not in STEP_MODES:
+            raise EngineError(
+                f"unknown step_mode {step_mode!r}; expected one of {STEP_MODES}"
             )
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers!r}")
@@ -469,6 +505,21 @@ class DatacenterEngine:
         self.attainment_window = attainment_window
         self.backend = backend
         self.workers = workers
+        self.step_mode = step_mode
+        if step_mode == "batched":
+            # Swap each un-begun runtime for its batched twin (a no-op
+            # for apps without a batch hook or custom runtime
+            # subclasses, which keep the scalar path), and wrap the
+            # factories so migration/crash rebuilds stay batched.  The
+            # kernel is bit-exact per step, so every downstream
+            # artifact — bills, journals, histories — is unchanged;
+            # step_mode is deliberately never serialized.
+            for binding in self.bindings:
+                binding.runtime = to_batched(binding.runtime)
+                if binding.runtime_factory is not None:
+                    binding.runtime_factory = _batched_factory(
+                        binding.runtime_factory
+                    )
         self.hosts = [
             _Host(i, machine, [b for b in self.bindings if b.machine_index == i])
             for i, machine in enumerate(self.machines)
@@ -1240,13 +1291,27 @@ class DatacenterEngine:
                 self._advance(self.hosts[binding.machine_index], time)
                 self._dispatch_arrival(binding, time)
             else:
-                for host in hosts:
-                    self._advance(host, time)
+                self._advance_barrier(hosts, time)
                 on_tick(time)
-        for host in hosts:
-            self._advance(host, final_time)
+        self._advance_barrier(hosts, final_time)
 
     # ------------------------------------------------------------------
+    def _advance_barrier(self, hosts: Sequence[_Host], until: float) -> None:
+        """Settle every host in ``hosts`` to a barrier instant.
+
+        The one dispatch point where a whole group of instances is known
+        to be due at the same time — serial barriers, the trailing
+        settle, and the shard workers' per-tick loops all funnel through
+        here.  Each host still advances its residents in the scalar
+        round-robin order (co-resident instances share one clock, so
+        cross-instance reordering would change the interleaving the
+        scalar engine defines); under ``step_mode="batched"`` each
+        dispatched ``step()`` then advances a whole control quantum as
+        one vectorized chunk inside the runtime kernel.
+        """
+        for host in hosts:
+            self._advance(host, until)
+
     def _advance(self, host: _Host, until: float) -> None:
         """Run ``host`` cooperatively until its clock reaches ``until``.
 

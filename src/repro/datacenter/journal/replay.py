@@ -89,6 +89,7 @@ def build_engine_from_header(
     backend: str | None = None,
     workers: int | None = None,
     journal=None,
+    step_mode: str = "scalar",
 ) -> DatacenterEngine:
     """Rebuild a journaled run's engine from its header alone.
 
@@ -96,7 +97,10 @@ def build_engine_from_header(
     the recorded defining module first if needed (modules register
     their builders at import time).  ``backend``/``workers`` override
     the recorded ones — replay is backend-independent by construction,
-    so any backend must reproduce the same result.
+    so any backend must reproduce the same result.  ``step_mode``
+    likewise stays a caller choice, never a header field: the batched
+    kernel is bit-equal to scalar, so a journal recorded either way
+    replays under either kernel.
     """
     scenario = header.get("scenario")
     if not isinstance(scenario, Mapping):
@@ -128,6 +132,7 @@ def build_engine_from_header(
         backend=backend if backend is not None else "serial",
         workers=workers,
         journal=journal,
+        step_mode=step_mode,
     )
 
 
@@ -268,7 +273,10 @@ def _diff_payloads(
 
 
 def replay(
-    path: str, backend: str | None = None, workers: int | None = None
+    path: str,
+    backend: str | None = None,
+    workers: int | None = None,
+    step_mode: str = "scalar",
 ) -> DatacenterResult:
     """Re-execute a journaled run and assert byte-exact reproduction.
 
@@ -288,7 +296,7 @@ def replay(
             "record); use resume() to finish it"
         )
     engine = build_engine_from_header(
-        journal.header, backend=backend, workers=workers
+        journal.header, backend=backend, workers=workers, step_mode=step_mode
     )
     engine.policy = ReplayPolicy(journal)
     engine._checkpointing = True
@@ -393,6 +401,7 @@ def resume(
     backend: str | None = None,
     workers: int | None = None,
     journal_path: str | None = None,
+    step_mode: str = "scalar",
 ) -> DatacenterResult:
     """Finish a crashed run from its journal, attesting the prefix.
 
@@ -422,7 +431,11 @@ def resume(
         writer = JournalWriter(journal_path, header)
     try:
         engine = build_engine_from_header(
-            journal.header, backend=backend, workers=workers, journal=writer
+            journal.header,
+            backend=backend,
+            workers=workers,
+            journal=writer,
+            step_mode=step_mode,
         )
         attestor = _AttestingPolicy(engine.policy, journal)
         attestor.attach(engine)

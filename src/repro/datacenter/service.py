@@ -66,6 +66,27 @@ class ServiceApp(Application):
         estimate = item * (1.0 + 1.0 / iterations)
         return ItemResult(output=estimate, work=work)
 
+    def batch_process(
+        self, items: list[Any], space: AddressSpace, tracker: WorkTracker
+    ) -> tuple[np.ndarray, float]:
+        """Vectorized twin of :meth:`process_item` for the batched kernel.
+
+        Processes ``items`` under the *current* knob configuration in one
+        numpy expression, returning ``(outputs, work_per_item)``.  The
+        contract (see :mod:`repro.core.batched`): outputs must be
+        float-for-float equal to per-item :meth:`process_item` calls, and
+        the per-item work must be a single constant for the whole batch —
+        which holds here because work depends only on the knob, and the
+        kernel never lets a batch span a knob change.
+        """
+        iterations = int(space.read("iterations"))
+        work = float(iterations) * WORK_SCALE
+        tracker.add("serve", work * len(items))
+        # Same scalar multiplier as process_item, applied elementwise:
+        # IEEE multiplication is bit-identical either way.
+        outputs = np.asarray(items, dtype=float) * (1.0 + 1.0 / iterations)
+        return outputs, work
+
     def qos_metric(self) -> QoSMetric:
         return DistortionMetric(lambda outputs: np.asarray(outputs, dtype=float))
 

@@ -210,8 +210,7 @@ def _worker_main(
 
         for now in tick_times:
             pump.run_until(now)
-            for host in hosts:
-                engine._advance(host, now)
+            engine._advance_barrier(hosts, now)
             if engine._checkpointing:
                 checkpoints = (
                     {
@@ -307,8 +306,7 @@ def _worker_main(
                     resident.append(binding)
 
         pump.run_until(None)
-        for host in hosts:
-            engine._advance(host, final_time)
+        engine._advance_barrier(hosts, final_time)
         for binding in resident:
             binding.runtime.close_input()
         for host in hosts:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.clock import VirtualClock
 from repro.hardware.cpu import Processor, CpuError
 from repro.hardware.power import PowerMeter, PowerModel
@@ -81,6 +83,61 @@ class Machine:
         )
         self.meter.observe(start, end, watts)
         return seconds
+
+    def execute_run(
+        self,
+        count: int,
+        work_units: float,
+        threads: int | None = None,
+        times: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Run ``count`` identical work batches back to back, in one call.
+
+        The bulk twin of :meth:`execute` for the batched step kernel:
+        per-batch seconds are computed once (the P-state is constant
+        across the run by construction — frequency changes only happen
+        between runs), the clock chain ``now, now+s, now+2s, ...`` is
+        materialized with a strictly sequential ``np.add.accumulate``
+        (bit-identical to ``count`` successive ``clock.advance`` calls),
+        and the meter integrates the whole run at the constant watts the
+        per-call path would compute for every batch.
+
+        A caller that already materialized the identical chain (the
+        batched kernel builds it to find chunk boundaries) may pass it as
+        ``times`` — ``count + 1`` boundary timestamps whose first entry
+        must be the current clock value; the chain is then trusted
+        instead of recomputed.
+
+        Returns the ``count + 1`` clock boundary timestamps, starting
+        with the pre-execution time.
+        """
+        if count < 1:
+            raise MachineError(f"execute_run needs count >= 1, got {count!r}")
+        threads = self.cores if threads is None else threads
+        if threads < 1 or threads > self.cores:
+            raise MachineError(f"threads must be in 1..{self.cores}, got {threads!r}")
+        if times is None:
+            seconds = self.processor.seconds_for_work(work_units, threads=threads)
+            seconds *= self.load_factor
+            times = np.empty(count + 1, dtype=float)
+            times[0] = self.clock.now
+            times[1:] = seconds
+            np.add.accumulate(times, out=times)
+        elif times.shape[0] != count + 1 or times[0] != self.clock.now:
+            raise MachineError(
+                "precomputed times must hold count + 1 boundaries starting "
+                "at the current clock"
+            )
+        self.clock.advance_to(float(times[-1]))
+        utilization = threads / self.cores
+        watts = self.power_model.power(
+            utilization,
+            self.processor.pstate,
+            self.processor.max_frequency_ghz,
+            self.processor.pstates[0].voltage,
+        )
+        self.meter.observe_run(times, watts)
+        return times
 
     def idle(self, seconds: float) -> None:
         """Sit idle for ``seconds`` (power meter sees the idle floor)."""

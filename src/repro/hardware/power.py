@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.hardware.cpu import PState
 
 __all__ = ["PowerModel", "PowerMeter", "PowerSample", "PowerError"]
@@ -135,6 +137,43 @@ class PowerMeter:
         if self._next_sample_time is None:
             self._next_sample_time = start + self.interval
         self._energy_joules += watts * (end - start)
+        while self._next_sample_time <= end + 1e-12:
+            self._samples.append(PowerSample(self._next_sample_time, watts))
+            self._next_sample_time += self.interval
+        self._last_time = end
+
+    def observe_run(self, times: np.ndarray, watts: float) -> None:
+        """Record a run of back-to-back constant-power intervals at once.
+
+        The bulk twin of :meth:`observe` for the batched step kernel:
+        ``times`` holds the ``n+1`` boundary timestamps of ``n``
+        consecutive intervals all drawn at ``watts``.  Equivalent —
+        float for float — to ``observe(times[i], times[i+1], watts)``
+        for each ``i`` in order: the energy integral is accumulated
+        strictly left to right (``np.add.accumulate`` seeded with the
+        current total, which adds in exactly the scalar order), and
+        sample emission advances the same ``_next_sample_time``
+        recurrence.  Constant power across the run is what makes the
+        single sample-emission sweep exact.
+        """
+        times = np.asarray(times, dtype=float)
+        if times.ndim != 1 or times.shape[0] < 2:
+            raise PowerError("observe_run needs at least two boundary timestamps")
+        deltas = np.diff(times)
+        if float(deltas.min()) < 0.0:
+            raise PowerError("interval end precedes start in bulk observation")
+        start = float(times[0])
+        end = float(times[-1])
+        if self._last_time is not None and start < self._last_time - 1e-9:
+            raise PowerError(
+                f"interval start {start!r} precedes last observed {self._last_time!r}"
+            )
+        if self._next_sample_time is None:
+            self._next_sample_time = start + self.interval
+        acc = np.empty(times.shape[0], dtype=float)
+        acc[0] = self._energy_joules
+        np.multiply(deltas, watts, out=acc[1:])
+        self._energy_joules = float(np.add.accumulate(acc)[-1])
         while self._next_sample_time <= end + 1e-12:
             self._samples.append(PowerSample(self._next_sample_time, watts))
             self._next_sample_time += self.interval

@@ -14,7 +14,10 @@ reflects wall-clock time.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.hardware.clock import VirtualClock
 
@@ -170,6 +173,115 @@ class HeartbeatMonitor:
             self._window_sum += interval
         self._records.append(record)
         return record
+
+    def commit_run(
+        self, timestamps: Sequence[float]
+    ) -> tuple[int, list[float | None]]:
+        """Emit a run of heartbeats at precomputed timestamps, in one call.
+
+        The bulk twin of :meth:`heartbeat` for the batched step kernel
+        (:mod:`repro.core.batched`): the caller has already computed the
+        exact clock values successive beats would observe, and this
+        method reproduces — float for float — the window state that the
+        same number of sequential :meth:`heartbeat` calls would leave
+        behind (the interval recurrence runs in emission order on the
+        same running ``window_sum``).
+
+        Returns ``(first_sequence, window_rates)``: the sequence number
+        of the run's first beat, and one :meth:`window_rate` value per
+        beat, observed *after* that beat (``None`` while no interval
+        exists or the window duration is non-positive).
+
+        The per-beat record log is collapsed to a single trailing
+        :class:`HeartbeatRecord` (the same trick :meth:`restore_window`
+        uses), so :attr:`count`, the next interval, and
+        :meth:`export_window` are exact while :attr:`records` and
+        :meth:`global_rate` only see the collapsed history.  The commit
+        is atomic: a backwards timestamp raises before any state
+        changes.
+        """
+        n = len(timestamps)
+        if n == 0:
+            return self.count, []
+        window_size = self._window_size
+        last = self._records[-1].timestamp if self._records else None
+        if last is not None and n >= 8 and len(self._intervals) == window_size:
+            bulk = self._commit_run_filled(timestamps, last, n)
+            if bulk is not None:
+                return bulk
+        if not isinstance(timestamps, list):
+            # Normalize ndarray/tuple input so the recurrence below runs
+            # on Python floats, like per-beat heartbeat() calls would.
+            timestamps = [float(t) for t in timestamps]
+        intervals = deque(self._intervals, maxlen=window_size)
+        window_sum = self._window_sum
+        rates: list[float | None] = []
+        for now in timestamps:
+            if last is not None:
+                interval = now - last
+                if interval < 0:
+                    raise HeartbeatError("heartbeat timestamps went backwards")
+                if len(intervals) == window_size:
+                    window_sum -= intervals[0]
+                intervals.append(interval)
+                window_sum += interval
+            last = now
+            if intervals and window_sum > 0.0:
+                rates.append(len(intervals) / window_sum)
+            else:
+                rates.append(None)
+        first = self._base + len(self._records)
+        self._base = first + n - 1
+        self._records = [HeartbeatRecord(self._base, timestamps[-1])]
+        self._intervals = intervals
+        self._window_sum = window_sum
+        return first, rates
+
+    def _commit_run_filled(
+        self, timestamps: Sequence[float], last: float, n: int
+    ) -> tuple[int, list[float | None]] | None:
+        """Vectorized :meth:`commit_run` for the filled-window steady state.
+
+        With the interval window already full, every beat performs the
+        same three-operation recurrence — evict the oldest interval, add
+        the newest, read ``window_size / window_sum`` — so the whole run
+        unrolls into one strictly sequential ``np.add.accumulate`` over
+        the interleaved ``(-evicted, +appended)`` stream, seeded with the
+        current ``window_sum``.  Each chain element is the identical IEEE
+        binary add the scalar loop would execute (``x - old`` equals
+        ``x + (-old)`` bit for bit), so the emitted rates and the final
+        window state match the loop exactly.  Returns ``None`` — leaving
+        all state untouched — when any intermediate window sum is
+        non-positive, which the loop handles with per-beat ``None``
+        rates.
+        """
+        window_size = self._window_size
+        ts = np.asarray(timestamps, dtype=float)
+        # The eviction stream is simply the interval stream delayed by
+        # ``window_size``: pool = [existing window | new intervals].
+        pool = np.empty(window_size + n)
+        pool[:window_size] = self._intervals
+        news = pool[window_size:]
+        news[0] = ts[0] - last
+        if n > 1:
+            np.subtract(ts[1:], ts[:-1], out=news[1:])
+        if float(news.min()) < 0.0:
+            raise HeartbeatError("heartbeat timestamps went backwards")
+        chain = np.empty(2 * n + 1)
+        chain[0] = self._window_sum
+        np.negative(pool[:n], out=chain[1::2])
+        chain[2::2] = news
+        np.add.accumulate(chain, out=chain)
+        sums = chain[2::2]
+        if float(sums.min()) <= 0.0:
+            return None
+        rates = (window_size / sums).tolist()
+        first = self._base + len(self._records)
+        self._base = first + n - 1
+        self._records = [HeartbeatRecord(self._base, float(ts[-1]))]
+        self._intervals = deque(pool[n:].tolist(), maxlen=window_size)
+        self._window_sum = float(chain[-1])
+        return first, rates
 
     # ------------------------------------------------------------------
     # Queries

@@ -1,0 +1,484 @@
+"""Differential fuzz harness: the batched step kernel vs the scalar reference.
+
+The scalar ``PowerDialRuntime`` is the reference semantics; the batched
+kernel (``repro.core.batched``) must be *bit-equal* to it — same samples,
+same outputs, same settings, same energy, same controller and window
+state — under hypothesis-generated configurations, heartbeat traces,
+frequency-cap sequences, and mid-run snapshot/restore.  Every assertion
+here is exact equality, never approximate: one ULP of drift is a bug.
+
+The batched building blocks (``HeartbeatMonitor.commit_run``,
+``Machine.execute_run``, ``batched_controller_update``,
+``batched_plan_parameters``) are also pinned individually against their
+scalar twins, so a divergence localizes to a component before it shows
+up as a full-run mismatch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actuator import ActuationPolicy, Actuator
+from repro.core.batched import (
+    BatchedServiceRuntime,
+    batched_controller_update,
+    batched_plan_parameters,
+    to_batched,
+)
+from repro.core.controller import ControllerError, HeartRateController
+from repro.core.powerdial import build_powerdial, measure_baseline_rate
+from repro.core.runtime import PowerDialRuntime, RuntimeEvent, StepStatus
+from repro.hardware.clock import VirtualClock
+from repro.hardware.machine import Machine, MachineError
+from repro.heartbeats.api import HeartbeatError, HeartbeatMonitor
+from tests.core.toyapp import ToyApp, toy_jobs
+
+FREQUENCIES = (2.4, 2.26, 2.13, 2.0, 1.86, 1.73, 1.6)
+
+POLICIES = (ActuationPolicy.MINIMAL_SPEEDUP, ActuationPolicy.RACE_TO_IDLE)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_powerdial(ToyApp, toy_jobs())
+
+
+def fresh_runtime(system, policy=ActuationPolicy.MINIMAL_SPEEDUP):
+    machine = Machine()
+    target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+    return PowerDialRuntime(
+        app=ToyApp(),
+        table=system.table,
+        machine=machine,
+        target_rate=target,
+        policy=policy,
+    )
+
+
+def cap_events(caps):
+    return [
+        RuntimeEvent(
+            at_beat=beat,
+            action=lambda m, f=freq: m.set_frequency(f),
+            label=f"cap-{index}",
+        )
+        for index, (beat, freq) in enumerate(caps)
+    ]
+
+
+def assert_state_equal(scalar, batched):
+    """Every host-visible piece of runtime state, bit for bit."""
+    assert batched.machine.now == scalar.machine.now
+    assert (
+        batched.machine.meter.energy_joules.hex()
+        == scalar.machine.meter.energy_joules.hex()
+    )
+    assert batched.machine.meter.samples == scalar.machine.meter.samples
+    assert batched.monitor.count == scalar.monitor.count
+    assert batched.monitor.export_window() == scalar.monitor.export_window()
+    assert batched.controller.export_state() == scalar.controller.export_state()
+    assert batched._phase == scalar._phase
+    assert batched.pending_jobs == scalar.pending_jobs
+
+
+def assert_result_equal(scalar, batched):
+    assert batched.samples == scalar.samples
+    assert batched.outputs_by_job == scalar.outputs_by_job
+    assert batched.settings_used == scalar.settings_used
+    assert batched.mean_power == scalar.mean_power
+    assert batched.energy_joules.hex() == scalar.energy_joules.hex()
+    assert batched.elapsed == scalar.elapsed
+
+
+def drain(runtime):
+    statuses = []
+    while (status := runtime.step()) is not StepStatus.FINISHED:
+        statuses.append(status)
+    return statuses
+
+
+class TestFullRunDifferential:
+    @given(
+        seed=st.integers(0, 2**16),
+        n_jobs=st.integers(1, 4),
+        items=st.integers(1, 40),
+        caps=st.lists(
+            st.tuples(st.integers(0, 120), st.sampled_from(FREQUENCIES)),
+            max_size=3,
+        ),
+        policy=st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_run_bit_equal(self, system, seed, n_jobs, items, caps, policy):
+        """Arbitrary jobs + cap events: every artifact identical."""
+        jobs = toy_jobs(count=n_jobs, items=items, seed=seed)
+        runs = {}
+        for kind in ("scalar", "batched"):
+            runtime = fresh_runtime(system, policy)
+            if kind == "batched":
+                runtime = to_batched(runtime)
+                assert isinstance(runtime, BatchedServiceRuntime)
+            runtime.begin(jobs, cap_events(caps))
+            runtime.close_input()
+            statuses = drain(runtime)
+            runs[kind] = (runtime, runtime.finish(), statuses)
+        assert runs["batched"][2] == runs["scalar"][2]
+        assert_result_equal(runs["scalar"][1], runs["batched"][1])
+        assert_state_equal(runs["scalar"][0], runs["batched"][0])
+
+    def test_starved_feed_with_external_caps(self, system):
+        """Staggered feeding, starvation idles, and caps between steps."""
+        stream_jobs = toy_jobs(count=12, items=9, seed=5)
+        runs = {}
+        for kind in ("scalar", "batched"):
+            runtime = fresh_runtime(system)
+            if kind == "batched":
+                runtime = to_batched(runtime)
+            runtime.begin()
+            completions = []
+            fed = 0
+            statuses = []
+            tick = 0
+            while True:
+                if fed < len(stream_jobs) and tick % 3 == 0:
+                    runtime.feed(
+                        stream_jobs[fed],
+                        on_complete=lambda t, k=fed: completions.append((k, t)),
+                        tag=("job", fed),
+                    )
+                    fed += 1
+                if tick == 7:
+                    runtime.machine.set_frequency(1.6)
+                if tick == 13:
+                    runtime.machine.set_frequency(2.4)
+                status = runtime.step()
+                statuses.append(status)
+                if status is StepStatus.STARVED:
+                    runtime.machine.idle(0.25)
+                    if fed >= len(stream_jobs):
+                        runtime.close_input()
+                if status is StepStatus.FINISHED:
+                    break
+                tick += 1
+            runs[kind] = (runtime, runtime.finish(), statuses, completions)
+        assert runs["batched"][2] == runs["scalar"][2]
+        assert runs["batched"][3] == runs["scalar"][3]
+        assert_result_equal(runs["scalar"][1], runs["batched"][1])
+        assert_state_equal(runs["scalar"][0], runs["batched"][0])
+
+
+class TestSnapshotRestoreDifferential:
+    @given(
+        seed=st.integers(0, 2**16),
+        snap_after=st.integers(0, 6),
+        policy=st.sampled_from(POLICIES),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_migration_bit_equal(self, system, seed, snap_after, policy):
+        """Snapshot mid-run, migrate to a fresh machine, drain: identical."""
+        jobs = toy_jobs(count=3, items=20, seed=seed)
+        runs = {}
+        for kind in ("scalar", "batched"):
+            source = fresh_runtime(system, policy)
+            if kind == "batched":
+                source = to_batched(source)
+            source.begin(jobs)
+            for _ in range(snap_after):
+                source.step()
+            snapshot = source.snapshot()
+            moved = source.extract_pending()
+            destination = fresh_runtime(system, policy)
+            if kind == "batched":
+                destination = to_batched(destination)
+            destination.begin()
+            destination.restore(snapshot)
+            for job, _tag in moved:
+                destination.feed(job)
+            destination.close_input()
+            statuses = drain(destination)
+            runs[kind] = (destination, destination.finish(), statuses)
+        assert runs["batched"][2] == runs["scalar"][2]
+        assert_result_equal(runs["scalar"][1], runs["batched"][1])
+        assert_state_equal(runs["scalar"][0], runs["batched"][0])
+
+    def test_scalar_snapshot_restores_into_batched(self, system):
+        """Warm handoff across kernels: a scalar snapshot resumed on the
+        batched runtime finishes identically to a scalar resume."""
+        jobs = toy_jobs(count=3, items=20, seed=11)
+        source = fresh_runtime(system)
+        source.begin(jobs)
+        for _ in range(4):
+            source.step()
+        snapshot = source.snapshot()
+        moved = source.extract_pending()
+        runs = {}
+        for kind in ("scalar", "batched"):
+            destination = fresh_runtime(system)
+            if kind == "batched":
+                destination = to_batched(destination)
+            destination.begin()
+            destination.restore(snapshot)
+            for job, _tag in moved:
+                destination.feed(job)
+            destination.close_input()
+            drain(destination)
+            runs[kind] = (destination, destination.finish())
+        assert_result_equal(runs["scalar"][1], runs["batched"][1])
+        assert_state_equal(runs["scalar"][0], runs["batched"][0])
+
+
+class TestToBatched:
+    def test_noop_without_batch_hook(self, system):
+        """Apps without batch_process keep the scalar runtime."""
+
+        class NoBulk(ToyApp):
+            batch_process = None
+
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = PowerDialRuntime(
+            app=NoBulk(), table=system.table, machine=machine,
+            target_rate=target,
+        )
+        assert to_batched(runtime) is runtime
+
+    def test_noop_for_runtime_subclasses(self, system):
+        class Custom(PowerDialRuntime):
+            pass
+
+        machine = Machine()
+        target = measure_baseline_rate(ToyApp, toy_jobs()[0], machine)
+        runtime = Custom(
+            app=ToyApp(), table=system.table, machine=machine,
+            target_rate=target,
+        )
+        assert to_batched(runtime) is runtime
+
+    def test_idempotent(self, system):
+        runtime = to_batched(fresh_runtime(system))
+        assert to_batched(runtime) is runtime
+
+    def test_rejects_begun_runtime(self, system):
+        runtime = fresh_runtime(system)
+        runtime.begin(toy_jobs())
+        with pytest.raises(RuntimeError):
+            to_batched(runtime)
+
+
+def committed_reference(window_size, warmup, timestamps):
+    """Scalar reference: per-beat heartbeat() + window_rate() queries."""
+    clock = VirtualClock()
+    monitor = HeartbeatMonitor(clock, window_size=window_size)
+    for t in warmup:
+        clock.advance_to(t)
+        monitor.heartbeat()
+    rates = []
+    for t in timestamps:
+        clock.advance_to(t)
+        monitor.heartbeat()
+        rates.append(monitor.window_rate())
+    return monitor, rates
+
+
+def committed_bulk(window_size, warmup, timestamps):
+    """The batched path: one commit_run call over the same trace."""
+    clock = VirtualClock()
+    monitor = HeartbeatMonitor(clock, window_size=window_size)
+    for t in warmup:
+        clock.advance_to(t)
+        monitor.heartbeat()
+    first, rates = monitor.commit_run(np.asarray(timestamps, dtype=float))
+    return monitor, first, rates
+
+
+intervals = st.floats(
+    min_value=1e-4, max_value=5.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCommitRunDifferential:
+    @given(
+        window_size=st.integers(1, 20),
+        warmup_gaps=st.lists(intervals, min_size=0, max_size=30),
+        run_gaps=st.lists(intervals, min_size=1, max_size=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_commit_run_matches_per_beat_loop(
+        self, window_size, warmup_gaps, run_gaps
+    ):
+        """commit_run == the per-beat recurrence, for any warmup state.
+
+        Draws cover both the filled-window vector fast path (warm
+        monitor, n >= 8) and the scalar fallback loop (cold or short
+        runs); the two must be indistinguishable.
+        """
+        times = []
+        now = 0.0
+        for gap in warmup_gaps + run_gaps:
+            now += gap
+            times.append(now)
+        warmup = times[: len(warmup_gaps)]
+        run = times[len(warmup_gaps):]
+        reference, ref_rates = committed_reference(window_size, warmup, run)
+        bulk, first, bulk_rates = committed_bulk(window_size, warmup, run)
+        assert first == len(warmup)
+        assert bulk_rates == ref_rates
+        assert bulk.count == reference.count
+        assert bulk.export_window() == reference.export_window()
+        assert bulk.window_rate() == reference.window_rate()
+
+    def test_zero_intervals_fall_back_to_none_rates(self):
+        """A window full of zero-width intervals bails the vector path."""
+        warmup = [0.0, 1.0, 2.0, 3.0]
+        run = [3.0] * 12  # zero intervals push the window sum to zero
+        reference, ref_rates = committed_reference(3, warmup, run)
+        bulk, first, bulk_rates = committed_bulk(3, warmup, run)
+        assert bulk_rates == ref_rates
+        assert any(rate is None for rate in bulk_rates)
+        assert bulk.export_window() == reference.export_window()
+
+    def test_backwards_run_raises_before_mutating(self):
+        """The vector path validates the whole run before touching state."""
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=4)
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            clock.advance_to(t)
+            monitor.heartbeat()
+        before = (monitor.count, monitor.export_window())
+        bad = np.asarray([5.0, 6.0, 5.5, 7.0, 8.0, 9.0, 10.0, 11.0])
+        with pytest.raises(HeartbeatError):
+            monitor.commit_run(bad)
+        assert (monitor.count, monitor.export_window()) == before
+
+    def test_empty_run_is_a_noop(self):
+        clock = VirtualClock()
+        monitor = HeartbeatMonitor(clock, window_size=4)
+        monitor.heartbeat()
+        assert monitor.commit_run([]) == (monitor.count, [])
+
+
+class TestExecuteRunDifferential:
+    def test_matches_per_call_execute_chain(self):
+        serial = Machine()
+        batched = Machine()
+        for _ in range(10):
+            serial.execute(3.0e8, threads=8)
+        times = batched.execute_run(10, 3.0e8, threads=8)
+        assert times.shape == (11,)
+        assert batched.now == serial.now
+        assert (
+            batched.meter.energy_joules.hex()
+            == serial.meter.energy_joules.hex()
+        )
+        assert batched.meter.samples == serial.meter.samples
+
+    def test_precomputed_times_are_trusted(self):
+        reference = Machine()
+        chain = reference.execute_run(6, 2.0e8)
+        machine = Machine()
+        times = machine.execute_run(6, 2.0e8, times=chain.copy())
+        assert times.tolist() == chain.tolist()
+        assert machine.now == reference.now
+        assert machine.meter.samples == reference.meter.samples
+
+    def test_rejects_malformed_times(self):
+        machine = Machine()
+        with pytest.raises(MachineError):
+            machine.execute_run(3, 1.0e8, times=np.zeros(3))  # wrong length
+        with pytest.raises(MachineError):
+            machine.execute_run(
+                3, 1.0e8, times=np.asarray([1.0, 2.0, 3.0, 4.0])
+            )  # first entry is not the current clock
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(MachineError):
+            Machine().execute_run(0, 1.0e8)
+
+
+positive_rates = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestBatchedControllerUpdate:
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=50.0),  # state s(t)
+                st.floats(min_value=0.0, max_value=100.0),  # heart rate h
+                positive_rates,  # target g
+                positive_rates,  # baseline b
+            ),
+            min_size=1,
+            max_size=32,
+        ),
+        min_speedup=st.floats(min_value=0.1, max_value=1.0),
+        max_speedup=st.floats(min_value=2.0, max_value=100.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_controllers(self, data, min_speedup, max_speedup):
+        """N lockstep loops == N independent scalar Eq. 9–11 updates."""
+        # Integrator states live in [min_speedup, max_speedup] (restore
+        # clamps anything else); draw inside the valid region.
+        data = [
+            (min(max(row[0], min_speedup), max_speedup), *row[1:])
+            for row in data
+        ]
+        states = np.asarray([row[0] for row in data])
+        rates = np.asarray([row[1] for row in data])
+        targets = np.asarray([row[2] for row in data])
+        baselines = np.asarray([row[3] for row in data])
+        expected_speedups = []
+        expected_errors = []
+        for state, rate, target, baseline in data:
+            controller = HeartRateController(
+                target,
+                baseline,
+                min_speedup=min_speedup,
+                max_speedup=max_speedup,
+            )
+            controller.restore_state((state, 0.0))
+            expected_speedups.append(controller.update(rate))
+            expected_errors.append(controller.last_error)
+        speedups, errors = batched_controller_update(
+            states, rates, targets, baselines, min_speedup, max_speedup
+        )
+        assert speedups.tolist() == expected_speedups
+        assert errors.tolist() == expected_errors
+
+    def test_rejects_negative_heart_rates(self):
+        with pytest.raises(ControllerError):
+            batched_controller_update(
+                np.ones(2), np.asarray([1.0, -0.5]), 1.0, 1.0, 1.0
+            )
+
+
+class TestBatchedPlanParameters:
+    @given(
+        speedups=st.lists(
+            st.floats(min_value=0.05, max_value=8.0), min_size=1, max_size=32
+        ),
+        tolerance=st.sampled_from([0.0, 0.02, 0.05]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_actuator_plans(self, system, speedups, tolerance):
+        """(setting, fraction) per command == the scalar plan's anchor."""
+        actuator = Actuator(
+            system.table, selection_tolerance=tolerance
+        )
+        settings_list = list(system.table.settings)
+        indices, fractions = batched_plan_parameters(
+            system.table, np.asarray(speedups), selection_tolerance=tolerance
+        )
+        for command, index, fraction in zip(speedups, indices, fractions):
+            plan = actuator.plan(command)
+            anchor = plan.segments[0]
+            assert settings_list[index] == anchor.setting
+            if len(plan.segments) == 1:
+                assert fraction == 1.0
+            else:
+                assert fraction == anchor.fraction
+
+    def test_rejects_nonpositive_speedups(self, system):
+        with pytest.raises(ValueError):
+            batched_plan_parameters(system.table, np.asarray([1.0, 0.0]))

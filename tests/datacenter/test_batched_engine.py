@@ -1,0 +1,158 @@
+"""Engine-level parity: step_mode="batched" vs the scalar reference.
+
+The acceptance bar for the batched kernel: every standing bench
+scenario kind — open, arbitrated, budget-shock, consolidation, chaos,
+grayfail — produces *byte-identical* bills, cap/budget/migration
+history, and journals whether instances step through the scalar loop or
+the batched kernel, on the serial and sharded backends alike.  The
+canonical result payload (the same record ``replay`` verifies) is the
+comparison surface, so a single ``canonical_json`` equality pins every
+float of every artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.scenarios import PoolScenario, build_pool_engine
+from repro.datacenter.engine import STEP_MODES, EngineError
+from repro.datacenter.journal.codec import canonical_json
+from repro.datacenter.journal.reader import read_journal
+from repro.datacenter.journal.replay import (
+    journaled_run,
+    replay,
+    result_payload,
+)
+from repro.datacenter.journal.writer import JournalWriter
+
+HORIZON = 20.0
+
+SCENARIOS = {
+    "open": PoolScenario(machines=2, horizon=HORIZON, rate=0.4),
+    "arbitrated": PoolScenario(
+        machines=2, horizon=HORIZON, rate=0.4, arbitrated=True
+    ),
+    "budget_shock": PoolScenario(
+        machines=3, horizon=HORIZON, rate=0.4, arbitrated=True,
+        budget_shock=True,
+    ),
+    "consolidation": PoolScenario(
+        machines=3, horizon=HORIZON, rate=0.4, consolidation=True
+    ),
+    "chaos": PoolScenario(
+        machines=3, horizon=HORIZON, rate=0.4, chaos_kills=1
+    ),
+    "grayfail": PoolScenario(
+        machines=3, horizon=HORIZON, rate=0.4, grayfail=True
+    ),
+}
+
+
+def canonical_result(scenario, backend="serial", workers=None,
+                     step_mode="scalar"):
+    engine = build_pool_engine(
+        scenario, backend=backend, workers=workers, step_mode=step_mode
+    )
+    return canonical_json(result_payload(engine.run()))
+
+
+@pytest.fixture(scope="module")
+def scalar_references():
+    """Serial scalar canonical payloads, computed once per scenario."""
+    return {
+        name: canonical_result(scenario)
+        for name, scenario in SCENARIOS.items()
+    }
+
+
+class TestSerialParity:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_batched_serial_matches_scalar(self, scalar_references, name):
+        """Bills, histories, and sample digests: byte-identical."""
+        got = canonical_result(SCENARIOS[name], step_mode="batched")
+        assert got == scalar_references[name]
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("name", ["chaos", "grayfail"])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_batched_sharded_matches_scalar(
+        self, scalar_references, name, workers
+    ):
+        """The heaviest scenarios (kills, checkpoints, warm rebuilds,
+        fault injection) across 1/2/4 workers."""
+        got = canonical_result(
+            SCENARIOS[name],
+            backend="sharded",
+            workers=workers,
+            step_mode="batched",
+        )
+        assert got == scalar_references[name]
+
+
+class TestJournalParity:
+    def test_journals_are_byte_identical(self, tmp_path):
+        """A batched run writes the exact bytes a scalar run writes —
+        step_mode never leaks into records or checkpoints."""
+        scenario = SCENARIOS["arbitrated"]
+        raw = {}
+        for mode in STEP_MODES:
+            path = tmp_path / f"{mode}.ndjson"
+            engine = build_pool_engine(scenario, step_mode=mode)
+            writer = JournalWriter(str(path), {"scenario": "parity"})
+            try:
+                journaled_run(engine, writer)
+            finally:
+                writer.close()
+            raw[mode] = path.read_bytes()
+        assert raw["batched"] == raw["scalar"]
+
+    def test_header_never_records_step_mode(self, tmp_path):
+        path = tmp_path / "run.ndjson"
+        engine = build_pool_engine(SCENARIOS["arbitrated"], step_mode="batched")
+        writer = JournalWriter(str(path), {"scenario": "parity"})
+        try:
+            journaled_run(engine, writer)
+        finally:
+            writer.close()
+        for line in path.read_text().splitlines():
+            assert "step_mode" not in json.loads(line)
+
+
+class TestReplayAcrossKernels:
+    def test_batched_replay_of_experiment_journal(self, tmp_path):
+        """A journal recorded by the experiment runner replays byte-
+        exactly under the batched kernel (and vice versa is the default
+        scalar path, covered by the standing replay tests)."""
+        from repro.experiments.common import Scale
+        from repro.experiments.datacenter import run_datacenter
+
+        path = tmp_path / "experiment.ndjson"
+        run_datacenter(scale=Scale.TINY, machines=2, journal=str(path))
+        result = replay(str(path), step_mode="batched")
+        journal = read_journal(str(path))
+        assert canonical_json(result_payload(result)) == canonical_json(
+            journal.result
+        )
+
+    def test_batched_recorded_journal_replays_scalar(self, tmp_path):
+        """Record batched, replay scalar: the journal carries no trace
+        of the kernel that produced it."""
+        from repro.experiments.common import Scale
+        from repro.experiments.datacenter import run_datacenter
+
+        path = tmp_path / "batched.ndjson"
+        run_datacenter(
+            scale=Scale.TINY, machines=2, journal=str(path),
+            step_mode="batched",
+        )
+        replay(str(path))  # raises JournalError on any divergence
+
+
+class TestStepModeValidation:
+    def test_unknown_step_mode_rejected(self):
+        with pytest.raises(EngineError):
+            build_pool_engine(SCENARIOS["open"], step_mode="vectorized")
+
+    def test_step_modes_constant(self):
+        assert STEP_MODES == ("scalar", "batched")
