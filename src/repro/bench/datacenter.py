@@ -7,12 +7,21 @@ the engine precisely to anchor this trajectory); ``serial`` is the lazy
 scheduler; ``sharded-N`` is the multiprocess backend with N workers.
 
 Sharded entries additionally record each worker's CPU seconds (barrier
-waits burn no CPU).  On a single-core host (CI containers, laptops
-under cgroup limits) worker processes time-slice, so measured
-wall-clock cannot beat serial there; ``projected_parallel_seconds`` —
-coordination overhead plus the *slowest worker's* CPU time instead of
-the sum — estimates the multi-core wall-clock from the same run and is
-labeled as a projection in the JSON.
+waits burn no CPU) and the coordinator's own CPU seconds.  On a
+single-core host (CI containers, laptops under cgroup limits) worker
+processes time-slice, so measured wall-clock cannot beat serial there;
+``projected_parallel_seconds`` — the coordinator's CPU time plus the
+*slowest worker's* CPU time instead of the sum — estimates the
+multi-core wall-clock from the same run and is labeled as a projection
+in the JSON.  Every backend entry also carries its ``barrier_stats``
+breakdown (wire protocol, barrier count, payload bytes, and
+serialize/wait/apply seconds) so barrier-plane regressions show up in
+the JSON, not just in end-to-end seconds.
+
+The ``scale-1024m`` scenario is the standing large-pool run the shard
+delta barriers target; the eager backend is skipped above
+:data:`EAGER_MAX_MACHINES` machines because its O(events x machines)
+loop would dominate the bench for no trajectory signal.
 """
 
 from __future__ import annotations
@@ -28,12 +37,29 @@ from repro.datacenter.shard import fork_available, usable_cpu_count
 __all__ = [
     "CONSERVATION_TOLERANCE",
     "DEFAULT_POOL_SIZES",
+    "EAGER_MAX_MACHINES",
+    "SCALE_MACHINES",
+    "SCALE_RATE",
     "SMOKE_POOL_SIZES",
     "bench_datacenter",
 ]
 
 DEFAULT_POOL_SIZES = (8, 32, 128)
 """Pool sizes of the full bench run (one tenant per machine)."""
+
+SCALE_MACHINES = 1024
+"""Pool size of the standing ``scale`` scenario (hier-arbitrated,
+batched step kernel) — the regime where sharded must beat serial."""
+
+SCALE_RATE = 0.1
+"""Per-tenant arrival rate of the scale scenario: low utilization so
+1024 tenants stay in the mostly-idle regime the lazy scheduler and the
+delta barriers both target (~12k arrivals over a 120 s horizon)."""
+
+EAGER_MAX_MACHINES = 128
+"""Largest pool the eager reference backend is timed on.  Its loop is
+O(events x machines); at 1024 machines it would take minutes to anchor
+a trajectory nothing regresses against."""
 
 SMOKE_POOL_SIZES = (8, 16)
 """Pool sizes of the CI smoke run.
@@ -63,6 +89,8 @@ def _time_backend(
     """
     best = float("inf")
     busy: list[float] | None = None
+    coordinator: float | None = None
+    barrier_stats: dict[str, Any] | None = None
     conservation_error = 0.0
     for _ in range(max(1, repeats)):
         engine = build_pool_engine(scenario, backend=backend, workers=workers)
@@ -86,14 +114,24 @@ def _time_backend(
         if elapsed < best:
             best = elapsed
             busy = engine.shard_busy_seconds
+            coordinator = engine.coordinator_busy_seconds
+            barrier_stats = engine.barrier_stats
     entry: dict[str, Any] = {
         "seconds": best,
         "conservation_rel_error": conservation_error,
     }
+    if barrier_stats is not None:
+        entry["barrier_stats"] = dict(barrier_stats)
     if busy is not None:
         entry["worker_busy_seconds"] = busy
-        coordination = max(0.0, best - sum(busy))
-        entry["projected_parallel_seconds"] = coordination + max(busy)
+        entry["coordinator_busy_seconds"] = coordinator
+        # The multi-core wall-clock estimate: the coordinator's own CPU
+        # time plus the slowest worker's, measured directly instead of
+        # inferred from wall-clock residue (which double-counts the
+        # time-slicing tax on oversubscribed hosts).
+        entry["projected_parallel_seconds"] = (
+            (coordinator or 0.0) + max(busy)
+        )
     return entry
 
 
@@ -107,10 +145,12 @@ def bench_datacenter(
     """Time every backend across ``pool_sizes``; return the JSON payload.
 
     Each scenario entry reports per-backend wall-clock seconds and
-    events/second, ``speedup_vs_eager`` for the lazy serial scheduler,
-    and per-worker-count sharded entries with ``speedup_vs_serial``
-    (measured) and ``projected_speedup_vs_serial`` (multi-core
-    projection; see module docstring).
+    events/second, ``speedup_vs_eager`` for the lazy serial scheduler
+    (omitted above :data:`EAGER_MAX_MACHINES`, where eager is not
+    timed), and per-worker-count sharded entries with
+    ``speedup_vs_serial`` (measured) and
+    ``projected_speedup_vs_serial`` (multi-core projection; see module
+    docstring).
     """
     sharded_ok = fork_available()
     scenarios = [
@@ -177,15 +217,33 @@ def bench_datacenter(
             grayfail=True,
         )
     )
+    # The standing scale scenario: 1024 machines under hier-arbitrated
+    # with the batched step kernel.  Appended unconditionally (smoke and
+    # full runs time the identical configuration) so the trajectory
+    # gate's per-kind serial cost comparison is like for like.
+    scenarios.append(
+        PoolScenario(
+            machines=SCALE_MACHINES,
+            horizon=horizon,
+            rate=SCALE_RATE,
+            hier=True,
+            step_mode="batched",
+        )
+    )
     results = []
     for scenario in scenarios:
         events = count_events(scenario)
-        eager = _time_backend(scenario, "eager", None, repeats)
+        eager = None
+        if scenario.machines <= EAGER_MAX_MACHINES:
+            eager = _time_backend(scenario, "eager", None, repeats)
+            eager["events_per_sec"] = events / eager["seconds"]
         serial = _time_backend(scenario, "serial", None, repeats)
-        serial["speedup_vs_eager"] = eager["seconds"] / serial["seconds"]
-        for entry in (eager, serial):
-            entry["events_per_sec"] = events / entry["seconds"]
-        backends: dict[str, Any] = {"eager": eager, "serial": serial}
+        serial["events_per_sec"] = events / serial["seconds"]
+        if eager is not None:
+            serial["speedup_vs_eager"] = eager["seconds"] / serial["seconds"]
+        backends: dict[str, Any] = {"serial": serial}
+        if eager is not None:
+            backends = {"eager": eager, "serial": serial}
         if sharded_ok:
             # Dedupe after clamping so a 4-machine pool asked for
             # workers 4 and 8 is timed (and reported) once, not twice.

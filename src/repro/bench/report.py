@@ -21,7 +21,7 @@ from repro.experiments.common import format_table
 
 __all__ = ["environment_header", "format_backend_table", "write_bench_json"]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def environment_header() -> dict[str, Any]:
@@ -31,6 +31,14 @@ def environment_header() -> dict[str, Any]:
     ``calibration_ops_per_sec`` — the host-speed score measured right
     before the payload's numbers (:mod:`repro.bench.calibration`) —
     which is what lets the trajectory gate compare runs across hosts.
+    Schema version 3 adds per-backend ``barrier_stats`` (wire protocol,
+    payload bytes, serialize/wait/apply seconds), the coordinator's CPU
+    seconds on sharded entries, re-derives
+    ``projected_parallel_seconds`` from measured CPU times
+    (coordinator + slowest worker), adds the standing ``scale-1024m``
+    scenario, and stops timing the eager backend above
+    :data:`~repro.bench.datacenter.EAGER_MAX_MACHINES` machines (those
+    serial entries carry no ``speedup_vs_eager``).
     """
     return {
         "schema_version": SCHEMA_VERSION,

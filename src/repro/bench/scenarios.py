@@ -31,6 +31,11 @@ Six scenario kinds:
   run covers checkpoint capture, fail-stop teardown, and crash
   re-placement — with the billing conservation audit still enforced
   across the failures;
+* ``scale`` — the 1024-machine standing scenario: hierarchical
+  arbitration (``hier-arbitrated``) over the batched step kernel at a
+  low per-tenant rate, the regime the shard barrier-protocol v2's
+  delta barriers and O(groups) demand aggregation target — this is
+  the scenario where the sharded backend must beat serial;
 * ``grayfail`` — arbitrated plus a full seeded
   :class:`~repro.datacenter.faults.FaultPlan`: sensor dropout windows,
   actuator drop windows, a straggler, and one fail-stop kill, with the
@@ -111,6 +116,13 @@ class PoolScenario:
             dropouts, actuator drops, a straggler, one kill — see
             :meth:`fault_plan`) under a degraded-mode policy wrapper
             (implies a policy runs).
+        hier: Whether the ``hier-arbitrated`` two-level water-fill
+            policy runs instead of the flat SLA-aware arbiter (implies
+            a policy runs).  Labeled ``scale-{machines}m`` — the
+            standing large-pool scenario.
+        step_mode: Default virtual-step kernel (``"scalar"`` or
+            ``"batched"``) when the caller does not override it; the
+            scale scenario pins ``"batched"``.
     """
 
     machines: int
@@ -123,10 +135,14 @@ class PoolScenario:
     chaos_kills: int = 0
     chaos_seed: int = 7
     grayfail: bool = False
+    hier: bool = False
+    step_mode: str = "scalar"
 
     @property
     def label(self) -> str:
         """Stable scenario name used in the bench JSON."""
+        if self.hier:
+            return f"scale-{self.machines}m"
         if self.grayfail:
             return f"grayfail-{self.machines}m"
         if self.chaos_kills:
@@ -195,9 +211,15 @@ def build_pool_engine(
     scenario: PoolScenario,
     backend: str = "serial",
     workers: int | None = None,
-    step_mode: str = "scalar",
+    step_mode: str | None = None,
 ) -> DatacenterEngine:
-    """Materialize a fresh engine for ``scenario`` (engines are one-shot)."""
+    """Materialize a fresh engine for ``scenario`` (engines are one-shot).
+
+    ``step_mode`` defaults to the scenario's own (``"scalar"`` unless
+    the scenario pins otherwise); an explicit argument always wins.
+    """
+    if step_mode is None:
+        step_mode = scenario.step_mode
     system = built_service_system()
     machines = [experiment_machine() for _ in range(scenario.machines)]
     target = measure_baseline_rate(
@@ -232,6 +254,13 @@ def build_pool_engine(
     if scenario.consolidation:
         policy = build_policy(
             "consolidating",
+            scenario.budget_watts,
+            machines,
+            schedule=scenario.budget_schedule(),
+        )
+    elif scenario.hier:
+        policy = build_policy(
+            "hier-arbitrated",
             scenario.budget_watts,
             machines,
             schedule=scenario.budget_schedule(),
@@ -289,6 +318,7 @@ def count_events(scenario: PoolScenario) -> int:
         or scenario.consolidation
         or scenario.chaos_kills
         or scenario.grayfail
+        or scenario.hier
     ):
         periods = int(math.floor(scenario.horizon / scenario.control_period))
         ticks.update(

@@ -82,6 +82,7 @@ from repro.datacenter.controlplane import (
     DegradedModePolicy,
     FailMachine,
     FailureRecord,
+    HierarchicalArbiter,
     MachineView,
     MigratingPolicy,
     Migrate,
@@ -167,6 +168,7 @@ __all__ = [
     "DegradedModePolicy",
     "FailMachine",
     "FailureRecord",
+    "HierarchicalArbiter",
     "MachineCheckpoint",
     "MachineView",
     "MigratingPolicy",

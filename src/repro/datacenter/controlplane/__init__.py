@@ -55,6 +55,11 @@ from repro.datacenter.controlplane.applier import (
     plan_failures,
     retry_backoff_seconds,
 )
+from repro.datacenter.controlplane.hierarchy import (
+    DEFAULT_GROUPS,
+    HierarchicalArbiter,
+    round_robin_groups,
+)
 from repro.datacenter.controlplane.budget import (
     BudgetSchedule,
     BudgetTraceError,
@@ -102,6 +107,9 @@ __all__ = [
     "BudgetTraceError",
     "load_budget_trace",
     "parse_budget_trace",
+    "DEFAULT_GROUPS",
+    "HierarchicalArbiter",
+    "round_robin_groups",
     "POLICY_NAMES",
     "ChaosPolicy",
     "ConsolidatingPolicy",

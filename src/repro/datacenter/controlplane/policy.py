@@ -74,7 +74,13 @@ __all__ = [
     "chaos_kill_times",
 ]
 
-POLICY_NAMES = ("static-equal", "sla-aware", "migrating", "consolidating")
+POLICY_NAMES = (
+    "static-equal",
+    "sla-aware",
+    "hier-arbitrated",
+    "migrating",
+    "consolidating",
+)
 """Policy names accepted by :func:`build_policy` and the CLI."""
 
 
@@ -796,6 +802,8 @@ def build_policy(
 
     ``name`` is one of :data:`POLICY_NAMES`: ``static-equal`` (even
     split), ``sla-aware`` (violation-weighted water-fill),
+    ``hier-arbitrated`` (two-level group water-fill whose shard-local
+    aggregates keep the sharded barrier payload at O(groups)),
     ``migrating`` (SLA-aware caps plus cold ceiling-saturation
     migration), or ``consolidating`` (SLA-aware caps plus warm
     pack/spread placement with cap-floor parking).  A ``schedule``
@@ -806,6 +814,7 @@ def build_policy(
     # imports controlplane.actions, so a module-level import would be
     # circular when loading starts from repro.datacenter.arbiter.
     from repro.datacenter.arbiter import ArbiterPolicy, PowerArbiter
+    from repro.datacenter.controlplane.hierarchy import HierarchicalArbiter
 
     if name == "static-equal":
         policy: ControlPolicy = PowerArbiter(
@@ -815,6 +824,8 @@ def build_policy(
         policy = PowerArbiter(
             budget_watts, machines, policy=ArbiterPolicy.SLA_AWARE, gain=gain
         )
+    elif name == "hier-arbitrated":
+        policy = HierarchicalArbiter(budget_watts, machines, gain=gain)
     elif name == "migrating":
         policy = MigratingPolicy(
             PowerArbiter(

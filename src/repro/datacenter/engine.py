@@ -68,6 +68,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -590,6 +591,15 @@ class DatacenterEngine:
         # Filled by the sharded backend after run(): per-shard CPU
         # seconds, barrier waits excluded (bench-harness telemetry).
         self.shard_busy_seconds: list[float] | None = None
+        # Barrier-plane telemetry, filled by run(): the coordinator's
+        # own CPU seconds and a per-run breakdown of the barrier
+        # protocol (payload bytes, serialize/wait/apply seconds).  The
+        # in-process backends report the degenerate "in-process"
+        # protocol so bench entries always carry the same keys.
+        self.coordinator_busy_seconds: float | None = None
+        self.barrier_stats: dict[str, object] | None = None
+        self._barrier_apply_seconds = 0.0
+        self._barrier_count = 0
         self._ran = False
 
     # ------------------------------------------------------------------
@@ -1203,6 +1213,7 @@ class DatacenterEngine:
         the policy decides; the journal record (actions, applied
         effects, checkpoint) is written after everything applied.
         """
+        ticked = time.perf_counter()
         if self._checkpointing:
             self._capture_checkpoints()
         actions, plan = self._decide_plan(self._control_view(now))
@@ -1226,6 +1237,8 @@ class DatacenterEngine:
         self._journal_barrier(
             now, actions, migrations, failures, fault_records, retry_records
         )
+        self._barrier_apply_seconds += time.perf_counter() - ticked
+        self._barrier_count += 1
 
     # ------------------------------------------------------------------
     # Event plumbing for the single-process backends
@@ -1450,6 +1463,18 @@ class DatacenterEngine:
                 machine_power.append(machine.meter.mean_power())
             except Exception:
                 machine_power.append(0.0)
+        # In-process barrier telemetry: no wire, so the whole barrier
+        # cost is "apply" and the payload is zero bytes.  Same keys as
+        # the sharded backend's breakdown so bench consumers need no
+        # per-backend cases.
+        self.barrier_stats = {
+            "protocol": "in-process",
+            "barriers": self._barrier_count,
+            "payload_bytes": 0,
+            "serialize_seconds": 0.0,
+            "wait_seconds": 0.0,
+            "apply_seconds": self._barrier_apply_seconds,
+        }
         return DatacenterResult(
             tenant_reports=reports,
             run_results=run_results,

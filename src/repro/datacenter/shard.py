@@ -8,54 +8,80 @@ machine) across forked worker processes.  Each worker advances its
 shard through the same lazy event pump the serial backend runs; the
 only cross-shard traffic is at the control barriers.
 
-The barrier protocol mirrors the control plane's view/action split:
+**Barrier protocol v2** moves that traffic through preallocated
+``multiprocessing.shared_memory`` segments instead of pickling whole
+snapshots over Pipes, and ships O(changes) typed deltas (the
+:mod:`repro.datacenter.deltas` codec) instead of O(machines) state:
 
-1. every worker sends the :class:`~repro.datacenter.controlplane.
-   actions.TenantView` snapshots of its resident tenants;
+1. every worker encodes the :class:`~repro.datacenter.controlplane.
+   actions.TenantView` records of its resident tenants *that changed
+   since it last published* into its upstream segment, then stamps the
+   segment header's barrier ordinal — the ready flag the coordinator
+   polls (no pipe message at all on the upstream half);
 2. the parent — the only process that runs the
    :class:`~repro.datacenter.controlplane.actions.ControlPolicy` —
-   assembles the :class:`ClusterView` in binding order, decides,
-   validates the actions through the shared
-   :func:`~repro.datacenter.controlplane.applier.plan_actions`, and
-   scatters the validated plan (caps for the worker's machines, plus
-   any tenants emigrating from it);
+   keeps every worker's last-published views resident, overlays the
+   deltas, assembles the :class:`ClusterView` in binding order,
+   decides, validates through the shared
+   :func:`~repro.datacenter.controlplane.applier.plan_actions`, writes
+   the *changed* applied caps into each worker's downstream segment,
+   and sends a tiny ``plan`` control frame over the Pipe (placement
+   and failure routing only — bulk state never rides the Pipe);
 3. if the plan migrates anyone, source workers run
    :func:`~repro.datacenter.controlplane.applier.emigrate` and return
    the picklable :class:`MigrantState`s, which the parent routes to
    the destination workers to :func:`~repro.datacenter.controlplane.
-   applier.absorb` — machines never change shards, tenants do.
+   applier.absorb` — machines never change shards, tenants do.  A
+   binding that leaves or joins a worker resets that worker's delta
+   baseline for it, so the next barrier republishes it in full.
 
-When the engine is checkpointing (a journal is attached, or the policy
-may fail machines), step 1 additionally ships each worker's tenant and
-machine checkpoints with its views; the parent merges them so the
-journal record and any failure recovery see exactly the worker-settled
-state.  A plan that fail-stops machines travels in the scatter of step
-2: the worker owning a dying machine freezes it and drops its
-residents, destination workers rebuild the victims from the shipped
-checkpoints (the same
-:func:`~repro.datacenter.checkpoint.restore_from_checkpoint` the
-serial backend runs), and a worker whose *entire* shard has died is
-told to ``die`` — it reports its frozen machine state and exits, and
-the coordinator excludes it from every later barrier.
+Under a policy whose ``aggregation`` is ``"machine-demand"`` (the
+``hier-arbitrated`` :class:`~repro.datacenter.controlplane.hierarchy.
+HierarchicalArbiter`) and no journal/fault machinery, workers skip
+tenant views entirely and publish one demand score per owned machine —
+summed over residents in binding order, so the partial sums are
+bit-identical to the serial
+:meth:`~repro.datacenter.controlplane.actions.ClusterView.
+machine_shortfalls` — and the parent arbitrates through the policy's
+``caps_for_demand`` (the same arithmetic path ``decide`` uses).
+
+Journal checkpoints are **lazy**: full tenant + machine checkpoints
+ride the Pipe every barrier only when a journal is attached (the
+journal record needs them).  A failure-capable run *without* a journal
+captures tenant checkpoints worker-locally and ships only the victims'
+at a failure barrier — the coordinator asks the owning workers
+(``victim_cps`` replies), a fully-failed shard returns its residents'
+checkpoints with its ``dead`` report, and destination workers receive
+exactly the checkpoints they must restore in a ``restore`` frame.
 
 Determinism: every worker replays exactly the event subsequence the
 serial scheduler would have applied to its machines, settles its hosts
 at the same barrier instants, and the parent runs the same policy on
-the same assembled view, so a sharded run yields *identical*
-per-tenant reports, billing ledgers/bills, cap/budget/migration
-history, and pool energy to a serial run of the same scenario —
-including scenarios with cross-shard migrations and mid-run budget
-shocks (asserted by the parity tests).  At the "done" barrier each
-worker returns its tenants' stats, ledgers, and per-host run segments
-plus its machines' unattributed idle energy; the parent composes the
-bills from those reassembled pieces exactly as the serial collector
-would.
+the same assembled view — a delta is shipped precisely when its packed
+bytes changed, so the overlay table equals freshly computed views
+bit-for-bit — so a sharded run yields *identical* per-tenant reports,
+billing ledgers/bills, cap/budget/migration history, and pool energy
+to a serial run of the same scenario (asserted by the parity tests).
+At the ``done`` barrier each worker returns its tenants' stats,
+ledgers, and per-host run segments plus its machines' unattributed
+idle energy; the parent composes the bills from those reassembled
+pieces exactly as the serial collector would.
+
+Lifecycle: the parent creates the ``reproshard_*`` segments before
+forking and owns their teardown — close + unlink in a ``finally`` that
+also covers every worker-death :class:`EngineError` path, so crashed
+runs leak nothing into ``/dev/shm`` (pinned by the shard tests).
+Workers only close their inherited mappings.  Worker supervision
+covers both transports: pipe reads and shared-memory ready-flag waits
+share :data:`_WORKER_BARRIER_TIMEOUT_SECONDS`, and a worker that dies
+or wedges mid-segment-write raises an :class:`EngineError` naming the
+worker, its machines, and the barrier.
 
 The backend requires the ``fork`` start method (workers inherit the
 armed engine — closures, generators and all — without pickling); the
 engine raises :class:`~repro.datacenter.engine.EngineError` on
-platforms without it.  Only plain-data results and migrant states
-cross process boundaries.
+platforms without it.  Only plain-data control frames, migrant states,
+and final results cross the Pipes.
 """
 
 from __future__ import annotations
@@ -66,8 +92,10 @@ import multiprocessing
 import os
 import time
 import traceback
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.datacenter import deltas
 from repro.datacenter.checkpoint import (
     capture_machine_checkpoint,
     capture_tenant_checkpoint,
@@ -76,12 +104,14 @@ from repro.datacenter.checkpoint import (
 from repro.datacenter.controlplane.actions import (
     FailureRecord,
     MigrationRecord,
+    SetCaps,
 )
 from repro.datacenter.controlplane.applier import (
     absorb,
     emigrate,
     enforce_caps,
     merge_run_results,
+    plan_actions,
     plan_failures,
 )
 from repro.datacenter.billing import compose_bill
@@ -90,6 +120,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.datacenter.engine import DatacenterEngine, DatacenterResult
 
 __all__ = [
+    "SEGMENT_PREFIX",
     "fork_available",
     "partition_machines",
     "run_sharded",
@@ -97,9 +128,16 @@ __all__ = [
 ]
 
 _WORKER_BARRIER_TIMEOUT_SECONDS = 120.0
-"""How long the coordinator waits for a worker's barrier message
-before declaring it hung.  Generous — barriers are milliseconds apart
-in practice — and read at call time, so tests shrink it."""
+"""How long the coordinator waits for a worker's barrier message or
+shared-memory ready flag before declaring it hung.  Generous —
+barriers are milliseconds apart in practice — and read at call time,
+so tests shrink it."""
+
+SEGMENT_PREFIX = "reproshard"
+"""Shared-memory segment name prefix; the leak tests glob for it."""
+
+_FLAG_POLL_SECONDS = 0.0002
+"""Coordinator sleep between shared-memory ready-flag polls."""
 
 
 def fork_available() -> bool:
@@ -130,6 +168,16 @@ def partition_machines(machine_count: int, workers: int) -> list[list[int]]:
         raise ValueError(f"workers must be >= 1, got {workers!r}")
     workers = min(workers, machine_count)
     return [list(range(start, machine_count, workers)) for start in range(workers)]
+
+
+def _publish_upstream(segment, seq: int, records: Sequence[bytes]) -> int:
+    """Publish one barrier's upstream delta payload and stamp its flag.
+
+    A module-level seam on purpose: the supervision tests monkeypatch
+    it before forking (workers inherit the patched module) to simulate
+    a worker dying or wedging mid-segment-write.
+    """
+    return deltas.publish(segment.buf, seq, records)
 
 
 def _final_payload(
@@ -187,8 +235,20 @@ def _worker_main(
     tick_times: Sequence[float],
     final_time: float,
     conn,
+    upstream,
+    downstream,
+    protocol: str,
+    ship_checkpoints: bool,
 ) -> None:
-    """Advance one shard to completion, exchanging views/plans at barriers."""
+    """Advance one shard to completion, exchanging deltas at barriers.
+
+    ``protocol`` selects the upstream payload — ``"views"`` (tenant-
+    view deltas) or ``"demand"`` (per-machine demand scores).
+    ``ship_checkpoints`` sends full tenant + machine checkpoints over
+    the pipe every barrier (journal mode); otherwise a checkpointing
+    worker captures tenant checkpoints locally and ships only the
+    victims the coordinator asks for at a failure barrier.
+    """
     from repro.datacenter.engine import _EventPump
 
     try:
@@ -204,49 +264,97 @@ def _worker_main(
         started = time.process_time()
         owned = set(machine_indices)
         hosts = [engine.hosts[i] for i in machine_indices]
+        # Binding order everywhere: ``resident`` must stay a
+        # subsequence of engine.bindings so demand partial sums and
+        # view tuples keep the serial float order.
         resident = [b for b in engine.bindings if b.machine_index in owned]
         by_name = {b.tenant.name: b for b in engine.bindings}
+        binding_index = {
+            b.tenant.name: i for i, b in enumerate(engine.bindings)
+        }
+        # Delta baselines: the packed bytes last published per key.  A
+        # record ships exactly when its bytes changed, so the
+        # coordinator's overlay table stays bitwise equal to a fresh
+        # snapshot.  Keys are dropped whenever a binding leaves or
+        # joins this worker, forcing a full republish.
+        last_sent: dict[int, bytes] = {}
+        local_cps: dict[str, Any] = {}
         pump = _EventPump(engine, resident)
 
-        for now in tick_times:
+        for seq, now in enumerate(tick_times, start=1):
             pump.run_until(now)
             engine._advance_barrier(hosts, now)
             if engine._checkpointing:
-                checkpoints = (
-                    {
-                        b.tenant.name: capture_tenant_checkpoint(b)
-                        for b in resident
-                    },
-                    {
-                        i: capture_machine_checkpoint(engine, i)
-                        for i in machine_indices
-                    },
-                )
-            else:
-                checkpoints = None
-            conn.send(
-                (
-                    "views",
+                local_cps = {
+                    b.tenant.name: capture_tenant_checkpoint(b)
+                    for b in resident
+                }
+            if ship_checkpoints:
+                # Journal mode: the coordinator's barrier record needs
+                # the full checkpoint, so it rides the pipe (sent
+                # before the flag so the coordinator's pipe read never
+                # races the flag wait).
+                conn.send(
                     (
-                        [engine._tenant_view(b, now) for b in resident],
-                        checkpoints,
-                    ),
+                        "cps",
+                        (
+                            dict(local_cps),
+                            {
+                                i: capture_machine_checkpoint(engine, i)
+                                for i in machine_indices
+                            },
+                        ),
+                    )
                 )
-            )
+            if protocol == "demand":
+                scores = {i: 0.0 for i in machine_indices}
+                for b in resident:
+                    scores[b.machine_index] += (
+                        b.tenant.weight * engine._tenant_shortfall(b, now)
+                    )
+                records = []
+                for i in machine_indices:
+                    record = deltas.encode_score_record(i, scores[i])
+                    if last_sent.get(i) != record:
+                        last_sent[i] = record
+                        records.append(record)
+            else:
+                records = []
+                for b in resident:
+                    bindex = binding_index[b.tenant.name]
+                    record = deltas.encode_tenant_record(
+                        bindex, engine._tenant_view(b, now)
+                    )
+                    if last_sent.get(bindex) != record:
+                        last_sent[bindex] = record
+                        records.append(record)
+            _publish_upstream(upstream, seq, records)
+
             message = conn.recv()
             if message[0] == "die":
                 # Every machine in this shard fail-stopped at this
                 # barrier; its residents are being rebuilt in surviving
-                # workers.  Report the frozen machine state and exit.
+                # workers.  Report the frozen machine state — plus the
+                # victims' locally captured checkpoints when the
+                # coordinator is not gathering them every barrier —
+                # and exit.
                 conn.send(
-                    ("dead", _final_payload(engine, machine_indices, [], started))
+                    (
+                        "dead",
+                        (
+                            {} if ship_checkpoints else dict(local_cps),
+                            _final_payload(
+                                engine, machine_indices, [], started
+                            ),
+                        ),
+                    )
                 )
                 return
             if message[0] != "plan":  # pragma: no cover - protocol guard
                 raise RuntimeError(
                     f"expected plan at barrier, got {message[0]!r}"
                 )
-            _, caps, emigrations, any_migrations, failure_moves, victim_cps = (
+            _, emigrations, any_migrations, failure_moves, want_victims = (
                 message
             )
             # Deaths first (mirroring the serial applier: a dying
@@ -259,31 +367,61 @@ def _worker_main(
                     for binding in list(dead_host.instances):
                         pump.remove(binding)
                         resident.remove(binding)
+                        last_sent.pop(binding_index[binding.tenant.name], None)
                     dead_host.instances.clear()
-            if caps is not None:
-                # A None entry means the coordinator's actuation step
-                # left that machine alone this barrier (dropped command
-                # or retry backoff under an injected actuator fault).
-                live = [
-                    i for i in machine_indices
-                    if i not in engine.dead_machines and caps[i] is not None
+            if want_victims:
+                # Lazy-checkpoint mode: ship exactly the checkpoints
+                # the coordinator must route to destination workers.
+                conn.send(
+                    (
+                        "victim_cps",
+                        {name: local_cps[name] for name in want_victims},
+                    )
+                )
+            cap_seq, cap_count = deltas.read_header(downstream.buf)
+            if cap_seq == seq and cap_count:
+                # The coordinator publishes only this shard's live
+                # machines whose applied watts changed; everything
+                # else keeps its DVFS state, exactly like the serial
+                # backend's idempotent re-application of an unchanged
+                # cap.  A None entry coordinator-side (dropped command
+                # or retry backoff under an injected actuator fault)
+                # simply never becomes a record.
+                targets = [
+                    (i, watts)
+                    for i, watts in deltas.decode_cap_records(
+                        downstream.buf, cap_count
+                    )
+                    if i not in engine.dead_machines
                 ]
                 enforce_caps(
-                    [engine.machines[i] for i in live],
-                    [caps[i] for i in live],
+                    [engine.machines[i] for i, _ in targets],
+                    [watts for _, watts in targets],
                 )
+            incoming = [
+                (tenant, dest)
+                for _dead_index, moves in failure_moves
+                for tenant, dest in moves
+                if dest in owned
+            ]
             for _dead_index, moves in failure_moves:
                 for tenant, dest in moves:
+                    by_name[tenant].machine_index = dest
+            if incoming:
+                message = conn.recv()
+                if message[0] != "restore":  # pragma: no cover - guard
+                    raise RuntimeError(
+                        f"expected restore at barrier, got {message[0]!r}"
+                    )
+                restored_cps = message[1]
+                for tenant, dest in incoming:
                     binding = by_name[tenant]
-                    binding.machine_index = dest
-                    if dest in owned:
-                        checkpoint = victim_cps[tenant]
-                        restore_from_checkpoint(
-                            engine, binding, checkpoint, dest
-                        )
-                        # offered == the tenant's arrival-stream cursor.
-                        pump.add(binding, checkpoint.offered)
-                        resident.append(binding)
+                    checkpoint = restored_cps[tenant]
+                    restore_from_checkpoint(engine, binding, checkpoint, dest)
+                    # offered == the tenant's arrival-stream cursor.
+                    pump.add(binding, checkpoint.offered)
+                    resident.append(binding)
+                    last_sent.pop(binding_index[tenant], None)
             if any_migrations:
                 migrants = []
                 for migration in emigrations:
@@ -293,6 +431,7 @@ def _worker_main(
                         emigrate(engine, binding, trace_pos, warm=migration.warm)
                     )
                     resident.remove(binding)
+                    last_sent.pop(binding_index[migration.tenant], None)
                 conn.send(("migrants", migrants))
                 message = conn.recv()
                 if message[0] != "absorb":  # pragma: no cover - protocol guard
@@ -304,6 +443,7 @@ def _worker_main(
                     absorb(engine, binding, migrant, dest_index, cost_seconds)
                     pump.add(binding, migrant.trace_pos)
                     resident.append(binding)
+                    last_sent.pop(binding_index[migrant.tenant], None)
 
         pump.run_until(None)
         engine._advance_barrier(hosts, final_time)
@@ -321,6 +461,11 @@ def _worker_main(
             pass
     finally:
         conn.close()
+        for segment in (upstream, downstream):
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
 
 
 def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
@@ -328,8 +473,9 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
 
     The parent arms the runtimes and runs the time-zero control barrier
     *before* forking (workers inherit that state), then acts purely as
-    the control-plane coordinator: gather tenant views, run the policy
-    and central validation, scatter validated caps, and route migrant
+    the control-plane coordinator: overlay the workers' shared-memory
+    deltas onto its resident view table, run the policy and central
+    validation, publish changed caps downstream, and route migrant
     states between workers.  Results are reassembled in binding/machine
     order so every float is summed in the same order the serial backend
     uses.
@@ -341,6 +487,7 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             "sharded backend requires the 'fork' multiprocessing start "
             "method (unavailable on this platform); use backend='serial'"
         )
+    cpu_started = time.process_time()
     context = multiprocessing.get_context("fork")
     requested = engine.workers or usable_cpu_count()
     shards = partition_machines(len(engine.machines), requested)
@@ -350,6 +497,8 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         for machine_index in shard
     }
     parent_bindings = {b.tenant.name: b for b in engine.bindings}
+    names = [b.tenant.name for b in engine.bindings]
+    weights = [b.tenant.weight for b in engine.bindings]
 
     # Barrier times before _begin_run: a policy may derive per-run
     # state (e.g. a chaos kill schedule) in barrier_times(), which the
@@ -358,14 +507,80 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
     cap_history = engine._begin_run()
     final_time = engine._final_event_time(tick_times)
 
+    # Wire-protocol selection, fixed before forking.  The demand fast
+    # path needs nothing but per-machine scores at the coordinator: a
+    # policy that declares score aggregation, no fault machinery (fault
+    # observation rewrites tenant views), and no checkpoint consumers.
+    journal_active = engine.journal is not None
+    demand_mode = (
+        getattr(engine.policy, "aggregation", None) == "machine-demand"
+        and engine.faults is None
+        and not engine._checkpointing
+    )
+    protocol = "demand" if demand_mode else "views"
+    stats = {
+        "protocol": protocol,
+        "barriers": len(tick_times),
+        "payload_bytes": 0,
+        "serialize_seconds": 0.0,
+        "wait_seconds": 0.0,
+        "apply_seconds": 0.0,
+    }
+
+    # Preallocated shared-memory segments, one pair per worker, sized
+    # for the worst case (every binding resident in one shard; caps for
+    # every owned machine).  Created before forking so workers inherit
+    # the mappings; the parent owns close + unlink in the finally.
+    if demand_mode:
+        up_size = deltas.HEADER.size + (
+            len(engine.machines) * deltas.SCORE_RECORD.size
+        )
+    else:
+        up_size = deltas.HEADER.size + (
+            len(engine.bindings) * deltas.TENANT_RECORD.size
+        )
+    down_size = deltas.HEADER.size + (
+        len(engine.machines) * deltas.CAP_RECORD.size
+    )
+    run_token = f"{SEGMENT_PREFIX}_{os.getpid()}_{os.urandom(4).hex()}"
+
     connections = []
     processes = []
+    segments: list[shared_memory.SharedMemory] = []
+    upstreams: list[shared_memory.SharedMemory] = []
+    downstreams: list[shared_memory.SharedMemory] = []
     try:
-        for shard in shards:
+        for worker_index in range(len(shards)):
+            up = shared_memory.SharedMemory(
+                name=f"{run_token}_{worker_index}_up",
+                create=True,
+                size=up_size,
+            )
+            segments.append(up)
+            upstreams.append(up)
+            down = shared_memory.SharedMemory(
+                name=f"{run_token}_{worker_index}_down",
+                create=True,
+                size=down_size,
+            )
+            segments.append(down)
+            downstreams.append(down)
+
+        for worker_index, shard in enumerate(shards):
             parent_conn, child_conn = context.Pipe()
             process = context.Process(
                 target=_worker_main,
-                args=(engine, shard, tick_times, final_time, child_conn),
+                args=(
+                    engine,
+                    shard,
+                    tick_times,
+                    final_time,
+                    child_conn,
+                    upstreams[worker_index],
+                    downstreams[worker_index],
+                    protocol,
+                    journal_active,
+                ),
                 daemon=True,
             )
             process.start()
@@ -373,15 +588,18 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             connections.append(parent_conn)
             processes.append(process)
 
-        def receive(worker_index, conn, process, expected: str, barrier_time):
-            # Supervise at the barrier protocol level: a worker that
-            # fail-stops or wedges is detected here and named, instead
-            # of the coordinator blocking forever on a dead pipe.
-            where = (
+        def worker_label(worker_index, barrier_time):
+            return (
                 f"shard worker {worker_index} "
                 f"(machines {list(shards[worker_index])}) "
                 f"at barrier t={barrier_time:g}"
             )
+
+        def receive(worker_index, conn, process, expected: str, barrier_time):
+            # Supervise at the barrier protocol level: a worker that
+            # fail-stops or wedges is detected here and named, instead
+            # of the coordinator blocking forever on a dead pipe.
+            where = worker_label(worker_index, barrier_time)
             deadline = time.monotonic() + _WORKER_BARRIER_TIMEOUT_SECONDS
             while not conn.poll(min(1.0, _WORKER_BARRIER_TIMEOUT_SECONDS)):
                 if not process.is_alive():
@@ -415,6 +633,66 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                 )
             return message[1]
 
+        def await_upstream(worker_index, seq, barrier_time):
+            # The shared-memory half of the supervisor: poll the
+            # upstream header until the worker stamps this barrier's
+            # ordinal.  Same timeout budget as pipe reads, so a worker
+            # wedged mid-segment-write is named, not waited on forever.
+            conn = connections[worker_index]
+            process = processes[worker_index]
+            buf = upstreams[worker_index].buf
+            timeout = _WORKER_BARRIER_TIMEOUT_SECONDS
+            deadline = time.monotonic() + timeout
+            while True:
+                got, count = deltas.read_header(buf)
+                if got == seq:
+                    return count
+                where = worker_label(worker_index, barrier_time)
+                if got > seq:  # pragma: no cover - protocol guard
+                    raise EngineError(
+                        f"shard protocol error: {where} published barrier "
+                        f"seq {got}, expected {seq}"
+                    )
+                if conn.poll(0):
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        # EOF: the worker died and its pipe collapsed —
+                        # fall through to the death report below.
+                        message = None
+                    if message is not None:
+                        if message[0] == "error":
+                            raise EngineError(
+                                f"{where} failed:\n{message[1]}"
+                            )
+                        raise EngineError(  # pragma: no cover - guard
+                            f"shard protocol error: {where} sent "
+                            f"{message[0]!r} while its ready flag was "
+                            "awaited"
+                        )
+                    process.join(timeout=1.0)
+                    got, count = deltas.read_header(buf)
+                    if got == seq:  # pragma: no cover - publish/exit race
+                        return count
+                    raise EngineError(
+                        f"{where} died without publishing its barrier "
+                        f"delta (exit code {process.exitcode!r})"
+                    )
+                if not process.is_alive():
+                    got, count = deltas.read_header(buf)
+                    if got == seq:
+                        return count
+                    raise EngineError(
+                        f"{where} died without publishing its barrier "
+                        f"delta (exit code {process.exitcode!r})"
+                    )
+                if time.monotonic() >= deadline:
+                    raise EngineError(
+                        f"{where} hung: no barrier-ready flag (seq {seq}) "
+                        f"within {timeout:g}s (pid {process.pid})"
+                    )
+                time.sleep(_FLAG_POLL_SECONDS)
+
         def dispatch(worker_index, conn, process, message, barrier_time):
             # The send half of the supervisor: a worker that died since
             # its last report surfaces here as a broken pipe, named the
@@ -424,10 +702,8 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             except (BrokenPipeError, OSError):
                 process.join(timeout=1.0)
                 raise EngineError(
-                    f"shard worker {worker_index} "
-                    f"(machines {list(shards[worker_index])}) "
-                    f"at barrier t={barrier_time:g} died before accepting "
-                    f"a {message[0]!r} message "
+                    f"{worker_label(worker_index, barrier_time)} died "
+                    f"before accepting a {message[0]!r} message "
                     f"(exit code {process.exitcode!r})"
                 ) from None
 
@@ -436,36 +712,86 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         # Death-barrier machine checkpoints of fully-failed shards, so
         # later journal records still carry every machine's state.
         frozen_machine_cps: dict[int, Any] = {}
+        # Resident overlay tables: the last decoded record per key.
+        # Workers ship deltas against these, so between updates an
+        # entry is bitwise the sender's current state.
+        resident_views: list[Any] = [None] * len(engine.bindings)
+        resident_scores: list[float] = [0.0] * len(engine.machines)
+        # Last cap record published per worker per machine — the
+        # downstream delta baseline.  The cache always equals the watts
+        # the worker last enforced, so skipping an unchanged record is
+        # exactly the serial backend's idempotent re-application.
+        sent_caps: list[dict[int, bytes]] = [{} for _ in shards]
 
         def live_workers():
             for worker_index, conn in enumerate(connections):
                 if alive_worker[worker_index]:
                     yield worker_index, conn, processes[worker_index]
 
-        for now in tick_times:
-            views_by_name: dict[str, Any] = {}
+        for seq, now in enumerate(tick_times, start=1):
             tenant_cps: dict[str, Any] = {}
             machine_cps: dict[int, Any] = dict(frozen_machine_cps)
             for worker_index, conn, process in live_workers():
-                views, checkpoints = receive(
-                    worker_index, conn, process, "views", now
-                )
-                for view in views:
-                    views_by_name[view.name] = view
-                if checkpoints is not None:
-                    tenant_cps.update(checkpoints[0])
-                    machine_cps.update(checkpoints[1])
-            if engine._checkpointing:
+                if journal_active:
+                    cps = receive(worker_index, conn, process, "cps", now)
+                    tenant_cps.update(cps[0])
+                    machine_cps.update(cps[1])
+                waited = time.perf_counter()
+                count = await_upstream(worker_index, seq, now)
+                stats["wait_seconds"] += time.perf_counter() - waited
+                decoded = time.perf_counter()
+                buf = upstreams[worker_index].buf
+                if demand_mode:
+                    for index, score in deltas.decode_score_records(
+                        buf, count
+                    ):
+                        resident_scores[index] = score
+                    stats["payload_bytes"] += (
+                        deltas.HEADER.size + count * deltas.SCORE_RECORD.size
+                    )
+                else:
+                    for bindex, view in deltas.decode_tenant_records(
+                        buf, count, names, weights
+                    ):
+                        resident_views[bindex] = view
+                    stats["payload_bytes"] += (
+                        deltas.HEADER.size + count * deltas.TENANT_RECORD.size
+                    )
+                stats["serialize_seconds"] += time.perf_counter() - decoded
+            if journal_active:
                 engine._last_checkpoints = tenant_cps
                 engine._last_machine_checkpoints = [
                     machine_cps[i] for i in range(len(engine.machines))
                 ]
-            tenants = tuple(
-                views_by_name[b.tenant.name] for b in engine.bindings
-            )
-            actions, plan = engine._decide_plan(
-                engine._control_view(now, tenants)
-            )
+
+            applying = time.perf_counter()
+            if demand_mode:
+                # The hierarchical fast path: arbitrate O(machines)
+                # scores through the policy's one arithmetic path (the
+                # same caps_for_demand its decide() uses, on the same
+                # floors/ceilings the serial view carries) and validate
+                # through the shared trust boundary.  The synthetic
+                # empty-tenant view is safe: cap validation reads only
+                # the floors/ceilings/budget arguments.
+                caps = engine.policy.caps_for_demand(
+                    resident_scores,
+                    engine._budget,
+                    engine._cap_floors,
+                    engine._cap_ceilings,
+                )
+                actions = [SetCaps(tuple(caps))]
+                plan = plan_actions(
+                    actions,
+                    engine._control_view(now, tenants=()),
+                    engine._cap_floors,
+                    engine._cap_ceilings,
+                    engine._budget,
+                )
+            else:
+                tenants = tuple(resident_views)
+                actions, plan = engine._decide_plan(
+                    engine._control_view(now, tenants)
+                )
             engine._record_plan(plan, now, cap_history)
             # Push the commanded caps through the (possibly faulty)
             # actuators exactly as the serial backend does — the same
@@ -476,10 +802,11 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             )
 
             # Failures: the coordinator runs the same placement math as
-            # the serial applier, marks the deaths, and ships each
+            # the serial applier, marks the deaths, and routes each
             # victim's checkpoint to the worker owning its destination.
             failure_moves: list[tuple[int, list[tuple[str, int]]]] = []
             victim_cps: dict[str, Any] = {}
+            want_by_worker: list[list[str]] = [[] for _ in shards]
             failure_records: list[FailureRecord] = []
             if plan.failures:
                 if not engine._checkpointing:
@@ -506,7 +833,17 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                 for dead_index, moves in failure_moves:
                     replacements = []
                     for tenant, dest in moves:
-                        victim_cps[tenant] = tenant_cps[tenant]
+                        if journal_active:
+                            victim_cps[tenant] = tenant_cps[tenant]
+                        else:
+                            # Lazy checkpoints: ask the worker holding
+                            # the victim (its shard owns the dead
+                            # machine); a fully-failed shard ships its
+                            # residents' checkpoints with its ``dead``
+                            # reply instead.
+                            want_by_worker[
+                                shard_of_machine[dead_index]
+                            ].append(tenant)
                         parent_bindings[tenant].machine_index = dest
                         replacements.append(
                             MigrationRecord(
@@ -533,11 +870,14 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                 if alive_worker[worker_index]
                 and all(i in engine.dead_machines for i in shard)
             ]
-            for worker_index in dying_workers:
-                for machine_index in shards[worker_index]:
-                    frozen_machine_cps[machine_index] = dataclasses.replace(
-                        machine_cps[machine_index], alive=False
-                    )
+            if journal_active:
+                for worker_index in dying_workers:
+                    for machine_index in shards[worker_index]:
+                        frozen_machine_cps[machine_index] = (
+                            dataclasses.replace(
+                                machine_cps[machine_index], alive=False
+                            )
+                        )
 
             emigrations_by_worker: list[list[Any]] = [[] for _ in shards]
             for migration in plan.migrations:
@@ -546,33 +886,86 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
                     migration
                 )
             any_migrations = bool(plan.migrations)
+            stats["apply_seconds"] += time.perf_counter() - applying
             for worker_index, conn, process in live_workers():
                 if worker_index in dying_workers:
                     dispatch(worker_index, conn, process, ("die",), now)
-                else:
-                    dispatch(
-                        worker_index,
-                        conn,
-                        process,
-                        (
-                            "plan",
-                            applied_caps,
-                            emigrations_by_worker[worker_index],
-                            any_migrations,
-                            failure_moves,
-                            victim_cps,
-                        ),
-                        now,
-                    )
+                    continue
+                # Downstream deltas: only this shard's live machines
+                # whose applied watts changed since last publish.
+                encoding = time.perf_counter()
+                records = []
+                cache = sent_caps[worker_index]
+                if applied_caps is not None:
+                    for machine_index in shards[worker_index]:
+                        if machine_index in engine.dead_machines:
+                            continue
+                        watts = applied_caps[machine_index]
+                        if watts is None:
+                            continue
+                        record = deltas.encode_cap_record(
+                            machine_index, watts
+                        )
+                        if cache.get(machine_index) != record:
+                            cache[machine_index] = record
+                            records.append(record)
+                count = deltas.publish(
+                    downstreams[worker_index].buf, seq, records
+                )
+                stats["payload_bytes"] += (
+                    deltas.HEADER.size + count * deltas.CAP_RECORD.size
+                )
+                stats["serialize_seconds"] += time.perf_counter() - encoding
+                dispatch(
+                    worker_index,
+                    conn,
+                    process,
+                    (
+                        "plan",
+                        emigrations_by_worker[worker_index],
+                        any_migrations,
+                        failure_moves,
+                        want_by_worker[worker_index],
+                    ),
+                    now,
+                )
             for worker_index in dying_workers:
-                payload_by_worker[worker_index] = receive(
+                dead_cps, payload = receive(
                     worker_index,
                     connections[worker_index],
                     processes[worker_index],
                     "dead",
                     now,
                 )
+                victim_cps.update(dead_cps)
+                payload_by_worker[worker_index] = payload
                 alive_worker[worker_index] = False
+            if not journal_active:
+                for worker_index, conn, process in live_workers():
+                    if want_by_worker[worker_index]:
+                        victim_cps.update(
+                            receive(
+                                worker_index, conn, process, "victim_cps", now
+                            )
+                        )
+            if failure_moves:
+                restores_by_worker: list[dict[str, Any]] = [
+                    {} for _ in shards
+                ]
+                for _dead_index, moves in failure_moves:
+                    for tenant, dest in moves:
+                        restores_by_worker[shard_of_machine[dest]][tenant] = (
+                            victim_cps[tenant]
+                        )
+                for worker_index, conn, process in live_workers():
+                    if restores_by_worker[worker_index]:
+                        dispatch(
+                            worker_index,
+                            conn,
+                            process,
+                            ("restore", restores_by_worker[worker_index]),
+                            now,
+                        )
 
             migration_records: list[MigrationRecord] = []
             if any_migrations:
@@ -627,10 +1020,14 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         ]
     finally:
         # Teardown only: worker death/hang is detected and raised by
-        # receive() above, so this just reaps.  Closing the pipes first
-        # unblocks any worker still waiting at a barrier (its recv sees
-        # EOF and the process exits); terminate() is the last resort
-        # for a worker wedged outside the protocol.
+        # receive()/await_upstream() above, so this just reaps.
+        # Closing the pipes first unblocks any worker still waiting at
+        # a barrier (its recv sees EOF and the process exits);
+        # terminate() is the last resort for a worker wedged outside
+        # the protocol.  Segments are closed and unlinked here and
+        # nowhere else — the parent owns the /dev/shm lifetime, so
+        # even a run aborted by a worker-death EngineError leaves no
+        # stray reproshard_* segments behind.
         for conn in connections:
             conn.close()
         for process in processes:
@@ -638,6 +1035,15 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
             if process.is_alive():  # pragma: no cover - wedged worker
                 process.terminate()
                 process.join()
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
 
     reports_by_name: dict[str, Any] = {}
     stats_by_name: dict[str, Any] = {}
@@ -656,8 +1062,11 @@ def run_sharded(engine: "DatacenterEngine") -> "DatacenterResult":
         machine_energy.update(payload["machine_energy"])
         machine_idle.update(payload["machine_idle"])
         machine_now.update(payload["machine_now"])
-    # Telemetry for the bench harness: per-shard CPU seconds.
+    # Telemetry for the bench harness: per-shard CPU seconds, the
+    # coordinator's own CPU seconds, and the barrier-plane breakdown.
     engine.shard_busy_seconds = [p["busy_seconds"] for p in payloads]
+    engine.coordinator_busy_seconds = time.process_time() - cpu_started
+    engine.barrier_stats = stats
 
     # Reflect worker-side accounting on the parent's bindings and idle
     # account so callers inspecting the engine after run() see the same

@@ -81,6 +81,7 @@ from repro.experiments import (
     summarize_inputs,
 )
 from repro.experiments.catalog import ARTIFACTS, PER_APP_ARTIFACTS
+from repro.experiments.datacenter import DEFAULT_BUDGET_WATTS
 
 
 def _run(
@@ -97,6 +98,7 @@ def _run(
     chaos_seed: int = 0,
     resume_run: bool = False,
     faults: FaultPlan | None = None,
+    machines: int = 2,
 ) -> str:
     """Execute one artifact subcommand and return its rendered output."""
     if artifact == "table1":
@@ -124,6 +126,11 @@ def _run(
     if artifact == "datacenter":
         experiment = run_datacenter(
             scale,
+            # The default budget covers the default 2-machine pool;
+            # larger pools scale it linearly so the arbiters stay
+            # feasible (every machine's cap floor covered).
+            budget_watts=DEFAULT_BUDGET_WATTS * (machines / 2.0),
+            machines=machines,
             backend=backend,
             workers=workers,
             policy=policy,
@@ -217,6 +224,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "run continues to completion",
             )
         if name == "datacenter":
+            sub.add_argument(
+                "--machines",
+                type=int,
+                default=2,
+                metavar="N",
+                help="machine-pool size (default: 2; the facility "
+                "budget scales linearly with the pool so arbitration "
+                "stays feasible — pair large pools with --policy "
+                "hier-arbitrated and --backend sharded)",
+            )
             sub.add_argument(
                 "--policy",
                 choices=list(POLICY_NAMES),
@@ -316,6 +333,7 @@ def main(argv: list[str] | None = None) -> int:
             getattr(args, "chaos_seed", 0),
             getattr(args, "resume", False),
             faults,
+            getattr(args, "machines", 2),
         )
     except BudgetTraceError as error:
         # E.g. a trace level below the pool's enforceable cap floor,

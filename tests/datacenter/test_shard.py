@@ -201,81 +201,102 @@ class TestBackendValidation:
             DatacenterEngine(machines, [binding], backend="sharded", workers=0)
 
 
+def stray_segments():
+    """The ``reproshard_*`` segments currently live in ``/dev/shm``."""
+    from repro.datacenter import shard
+
+    try:
+        return [
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith(shard.SEGMENT_PREFIX)
+        ]
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs hosts
+        return []
+
+
 @needs_fork
 class TestWorkerSupervision:
     """The coordinator must detect dead and hung workers at barriers.
 
-    Both tests replace ``shard._worker_main`` before the engine forks
-    (the fork start method inherits the patched module), so the failure
-    happens inside a real worker process mid-protocol — and assert the
-    supervisor raises an :class:`EngineError` naming the worker, its
-    machines, and the barrier time instead of blocking on a dead pipe.
+    The tests replace ``shard._publish_upstream`` before the engine
+    forks (the fork start method inherits the patched module), so the
+    failure happens inside a real worker process mid-protocol — and
+    assert the supervisor raises an :class:`EngineError` naming the
+    worker, its machines, and the barrier, instead of blocking forever
+    on a ready flag that will never be stamped.  The death test also
+    pins the shared-memory lifecycle: a run killed mid-protocol must
+    still unlink every ``reproshard_*`` segment.
     """
 
     def test_worker_death_mid_run_is_named(self, monkeypatch):
         from repro.datacenter import shard
 
-        real_worker = shard._worker_main
+        real_publish = shard._publish_upstream
+        state = {"published": 0}
 
-        def dying_worker(engine, machine_indices, tick_times, final_time, conn):
-            if 1 not in machine_indices:
-                return real_worker(
-                    engine, machine_indices, tick_times, final_time, conn
-                )
+        def dying_publish(segment, seq, records):
+            # Worker 1 fail-stops on entry to its third barrier
+            # publish: flag never stamped, coordinator must notice.
+            if segment.name.endswith("_1_up"):
+                state["published"] += 1
+                if state["published"] > 2:
+                    os._exit(3)
+            return real_publish(segment, seq, records)
 
-            class DieAfterSends:
-                """Forwarding conn that fail-stops after two sends."""
-
-                def __init__(self, inner):
-                    self._inner = inner
-                    self._sends = 0
-
-                def send(self, message):
-                    self._inner.send(message)
-                    self._sends += 1
-                    if self._sends >= 2:
-                        os._exit(3)
-
-                def __getattr__(self, name):
-                    return getattr(self._inner, name)
-
-            return real_worker(
-                engine,
-                machine_indices,
-                tick_times,
-                final_time,
-                DieAfterSends(conn),
-            )
-
-        monkeypatch.setattr(shard, "_worker_main", dying_worker)
+        monkeypatch.setattr(shard, "_publish_upstream", dying_publish)
         engine = build_scenario("sharded", workers=2)
         with pytest.raises(
             EngineError,
-            match=r"shard worker \d+ \(machines \[.*\]\) at barrier "
-            r"t=\S+ died",
+            match=r"shard worker 1 \(machines \[.*\]\) at barrier "
+            r"t=\S+ died without publishing its barrier delta "
+            r"\(exit code 3\)",
         ):
             engine.run()
+        assert stray_segments() == []
 
     def test_hung_worker_is_named_with_timeout(self, monkeypatch):
         from repro.datacenter import shard
 
-        real_worker = shard._worker_main
+        real_publish = shard._publish_upstream
 
-        def hanging_worker(
-            engine, machine_indices, tick_times, final_time, conn
-        ):
-            if 1 in machine_indices:
+        def wedged_publish(segment, seq, records):
+            # Worker 1 wedges mid-segment-write before stamping the
+            # ready flag — the shared-memory half of the supervisor
+            # must time out and name it.
+            if segment.name.endswith("_1_up"):
                 time.sleep(60.0)
-            return real_worker(
-                engine, machine_indices, tick_times, final_time, conn
-            )
+            return real_publish(segment, seq, records)
 
-        monkeypatch.setattr(shard, "_worker_main", hanging_worker)
+        monkeypatch.setattr(shard, "_publish_upstream", wedged_publish)
         monkeypatch.setattr(shard, "_WORKER_BARRIER_TIMEOUT_SECONDS", 2.0)
         engine = build_scenario("sharded", workers=2)
         with pytest.raises(
             EngineError,
-            match=r"shard worker \d+ \(machines \[.*\]\) at barrier "
-            r"t=\S+ hung: no 'views' message within 2s \(pid \d+\)",
+            match=r"shard worker 1 \(machines \[.*\]\) at barrier "
+            r"t=\S+ hung: no barrier-ready flag \(seq \d+\) within 2s "
+            r"\(pid \d+\)",
         ):
             engine.run()
+        assert stray_segments() == []
+
+
+@needs_fork
+class TestSegmentLifecycle:
+    """Shared-memory segments never outlive the run that created them."""
+
+    def test_completed_run_leaves_no_segments(self):
+        build_scenario("sharded", workers=2).run()
+        assert stray_segments() == []
+
+    def test_barrier_stats_populated(self):
+        engine = build_scenario("sharded", workers=2)
+        engine.run()
+        stats = engine.barrier_stats
+        assert stats is not None
+        assert stats["protocol"] == "views"
+        assert stats["barriers"] > 0
+        assert stats["payload_bytes"] > 0
+        assert stats["wait_seconds"] >= 0.0
+        assert engine.coordinator_busy_seconds is not None
+        assert engine.coordinator_busy_seconds > 0.0
